@@ -1,0 +1,98 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation (Section 6) through the internal/experiments runners.
+// Run them all with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes its experiment once per b.N iteration and also
+// prints the paper-style series (use -v or cmd/lsmbench for readable
+// output). Reported metrics include the experiment's total simulated time
+// where that is the figure's y-axis.
+package repro
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchFigure runs one experiment per iteration at quick scale (benchmarks
+// gate CI; cmd/lsmbench runs the full scale).
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	scale := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		if i == 0 && testing.Verbose() {
+			res.Print(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFig12aPointLookupLowSel — Figure 12a: point-lookup optimization
+// stack at low selectivities.
+func BenchmarkFig12aPointLookupLowSel(b *testing.B) { benchFigure(b, "fig12a") }
+
+// BenchmarkFig12bPointLookupHighSel — Figure 12b: high selectivities with
+// full-scan baselines.
+func BenchmarkFig12bPointLookupHighSel(b *testing.B) { benchFigure(b, "fig12b") }
+
+// BenchmarkFig12cBatchSize — Figure 12c: batch memory sweep.
+func BenchmarkFig12cBatchSize(b *testing.B) { benchFigure(b, "fig12c") }
+
+// BenchmarkFig12dSortOverhead — Figure 12d: batching vs sorting plans.
+func BenchmarkFig12dSortOverhead(b *testing.B) { benchFigure(b, "fig12d") }
+
+// BenchmarkFig13InsertIngestion — Figure 13: insert ingestion with/without
+// the primary key index, duplicates, HDD/SSD.
+func BenchmarkFig13InsertIngestion(b *testing.B) { benchFigure(b, "fig13") }
+
+// BenchmarkFig14UpsertIngestion — Figure 14: upsert ingestion by strategy
+// and update distribution.
+func BenchmarkFig14UpsertIngestion(b *testing.B) { benchFigure(b, "fig14") }
+
+// BenchmarkFig15aMergeImpact — Figure 15a: max-mergeable-size sweep.
+func BenchmarkFig15aMergeImpact(b *testing.B) { benchFigure(b, "fig15a") }
+
+// BenchmarkFig15bSecondaryScaling — Figure 15b: 1-5 secondary indexes,
+// including the deleted-key B+-tree baseline.
+func BenchmarkFig15bSecondaryScaling(b *testing.B) { benchFigure(b, "fig15b") }
+
+// BenchmarkFig16NonIndexOnly — Figure 16: non-index-only queries.
+func BenchmarkFig16NonIndexOnly(b *testing.B) { benchFigure(b, "fig16") }
+
+// BenchmarkFig17IndexOnly — Figure 17: index-only queries.
+func BenchmarkFig17IndexOnly(b *testing.B) { benchFigure(b, "fig17") }
+
+// BenchmarkFig18SmallCache — Figure 18: Timestamp validation with a small
+// buffer cache.
+func BenchmarkFig18SmallCache(b *testing.B) { benchFigure(b, "fig18") }
+
+// BenchmarkFig19RangeFilter — Figure 19: range-filter scans by strategy.
+func BenchmarkFig19RangeFilter(b *testing.B) { benchFigure(b, "fig19") }
+
+// BenchmarkFig20RepairBasic — Figure 20: repair time trend, update ratios.
+func BenchmarkFig20RepairBasic(b *testing.B) { benchFigure(b, "fig20") }
+
+// BenchmarkFig21RepairLargeRecords — Figure 21: repair with large records.
+func BenchmarkFig21RepairLargeRecords(b *testing.B) { benchFigure(b, "fig21") }
+
+// BenchmarkFig22RepairSecondaries — Figure 22: repair with 5 secondary
+// indexes.
+func BenchmarkFig22RepairSecondaries(b *testing.B) { benchFigure(b, "fig22") }
+
+// BenchmarkFig23ConcurrencyControl — Figure 23a/b/c: Mutable-bitmap CC
+// overhead (real wall time).
+func BenchmarkFig23ConcurrencyControl(b *testing.B) {
+	for _, id := range []string{"fig23a", "fig23b", "fig23c"} {
+		id := id
+		b.Run(id, func(b *testing.B) { benchFigure(b, id) })
+	}
+}

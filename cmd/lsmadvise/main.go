@@ -1,0 +1,35 @@
+// Command lsmadvise recommends a maintenance strategy for a described
+// workload by probing every candidate strategy on a miniature simulated
+// replay (the paper's Section 7 auto-tuning direction).
+//
+// Usage:
+//
+//	lsmadvise -update-ratio 0.5 -queries 2 -scans 5 -secondaries 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/lsmstore"
+)
+
+func main() {
+	p := lsmstore.WorkloadProfile{}
+	flag.Float64Var(&p.UpdateRatio, "update-ratio", 0.1, "fraction of writes updating existing keys")
+	flag.Float64Var(&p.QueriesPerKiloWrites, "queries", 5, "secondary queries per 1000 writes")
+	flag.Float64Var(&p.IndexOnlyFraction, "index-only", 0.2, "fraction of queries that are index-only")
+	flag.Float64Var(&p.FilterScansPerKiloWrites, "scans", 1, "filter scans per 1000 writes (half over old data)")
+	flag.Float64Var(&p.QuerySelectivity, "selectivity", 0.001, "secondary query selectivity (fraction)")
+	flag.IntVar(&p.NumSecondaries, "secondaries", 1, "number of secondary indexes")
+	flag.IntVar(&p.RecordBytes, "record-bytes", 500, "typical record size")
+	flag.Parse()
+
+	best, report, err := lsmstore.Advise(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lsmadvise:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("recommended strategy: %v\n\nprobe measurements (virtual time):\n%s", best, report)
+}

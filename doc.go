@@ -1,0 +1,9 @@
+// Package repro is the root of a from-scratch Go reproduction of Luo &
+// Carey, "Efficient Data Ingestion and Query Processing for LSM-Based
+// Storage Systems" (PVLDB 12(5), 2019).
+//
+// The public API lives in package lsmstore; the engine internals live under
+// internal/ (see README.md for the map). This root package holds only the
+// benchmark harness (bench_test.go) that regenerates every figure of the
+// paper's evaluation via internal/experiments.
+package repro

@@ -1,0 +1,125 @@
+package advisor
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRecommendCoversAllStrategies(t *testing.T) {
+	_, report, err := Recommend(DefaultProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Estimates) != 4 {
+		t.Fatalf("probed %d strategies", len(report.Estimates))
+	}
+	seen := map[core.Strategy]bool{}
+	for i, e := range report.Estimates {
+		if e.Total() <= 0 {
+			t.Errorf("estimate %d has non-positive total", i)
+		}
+		seen[e.Strategy] = true
+	}
+	if len(seen) != 4 {
+		t.Error("duplicate strategies in report")
+	}
+	for i := 1; i < len(report.Estimates); i++ {
+		if report.Estimates[i].Total() < report.Estimates[i-1].Total() {
+			t.Error("report not sorted by total cost")
+		}
+	}
+	if report.String() == "" {
+		t.Error("empty report rendering")
+	}
+}
+
+// TestWriteHeavyPrefersLazy: an update-heavy, write-mostly workload is the
+// Validation strategy's home turf (Figure 14) — Eager must never win it.
+func TestWriteHeavyPrefersLazy(t *testing.T) {
+	p := Profile{
+		UpdateRatio:          0.5,
+		QueriesPerKiloWrites: 0.5,
+		QuerySelectivity:     0.001,
+		NumSecondaries:       2,
+		RecordBytes:          500,
+	}
+	best, report, err := Recommend(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best == core.Eager {
+		t.Fatalf("Eager recommended for a write-heavy workload:\n%s", report)
+	}
+	// Eager must rank last or next-to-last on ingest time.
+	var eager, validation Estimate
+	for _, e := range report.Estimates {
+		switch e.Strategy {
+		case core.Eager:
+			eager = e
+		case core.Validation:
+			validation = e
+		}
+	}
+	if eager.IngestTime <= validation.IngestTime {
+		t.Errorf("eager ingest %v <= validation %v", eager.IngestTime, validation.IngestTime)
+	}
+}
+
+// TestQueryHeavyRewardsEagerQueries: with many selective non-index-only
+// queries and few updates, Eager's always-clean indexes must show the
+// lowest query time even if its ingestion is slowest.
+func TestQueryHeavyRewardsEagerQueries(t *testing.T) {
+	p := Profile{
+		UpdateRatio:          0.3,
+		QueriesPerKiloWrites: 40,
+		QuerySelectivity:     0.001,
+		NumSecondaries:       1,
+		RecordBytes:          500,
+	}
+	_, report, err := Recommend(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eager core.Strategy = core.Eager
+	var eagerQ, worstQ int64
+	for _, e := range report.Estimates {
+		if e.Strategy == eager {
+			eagerQ = int64(e.QueryTime)
+		}
+		if int64(e.QueryTime) > worstQ {
+			worstQ = int64(e.QueryTime)
+		}
+	}
+	if eagerQ == worstQ && worstQ > 0 {
+		t.Errorf("eager has the worst query time:\n%s", report)
+	}
+}
+
+// TestOldScanHeavyFavorsMutableBitmap: old-data filter scans are where the
+// Mutable-bitmap strategy dominates (Figure 19); with updates present its
+// scan time must beat Validation's.
+func TestOldScanHeavyFavorsMutableBitmap(t *testing.T) {
+	p := Profile{
+		UpdateRatio:              0.5,
+		FilterScansPerKiloWrites: 10,
+		NumSecondaries:           1,
+		RecordBytes:              500,
+	}
+	_, report, err := Recommend(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mb, val Estimate
+	for _, e := range report.Estimates {
+		switch e.Strategy {
+		case core.MutableBitmap:
+			mb = e
+		case core.Validation:
+			val = e
+		}
+	}
+	if mb.ScanTime >= val.ScanTime {
+		t.Errorf("mutable-bitmap scans %v >= validation %v:\n%s", mb.ScanTime, val.ScanTime, report)
+	}
+}

@@ -1,0 +1,196 @@
+package bitmap
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestImmutableSetAndCount(t *testing.T) {
+	b := NewImmutable(130)
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	b.Set(500) // out of range: ignored
+	if !b.IsSet(0) || !b.IsSet(64) || !b.IsSet(129) {
+		t.Fatal("set bits missing")
+	}
+	if b.IsSet(1) || b.IsSet(130) || b.IsSet(-1) {
+		t.Fatal("unset bits reported set")
+	}
+	if b.Count() != 3 {
+		t.Fatalf("Count = %d", b.Count())
+	}
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestNilImmutableSafe(t *testing.T) {
+	var b *Immutable
+	if b.IsSet(5) || b.Count() != 0 || b.Len() != 0 {
+		t.Fatal("nil bitmap must behave as all-valid")
+	}
+}
+
+func TestMutableSetUnset(t *testing.T) {
+	b := NewMutable(100)
+	if !b.Set(42) {
+		t.Fatal("first Set must report change")
+	}
+	if b.Set(42) {
+		t.Fatal("second Set must be a no-op")
+	}
+	if !b.IsSet(42) {
+		t.Fatal("bit lost")
+	}
+	if !b.Unset(42) {
+		t.Fatal("Unset must report change")
+	}
+	if b.Unset(42) {
+		t.Fatal("second Unset must be a no-op")
+	}
+	if b.IsSet(42) {
+		t.Fatal("bit survived Unset")
+	}
+	if b.Set(-1) || b.Set(100) {
+		t.Fatal("out-of-range Set must fail")
+	}
+}
+
+func TestNilMutableSafe(t *testing.T) {
+	var b *Mutable
+	if b.IsSet(5) || b.Count() != 0 || b.Len() != 0 {
+		t.Fatal("nil mutable bitmap must behave as all-valid")
+	}
+}
+
+func TestMutableConcurrentSetsExactlyOnce(t *testing.T) {
+	// The paper requires latching/CAS so two writers never lose a bit
+	// (Section 5.2). N goroutines race to set every bit; each bit must be
+	// claimed exactly once.
+	const n = 10000
+	b := NewMutable(n)
+	var claimed [n]int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < n; i++ {
+				pos := int64(rng.Intn(n))
+				if b.Set(pos) {
+					mu.Lock()
+					claimed[pos]++
+					mu.Unlock()
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	for i, c := range claimed {
+		if c > 1 {
+			t.Fatalf("bit %d claimed %d times", i, c)
+		}
+		if c == 1 && !b.IsSet(int64(i)) {
+			t.Fatalf("claimed bit %d not set", i)
+		}
+	}
+	if got := b.Count(); got == 0 || got > n {
+		t.Fatalf("Count = %d", got)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	b := NewMutable(64)
+	b.Set(1)
+	snap := b.Snapshot()
+	b.Set(2)
+	if !snap.IsSet(1) {
+		t.Fatal("snapshot lost existing bit")
+	}
+	if snap.IsSet(2) {
+		t.Fatal("snapshot sees later mutation")
+	}
+}
+
+func TestMutableMatchesModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		b := NewMutable(256)
+		model := make(map[int64]bool)
+		for _, op := range ops {
+			pos := int64(op % 256)
+			if op%2 == 0 {
+				b.Set(pos)
+				model[pos] = true
+			} else {
+				b.Unset(pos)
+				model[pos] = false
+			}
+		}
+		for pos, want := range model {
+			if b.IsSet(pos) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSideFile(t *testing.T) {
+	s := NewSideFile()
+	if !s.Append([]byte("k1")) || !s.Append([]byte("k2")) {
+		t.Fatal("append to open side-file failed")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	keys := s.Close()
+	if len(keys) != 2 || string(keys[0]) != "k1" {
+		t.Fatalf("Close returned %q", keys)
+	}
+	if s.Append([]byte("k3")) {
+		t.Fatal("append after Close must fail (writer falls back to the new component)")
+	}
+}
+
+func TestSideFileCopiesKeys(t *testing.T) {
+	s := NewSideFile()
+	k := []byte("abc")
+	s.Append(k)
+	k[0] = 'X'
+	if string(s.Close()[0]) != "abc" {
+		t.Fatal("side-file must copy appended keys")
+	}
+}
+
+func TestSideFileConcurrent(t *testing.T) {
+	s := NewSideFile()
+	var wg sync.WaitGroup
+	var accepted sync.Map
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := []byte{byte(g), byte(i >> 8), byte(i)}
+				if s.Append(k) {
+					accepted.Store(string(k), true)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	keys := s.Close()
+	n := 0
+	accepted.Range(func(_, _ any) bool { n++; return true })
+	if len(keys) != n {
+		t.Fatalf("side-file holds %d keys, writers recorded %d", len(keys), n)
+	}
+}

@@ -1,0 +1,344 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/kv"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+func newTestStore(t testing.TB, pageSize int) *storage.Store {
+	t.Helper()
+	env := metrics.NopEnv()
+	disk := storage.NewDisk(storage.ScaledHDD(pageSize), env)
+	return storage.NewStore(disk, 1<<30, env)
+}
+
+func buildTree(t testing.TB, store *storage.Store, entries []kv.Entry) *Reader {
+	t.Helper()
+	b := NewBuilder(store)
+	for _, e := range entries {
+		if err := b.Add(e.Key, kv.AppendPayload(nil, e)); err != nil {
+			t.Fatalf("Add(%q): %v", e.Key, err)
+		}
+	}
+	r, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return r
+}
+
+func seqEntries(n int) []kv.Entry {
+	entries := make([]kv.Entry, n)
+	for i := range entries {
+		entries[i] = kv.Entry{
+			Key:   kv.EncodeUint64(uint64(i) * 3),
+			Value: []byte(fmt.Sprintf("value-%06d", i)),
+			TS:    int64(i),
+		}
+	}
+	return entries
+}
+
+func TestGetAllKeys(t *testing.T) {
+	store := newTestStore(t, 1024)
+	entries := seqEntries(5000)
+	r := buildTree(t, store, entries)
+	if r.NumEntries() != 5000 {
+		t.Fatalf("NumEntries = %d, want 5000", r.NumEntries())
+	}
+	for i, want := range entries {
+		e, ord, found, err := r.Get(want.Key)
+		if err != nil || !found {
+			t.Fatalf("Get key %d: found=%v err=%v", i, found, err)
+		}
+		if !bytes.Equal(e.Value, want.Value) || e.TS != want.TS {
+			t.Fatalf("key %d: got %v want %v", i, e, want)
+		}
+		if ord != int64(i) {
+			t.Fatalf("key %d: ordinal %d", i, ord)
+		}
+	}
+}
+
+func TestGetAbsentKeys(t *testing.T) {
+	store := newTestStore(t, 1024)
+	r := buildTree(t, store, seqEntries(1000))
+	for i := 0; i < 1000; i++ {
+		// keys are multiples of 3; probe the gaps
+		if _, _, found, _ := r.Get(kv.EncodeUint64(uint64(i)*3 + 1)); found {
+			t.Fatalf("found absent key %d", i)
+		}
+	}
+	if _, _, found, _ := r.Get(kv.EncodeUint64(1 << 62)); found {
+		t.Fatal("found key beyond the last entry")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	store := newTestStore(t, 1024)
+	r := buildTree(t, store, nil)
+	if r.NumEntries() != 0 {
+		t.Fatalf("NumEntries = %d", r.NumEntries())
+	}
+	if _, _, found, err := r.Get([]byte("x")); found || err != nil {
+		t.Fatalf("Get on empty: found=%v err=%v", found, err)
+	}
+	s, err := r.NewScan(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, _ := s.Next(); ok {
+		t.Fatal("scan of empty tree returned an entry")
+	}
+}
+
+func TestBuilderRejectsOutOfOrder(t *testing.T) {
+	store := newTestStore(t, 1024)
+	b := NewBuilder(store)
+	if err := b.Add([]byte("b"), []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add([]byte("a"), []byte{0}); err == nil {
+		t.Error("out-of-order Add should fail")
+	}
+	if err := b.Add([]byte("b"), []byte{0}); err == nil {
+		t.Error("duplicate Add should fail")
+	}
+	b.Abort()
+}
+
+func TestBuilderRejectsHugeEntry(t *testing.T) {
+	store := newTestStore(t, 512)
+	b := NewBuilder(store)
+	if err := b.Add([]byte("k"), make([]byte, 4096)); err == nil {
+		t.Error("oversized entry should fail")
+	}
+	b.Abort()
+}
+
+func TestScanFullAndRanges(t *testing.T) {
+	store := newTestStore(t, 1024)
+	entries := seqEntries(3000)
+	r := buildTree(t, store, entries)
+
+	// full scan
+	s, err := r.NewScan(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range entries {
+		e, ord, ok, err := s.Next()
+		if err != nil || !ok {
+			t.Fatalf("scan stopped at %d: %v", i, err)
+		}
+		if !bytes.Equal(e.Key, entries[i].Key) || ord != int64(i) {
+			t.Fatalf("scan entry %d mismatch", i)
+		}
+	}
+	if _, _, ok, _ := s.Next(); ok {
+		t.Fatal("scan overran")
+	}
+
+	// bounded scan: [lo, hi)
+	lo, hi := kv.EncodeUint64(300), kv.EncodeUint64(600)
+	s2, err := r.NewScan(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		e, _, ok, err := s2.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		v := kv.DecodeUint64(e.Key)
+		if v < 300 || v >= 600 {
+			t.Fatalf("scan leaked key %d", v)
+		}
+		count++
+	}
+	want := 0
+	for i := 0; i < 3000; i++ {
+		if u := uint64(i) * 3; u >= 300 && u < 600 {
+			want++
+		}
+	}
+	if count != want {
+		t.Fatalf("bounded scan returned %d entries, want %d", count, want)
+	}
+
+	// lo between keys
+	s3, _ := r.NewScan(kv.EncodeUint64(301), nil)
+	e, _, ok, _ := s3.Next()
+	if !ok || kv.DecodeUint64(e.Key) != 303 {
+		t.Fatalf("scan from gap: got %v", e)
+	}
+}
+
+func TestLookupCursorStatefulMatchesStateless(t *testing.T) {
+	store := newTestStore(t, 1024)
+	entries := seqEntries(4000)
+	r := buildTree(t, store, entries)
+
+	rng := rand.New(rand.NewSource(42))
+	var probes []uint64
+	for i := 0; i < 2000; i++ {
+		probes = append(probes, uint64(rng.Intn(13000)))
+	}
+	sort.Slice(probes, func(i, j int) bool { return probes[i] < probes[j] })
+
+	stateful := r.NewLookupCursor(true)
+	stateless := r.NewLookupCursor(false)
+	for _, p := range probes {
+		key := kv.EncodeUint64(p)
+		e1, o1, f1, err1 := stateful.Lookup(key)
+		e2, o2, f2, err2 := stateless.Lookup(key)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if f1 != f2 || o1 != o2 || !bytes.Equal(e1.Value, e2.Value) {
+			t.Fatalf("probe %d: stateful (%v,%d,%v) != stateless (%v,%d,%v)",
+				p, e1, o1, f1, e2, o2, f2)
+		}
+		if f1 != (p%3 == 0 && p < 12000) {
+			t.Fatalf("probe %d: found=%v", p, f1)
+		}
+	}
+}
+
+func TestLookupCursorUnsortedProbes(t *testing.T) {
+	// The stateful cursor must stay correct even when keys arrive out of
+	// order (it only optimizes, never assumes, monotonicity).
+	store := newTestStore(t, 1024)
+	r := buildTree(t, store, seqEntries(2000))
+	c := r.NewLookupCursor(true)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		p := uint64(rng.Intn(6500))
+		_, _, found, err := c.Lookup(kv.EncodeUint64(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found != (p%3 == 0 && p < 6000) {
+			t.Fatalf("probe %d: found=%v", p, found)
+		}
+	}
+}
+
+func TestStatefulCursorSavesComparisons(t *testing.T) {
+	env := metrics.NopEnv()
+	disk := storage.NewDisk(storage.ScaledHDD(4096), env)
+	store := storage.NewStore(disk, 1<<30, env)
+	r := buildTree(t, store, seqEntries(20000))
+
+	run := func(stateful bool) int64 {
+		env.Counters.Reset()
+		c := r.NewLookupCursor(stateful)
+		for i := 0; i < 20000; i++ {
+			c.Lookup(kv.EncodeUint64(uint64(i) * 3))
+		}
+		return env.Counters.KeyComparisons.Load()
+	}
+	with := run(true)
+	without := run(false)
+	if with >= without {
+		t.Errorf("stateful lookups used %d comparisons, stateless %d; expected savings", with, without)
+	}
+}
+
+func TestVariableKeySizes(t *testing.T) {
+	store := newTestStore(t, 2048)
+	var entries []kv.Entry
+	for i := 0; i < 500; i++ {
+		key := []byte(fmt.Sprintf("%04d-%s", i, bytes.Repeat([]byte{'k'}, i%50)))
+		entries = append(entries, kv.Entry{Key: key, Value: bytes.Repeat([]byte{'v'}, i%100), TS: int64(i)})
+	}
+	r := buildTree(t, store, entries)
+	for i, want := range entries {
+		e, _, found, err := r.Get(want.Key)
+		if err != nil || !found || !bytes.Equal(e.Value, want.Value) {
+			t.Fatalf("entry %d: found=%v err=%v", i, found, err)
+		}
+	}
+}
+
+func TestOrdinalsAreStableRanks(t *testing.T) {
+	store := newTestStore(t, 1024)
+	entries := seqEntries(2500)
+	r := buildTree(t, store, entries)
+	s, _ := r.NewScan(nil, nil)
+	var i int64
+	for {
+		_, ord, ok, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if ord != i {
+			t.Fatalf("scan ordinal %d at rank %d", ord, i)
+		}
+		i++
+	}
+}
+
+func TestAbortDeletesFile(t *testing.T) {
+	store := newTestStore(t, 1024)
+	b := NewBuilder(store)
+	b.Add([]byte("a"), []byte{1})
+	id := b.FileID()
+	b.Abort()
+	if _, err := store.NumPages(id); err == nil {
+		t.Error("aborted builder's file should be deleted")
+	}
+}
+
+func TestRandomizedAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		store := newTestStore(t, 512+rng.Intn(4)*512)
+		n := rng.Intn(3000)
+		model := make(map[string][]byte, n)
+		var keys []string
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("key-%08d", rng.Intn(100000))
+			if _, dup := model[k]; dup {
+				continue
+			}
+			v := []byte(fmt.Sprintf("val-%d", rng.Int63()))
+			model[k] = v
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var entries []kv.Entry
+		for _, k := range keys {
+			entries = append(entries, kv.Entry{Key: []byte(k), Value: model[k]})
+		}
+		r := buildTree(t, store, entries)
+		for i := 0; i < 200; i++ {
+			k := fmt.Sprintf("key-%08d", rng.Intn(100000))
+			e, _, found, err := r.Get([]byte(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, ok := model[k]
+			if found != ok {
+				t.Fatalf("trial %d key %s: found=%v want %v", trial, k, found, ok)
+			}
+			if found && !bytes.Equal(e.Value, want) {
+				t.Fatalf("trial %d key %s: wrong value", trial, k)
+			}
+		}
+	}
+}

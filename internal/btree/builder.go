@@ -1,0 +1,257 @@
+// Package btree implements the immutable on-disk B+-tree used inside every
+// LSM disk component (primary index, primary key index, and secondary
+// indexes all organize component data as B+-trees, Section 3). Trees are
+// bulk-loaded once at flush/merge time and never modified afterwards.
+//
+// Layout: leaf pages first (file pages 0..L-1, so a full scan is a pure
+// sequential read), then internal levels bottom-up, then one meta page.
+// Every leaf knows the ordinal (rank) of its first entry, giving each entry
+// a stable position used by the immutable and mutable bitmaps of Sections 4
+// and 5.
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Page types.
+const (
+	pageLeaf     = 1
+	pageInternal = 2
+	pageMeta     = 3
+)
+
+// leaf header: type(1) count(4) startOrdinal(8) = 13 bytes, then count
+// uint32 offsets, then entry data (keyLen uvarint, key, payload).
+const leafHeaderSize = 13
+
+// internal header: type(1) count(4) = 5 bytes, then count uint32 offsets,
+// then routing entries (keyLen uvarint, key, child uint32).
+const internalHeaderSize = 5
+
+// ErrKeyOrder reports out-of-order or duplicate keys during bulk load.
+var ErrKeyOrder = errors.New("btree: keys must be added in strictly increasing order")
+
+// ErrEntryTooLarge reports an entry that cannot fit in one page.
+var ErrEntryTooLarge = errors.New("btree: entry exceeds page size")
+
+// Builder bulk-loads a B+-tree into a fresh component file.
+type Builder struct {
+	store    *storage.Store
+	file     storage.FileID
+	pageSize int
+
+	// current leaf under construction
+	leafKeys     [][]byte
+	leafPayloads [][]byte
+	leafBytes    int
+
+	// one pending routing entry per written page, per level
+	levels [][]routeEntry
+
+	lastKey []byte
+	count   int64
+	done    bool
+}
+
+type routeEntry struct {
+	firstKey []byte
+	page     uint32
+}
+
+// NewBuilder starts a bulk load into a new file on store.
+func NewBuilder(store *storage.Store) *Builder {
+	return &Builder{
+		store:    store,
+		file:     store.Create(),
+		pageSize: store.PageSize(),
+	}
+}
+
+// Add appends an entry. Keys must arrive in strictly increasing order.
+// payload is the opaque value bytes stored next to the key (the LSM layer
+// encodes flags/timestamp/value in it).
+func (b *Builder) Add(key, payload []byte) error {
+	if b.done {
+		return errors.New("btree: builder already finished")
+	}
+	if b.lastKey != nil && compareCharged(nil, key, b.lastKey) <= 0 {
+		return fmt.Errorf("%w: %q after %q", ErrKeyOrder, key, b.lastKey)
+	}
+	need := entrySize(key, payload)
+	if leafHeaderSize+4+need > b.pageSize {
+		return ErrEntryTooLarge
+	}
+	if leafHeaderSize+4*(len(b.leafKeys)+1)+b.leafBytes+need > b.pageSize {
+		if err := b.flushLeaf(); err != nil {
+			return err
+		}
+	}
+	b.leafKeys = append(b.leafKeys, append([]byte(nil), key...))
+	b.leafPayloads = append(b.leafPayloads, append([]byte(nil), payload...))
+	b.leafBytes += need
+	b.lastKey = b.leafKeys[len(b.leafKeys)-1]
+	b.count++
+	return nil
+}
+
+func entrySize(key, payload []byte) int {
+	return uvarintLen(uint64(len(key))) + len(key) + len(payload)
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func (b *Builder) flushLeaf() error {
+	if len(b.leafKeys) == 0 {
+		return nil
+	}
+	startOrdinal := b.count - int64(len(b.leafKeys))
+	page := make([]byte, 0, b.pageSize)
+	page = append(page, pageLeaf)
+	page = binary.BigEndian.AppendUint32(page, uint32(len(b.leafKeys)))
+	page = binary.BigEndian.AppendUint64(page, uint64(startOrdinal))
+	// reserve slot array
+	slotBase := len(page)
+	page = append(page, make([]byte, 4*len(b.leafKeys))...)
+	for i := range b.leafKeys {
+		binary.BigEndian.PutUint32(page[slotBase+4*i:], uint32(len(page)))
+		page = binary.AppendUvarint(page, uint64(len(b.leafKeys[i])))
+		page = append(page, b.leafKeys[i]...)
+		page = append(page, b.leafPayloads[i]...)
+	}
+	pageNo, err := b.store.AppendPage(b.file, page)
+	if err != nil {
+		return err
+	}
+	b.pushRoute(0, routeEntry{firstKey: b.leafKeys[0], page: uint32(pageNo)})
+	b.leafKeys = b.leafKeys[:0]
+	b.leafPayloads = b.leafPayloads[:0]
+	b.leafBytes = 0
+	return nil
+}
+
+func (b *Builder) pushRoute(level int, r routeEntry) {
+	for len(b.levels) <= level {
+		b.levels = append(b.levels, nil)
+	}
+	b.levels[level] = append(b.levels[level], r)
+}
+
+func (b *Builder) writeInternal(level int, routes []routeEntry) (uint32, error) {
+	page := make([]byte, 0, b.pageSize)
+	page = append(page, pageInternal)
+	page = binary.BigEndian.AppendUint32(page, uint32(len(routes)))
+	slotBase := len(page)
+	page = append(page, make([]byte, 4*len(routes))...)
+	for i, r := range routes {
+		binary.BigEndian.PutUint32(page[slotBase+4*i:], uint32(len(page)))
+		page = binary.AppendUvarint(page, uint64(len(r.firstKey)))
+		page = append(page, r.firstKey...)
+		page = binary.BigEndian.AppendUint32(page, r.page)
+	}
+	pageNo, err := b.store.AppendPage(b.file, page)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(pageNo), nil
+}
+
+// internalCapacity returns how many routing entries fit on one page given
+// the accumulated byte size of the candidate entries.
+func (b *Builder) internalFits(routes []routeEntry) int {
+	bytes := internalHeaderSize
+	for i, r := range routes {
+		bytes += 4 + uvarintLen(uint64(len(r.firstKey))) + len(r.firstKey) + 4
+		if bytes > b.pageSize {
+			return i
+		}
+	}
+	return len(routes)
+}
+
+// Finish flushes remaining data, writes internal levels and the meta page,
+// and opens a Reader over the completed tree.
+func (b *Builder) Finish() (*Reader, error) {
+	if b.done {
+		return nil, errors.New("btree: builder already finished")
+	}
+	b.done = true
+	if err := b.flushLeaf(); err != nil {
+		return nil, err
+	}
+	numLeaves := 0
+	if len(b.levels) > 0 {
+		numLeaves = len(b.levels[0])
+	}
+	// Build internal levels bottom-up until a level has a single page.
+	rootPage := uint32(0)
+	height := 0
+	if numLeaves > 0 {
+		level := 0
+		for {
+			routes := b.levels[level]
+			if len(routes) == 1 && level > 0 {
+				rootPage = routes[0].page
+				height = level
+				break
+			}
+			if len(routes) <= 1 && level == 0 {
+				// single leaf: it is the root
+				if len(routes) == 1 {
+					rootPage = routes[0].page
+					height = 0
+				}
+				break
+			}
+			// pack routes into internal pages
+			rest := routes
+			for len(rest) > 0 {
+				n := b.internalFits(rest)
+				if n == 0 {
+					return nil, ErrEntryTooLarge
+				}
+				pg, err := b.writeInternal(level+1, rest[:n])
+				if err != nil {
+					return nil, err
+				}
+				b.pushRoute(level+1, routeEntry{firstKey: rest[0].firstKey, page: pg})
+				rest = rest[n:]
+			}
+			level++
+			height = level
+		}
+	}
+	// meta page: type(1) count(8) root(4) height(2) numLeaves(4)
+	meta := make([]byte, 0, 32)
+	meta = append(meta, pageMeta)
+	meta = binary.BigEndian.AppendUint64(meta, uint64(b.count))
+	meta = binary.BigEndian.AppendUint32(meta, rootPage)
+	meta = binary.BigEndian.AppendUint16(meta, uint16(height))
+	meta = binary.BigEndian.AppendUint32(meta, uint32(numLeaves))
+	if _, err := b.store.AppendPage(b.file, meta); err != nil {
+		return nil, err
+	}
+	return Open(b.store, b.file)
+}
+
+// Abort discards a partially built tree.
+func (b *Builder) Abort() {
+	if !b.done {
+		b.done = true
+		b.store.Delete(b.file)
+	}
+}
+
+// FileID returns the file being built.
+func (b *Builder) FileID() storage.FileID { return b.file }

@@ -1,0 +1,129 @@
+package btree
+
+import (
+	"testing"
+
+	"repro/internal/kv"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// TestOpenRejectsGarbage verifies Open fails cleanly on files that are not
+// B+-trees rather than panicking or misreading.
+func TestOpenRejectsGarbage(t *testing.T) {
+	env := metrics.NopEnv()
+	disk := storage.NewDisk(storage.ScaledHDD(1024), env)
+	store := storage.NewStore(disk, 1<<20, env)
+
+	// Empty file.
+	f0 := store.Create()
+	if _, err := Open(store, f0); err == nil {
+		t.Error("empty file accepted")
+	}
+
+	// File whose last page is not a meta page.
+	f1 := store.Create()
+	store.AppendPage(f1, []byte{0xde, 0xad, 0xbe, 0xef})
+	if _, err := Open(store, f1); err == nil {
+		t.Error("garbage meta page accepted")
+	}
+
+	// Truncated meta page.
+	f2 := store.Create()
+	store.AppendPage(f2, []byte{pageMeta, 0x01})
+	if _, err := Open(store, f2); err == nil {
+		t.Error("truncated meta page accepted")
+	}
+
+	// Missing file.
+	if _, err := Open(store, storage.FileID(9999)); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestDecodePageRejectsCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0x7f},            // unknown page type
+		{pageLeaf},        // truncated leaf header
+		{pageInternal, 0}, // truncated internal header
+	}
+	for i, raw := range cases {
+		if _, err := decodePage(raw, 0); err == nil {
+			t.Errorf("case %d: corrupt page decoded", i)
+		}
+	}
+	// Leaf with slot offset out of range.
+	bad := make([]byte, leafHeaderSize+4)
+	bad[0] = pageLeaf
+	bad[4] = 1                 // count = 1 (big endian at [1:5])
+	bad[leafHeaderSize] = 0xff // offset way past the page
+	bad[leafHeaderSize+1] = 0xff
+	bad[leafHeaderSize+2] = 0xff
+	bad[leafHeaderSize+3] = 0xff
+	if _, err := decodePage(bad, 0); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+}
+
+// TestPageBoundaryFill packs entries that exactly straddle page capacity,
+// guarding the builder's fits-in-page arithmetic.
+func TestPageBoundaryFill(t *testing.T) {
+	for _, pageSize := range []int{256, 512, 1024} {
+		env := metrics.NopEnv()
+		disk := storage.NewDisk(storage.ScaledHDD(pageSize), env)
+		store := storage.NewStore(disk, 1<<20, env)
+		b := NewBuilder(store)
+		n := 500
+		for i := 0; i < n; i++ {
+			e := kv.Entry{Key: kv.EncodeUint64(uint64(i)), Value: make([]byte, i%60), TS: int64(i)}
+			if err := b.Add(e.Key, kv.AppendPayload(nil, e)); err != nil {
+				t.Fatalf("page %d entry %d: %v", pageSize, i, err)
+			}
+		}
+		r, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.NumEntries() != int64(n) {
+			t.Fatalf("page %d: %d entries", pageSize, r.NumEntries())
+		}
+		for i := 0; i < n; i++ {
+			e, ord, found, err := r.Get(kv.EncodeUint64(uint64(i)))
+			if err != nil || !found || ord != int64(i) {
+				t.Fatalf("page %d key %d: found=%v ord=%d err=%v", pageSize, i, found, ord, err)
+			}
+			if len(e.Value) != i%60 {
+				t.Fatalf("page %d key %d: value len %d", pageSize, i, len(e.Value))
+			}
+		}
+	}
+}
+
+// TestDeepTree forces several internal levels with a tiny page size.
+func TestDeepTree(t *testing.T) {
+	env := metrics.NopEnv()
+	disk := storage.NewDisk(storage.ScaledHDD(256), env)
+	store := storage.NewStore(disk, 1<<30, env)
+	b := NewBuilder(store)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		e := kv.Entry{Key: kv.EncodeUint64(uint64(i)), TS: int64(i)}
+		if err := b.Add(e.Key, kv.AppendPayload(nil, e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []uint64{0, 1, n / 2, n - 2, n - 1} {
+		if _, ord, found, err := r.Get(kv.EncodeUint64(probe)); err != nil || !found || ord != int64(probe) {
+			t.Fatalf("probe %d: found=%v ord=%d err=%v", probe, found, ord, err)
+		}
+	}
+	if _, _, found, _ := r.Get(kv.EncodeUint64(n)); found {
+		t.Fatal("key past the end found")
+	}
+}

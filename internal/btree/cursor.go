@@ -1,0 +1,191 @@
+package btree
+
+import (
+	"bytes"
+
+	"repro/internal/kv"
+)
+
+// Scan iterates entries in key order over [lo, hi). Nil bounds are
+// unbounded. Leaf pages are fetched with the sequential hint so device
+// read-ahead applies.
+type Scan struct {
+	r    *Reader
+	hi   []byte
+	leaf *decodedPage
+	idx  int
+	err  error
+	done bool
+}
+
+// NewScan positions a scan at the first entry >= lo.
+func (r *Reader) NewScan(lo, hi []byte) (*Scan, error) {
+	s := &Scan{r: r, hi: hi}
+	if r.count == 0 {
+		s.done = true
+		return s, nil
+	}
+	if lo == nil {
+		leaf, err := r.readDecoded(0, true)
+		if err != nil {
+			return nil, err
+		}
+		s.leaf, s.idx = leaf, 0
+	} else {
+		leaf, err := r.descendToLeaf(lo)
+		if err != nil {
+			return nil, err
+		}
+		s.leaf = leaf
+		s.idx = leaf.searchPage(r.env, lo)
+	}
+	return s, nil
+}
+
+// Next returns the next entry. ok is false at the end of the range.
+func (s *Scan) Next() (e kv.Entry, ordinal int64, ok bool, err error) {
+	if s.done || s.err != nil {
+		return kv.Entry{}, 0, false, s.err
+	}
+	for s.idx >= s.leaf.n {
+		next := s.leaf.pageNo + 1
+		if next >= s.r.numLeaves {
+			s.done = true
+			return kv.Entry{}, 0, false, nil
+		}
+		leaf, err := s.r.readDecoded(next, true)
+		if err != nil {
+			s.err = err
+			return kv.Entry{}, 0, false, err
+		}
+		s.leaf, s.idx = leaf, 0
+	}
+	key := s.leaf.keys[s.idx]
+	if s.hi != nil && bytes.Compare(key, s.hi) >= 0 {
+		s.done = true
+		return kv.Entry{}, 0, false, nil
+	}
+	s.r.env.ChargeDecode(1)
+	s.r.env.Counters.EntriesScanned.Add(1)
+	e, err = kv.DecodePayload(s.leaf.payloads[s.idx], key)
+	if err != nil {
+		s.err = err
+		return kv.Entry{}, 0, false, err
+	}
+	ordinal = s.leaf.ordinal + int64(s.idx)
+	s.idx++
+	return e, ordinal, true, nil
+}
+
+// LookupCursor performs repeated point lookups over ascending keys. In
+// stateful mode (Section 3.2, "Stateful B+-tree Lookup") it remembers the
+// last leaf page and position: when the next key falls inside the same leaf
+// it locates the key with exponential search from the previous position
+// instead of a fresh root-to-leaf descent.
+type LookupCursor struct {
+	r        *Reader
+	stateful bool
+	leaf     *decodedPage
+	lastPos  int
+}
+
+// NewLookupCursor creates a cursor. stateful toggles the sLookup
+// optimization; when false every Lookup descends from the root.
+func (r *Reader) NewLookupCursor(stateful bool) *LookupCursor {
+	return &LookupCursor{r: r, stateful: stateful}
+}
+
+// Lookup finds key, returning the entry, its ordinal and whether it exists.
+func (c *LookupCursor) Lookup(key []byte) (kv.Entry, int64, bool, error) {
+	c.r.env.Counters.PointLookups.Add(1)
+	if c.r.count == 0 {
+		return kv.Entry{}, 0, false, nil
+	}
+	var idx int
+	if c.stateful && c.leaf != nil && c.covers(key) {
+		idx = c.exponentialSearch(key)
+	} else {
+		leaf, err := c.r.descendToLeaf(key)
+		if err != nil {
+			return kv.Entry{}, 0, false, err
+		}
+		c.leaf = leaf
+		idx = leaf.searchPage(c.r.env, key)
+	}
+	c.lastPos = idx
+	if idx >= c.leaf.n || !bytes.Equal(c.leaf.keys[idx], key) {
+		return kv.Entry{}, 0, false, nil
+	}
+	c.r.env.ChargeDecode(1)
+	e, err := kv.DecodePayload(c.leaf.payloads[idx], c.leaf.keys[idx])
+	if err != nil {
+		return kv.Entry{}, 0, false, err
+	}
+	return e, c.leaf.ordinal + int64(idx), true, nil
+}
+
+// covers reports whether key falls inside the current leaf's key range.
+// The last leaf of the tree also covers keys beyond its final entry.
+func (c *LookupCursor) covers(key []byte) bool {
+	if compareCharged(c.r.env, key, c.leaf.keys[0]) < 0 {
+		return false
+	}
+	if c.leaf.pageNo == c.r.numLeaves-1 {
+		return true
+	}
+	return compareCharged(c.r.env, key, c.leaf.keys[c.leaf.n-1]) <= 0
+}
+
+// exponentialSearch locates the first index >= key starting from the last
+// position, using exponentially growing steps followed by binary search
+// (Bentley & Yao), charging each comparison.
+func (c *LookupCursor) exponentialSearch(key []byte) int {
+	n := c.leaf.n
+	pos := c.lastPos
+	if pos >= n {
+		pos = n - 1
+	}
+	if pos < 0 {
+		pos = 0
+	}
+	env := c.r.env
+	if compareCharged(env, c.leaf.keys[pos], key) >= 0 {
+		// search backwards
+		step := 1
+		lo, hi := 0, pos
+		for pos-step >= 0 {
+			if compareCharged(env, c.leaf.keys[pos-step], key) < 0 {
+				lo = pos - step + 1
+				break
+			}
+			hi = pos - step
+			step *= 2
+		}
+		return binarySearchRange(env, c.leaf.keys, lo, hi, key)
+	}
+	// search forwards
+	step := 1
+	lo, hi := pos+1, n
+	for pos+step < n {
+		if compareCharged(env, c.leaf.keys[pos+step], key) >= 0 {
+			hi = pos + step
+			break
+		}
+		lo = pos + step + 1
+		step *= 2
+	}
+	return binarySearchRange(env, c.leaf.keys, lo, hi, key)
+}
+
+func binarySearchRange(env interface{ ChargeCompare(int) }, keys [][]byte, lo, hi int, key []byte) int {
+	for lo < hi {
+		mid := (lo + hi) / 2
+		env.ChargeCompare(1)
+		if bytes.Compare(keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

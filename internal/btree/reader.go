@@ -1,0 +1,213 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/kv"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// ErrCorrupt reports a malformed page.
+var ErrCorrupt = errors.New("btree: corrupt page")
+
+// Reader provides searches and scans over a bulk-loaded tree.
+type Reader struct {
+	store     *storage.Store
+	env       *metrics.Env
+	file      storage.FileID
+	root      uint32
+	height    int
+	numLeaves int
+	count     int64
+	numPages  int
+}
+
+// Open reads the meta page of a completed tree.
+func Open(store *storage.Store, file storage.FileID) (*Reader, error) {
+	n, err := store.NumPages(file)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, ErrCorrupt
+	}
+	meta, err := store.ReadPage(file, n-1, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(meta) < 19 || meta[0] != pageMeta {
+		return nil, ErrCorrupt
+	}
+	return &Reader{
+		store:     store,
+		env:       store.Env(),
+		file:      file,
+		count:     int64(binary.BigEndian.Uint64(meta[1:])),
+		root:      binary.BigEndian.Uint32(meta[9:]),
+		height:    int(binary.BigEndian.Uint16(meta[13:])),
+		numLeaves: int(binary.BigEndian.Uint32(meta[15:])),
+		numPages:  n,
+	}, nil
+}
+
+// NumEntries returns the number of entries in the tree.
+func (r *Reader) NumEntries() int64 { return r.count }
+
+// NumLeaves returns the number of leaf pages.
+func (r *Reader) NumLeaves() int { return r.numLeaves }
+
+// SizeBytes approximates the on-disk size of the tree.
+func (r *Reader) SizeBytes() int64 { return int64(r.numPages) * int64(r.store.PageSize()) }
+
+// FileID returns the backing file.
+func (r *Reader) FileID() storage.FileID { return r.file }
+
+// Drop deletes the backing file (after a merge retires the component).
+func (r *Reader) Drop() { r.store.Delete(r.file) }
+
+// compareCharged compares keys, charging one comparison when env is non-nil.
+func compareCharged(env *metrics.Env, a, b []byte) int {
+	if env != nil {
+		env.ChargeCompare(1)
+	}
+	return bytes.Compare(a, b)
+}
+
+// decodedPage is a parsed page (leaf or internal).
+type decodedPage struct {
+	pageNo   int
+	typ      byte
+	n        int
+	ordinal  int64    // leaves: ordinal of first entry
+	keys     [][]byte // n keys (aliasing page data)
+	payloads [][]byte // leaves: n payloads
+	children []uint32 // internals: n child page numbers
+}
+
+func (r *Reader) readDecoded(pageNo int, seqHint bool) (*decodedPage, error) {
+	raw, err := r.store.ReadPage(r.file, pageNo, seqHint)
+	if err != nil {
+		return nil, err
+	}
+	return decodePage(raw, pageNo)
+}
+
+func decodePage(raw []byte, pageNo int) (*decodedPage, error) {
+	if len(raw) < 1 {
+		return nil, ErrCorrupt
+	}
+	dp := &decodedPage{pageNo: pageNo, typ: raw[0]}
+	switch dp.typ {
+	case pageLeaf:
+		if len(raw) < leafHeaderSize {
+			return nil, ErrCorrupt
+		}
+		dp.n = int(binary.BigEndian.Uint32(raw[1:]))
+		dp.ordinal = int64(binary.BigEndian.Uint64(raw[5:]))
+		slotBase := leafHeaderSize
+		dp.keys = make([][]byte, dp.n)
+		dp.payloads = make([][]byte, dp.n)
+		for i := 0; i < dp.n; i++ {
+			off := int(binary.BigEndian.Uint32(raw[slotBase+4*i:]))
+			end := len(raw)
+			if i+1 < dp.n {
+				end = int(binary.BigEndian.Uint32(raw[slotBase+4*(i+1):]))
+			}
+			if off >= len(raw) || end > len(raw) || off > end {
+				return nil, ErrCorrupt
+			}
+			klen, m := binary.Uvarint(raw[off:end])
+			if m <= 0 || off+m+int(klen) > end {
+				return nil, ErrCorrupt
+			}
+			dp.keys[i] = raw[off+m : off+m+int(klen)]
+			dp.payloads[i] = raw[off+m+int(klen) : end]
+		}
+	case pageInternal:
+		if len(raw) < internalHeaderSize {
+			return nil, ErrCorrupt
+		}
+		dp.n = int(binary.BigEndian.Uint32(raw[1:]))
+		slotBase := internalHeaderSize
+		dp.keys = make([][]byte, dp.n)
+		dp.children = make([]uint32, dp.n)
+		for i := 0; i < dp.n; i++ {
+			off := int(binary.BigEndian.Uint32(raw[slotBase+4*i:]))
+			if off >= len(raw) {
+				return nil, ErrCorrupt
+			}
+			klen, m := binary.Uvarint(raw[off:])
+			if m <= 0 || off+m+int(klen)+4 > len(raw) {
+				return nil, ErrCorrupt
+			}
+			dp.keys[i] = raw[off+m : off+m+int(klen)]
+			dp.children[i] = binary.BigEndian.Uint32(raw[off+m+int(klen):])
+		}
+	default:
+		return nil, ErrCorrupt
+	}
+	return dp, nil
+}
+
+// searchPage binary-searches for key, returning the index of the first entry
+// >= key (possibly n), charging comparisons against the environment.
+func (dp *decodedPage) searchPage(env *metrics.Env, key []byte) int {
+	lo, hi := 0, dp.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compareCharged(env, dp.keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// descendToLeaf walks root-to-leaf and returns the decoded leaf that may
+// contain key.
+func (r *Reader) descendToLeaf(key []byte) (*decodedPage, error) {
+	if r.count == 0 {
+		return nil, nil
+	}
+	pageNo := int(r.root)
+	for {
+		dp, err := r.readDecoded(pageNo, false)
+		if err != nil {
+			return nil, err
+		}
+		if dp.typ == pageLeaf {
+			return dp, nil
+		}
+		// route to the last child whose first key <= key
+		idx := dp.searchPage(r.env, key)
+		if idx == dp.n || !bytes.Equal(dp.keys[idx], key) {
+			if idx > 0 {
+				idx--
+			}
+		}
+		pageNo = int(dp.children[idx])
+	}
+}
+
+// Get performs a point lookup, returning the entry, its ordinal position in
+// the tree, and whether the key was found.
+func (r *Reader) Get(key []byte) (kv.Entry, int64, bool, error) {
+	leaf, err := r.descendToLeaf(key)
+	if err != nil || leaf == nil {
+		return kv.Entry{}, 0, false, err
+	}
+	idx := leaf.searchPage(r.env, key)
+	if idx >= leaf.n || !bytes.Equal(leaf.keys[idx], key) {
+		return kv.Entry{}, 0, false, nil
+	}
+	r.env.ChargeDecode(1)
+	e, err := kv.DecodePayload(leaf.payloads[idx], leaf.keys[idx])
+	if err != nil {
+		return kv.Entry{}, 0, false, err
+	}
+	return e, leaf.ordinal + int64(idx), true, nil
+}

@@ -1,0 +1,116 @@
+// Package cache implements the LRU buffer cache that fronts the simulated
+// disk, playing the role of the paper's 2 GB (HDD) / 4 GB (SSD) disk buffer
+// cache. Capacity is expressed in pages; hits are charged at in-memory cost
+// by the caller, misses fall through to the device.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// PageKey identifies a cached page: (file, page number).
+type PageKey struct {
+	File uint64
+	Page int
+}
+
+type cacheEntry struct {
+	key  PageKey
+	data []byte
+}
+
+// LRU is a fixed-capacity least-recently-used page cache. It is safe for
+// concurrent use.
+type LRU struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	items    map[PageKey]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+// NewLRU creates a cache holding at most capacity pages. A capacity of 0
+// disables caching (every Get misses).
+func NewLRU(capacity int) *LRU {
+	return &LRU{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[PageKey]*list.Element),
+	}
+}
+
+// Get returns the cached page and true on a hit. The returned slice must not
+// be modified.
+func (c *LRU) Get(key PageKey) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).data, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put inserts a page, evicting the least recently used page if full.
+func (c *LRU) Put(key PageKey, data []byte) {
+	if c.capacity == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).data = data
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, data: data})
+	c.items[key] = el
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// InvalidateFile drops every cached page of the given file (component drop).
+func (c *LRU) InvalidateFile(file uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.items {
+		if key.File == file {
+			c.ll.Remove(el)
+			delete(c.items, key)
+		}
+	}
+}
+
+// Len returns the number of cached pages.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Capacity returns the page capacity.
+func (c *LRU) Capacity() int { return c.capacity }
+
+// Stats returns cumulative hit and miss counts.
+func (c *LRU) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Reset clears contents and statistics.
+func (c *LRU) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[PageKey]*list.Element)
+	c.hits, c.misses = 0, 0
+}

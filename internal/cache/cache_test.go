@@ -1,0 +1,126 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func key(f uint64, p int) PageKey { return PageKey{File: f, Page: p} }
+
+func TestPutGet(t *testing.T) {
+	c := NewLRU(2)
+	c.Put(key(1, 0), []byte("a"))
+	if v, ok := c.Get(key(1, 0)); !ok || string(v) != "a" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if _, ok := c.Get(key(1, 1)); ok {
+		t.Fatal("missing page found")
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := NewLRU(2)
+	c.Put(key(1, 0), []byte("a"))
+	c.Put(key(1, 1), []byte("b"))
+	c.Get(key(1, 0)) // touch a: now b is LRU
+	c.Put(key(1, 2), []byte("c"))
+	if _, ok := c.Get(key(1, 1)); ok {
+		t.Fatal("LRU page b should have been evicted")
+	}
+	if _, ok := c.Get(key(1, 0)); !ok {
+		t.Fatal("recently used page a evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	c := NewLRU(2)
+	c.Put(key(1, 0), []byte("a"))
+	c.Put(key(1, 0), []byte("a2"))
+	if v, _ := c.Get(key(1, 0)); string(v) != "a2" {
+		t.Fatalf("replace failed: %q", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after replace", c.Len())
+	}
+}
+
+func TestZeroCapacityDisables(t *testing.T) {
+	c := NewLRU(0)
+	c.Put(key(1, 0), []byte("a"))
+	if _, ok := c.Get(key(1, 0)); ok {
+		t.Fatal("zero-capacity cache stored a page")
+	}
+}
+
+func TestInvalidateFile(t *testing.T) {
+	c := NewLRU(10)
+	for p := 0; p < 3; p++ {
+		c.Put(key(1, p), []byte{1})
+		c.Put(key(2, p), []byte{2})
+	}
+	c.InvalidateFile(1)
+	for p := 0; p < 3; p++ {
+		if _, ok := c.Get(key(1, p)); ok {
+			t.Fatalf("file 1 page %d survived invalidation", p)
+		}
+		if _, ok := c.Get(key(2, p)); !ok {
+			t.Fatalf("file 2 page %d wrongly invalidated", p)
+		}
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	c := NewLRU(2)
+	c.Put(key(1, 0), []byte("a"))
+	c.Get(key(1, 0))
+	c.Get(key(1, 9))
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+	c.Reset()
+	hits, misses = c.Stats()
+	if hits != 0 || misses != 0 || c.Len() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := NewLRU(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := key(uint64(g%2), i%100)
+				if i%3 == 0 {
+					c.Put(k, []byte(fmt.Sprint(i)))
+				} else {
+					c.Get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("capacity exceeded: %d", c.Len())
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	c := NewLRU(5)
+	for i := 0; i < 100; i++ {
+		c.Put(key(1, i), []byte{byte(i)})
+		if c.Len() > 5 {
+			t.Fatalf("capacity exceeded at %d: %d", i, c.Len())
+		}
+	}
+	if c.Capacity() != 5 {
+		t.Fatalf("Capacity = %d", c.Capacity())
+	}
+}

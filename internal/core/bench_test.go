@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/lsm"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+func benchDataset(b *testing.B, strategy Strategy) *Dataset {
+	b.Helper()
+	env := metrics.NopEnv()
+	disk := storage.NewDisk(storage.ScaledHDD(32<<10), env)
+	store := storage.NewStore(disk, 16<<20, env)
+	cfg := Config{
+		Store:        store,
+		Strategy:     strategy,
+		Secondaries:  []SecondarySpec{{Name: "location", Extract: recLocation}},
+		MemoryBudget: 1 << 20,
+		UsePKIndex:   true,
+		BloomFPR:     0.01,
+		Policy:       lsm.NewTiering(8 << 20),
+		DisableWAL:   true,
+		Seed:         2,
+	}
+	d, err := Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkUpsertByStrategy measures per-operation real cost of the write
+// paths (the virtual clock measures simulated cost; this measures the
+// implementation itself).
+func BenchmarkUpsertByStrategy(b *testing.B) {
+	for _, strategy := range []Strategy{Eager, Validation, MutableBitmap, DeletedKey} {
+		strategy := strategy
+		b.Run(strategy.String(), func(b *testing.B) {
+			d := benchDataset(b, strategy)
+			rec := testRecord("CA", 2015)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := d.Upsert(pkOf(uint64(i%50000)), rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPointGet measures reconciled reads across several components.
+func BenchmarkPointGet(b *testing.B) {
+	d := benchDataset(b, Eager)
+	for i := 0; i < 50000; i++ {
+		if err := d.Upsert(pkOf(uint64(i)), testRecord(fmt.Sprintf("L%02d", i%20), 2015)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, found, err := d.Primary().Get(pkOf(uint64(i*31) % 50000))
+		if err != nil || !found {
+			b.Fatal(err, found)
+		}
+	}
+}
+
+// BenchmarkFlush measures memory-component bulk loads.
+func BenchmarkFlush(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := benchDataset(b, Validation)
+		for j := 0; j < 5000; j++ {
+			if err := d.Upsert(pkOf(uint64(j)), testRecord("CA", 2015)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := d.FlushAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// setupCCDataset builds a Mutable-bitmap dataset with two flushed
+// components holding keys [0, n).
+func setupCCDataset(t *testing.T, cc CCMethod, n int) *Dataset {
+	t.Helper()
+	d := newTestDataset(t, func(c *Config) {
+		c.Strategy = MutableBitmap
+		c.CC = cc
+		c.Policy = nil
+		c.MemoryBudget = 1 << 30
+	})
+	for i := 0; i < n/2; i++ {
+		mustUpsert(t, d, uint64(i), "AA", int64(i))
+	}
+	if err := d.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := n / 2; i < n; i++ {
+		mustUpsert(t, d, uint64(i), "BB", int64(i))
+	}
+	if err := d.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestConcurrentDeletesDuringMergeNotLost is the Section 5.3 correctness
+// property: a delete racing the component builder must be reflected in the
+// new component, whether the builder has already passed the key (forwarded
+// delete / side-file) or not (bitmap snapshot / re-check under lock).
+func TestConcurrentDeletesDuringMergeNotLost(t *testing.T) {
+	const n = 4000
+	for _, cc := range []CCMethod{SideFile, Lock} {
+		cc := cc
+		t.Run(cc.String(), func(t *testing.T) {
+			for trial := 0; trial < 3; trial++ {
+				d := setupCCDataset(t, cc, n)
+				var wg sync.WaitGroup
+				deleted := make(map[uint64]bool)
+				var mu sync.Mutex
+
+				// Writers delete every 7th key while the merge runs.
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := trial; i < n; i += 7 {
+						ok, err := d.Delete(pkOf(uint64(i)))
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if ok {
+							mu.Lock()
+							deleted[uint64(i)] = true
+							mu.Unlock()
+						}
+					}
+				}()
+				if _, err := d.MergePrimaryRange(0, 2, 0, 2); err != nil {
+					t.Fatal(err)
+				}
+				wg.Wait()
+
+				// Every delete must be observed; every surviving key must
+				// still be readable with its record intact.
+				for i := 0; i < n; i++ {
+					_, found, err := d.Primary().Get(pkOf(uint64(i)))
+					if err != nil {
+						t.Fatal(err)
+					}
+					mu.Lock()
+					wantGone := deleted[uint64(i)]
+					mu.Unlock()
+					if found == wantGone {
+						t.Fatalf("cc=%v trial=%d key %d: found=%v deleted=%v",
+							cc, trial, i, found, wantGone)
+					}
+				}
+				// The same holds when scanning components directly (the
+				// Mutable-bitmap read path that skips reconciliation).
+				visible := map[uint64]bool{}
+				for _, comp := range d.Primary().Components() {
+					scan, err := comp.BTree.NewScan(nil, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for {
+						e, ord, ok, err := scan.Next()
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !ok {
+							break
+						}
+						if e.Anti || comp.Valid.IsSet(ord) {
+							continue
+						}
+						k := decodeKey(e.Key)
+						if visible[k] {
+							t.Fatalf("key %d visible twice across components", k)
+						}
+						visible[k] = true
+					}
+				}
+				mem := d.Primary().Mem().NewIterator(nil, nil)
+				for {
+					e, ok := mem.Next()
+					if !ok {
+						break
+					}
+					if !e.Anti {
+						visible[decodeKey(e.Key)] = true
+					}
+				}
+				for i := uint64(0); i < n; i++ {
+					mu.Lock()
+					wantGone := deleted[i]
+					mu.Unlock()
+					if visible[i] == wantGone {
+						t.Fatalf("cc=%v trial=%d scan: key %d visible=%v deleted=%v",
+							cc, trial, i, visible[i], wantGone)
+					}
+				}
+			}
+		})
+	}
+}
+
+func decodeKey(k []byte) uint64 {
+	var v uint64
+	for _, b := range k {
+		v = v<<8 | uint64(b)
+	}
+	return v
+}
+
+// TestConcurrentUpsertsDuringMerge verifies newer versions written during a
+// merge win over merged old versions.
+func TestConcurrentUpsertsDuringMerge(t *testing.T) {
+	const n = 2000
+	for _, cc := range []CCMethod{SideFile, Lock} {
+		cc := cc
+		t.Run(cc.String(), func(t *testing.T) {
+			d := setupCCDataset(t, cc, n)
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < n; i += 5 {
+					mustUpsert(t, d, uint64(i), "ZZ", int64(10000+i))
+				}
+			}()
+			if _, err := d.MergePrimaryRange(0, 2, 0, 2); err != nil {
+				t.Fatal(err)
+			}
+			wg.Wait()
+			for i := 0; i < n; i++ {
+				e, found, err := d.Primary().Get(pkOf(uint64(i)))
+				if err != nil || !found {
+					t.Fatalf("key %d lost: %v", i, err)
+				}
+				loc, _ := recLocation(e.Value)
+				want := "AA"
+				if i >= n/2 {
+					want = "BB"
+				}
+				if i%5 == 0 {
+					want = "ZZ"
+				}
+				if string(loc) != want {
+					t.Fatalf("cc=%v key %d: location %s want %s", cc, i, loc, want)
+				}
+			}
+		})
+	}
+}
+
+// TestMergedComponentSharesBitmapWithPK re-checks the shared-bitmap
+// invariant after a CC merge.
+func TestMergedComponentSharesBitmapWithPK(t *testing.T) {
+	d := setupCCDataset(t, SideFile, 1000)
+	if _, err := d.MergePrimaryRange(0, 2, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	p := d.Primary().Components()
+	k := d.PKIndex().Components()
+	if len(p) != 1 || len(k) != 1 {
+		t.Fatalf("components after merge: %d/%d", len(p), len(k))
+	}
+	if p[0].Valid == nil || p[0].Valid != k[0].Valid {
+		t.Fatal("merged primary and pk components must share one bitmap")
+	}
+	if p[0].NumEntries() != k[0].NumEntries() {
+		t.Fatalf("entry counts diverge: %d vs %d", p[0].NumEntries(), k[0].NumEntries())
+	}
+	// A post-merge delete lands on the shared bitmap.
+	if ok, err := d.Delete(pkOf(7)); err != nil || !ok {
+		t.Fatal(err, ok)
+	}
+	if p[0].Valid.Count() != 1 {
+		t.Fatalf("bitmap count = %d after post-merge delete", p[0].Valid.Count())
+	}
+}

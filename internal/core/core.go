@@ -1,0 +1,378 @@
+// Package core implements the paper's storage architecture (Section 3,
+// Figure 1): a dataset with a primary LSM index, a primary key LSM index,
+// and a set of secondary LSM indexes that share one memory budget and are
+// flushed together. On top of it, the package implements every maintenance
+// strategy the paper describes or evaluates:
+//
+//   - Eager (Section 3.1): each write is prefaced by a point lookup; filters
+//     and secondary indexes are maintained with anti-matter immediately.
+//   - Validation (Section 4): blind writes with timestamps; secondary
+//     indexes cleaned lazily by index repair (see internal/repair).
+//   - Mutable-bitmap (Section 5): deletes flip validity bits on immutable
+//     disk components via the primary key index, with the Lock or Side-file
+//     concurrency-control method for concurrent flush/merge.
+//   - Deleted-key B+-tree (Section 4.1): AsterixDB's baseline that attaches
+//     a deleted-key B+-tree to every secondary index component.
+//
+// The Eager/Validation/Mutable-bitmap upsert examples of Figures 3, 4 and 9
+// are reproduced verbatim by this package's tests.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kv"
+	"repro/internal/lsm"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Strategy selects the maintenance strategy for auxiliary structures.
+type Strategy int
+
+// Maintenance strategies.
+const (
+	// Eager maintains secondary indexes and filters with a point lookup
+	// before every write (AsterixDB/MyRocks/Phoenix default).
+	Eager Strategy = iota
+	// Validation inserts blindly and cleans secondary indexes lazily.
+	Validation
+	// MutableBitmap marks deletes directly on disk components' bitmaps via
+	// the primary key index; secondary indexes use Validation.
+	MutableBitmap
+	// DeletedKey is AsterixDB's deleted-key B+-tree strategy.
+	DeletedKey
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Eager:
+		return "eager"
+	case Validation:
+		return "validation"
+	case MutableBitmap:
+		return "mutable-bitmap"
+	case DeletedKey:
+		return "deleted-key"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// CCMethod selects the concurrency-control method used by the
+// Mutable-bitmap strategy for concurrent flush/merge (Section 5.3).
+type CCMethod int
+
+// Concurrency-control methods.
+const (
+	// SideFile buffers concurrent deletes in a side-file and applies them
+	// after the new component is built (Fig 11).
+	SideFile CCMethod = iota
+	// Lock S-locks each scanned key during the build (Fig 10).
+	Lock
+	// NoCC disables concurrency control (baseline in Fig 23; only safe
+	// when no writers run concurrently with merges).
+	NoCC
+)
+
+// String implements fmt.Stringer.
+func (m CCMethod) String() string {
+	switch m {
+	case SideFile:
+		return "side-file"
+	case Lock:
+		return "lock"
+	case NoCC:
+		return "baseline"
+	}
+	return fmt.Sprintf("cc(%d)", int(m))
+}
+
+// SecondarySpec declares one secondary index.
+type SecondarySpec struct {
+	// Name labels the index.
+	Name string
+	// Extract returns the secondary key of a record, or false when the
+	// record has none (it is then skipped by this index).
+	Extract func(record []byte) ([]byte, bool)
+}
+
+// Config configures a dataset.
+type Config struct {
+	// Store is the shared disk + buffer cache.
+	Store *storage.Store
+	// Strategy selects the maintenance strategy.
+	Strategy Strategy
+	// CC selects the Mutable-bitmap concurrency-control method.
+	CC CCMethod
+	// Secondaries declares the dataset's secondary indexes.
+	Secondaries []SecondarySpec
+	// FilterExtract returns the range-filter key of a record (the tweet
+	// generator uses creation time). Nil disables the primary range filter.
+	FilterExtract func(record []byte) (int64, bool)
+	// MemoryBudget is the shared memory-component budget in bytes
+	// (128 MB per dataset in the paper); all indexes flush together when
+	// their combined footprint exceeds it.
+	MemoryBudget int
+	// UsePKIndex builds the primary key index. Insert uniqueness checks
+	// and Validation/Mutable-bitmap maintenance use it; without it (a
+	// Figure 13 ablation) checks fall back to the primary index.
+	UsePKIndex bool
+	// Policy schedules merges (the paper: tiering, ratio 1.2, 1 GB cap).
+	// Nil disables merging.
+	Policy lsm.Policy
+	// CorrelatedMerges synchronizes merges of all the dataset's indexes
+	// (Section 4.4); required by RepairBloomOpt and by MutableBitmap.
+	CorrelatedMerges bool
+	// MergeRepair repairs secondary indexes during their merges
+	// (Validation strategy, Section 4.4).
+	MergeRepair bool
+	// RepairBloomOpt enables the Bloom-filter repair optimization
+	// (Section 4.4); requires CorrelatedMerges.
+	RepairBloomOpt bool
+	// BloomFPR is the Bloom filter false-positive rate (1% in the paper).
+	BloomFPR float64
+	// BlockedBloom selects blocked Bloom filters (Section 3.2).
+	BlockedBloom bool
+	// DisableWAL turns off write-ahead logging (benchmarks that measure
+	// pure ingestion I/O).
+	DisableWAL bool
+	// Seed makes memtable shapes deterministic.
+	Seed int64
+}
+
+// SecondaryIndex is one secondary index of a dataset.
+type SecondaryIndex struct {
+	Spec SecondarySpec
+	Tree *lsm.Tree
+
+	// mu guards memDeleted, the deleted-key accumulator of the
+	// DeletedKey strategy for the current memory component.
+	mu         sync.Mutex
+	memDeleted map[string]int64 // pk -> delete timestamp
+}
+
+// Dataset is one partition of a dataset: the unit all of the paper's
+// experiments run against (Section 6.1 uses a single partition; scaling
+// across partitions is near-linear because both ingestion and queries are
+// partition-local).
+type Dataset struct {
+	cfg Config
+	env *metrics.Env
+
+	primary     *lsm.Tree
+	pkIndex     *lsm.Tree
+	secondaries []*SecondaryIndex
+
+	clock  atomic.Int64 // ingestion timestamp generator (node-local clock)
+	epoch  atomic.Uint64
+	locks  *txn.LockManager
+	dsLock *txn.DatasetLock
+	ids    txn.IDs
+	log    *wal.Log
+
+	// flushMu serializes flushes and merges with each other.
+	flushMu sync.Mutex
+
+	// stats
+	ingested atomic.Int64
+	ignored  atomic.Int64
+}
+
+// ErrNoPKIndex reports an operation that requires the primary key index.
+var ErrNoPKIndex = errors.New("core: operation requires the primary key index")
+
+// Open creates an empty dataset.
+func Open(cfg Config) (*Dataset, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("core: Config.Store is required")
+	}
+	if cfg.MemoryBudget <= 0 {
+		cfg.MemoryBudget = 4 << 20
+	}
+	if cfg.Strategy == MutableBitmap && !cfg.UsePKIndex {
+		return nil, errors.New("core: the Mutable-bitmap strategy requires the primary key index")
+	}
+	if cfg.Strategy == MutableBitmap {
+		// The merges of the primary index and the primary key index must
+		// be synchronized so their components can share bitmaps
+		// (Section 5.1).
+		cfg.CorrelatedMerges = true
+	}
+	if cfg.RepairBloomOpt && !cfg.CorrelatedMerges {
+		return nil, errors.New("core: the Bloom-filter repair optimization requires correlated merges")
+	}
+	env := cfg.Store.Env()
+	d := &Dataset{
+		cfg:    cfg,
+		env:    env,
+		locks:  txn.NewLockManager(),
+		dsLock: &txn.DatasetLock{},
+	}
+	if !cfg.DisableWAL {
+		d.log = wal.New(env)
+	}
+	mutable := cfg.Strategy == MutableBitmap
+	d.primary = lsm.New(lsm.Options{
+		Name:         "primary",
+		Store:        cfg.Store,
+		BloomFPR:     cfg.BloomFPR,
+		BlockedBloom: cfg.BlockedBloom,
+		FilterExtract: func(e kv.Entry) (int64, bool) {
+			if cfg.FilterExtract == nil || e.Anti {
+				return 0, false
+			}
+			return cfg.FilterExtract(e.Value)
+		},
+		MutableBitmaps: mutable,
+		Seed:           cfg.Seed + 1,
+	})
+	if cfg.UsePKIndex {
+		d.pkIndex = lsm.New(lsm.Options{
+			Name:           "pk-index",
+			Store:          cfg.Store,
+			BloomFPR:       cfg.BloomFPR,
+			BlockedBloom:   cfg.BlockedBloom,
+			MutableBitmaps: mutable,
+			Seed:           cfg.Seed + 2,
+		})
+	}
+	for i, spec := range cfg.Secondaries {
+		si := &SecondaryIndex{
+			Spec: spec,
+			Tree: lsm.New(lsm.Options{
+				Name:  spec.Name,
+				Store: cfg.Store,
+				// Secondary index searches are range scans; Bloom filters
+				// are not consulted, so none are built.
+				Seed: cfg.Seed + 10 + int64(i),
+			}),
+		}
+		if cfg.Strategy == DeletedKey {
+			si.memDeleted = make(map[string]int64)
+		}
+		d.secondaries = append(d.secondaries, si)
+	}
+	return d, nil
+}
+
+// NextTS draws the next ingestion timestamp from the node-local clock.
+func (d *Dataset) NextTS() int64 { return d.clock.Add(1) }
+
+// CurrentTS returns the most recently issued timestamp.
+func (d *Dataset) CurrentTS() int64 { return d.clock.Load() }
+
+// Primary returns the primary index.
+func (d *Dataset) Primary() *lsm.Tree { return d.primary }
+
+// PKIndex returns the primary key index (nil when disabled).
+func (d *Dataset) PKIndex() *lsm.Tree { return d.pkIndex }
+
+// Secondaries returns the dataset's secondary indexes.
+func (d *Dataset) Secondaries() []*SecondaryIndex { return d.secondaries }
+
+// Secondary returns the secondary index with the given name.
+func (d *Dataset) Secondary(name string) *SecondaryIndex {
+	for _, si := range d.secondaries {
+		if si.Spec.Name == name {
+			return si
+		}
+	}
+	return nil
+}
+
+// Env returns the dataset's metrics environment.
+func (d *Dataset) Env() *metrics.Env { return d.env }
+
+// Config returns the dataset's configuration.
+func (d *Dataset) Config() Config { return d.cfg }
+
+// Log returns the write-ahead log (nil when disabled).
+func (d *Dataset) Log() *wal.Log { return d.log }
+
+// Locks returns the record-level lock manager.
+func (d *Dataset) Locks() *txn.LockManager { return d.locks }
+
+// IngestedCount returns the number of records accepted so far.
+func (d *Dataset) IngestedCount() int64 { return d.ingested.Load() }
+
+// IgnoredCount returns the number of writes ignored (duplicate inserts,
+// deletes of missing keys).
+func (d *Dataset) IgnoredCount() int64 { return d.ignored.Load() }
+
+// memBytes sums the memory components of every index, the figure compared
+// against the shared budget.
+func (d *Dataset) memBytes() int {
+	total := d.primary.MemBytes()
+	if d.pkIndex != nil {
+		total += d.pkIndex.MemBytes()
+	}
+	for _, si := range d.secondaries {
+		total += si.Tree.MemBytes()
+		si.mu.Lock()
+		total += len(si.memDeleted) * 16
+		si.mu.Unlock()
+	}
+	return total
+}
+
+// allTrees lists every LSM index of the dataset.
+func (d *Dataset) allTrees() []*lsm.Tree {
+	trees := []*lsm.Tree{d.primary}
+	if d.pkIndex != nil {
+		trees = append(trees, d.pkIndex)
+	}
+	for _, si := range d.secondaries {
+		trees = append(trees, si.Tree)
+	}
+	return trees
+}
+
+// takeMemDeleted swaps out a secondary's deleted-key accumulator, returning
+// its contents sorted by primary key (for bulk-loading a deleted-key tree).
+func (si *SecondaryIndex) takeMemDeleted() []kv.Entry {
+	si.mu.Lock()
+	m := si.memDeleted
+	if len(m) == 0 {
+		si.mu.Unlock()
+		return nil
+	}
+	si.memDeleted = make(map[string]int64)
+	si.mu.Unlock()
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]kv.Entry, len(keys))
+	for i, k := range keys {
+		out[i] = kv.Entry{Key: []byte(k), TS: m[k]}
+	}
+	return out
+}
+
+// addMemDeleted records pk in the deleted-key accumulator.
+func (si *SecondaryIndex) addMemDeleted(pk []byte, ts int64) {
+	si.mu.Lock()
+	si.memDeleted[string(pk)] = ts
+	si.mu.Unlock()
+}
+
+// MemDeletedAfter reports whether the memory component's deleted-key set
+// holds pk with a deletion timestamp newer than ts (deleted-key strategy
+// query validation, Section 4.1).
+func (si *SecondaryIndex) MemDeletedAfter(pk []byte, ts int64) bool {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	if si.memDeleted == nil {
+		return false
+	}
+	del, ok := si.memDeleted[string(pk)]
+	return ok && del > ts
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestDeletedKeyMergeDropsObsoleteEntries exercises the deleted-key
+// strategy's merge cleanup directly: entries whose primary key appears in a
+// strictly newer component's deleted-key B+-tree are dropped, and the new
+// component receives the union of the inputs' deleted-key trees.
+func TestDeletedKeyMergeDropsObsoleteEntries(t *testing.T) {
+	d := newTestDataset(t, func(c *Config) {
+		c.Strategy = DeletedKey
+		c.Policy = nil // merge manually
+	})
+	// Component 1: 100 inserts with location L0.
+	for i := 0; i < 100; i++ {
+		if ok, err := d.Insert(pkOf(uint64(i)), testRecord("L0", 2015)); err != nil || !ok {
+			t.Fatal(err, ok)
+		}
+	}
+	if err := d.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Component 2: keys 0..49 move to L1 (their old entries become
+	// obsolete and keys 0..49 land in comp 2's deleted-key tree).
+	for i := 0; i < 50; i++ {
+		mustUpsert(t, d, uint64(i), "L1", 2016)
+	}
+	if err := d.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	si := d.Secondary("location")
+	comps := si.Tree.Components()
+	if len(comps) != 2 || comps[1].DeletedKeys == nil {
+		t.Fatalf("setup: comps=%d", len(comps))
+	}
+	total := comps[0].NumEntries() + comps[1].NumEntries()
+	if total != 150 {
+		t.Fatalf("setup: %d entries", total)
+	}
+
+	if err := d.mergeDeletedKeyRange(si, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	merged := si.Tree.Components()
+	if len(merged) != 1 {
+		t.Fatalf("components after merge = %d", len(merged))
+	}
+	// 100 live entries survive: 50 x (L0) for keys 50..99, 50 x (L1).
+	if got := merged[0].NumEntries(); got != 100 {
+		t.Fatalf("merged entries = %d, want 100", got)
+	}
+	// The union deleted-key tree persists for validation against older
+	// (unmerged) components.
+	if merged[0].DeletedKeys == nil || merged[0].DeletedKeys.NumEntries() != 50 {
+		t.Fatalf("merged deleted keys = %v", merged[0].DeletedKeys)
+	}
+	// Answers unchanged.
+	got := scanSecondaryRaw(t, si)
+	if len(got) != 100 {
+		t.Fatalf("visible entries = %d", len(got))
+	}
+}
+
+// TestGetWithLocation verifies component/ordinal reporting, which both the
+// Mutable-bitmap delete path and pID pruning rely on.
+func TestGetWithLocation(t *testing.T) {
+	d := newTestDataset(t, nil)
+	mustUpsert(t, d, 1, "CA", 2015)
+	if err := d.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	mustUpsert(t, d, 2, "NY", 2016)
+
+	// Key 1 lives in the only disk component.
+	comps := d.Primary().Components()
+	e, comp, ord, found, err := d.Primary().GetWithLocation(pkOf(1), comps)
+	if err != nil || !found {
+		t.Fatal(err, found)
+	}
+	if comp != comps[0] || ord != 0 {
+		t.Fatalf("location = %v/%d", comp, ord)
+	}
+	if loc, _ := recLocation(e.Value); string(loc) != "CA" {
+		t.Fatalf("value %s", loc)
+	}
+	// Key 2 is memory-only: restricted search misses it.
+	if _, _, _, found, _ := d.Primary().GetWithLocation(pkOf(2), comps); found {
+		t.Fatal("memory-only key found in component-restricted search")
+	}
+	// Unrestricted get finds it with a nil component.
+	e2, comp2, _, found2, _ := d.Primary().GetWithLocation(pkOf(2), nil)
+	if !found2 || comp2 != nil {
+		t.Fatalf("mem search: found=%v comp=%v", found2, comp2)
+	}
+	if loc, _ := recLocation(e2.Value); string(loc) != "NY" {
+		t.Fatal("wrong mem record")
+	}
+}
+
+// TestMergeEpochRangeSkipsSingletons: a correlated merge over an epoch
+// range covering fewer than two components of some index leaves that index
+// untouched instead of erroring.
+func TestMergeEpochRangeSkipsSingletons(t *testing.T) {
+	d := newTestDataset(t, func(c *Config) {
+		c.Policy = nil
+		c.CorrelatedMerges = true
+	})
+	// Epoch 1: all indexes flush. Epoch 2: only key churn on the primary
+	// (same location, so Eager skips the secondary index).
+	mustUpsert(t, d, 1, "CA", 2015)
+	if err := d.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	mustUpsert(t, d, 1, "CA", 2016)
+	if err := d.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	np := d.Primary().NumDiskComponents()
+	ns := d.Secondary("location").Tree.NumDiskComponents()
+	if np != 2 || ns != 1 {
+		t.Fatalf("setup: primary=%d secondary=%d", np, ns)
+	}
+	if err := d.mergeEpochRange(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if d.Primary().NumDiskComponents() != 1 {
+		t.Fatal("primary not merged")
+	}
+	if d.Secondary("location").Tree.NumDiskComponents() != 1 {
+		t.Fatal("secondary singleton was disturbed")
+	}
+	// Data still readable, newest version wins.
+	e, found, _ := d.Primary().Get(pkOf(1))
+	if !found {
+		t.Fatal("key 1 lost")
+	}
+	if y, _ := recYear(e.Value); y != 2016 {
+		t.Fatalf("year = %d", y)
+	}
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"bytes"
+
+	"repro/internal/kv"
+	"repro/internal/lsm"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// withWriteLocks runs one record-level write transaction: the writer is
+// registered with the dataset lock (so Side-file drains can wait for it)
+// and holds an exclusive lock on the primary key (Section 5.2). The flush
+// check runs after both locks are released — flushing drains writers, so it
+// must never run while this writer is still registered.
+func (d *Dataset) withWriteLocks(pk []byte, fn func() error) error {
+	d.dsLock.Enter()
+	defer d.dsLock.Exit()
+	d.locks.Lock(pk, txn.Exclusive)
+	defer d.locks.Unlock(pk, txn.Exclusive)
+	return fn()
+}
+
+// Insert adds a new record under pk. It returns false when the key already
+// exists (the record is ignored, Section 3.1). All strategies handle
+// inserts identically up to timestamping: key uniqueness is checked with a
+// point lookup against the primary key index when available, else the
+// primary index.
+func (d *Dataset) Insert(pk, record []byte) (bool, error) {
+	ts := d.NextTS()
+	inserted := false
+	err := d.withWriteLocks(pk, func() error {
+		exists, err := d.keyExists(pk)
+		if err != nil {
+			return err
+		}
+		if exists {
+			d.ignored.Add(1)
+			return nil
+		}
+		d.logOp(wal.RecInsert, pk, record, ts, false)
+		d.putAllIndexes(pk, record, ts)
+		d.widenFilterFor(record)
+		d.ingested.Add(1)
+		inserted = true
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	if !inserted {
+		return false, nil
+	}
+	return true, d.maybeFlush()
+}
+
+// Delete removes the record under pk, if any. It returns false when the key
+// does not exist.
+func (d *Dataset) Delete(pk []byte) (bool, error) {
+	ts := d.NextTS()
+	deleted := false
+	err := d.withWriteLocks(pk, func() error {
+		ok, err := d.deleteLocked(pk, ts)
+		deleted = ok
+		return err
+	})
+	if err != nil {
+		return false, err
+	}
+	if !deleted {
+		return false, nil
+	}
+	return true, d.maybeFlush()
+}
+
+func (d *Dataset) deleteLocked(pk []byte, ts int64) (bool, error) {
+	switch d.cfg.Strategy {
+	case Eager:
+		// Point lookup fetches the old record so anti-matter can be
+		// produced for every index and filters widened (Section 3.1).
+		old, found, err := d.primary.Get(pk)
+		if err != nil {
+			return false, err
+		}
+		if !found {
+			d.ignored.Add(1)
+			return false, nil
+		}
+		d.logOp(wal.RecDelete, pk, nil, ts, false)
+		d.putAnti(pk, ts)
+		for _, si := range d.secondaries {
+			if sk, ok := si.Spec.Extract(old.Value); ok {
+				si.Tree.Put(kv.Entry{Key: kv.ComposeKey(sk, pk), TS: ts, Anti: true})
+			}
+		}
+		d.widenFilterFor(old.Value)
+
+	case Validation:
+		// Anti-matter goes to the primary and primary key indexes only
+		// (Section 4.2); obsolete secondary entries are repaired later.
+		d.logOp(wal.RecDelete, pk, nil, ts, false)
+		d.cleanSecondariesFromMem(pk, ts)
+		d.putAnti(pk, ts)
+
+	case MutableBitmap:
+		updateBit, existed, err := d.markDeletedViaBitmap(pk)
+		if err != nil {
+			return false, err
+		}
+		if !existed {
+			d.ignored.Add(1)
+			return false, nil
+		}
+		// An anti-matter key is still added (Section 5.2): the bitmap is
+		// an auxiliary structure and must not change LSM semantics, and
+		// it keeps Validation-maintained secondaries repairable.
+		d.logOp(wal.RecDelete, pk, nil, ts, updateBit)
+		d.cleanSecondariesFromMem(pk, ts)
+		d.putAnti(pk, ts)
+
+	case DeletedKey:
+		d.logOp(wal.RecDelete, pk, nil, ts, false)
+		d.putAnti(pk, ts)
+		for _, si := range d.secondaries {
+			si.addMemDeleted(pk, ts)
+		}
+	}
+	d.ingested.Add(1)
+	return true, nil
+}
+
+// Upsert inserts record under pk, replacing any existing record. This is
+// the operation where the strategies differ most (Sections 3.1, 4.2, 5.2).
+func (d *Dataset) Upsert(pk, record []byte) error {
+	ts := d.NextTS()
+	if err := d.withWriteLocks(pk, func() error {
+		return d.upsertLocked(pk, record, ts)
+	}); err != nil {
+		return err
+	}
+	return d.maybeFlush()
+}
+
+func (d *Dataset) upsertLocked(pk, record []byte, ts int64) error {
+	switch d.cfg.Strategy {
+	case Eager:
+		// Point lookup to fetch the old record; anti-matter entries clean
+		// each secondary index whose key changed; filters are maintained
+		// with both the old and the new record (Figure 3).
+		old, found, err := d.primary.Get(pk)
+		if err != nil {
+			return err
+		}
+		d.logOp(wal.RecUpsert, pk, record, ts, false)
+		for _, si := range d.secondaries {
+			newSK, hasNew := si.Spec.Extract(record)
+			if found {
+				oldSK, hasOld := si.Spec.Extract(old.Value)
+				if hasOld && hasNew && bytes.Equal(oldSK, newSK) {
+					// Unchanged secondary key: skip maintenance entirely.
+					continue
+				}
+				if hasOld {
+					si.Tree.Put(kv.Entry{Key: kv.ComposeKey(oldSK, pk), TS: ts, Anti: true})
+				}
+			}
+			if hasNew {
+				si.Tree.Put(kv.Entry{Key: kv.ComposeKey(newSK, pk), TS: ts})
+			}
+		}
+		d.primary.Put(kv.Entry{Key: pk, Value: record, TS: ts})
+		if d.pkIndex != nil {
+			d.pkIndex.Put(kv.Entry{Key: pk, TS: ts})
+		}
+		if found {
+			d.widenFilterFor(old.Value)
+		}
+		d.widenFilterFor(record)
+
+	case Validation:
+		// Blind insert into every index (Figure 4); filters maintained
+		// with the new record only.
+		d.logOp(wal.RecUpsert, pk, record, ts, false)
+		d.cleanSecondariesFromMem(pk, ts)
+		d.putAllIndexes(pk, record, ts)
+		d.widenFilterFor(record)
+
+	case MutableBitmap:
+		// The primary key index locates the old record; if it lives in a
+		// disk component its bitmap bit is set (Figure 9). Filters are
+		// maintained with the new record only.
+		updateBit, _, err := d.markDeletedViaBitmap(pk)
+		if err != nil {
+			return err
+		}
+		d.logOp(wal.RecUpsert, pk, record, ts, updateBit)
+		d.cleanSecondariesFromMem(pk, ts)
+		d.putAllIndexes(pk, record, ts)
+		d.widenFilterFor(record)
+
+	case DeletedKey:
+		d.logOp(wal.RecUpsert, pk, record, ts, false)
+		d.putAllIndexes(pk, record, ts)
+		for _, si := range d.secondaries {
+			si.addMemDeleted(pk, ts)
+		}
+		d.widenFilterFor(record)
+	}
+	d.ingested.Add(1)
+	return nil
+}
+
+// keyExists checks primary-key uniqueness via the primary key index when
+// available (the Section 3.1 optimization), else the primary index.
+func (d *Dataset) keyExists(pk []byte) (bool, error) {
+	if d.pkIndex != nil {
+		_, found, err := d.pkIndex.Get(pk)
+		return found, err
+	}
+	_, found, err := d.primary.Get(pk)
+	return found, err
+}
+
+// putAllIndexes inserts the new record into the primary index, the primary
+// key index, and every secondary index.
+func (d *Dataset) putAllIndexes(pk, record []byte, ts int64) {
+	d.primary.Put(kv.Entry{Key: pk, Value: record, TS: ts})
+	if d.pkIndex != nil {
+		d.pkIndex.Put(kv.Entry{Key: pk, TS: ts})
+	}
+	for _, si := range d.secondaries {
+		if sk, ok := si.Spec.Extract(record); ok {
+			si.Tree.Put(kv.Entry{Key: kv.ComposeKey(sk, pk), TS: ts})
+		}
+	}
+}
+
+// putAnti inserts anti-matter for pk into the primary and primary key
+// indexes.
+func (d *Dataset) putAnti(pk []byte, ts int64) {
+	d.primary.Put(kv.Entry{Key: pk, TS: ts, Anti: true})
+	if d.pkIndex != nil {
+		d.pkIndex.Put(kv.Entry{Key: pk, TS: ts, Anti: true})
+	}
+}
+
+// widenFilterFor widens the memory components' range filter with the
+// record's filter key.
+func (d *Dataset) widenFilterFor(record []byte) {
+	if d.cfg.FilterExtract == nil || record == nil {
+		return
+	}
+	if v, ok := d.cfg.FilterExtract(record); ok {
+		d.primary.WidenMemFilter(v)
+	}
+}
+
+// cleanSecondariesFromMem implements the Section 4.2 optimization: when the
+// old record still resides in the primary memory component, it is free to
+// produce local anti-matter entries that clean the secondary indexes.
+func (d *Dataset) cleanSecondariesFromMem(pk []byte, ts int64) {
+	if len(d.secondaries) == 0 {
+		return
+	}
+	old, ok := d.primary.Mem().Get(pk)
+	if !ok || old.Anti {
+		return
+	}
+	for _, si := range d.secondaries {
+		if sk, has := si.Spec.Extract(old.Value); has {
+			si.Tree.Put(kv.Entry{Key: kv.ComposeKey(sk, pk), TS: ts, Anti: true})
+		}
+	}
+}
+
+// markDeletedViaBitmap performs the Mutable-bitmap delete/upsert search
+// (Figures 10b, 11b): find the newest version of pk via the memory
+// component then the primary key index; when it lives in a disk component,
+// set the component's bitmap bit and forward the delete to any component
+// under construction. It reports whether a disk bitmap bit was flipped (the
+// log record's update bit) and whether the key currently exists.
+func (d *Dataset) markDeletedViaBitmap(pk []byte) (updateBit, existed bool, err error) {
+	if d.pkIndex == nil {
+		return false, false, ErrNoPKIndex
+	}
+	// Memory component first: a blind Put will supersede it; no bitmap work.
+	if e, ok := d.pkIndex.Mem().Get(pk); ok {
+		return false, !e.Anti, nil
+	}
+	e, comp, ordinal, found, err := d.pkIndex.GetWithLocation(pk, d.pkIndex.Components())
+	if err != nil || !found || e.Anti {
+		return false, false, err
+	}
+	if comp == nil {
+		return false, true, nil
+	}
+	if comp.Valid != nil {
+		comp.Valid.Set(ordinal)
+	}
+	d.forwardDelete(comp, pk)
+	return true, true, nil
+}
+
+// forwardDelete propagates a delete into the component currently being
+// built from comp, per the configured concurrency-control method.
+func (d *Dataset) forwardDelete(comp *lsm.Component, pk []byte) {
+	bt := comp.Building
+	if bt == nil {
+		return
+	}
+	if bt.SideFile != nil {
+		// Side-file method (Fig 11b): append; if the side-file has been
+		// closed, apply the delete to the new component directly.
+		if bt.SideFile.Append(pk) {
+			return
+		}
+	}
+	// Lock method (Fig 10b lines 6-7), or side-file-closed fallback.
+	bt.ForwardDelete(pk)
+}
+
+// logOp appends one logical log record and its commit record.
+func (d *Dataset) logOp(t wal.RecordType, pk, record []byte, ts int64, updateBit bool) {
+	if d.log == nil {
+		return
+	}
+	id := d.ids.Next()
+	d.log.Append(wal.Record{
+		TxnID:     id,
+		Type:      t,
+		Index:     "dataset",
+		Key:       append([]byte(nil), pk...),
+		Value:     append([]byte(nil), record...),
+		TS:        ts,
+		UpdateBit: updateBit,
+	})
+	d.log.Commit(id)
+}

@@ -1,0 +1,540 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bitmap"
+	"repro/internal/bloom"
+	"repro/internal/btree"
+	"repro/internal/kv"
+	"repro/internal/lsm"
+	"repro/internal/repair"
+	"repro/internal/txn"
+)
+
+// maybeFlush flushes all memory components when the shared budget is
+// exceeded (the dataset's indexes always flush together, Section 3).
+func (d *Dataset) maybeFlush() error {
+	if d.memBytes() < d.cfg.MemoryBudget {
+		return nil
+	}
+	return d.FlushAll()
+}
+
+// FlushAll flushes every index's memory component into new disk components
+// stamped with a fresh epoch, then lets the merge policy run. Writers are
+// drained for the (memory-bound) duration of the flush; long-running merges
+// use the Section 5.3 concurrency-control protocols instead.
+func (d *Dataset) FlushAll() error {
+	d.flushMu.Lock()
+	defer d.flushMu.Unlock()
+	var err error
+	d.dsLock.Drain(func() { err = d.flushLocked() })
+	if err != nil {
+		return err
+	}
+	return d.mergeDue()
+}
+
+func (d *Dataset) flushLocked() error {
+	epoch := d.epoch.Add(1)
+	var primComp, pkComp *lsm.Component
+	var err error
+	primComp, err = d.primary.Flush(epoch)
+	if err != nil && err != lsm.ErrEmptyFlush {
+		return err
+	}
+	if d.pkIndex != nil {
+		pkComp, err = d.pkIndex.Flush(epoch)
+		if err != nil && err != lsm.ErrEmptyFlush {
+			return err
+		}
+	}
+	// Mutable-bitmap strategy: the primary component and its primary-key-
+	// index sibling hold the same keys in the same order, so they share
+	// one validity bitmap (Figure 9).
+	if d.cfg.Strategy == MutableBitmap && primComp != nil && pkComp != nil {
+		if primComp.NumEntries() != pkComp.NumEntries() {
+			return fmt.Errorf("core: primary/pk flush mismatch: %d vs %d entries",
+				primComp.NumEntries(), pkComp.NumEntries())
+		}
+		pkComp.Valid = primComp.Valid
+	}
+	for _, si := range d.secondaries {
+		comp, err := si.Tree.Flush(epoch)
+		if err != nil && err != lsm.ErrEmptyFlush {
+			return err
+		}
+		if d.cfg.Strategy == DeletedKey && comp != nil {
+			if err := d.attachDeletedKeys(si, comp); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// attachDeletedKeys bulk-loads the secondary's accumulated deleted keys
+// into a deleted-key B+-tree attached to the freshly flushed component
+// (Section 4.1's deleted-key B+-tree strategy; one copy per secondary).
+func (d *Dataset) attachDeletedKeys(si *SecondaryIndex, comp *lsm.Component) error {
+	entries := si.takeMemDeleted()
+	if len(entries) == 0 {
+		return nil
+	}
+	b := btree.NewBuilder(d.cfg.Store)
+	f := bloom.NewStandardFPR(len(entries), 0.01)
+	var payload []byte
+	for _, e := range entries {
+		payload = kv.AppendPayload(payload[:0], e)
+		if err := b.Add(e.Key, payload); err != nil {
+			b.Abort()
+			return err
+		}
+		f.Add(e.Key)
+	}
+	r, err := b.Finish()
+	if err != nil {
+		return err
+	}
+	comp.DeletedKeys = r
+	comp.DeletedKeysBloom = f
+	return nil
+}
+
+// MergeDue runs the merge policy to completion (all due merges).
+func (d *Dataset) MergeDue() error {
+	d.flushMu.Lock()
+	defer d.flushMu.Unlock()
+	return d.mergeDue()
+}
+
+func (d *Dataset) mergeDue() error {
+	if d.cfg.Policy == nil {
+		return nil
+	}
+	if d.cfg.CorrelatedMerges {
+		return d.mergeCorrelated()
+	}
+	// Each LSM-tree merges independently (Section 6.1).
+	for {
+		cand, ok := d.pickFor(d.primary)
+		if !ok {
+			break
+		}
+		if err := d.mergeTreeRange(d.primary, cand.Lo, cand.Hi, cand.Lo == 0); err != nil {
+			return err
+		}
+	}
+	if d.pkIndex != nil {
+		for {
+			cand, ok := d.pickFor(d.pkIndex)
+			if !ok {
+				break
+			}
+			// Anti-matter is never dropped from the primary key index:
+			// Timestamp validation and index repair rely on it as
+			// evidence that a key was deleted.
+			if err := d.mergeTreeRange(d.pkIndex, cand.Lo, cand.Hi, false); err != nil {
+				return err
+			}
+		}
+	}
+	for _, si := range d.secondaries {
+		for {
+			cand, ok := d.pickFor(si.Tree)
+			if !ok {
+				break
+			}
+			if err := d.mergeSecondaryRange(si, cand.Lo, cand.Hi); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (d *Dataset) pickFor(tr *lsm.Tree) (lsm.MergeCandidate, bool) {
+	comps := tr.Components()
+	sizes := make([]int64, len(comps))
+	for i, c := range comps {
+		sizes[i] = c.SizeBytes()
+	}
+	return d.cfg.Policy.Pick(sizes)
+}
+
+// mergeCorrelated synchronizes merges across all of the dataset's indexes
+// (the correlated merge policy of Section 4.4): the decision is made on the
+// leader index and translated to every other index via flush-epoch ranges,
+// so components of different indexes are always merged together.
+func (d *Dataset) mergeCorrelated() error {
+	leader := d.pkIndex
+	if leader == nil {
+		leader = d.primary
+	}
+	for {
+		cand, ok := d.pickFor(leader)
+		if !ok {
+			return nil
+		}
+		leaderComps := leader.Components()
+		eMin := leaderComps[cand.Lo].EpochMin
+		eMax := leaderComps[cand.Hi-1].EpochMax
+		if err := d.mergeEpochRange(eMin, eMax); err != nil {
+			return err
+		}
+	}
+}
+
+// mergeEpochRange merges, in every index, the components whose epochs fall
+// inside [eMin, eMax].
+func (d *Dataset) mergeEpochRange(eMin, eMax uint64) error {
+	if d.cfg.Strategy == MutableBitmap {
+		if err := d.mergePrimaryAndPK(eMin, eMax); err != nil {
+			return err
+		}
+	} else {
+		if lo, hi, ok := epochRange(d.primary, eMin, eMax); ok {
+			if err := d.mergeTreeRange(d.primary, lo, hi, lo == 0); err != nil {
+				return err
+			}
+		}
+		if d.pkIndex != nil {
+			if lo, hi, ok := epochRange(d.pkIndex, eMin, eMax); ok {
+				if err := d.mergeTreeRange(d.pkIndex, lo, hi, false); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, si := range d.secondaries {
+		lo, hi, ok := epochRange(si.Tree, eMin, eMax)
+		if !ok {
+			continue
+		}
+		if err := d.mergeSecondaryRange(si, lo, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// epochRange finds the component index range of tr covered by [eMin, eMax].
+func epochRange(tr *lsm.Tree, eMin, eMax uint64) (lo, hi int, ok bool) {
+	comps := tr.Components()
+	lo, hi = -1, -1
+	for i, c := range comps {
+		if c.EpochMax < eMin || c.EpochMin > eMax {
+			continue
+		}
+		if lo < 0 {
+			lo = i
+		}
+		hi = i + 1
+	}
+	if lo < 0 || hi-lo < 2 {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// mergeTreeRange merges [lo, hi) of one tree with no strategy extras.
+func (d *Dataset) mergeTreeRange(tr *lsm.Tree, lo, hi int, dropAnti bool) error {
+	res, err := tr.Merge(lsm.MergeSpec{
+		Lo: lo, Hi: hi,
+		DropAnti:      dropAnti,
+		SkipInvisible: true,
+	})
+	if err != nil {
+		return err
+	}
+	return tr.Install(res)
+}
+
+// mergeSecondaryRange merges a secondary index range, applying the
+// strategy-specific cleanup: merge repair under Validation (when enabled),
+// deleted-key filtering under DeletedKey.
+func (d *Dataset) mergeSecondaryRange(si *SecondaryIndex, lo, hi int) error {
+	switch {
+	case (d.cfg.Strategy == Validation || d.cfg.Strategy == MutableBitmap) && d.cfg.MergeRepair && d.pkIndex != nil:
+		return repair.MergeRepair(si.Tree, d.pkIndex, lo, hi,
+			repair.Options{UseBloom: d.cfg.RepairBloomOpt})
+	case d.cfg.Strategy == DeletedKey:
+		return d.mergeDeletedKeyRange(si, lo, hi)
+	default:
+		return d.mergeTreeRange(si.Tree, lo, hi, lo == 0)
+	}
+}
+
+// mergeDeletedKeyRange merges secondary components under the deleted-key
+// B+-tree strategy: an entry is dropped when a strictly newer component in
+// the merge carries its primary key in its deleted-key B+-tree, and the new
+// component receives the union of the inputs' deleted-key trees. Each
+// deleted-key probe costs a point lookup, which is why this strategy's
+// merges are expensive (Section 4.1).
+func (d *Dataset) mergeDeletedKeyRange(si *SecondaryIndex, lo, hi int) error {
+	comps := si.Tree.Components()
+	if lo < 0 || hi > len(comps) || lo >= hi {
+		return lsm.ErrBadMergeRange
+	}
+	inputs := comps[lo:hi]
+	rankOf := make(map[*lsm.Component]int, len(inputs))
+	for i, c := range inputs {
+		rankOf[c] = i
+	}
+	env := d.env
+	deletedIn := func(pk []byte, newerThan int) bool {
+		for i := newerThan + 1; i < len(inputs); i++ {
+			c := inputs[i]
+			if c.DeletedKeys == nil {
+				continue
+			}
+			if c.DeletedKeysBloom != nil {
+				env.Counters.BloomTests.Add(1)
+				env.Clock.Advance(env.CPU.Hash)
+				ok, lines := c.DeletedKeysBloom.MayContain(pk)
+				env.Clock.Advance(time.Duration(lines) * env.CPU.CacheLineMiss)
+				if !ok {
+					env.Counters.BloomNegatives.Add(1)
+					continue
+				}
+			}
+			if _, _, found, _ := c.DeletedKeys.Get(pk); found {
+				return true
+			}
+		}
+		return false
+	}
+	res, err := si.Tree.Merge(lsm.MergeSpec{
+		Lo: lo, Hi: hi,
+		DropAnti:      lo == 0,
+		SkipInvisible: true,
+		EntryFilter: func(item lsm.MergedItem) bool {
+			if item.Entry.Anti {
+				return true
+			}
+			_, pk, err := kv.SplitKey(item.Entry.Key)
+			if err != nil {
+				return true
+			}
+			rank, ok := rankOf[item.Comp]
+			if !ok {
+				return true
+			}
+			return !deletedIn(pk, rank)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	// Union the deleted-key trees into the merged component.
+	if err := d.unionDeletedKeys(res.Component, inputs); err != nil {
+		return err
+	}
+	return si.Tree.Install(res)
+}
+
+// unionDeletedKeys bulk-loads the union of the inputs' deleted-key trees.
+func (d *Dataset) unionDeletedKeys(dst *lsm.Component, inputs []*lsm.Component) error {
+	merged := make(map[string]int64)
+	for _, c := range inputs {
+		if c.DeletedKeys == nil {
+			continue
+		}
+		scan, err := c.DeletedKeys.NewScan(nil, nil)
+		if err != nil {
+			return err
+		}
+		for {
+			e, _, ok, err := scan.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if old, seen := merged[string(e.Key)]; !seen || e.TS > old {
+				merged[string(e.Key)] = e.TS
+			}
+		}
+	}
+	if len(merged) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b := btree.NewBuilder(d.cfg.Store)
+	f := bloom.NewStandardFPR(len(keys), 0.01)
+	var payload []byte
+	for _, k := range keys {
+		payload = kv.AppendPayload(payload[:0], kv.Entry{Key: []byte(k), TS: merged[k]})
+		if err := b.Add([]byte(k), payload); err != nil {
+			b.Abort()
+			return err
+		}
+		f.Add([]byte(k))
+	}
+	r, err := b.Finish()
+	if err != nil {
+		return err
+	}
+	dst.DeletedKeys = r
+	dst.DeletedKeysBloom = f
+	return nil
+}
+
+// mergePrimaryAndPK performs the Mutable-bitmap strategy's synchronized
+// merge (Section 5): one pass over the primary components builds both the
+// new primary component and its key-only primary-key-index sibling, which
+// share one validity bitmap. Concurrent writers are handled by the
+// configured concurrency-control method (Figures 10 and 11).
+func (d *Dataset) mergePrimaryAndPK(eMin, eMax uint64) error {
+	pLo, pHi, ok := epochRange(d.primary, eMin, eMax)
+	if !ok {
+		return nil
+	}
+	kLo, kHi, ok := epochRange(d.pkIndex, eMin, eMax)
+	if !ok {
+		return nil
+	}
+	_, err := d.MergePrimaryRange(pLo, pHi, kLo, kHi)
+	return err
+}
+
+// MergePrimaryRange is exported for the Figure 23 concurrency experiments:
+// it merges primary components [pLo, pHi) and the matching primary-key-
+// index components [kLo, kHi) under the configured CC method, with writers
+// allowed to run concurrently.
+func (d *Dataset) MergePrimaryRange(pLo, pHi, kLo, kHi int) (*lsm.Component, error) {
+	primComps := d.primary.Components()[pLo:pHi]
+	pkComps := d.pkIndex.Components()[kLo:kHi]
+
+	var spec lsm.MergeSpec
+	spec.Lo, spec.Hi = pLo, pHi
+	// Anti-matter is retained even at the bottom: the primary-key-index
+	// sibling is built from the same entry stream and Timestamp validation
+	// needs deletion evidence there. Bitmap-deleted records themselves are
+	// physically dropped (SkipInvisible).
+	spec.DropAnti = false
+	spec.SkipInvisible = true
+
+	// Writers locate old versions through the PK INDEX (Figs 10b, 11b), so
+	// the "old component points to new component" hook must be visible on
+	// the pk-index components as well as the primary ones; both share the
+	// same keys, ordinals, and bitmaps, so one build target serves both.
+	setPKBuilding := func(bt *lsm.BuildTarget) {
+		for _, c := range pkComps {
+			c.Building = bt
+		}
+	}
+
+	var target *lsm.BuildTarget
+	switch d.cfg.CC {
+	case Lock:
+		// Fig 10: the builder S-locks every scanned key and re-checks its
+		// bitmap under the lock; writers forward deletes past ScannedKey.
+		target = lsm.NewBuildTarget(false)
+		spec.Target = target
+		setPKBuilding(target)
+		spec.LockKey = func(key []byte) func() {
+			d.locks.Lock(key, txn.Shared)
+			return func() { d.locks.Unlock(key, txn.Shared) }
+		}
+	case SideFile:
+		// Fig 11: drain writers, snapshot bitmaps, then build against the
+		// snapshots; concurrent deletes buffer in the side-file.
+		target = lsm.NewBuildTarget(true)
+		spec.Target = target
+		snaps := make(map[*lsm.Component]*bitmap.Immutable, len(primComps))
+		d.dsLock.Drain(func() {
+			// Drain in-flight writers, snapshot the shared bitmaps, and
+			// expose the build target in one atomic step (Fig 11a,
+			// initialization phase).
+			for _, c := range primComps {
+				snaps[c] = c.Valid.Snapshot()
+			}
+			setPKBuilding(target)
+		})
+		spec.Snapshots = snaps
+	case NoCC:
+		// Baseline: no protection (only valid without concurrent writers).
+	}
+
+	// Build the pk-index sibling in the same pass.
+	pkBuilder := btree.NewBuilder(d.cfg.Store)
+	var pkBloom bloom.Filter
+	var addPK func([]byte)
+	if d.cfg.BloomFPR > 0 {
+		var upper int64
+		for _, c := range primComps {
+			upper += c.NumEntries()
+		}
+		if d.cfg.BlockedBloom {
+			f := bloom.NewBlockedFPR(int(upper), d.cfg.BloomFPR)
+			pkBloom, addPK = f, f.Add
+		} else {
+			f := bloom.NewStandardFPR(int(upper), d.cfg.BloomFPR)
+			pkBloom, addPK = f, f.Add
+		}
+	}
+	var pkErr error
+	var pkPayload []byte
+	spec.OnEntry = func(e kv.Entry, ordinal int64) {
+		pkPayload = kv.AppendPayload(pkPayload[:0], kv.Entry{Key: e.Key, TS: e.TS, Anti: e.Anti})
+		if err := pkBuilder.Add(e.Key, pkPayload); err != nil && pkErr == nil {
+			pkErr = err
+		}
+		if addPK != nil {
+			addPK(e.Key)
+		}
+	}
+
+	res, err := d.primary.Merge(spec)
+	if err != nil {
+		pkBuilder.Abort()
+		return nil, err
+	}
+	if pkErr != nil {
+		return nil, pkErr
+	}
+	pkReader, err := pkBuilder.Finish()
+	if err != nil {
+		return nil, err
+	}
+	newPrim := res.Component
+
+	// Side-file catch-up phase (Fig 11a lines 11-16): close the side-file
+	// under the dataset lock, sort it, and apply the deletes to the new
+	// component's bitmap.
+	if d.cfg.CC == SideFile {
+		var deleted [][]byte
+		d.dsLock.Drain(func() { deleted = target.SideFile.Close() })
+		d.env.ChargeSort(len(deleted))
+		for _, pk := range deleted {
+			if ord, ok := target.OrdinalOf(pk); ok {
+				newPrim.Valid.Set(ord)
+			}
+		}
+	}
+
+	pkComp := &lsm.Component{
+		ID:       newPrim.ID,
+		EpochMin: newPrim.EpochMin,
+		EpochMax: newPrim.EpochMax,
+		BTree:    pkReader,
+		Bloom:    pkBloom,
+		Valid:    newPrim.Valid, // shared bitmap
+	}
+	if err := d.primary.Install(res); err != nil {
+		return nil, err
+	}
+	if err := d.pkIndex.ReplaceComponents(kLo, kHi, pkComp); err != nil {
+		return nil, err
+	}
+	return newPrim, nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// driveMixed applies a random op stream and returns the expected live rows.
+func driveMixed(t *testing.T, d *Dataset, seed int64, nOps int, flushEvery int) map[uint64]string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	model := make(map[uint64]string)
+	for i := 0; i < nOps; i++ {
+		pk := uint64(rng.Intn(300))
+		loc := fmt.Sprintf("L%02d", rng.Intn(20))
+		switch rng.Intn(6) {
+		case 0:
+			if _, err := d.Delete(pkOf(pk)); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, pk)
+		default:
+			mustUpsert(t, d, pk, loc, int64(2000+i))
+			model[pk] = loc
+		}
+		if flushEvery > 0 && i > 0 && i%flushEvery == 0 {
+			if err := d.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return model
+}
+
+func verifyModel(t *testing.T, d *Dataset, model map[uint64]string) {
+	t.Helper()
+	for pk := uint64(0); pk < 300; pk++ {
+		e, found, err := d.Primary().Get(pkOf(pk))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ok := model[pk]
+		if found != ok {
+			t.Fatalf("key %d: found=%v want %v", pk, found, ok)
+		}
+		if found {
+			loc, _ := recLocation(e.Value)
+			if string(loc) != want {
+				t.Fatalf("key %d: location %s want %s", pk, loc, want)
+			}
+		}
+	}
+}
+
+func TestCrashRecoveryAllStrategies(t *testing.T) {
+	for _, strat := range []Strategy{Eager, Validation, MutableBitmap, DeletedKey} {
+		t.Run(strat.String(), func(t *testing.T) {
+			d := newTestDataset(t, func(c *Config) {
+				c.Strategy = strat
+			})
+			model := driveMixed(t, d, 61, 2000, 400)
+			d.Crash()
+			// Memory state is gone: recent writes are invisible now.
+			if err := d.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			verifyModel(t, d, model)
+		})
+	}
+}
+
+func TestCrashLosesUnrecoveredState(t *testing.T) {
+	d := newTestDataset(t, nil)
+	mustUpsert(t, d, 1, "CA", 2015)
+	if err := d.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	mustUpsert(t, d, 2, "NY", 2016) // memory only
+	d.Crash()
+	if _, found, _ := d.Primary().Get(pkOf(2)); found {
+		t.Fatal("memory-only record survived the crash without recovery")
+	}
+	if _, found, _ := d.Primary().Get(pkOf(1)); !found {
+		t.Fatal("flushed record lost")
+	}
+	if err := d.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := d.Primary().Get(pkOf(2)); !found {
+		t.Fatal("record not recovered from the log")
+	}
+}
+
+func TestRecoverRequiresWAL(t *testing.T) {
+	d := newTestDataset(t, func(c *Config) { c.DisableWAL = true })
+	mustUpsert(t, d, 1, "CA", 2015)
+	d.Crash()
+	if err := d.Recover(); err != ErrNoWAL {
+		t.Fatalf("Recover without WAL = %v", err)
+	}
+}
+
+func TestRecoveryIdempotentForBitmaps(t *testing.T) {
+	// A replayed update-bit record must not corrupt bitmaps that already
+	// reflect the delete (the bitmap page was checkpointed before the
+	// crash): Set is idempotent.
+	d := newTestDataset(t, func(c *Config) { c.Strategy = MutableBitmap })
+	mustUpsert(t, d, 10, "CA", 2015)
+	if err := d.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	mustUpsert(t, d, 10, "NY", 2016) // sets the bit in the flushed component
+	comp := d.Primary().Components()[0]
+	if comp.Valid.Count() != 1 {
+		t.Fatal("setup: bit not set")
+	}
+	d.Crash()
+	if err := d.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if comp.Valid.Count() != 1 {
+		t.Fatalf("bitmap corrupted by replay: %d bits", comp.Valid.Count())
+	}
+	e, found, _ := d.Primary().Get(pkOf(10))
+	if !found {
+		t.Fatal("record lost")
+	}
+	if loc, _ := recLocation(e.Value); string(loc) != "NY" {
+		t.Fatalf("recovered wrong version: %s", loc)
+	}
+}
+
+func TestRecoveryPreservesTimestampOrder(t *testing.T) {
+	d := newTestDataset(t, func(c *Config) { c.Strategy = Validation })
+	mustUpsert(t, d, 5, "CA", 2015)
+	mustUpsert(t, d, 5, "NY", 2016)
+	d.Crash()
+	if err := d.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// New writes after recovery must get fresh, larger timestamps.
+	tsBefore := d.CurrentTS()
+	mustUpsert(t, d, 5, "UT", 2017)
+	if d.CurrentTS() <= tsBefore {
+		t.Fatal("clock did not advance past replayed timestamps")
+	}
+	e, _, _ := d.Primary().Get(pkOf(5))
+	if loc, _ := recLocation(e.Value); string(loc) != "UT" {
+		t.Fatalf("latest write lost: %s", loc)
+	}
+}

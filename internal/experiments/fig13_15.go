@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("fig13", fig13)
+	register("fig14", fig14)
+	register("fig15a", fig15a)
+	register("fig15b", fig15b)
+}
+
+// fig13 — insert ingestion performance: with/without the primary key index,
+// duplicate ratios 0% and 50%, on HDD and SSD profiles. The paper plots
+// cumulative records over time; we report cumulative simulated minutes at
+// each quarter of the stream (lower is better).
+func fig13(s Scale) (*Result, error) {
+	res := &Result{Figure: "fig13", Title: "Insert ingestion: pk-index vs no-pk-index, duplicates, HDD/SSD"}
+	for _, dev := range []struct {
+		name    string
+		profile storage.Profile
+	}{
+		{"hdd", storage.ScaledHDD(s.PageSize)},
+		{"ssd", scaledSSD(s.PageSize)},
+	} {
+		for _, usePK := range []bool{true, false} {
+			for _, dup := range []float64{0, 0.5} {
+				c := s.newConfig()
+				c.device = dev.profile
+				c.usePKIndex = usePK
+				ds, env, _, err := build(s, c)
+				if err != nil {
+					return nil, err
+				}
+				wcfg := workload.DefaultConfig(11)
+				wcfg.MessageMin, wcfg.MessageMax = s.MsgMin, s.MsgMax
+				wcfg.UserIDRange = s.UserRange
+				wcfg.DuplicateRatio = dup
+				gen := workload.NewGenerator(wcfg)
+				marks, err := insertAll(ds, env, gen, s.IngestOps)
+				if err != nil {
+					return nil, err
+				}
+				series := fmt.Sprintf("%s pk-idx=%v dup=%.0f%%", dev.name, usePK, dup*100)
+				for q, m := range marks {
+					res.Add(series, fmt.Sprintf("%d%%", (q+1)*25), m.Minutes(), "min")
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func scaledSSD(pageSize int) storage.Profile {
+	p := storage.SSD()
+	p.PageSize = pageSize
+	p.ReadAheadPages = 8
+	return p
+}
+
+// strategyConfigs enumerates Figure 14's four strategies.
+func strategyConfigs(s Scale) []struct {
+	name   string
+	mutate func(*dsConfig)
+} {
+	return []struct {
+		name   string
+		mutate func(*dsConfig)
+	}{
+		{"eager", func(c *dsConfig) { c.strategy = core.Eager }},
+		{"validation (no repair)", func(c *dsConfig) { c.strategy = core.Validation }},
+		{"validation", func(c *dsConfig) {
+			c.strategy = core.Validation
+			c.mergeRepair = true
+		}},
+		{"mutable-bitmap", func(c *dsConfig) {
+			c.strategy = core.MutableBitmap
+			c.cc = core.SideFile
+		}},
+	}
+}
+
+// fig14 — upsert ingestion performance across maintenance strategies under
+// no updates, 50% uniform updates, and 50% Zipf updates.
+func fig14(s Scale) (*Result, error) {
+	res := &Result{Figure: "fig14", Title: "Upsert ingestion by strategy and update distribution"}
+	for _, upd := range []struct {
+		name  string
+		ratio float64
+		zipf  bool
+	}{
+		{"0%", 0, false},
+		{"50% uniform", 0.5, false},
+		{"50% zipf", 0.5, true},
+	} {
+		for _, sc := range strategyConfigs(s) {
+			c := s.newConfig()
+			sc.mutate(&c)
+			ds, env, _, err := build(s, c)
+			if err != nil {
+				return nil, err
+			}
+			wcfg := workload.DefaultConfig(13)
+			wcfg.MessageMin, wcfg.MessageMax = s.MsgMin, s.MsgMax
+			wcfg.UserIDRange = s.UserRange
+			wcfg.UpdateRatio = upd.ratio
+			wcfg.ZipfUpdates = upd.zipf
+			gen := workload.NewGenerator(wcfg)
+			marks, err := ingest(ds, env, gen, s.IngestOps)
+			if err != nil {
+				return nil, err
+			}
+			res.Add(sc.name+" / "+upd.name, "total", marks[3].Minutes(), "min")
+			res.Add(sc.name+" / "+upd.name, "kops", throughput(s.IngestOps, marks[3]), "")
+		}
+	}
+	return res, nil
+}
+
+// fig15a — impact of merge frequency: sweep the maximum mergeable component
+// size (more merges <-> smaller cap) on upsert ingestion, 10% updates.
+func fig15a(s Scale) (*Result, error) {
+	res := &Result{Figure: "fig15a", Title: "Impact of MaxMergeableComponentSize on upsert ingestion"}
+	caps := []int64{s.MaxMergeable / 4, s.MaxMergeable, s.MaxMergeable * 4, s.MaxMergeable * 16}
+	names := []string{"1x/4", "1x", "4x", "16x"}
+	for _, sc := range strategyConfigs(s) {
+		for i, cp := range caps {
+			c := s.newConfig()
+			sc.mutate(&c)
+			c.maxMergeable = cp
+			ds, env, _, err := build(s, c)
+			if err != nil {
+				return nil, err
+			}
+			wcfg := workload.DefaultConfig(15)
+			wcfg.MessageMin, wcfg.MessageMax = s.MsgMin, s.MsgMax
+			wcfg.UserIDRange = s.UserRange
+			wcfg.UpdateRatio = 0.10
+			gen := workload.NewGenerator(wcfg)
+			marks, err := ingest(ds, env, gen, s.IngestOps)
+			if err != nil {
+				return nil, err
+			}
+			res.Add(sc.name, names[i], throughput(s.IngestOps, marks[3]), "kops")
+		}
+	}
+	return res, nil
+}
+
+// fig15b — scalability with 1..5 secondary indexes, including the
+// deleted-key B+-tree baseline; 10% updates. The Mutable-bitmap strategy is
+// excluded as in the paper (it is unaffected by secondary index count).
+func fig15b(s Scale) (*Result, error) {
+	res := &Result{Figure: "fig15b", Title: "Upsert ingestion vs number of secondary indexes"}
+	variants := append(strategyConfigs(s)[:3:3], struct {
+		name   string
+		mutate func(*dsConfig)
+	}{"deleted-key B+tree", func(c *dsConfig) { c.strategy = core.DeletedKey }})
+	for _, sc := range variants {
+		for n := 1; n <= 5; n++ {
+			c := s.newConfig()
+			sc.mutate(&c)
+			c.numSecondary = n
+			ds, env, _, err := build(s, c)
+			if err != nil {
+				return nil, err
+			}
+			wcfg := workload.DefaultConfig(17)
+			wcfg.MessageMin, wcfg.MessageMax = s.MsgMin, s.MsgMax
+			wcfg.UserIDRange = s.UserRange
+			wcfg.UpdateRatio = 0.10
+			gen := workload.NewGenerator(wcfg)
+			marks, err := ingest(ds, env, gen, s.IngestOps)
+			if err != nil {
+				return nil, err
+			}
+			res.Add(sc.name, fmt.Sprint(n), throughput(s.IngestOps, marks[3]), "kops")
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kv"
+	"repro/internal/repair"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("fig20", fig20)
+	register("fig21", fig21)
+	register("fig22", fig22)
+	register("fig23a", fig23a)
+	register("fig23b", fig23b)
+	register("fig23c", fig23c)
+}
+
+// repairVariant names one repair method of Section 6.5.
+type repairVariant struct {
+	name string
+	run  func(ds *core.Dataset) error
+	// correlated builds the dataset with the correlated merge policy; the
+	// Bloom-filter optimization is useless without it (Section 4.4: with
+	// independently merged trees the pk-index Bloom filters report all
+	// positives and only add overhead).
+	correlated bool
+}
+
+func repairVariants(numSecondaries int) []repairVariant {
+	putAntiFor := func(ds *core.Dataset) []repair.SecondaryTarget {
+		var targets []repair.SecondaryTarget
+		for _, si := range ds.Secondaries() {
+			si := si
+			targets = append(targets, repair.SecondaryTarget{
+				Tree:    si.Tree,
+				Extract: si.Spec.Extract,
+				PutAnti: func(sk, pk []byte, ts int64) {
+					si.Tree.Put(kv.Entry{Key: kv.ComposeKey(sk, pk), TS: ts, Anti: true})
+				},
+			})
+		}
+		return targets
+	}
+	return []repairVariant{
+		{"primary repair", func(ds *core.Dataset) error {
+			return repair.PrimaryRepair(ds.Primary(), putAntiFor(ds), false, ds.NextTS())
+		}, false},
+		{"primary repair (merge)", func(ds *core.Dataset) error {
+			return repair.PrimaryRepair(ds.Primary(), putAntiFor(ds), true, ds.NextTS())
+		}, false},
+		{"secondary repair", func(ds *core.Dataset) error {
+			for _, si := range ds.Secondaries() {
+				if err := repair.RepairAll(si.Tree, ds.PKIndex(), repair.Options{}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, false},
+		{"secondary repair (bf)", func(ds *core.Dataset) error {
+			for _, si := range ds.Secondaries() {
+				if err := repair.RepairAll(si.Tree, ds.PKIndex(), repair.Options{UseBloom: true}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, true},
+	}
+}
+
+// runRepairTrend drives the Figures 20-22 protocol: ingest in chunks; after
+// each chunk, flush and trigger a full repair, reporting the repair's
+// virtual time as data accumulates.
+func runRepairTrend(s Scale, res *Result, seriesSuffix string, updateRatio float64,
+	msgMin, msgMax, numSecondaries int) error {
+	for _, v := range repairVariants(numSecondaries) {
+		c := s.newConfig()
+		c.strategy = core.Validation
+		c.numSecondary = numSecondaries
+		c.correlated = v.correlated
+		ds, env, _, err := build(s, c)
+		if err != nil {
+			return err
+		}
+		wcfg := workload.DefaultConfig(31)
+		wcfg.MessageMin, wcfg.MessageMax = msgMin, msgMax
+		wcfg.UserIDRange = s.UserRange
+		wcfg.UpdateRatio = updateRatio
+		gen := workload.NewGenerator(wcfg)
+		total := 0
+		for chunk := 1; chunk <= s.RepairChunks; chunk++ {
+			for i := 0; i < s.RepairChunk; i++ {
+				op := gen.Next()
+				if err := ds.Upsert(op.Tweet.PK(), op.Tweet.Encode()); err != nil {
+					return err
+				}
+			}
+			total += s.RepairChunk
+			if err := ds.FlushAll(); err != nil {
+				return err
+			}
+			start := env.Clock.Now()
+			if err := v.run(ds); err != nil {
+				return err
+			}
+			d := env.Clock.Now() - start
+			res.Add(v.name+seriesSuffix, fmt.Sprintf("%dk", total/1000), d.Seconds(), "s")
+		}
+	}
+	return nil
+}
+
+// fig20 — basic repair performance at 0% and 50% update ratios.
+func fig20(s Scale) (*Result, error) {
+	res := &Result{Figure: "fig20", Title: "Index repair time as data accumulates"}
+	if err := runRepairTrend(s, res, " u=0%", 0, s.MsgMin, s.MsgMax, 1); err != nil {
+		return nil, err
+	}
+	if err := runRepairTrend(s, res, " u=50%", 0.5, s.MsgMin, s.MsgMax, 1); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// fig21 — repair with large (2x) records, 10% updates: primary repair
+// degrades with record size, secondary repair does not.
+func fig21(s Scale) (*Result, error) {
+	res := &Result{Figure: "fig21", Title: "Repair with large records (10% updates)"}
+	if err := runRepairTrend(s, res, "", 0.10, 2*s.MsgMin, 2*s.MsgMax, 1); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// fig22 — repair with 5 secondary indexes, 10% updates.
+func fig22(s Scale) (*Result, error) {
+	res := &Result{Figure: "fig22", Title: "Repair with 5 secondary indexes (10% updates)"}
+	if err := runRepairTrend(s, res, "", 0.10, s.MsgMin, s.MsgMax, 5); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ccSetup builds a Mutable-bitmap dataset with exactly numComponents flushed
+// components of componentRecords records each, merges disabled.
+func ccSetup(s Scale, cc core.CCMethod, componentRecords, recordSize, numComponents int) (*core.Dataset, *workload.Generator, error) {
+	c := s.newConfig()
+	c.strategy = core.MutableBitmap
+	c.cc = cc
+	c.noPolicy = true
+	c.memoryBudget = 1 << 30 // flush manually
+	ds, _, _, err := build(s, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	wcfg := workload.DefaultConfig(33)
+	wcfg.MessageMin, wcfg.MessageMax = recordSize, recordSize
+	wcfg.UserIDRange = s.UserRange
+	gen := workload.NewGenerator(wcfg)
+	for comp := 0; comp < numComponents; comp++ {
+		for i := 0; i < componentRecords; i++ {
+			op := gen.Next()
+			if err := ds.Upsert(op.Tweet.PK(), op.Tweet.Encode()); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := ds.FlushAll(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return ds, gen, nil
+}
+
+// measureCCMerge merges all components under concurrent ingestion at
+// maximum speed, returning the merge's real wall-clock time (lock overhead
+// is a real-CPU effect the virtual clock cannot see).
+func measureCCMerge(ds *core.Dataset, gen *workload.Generator, updateRatio float64) (time.Duration, error) {
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	// Concurrent writers: upserts at max speed, updateRatio of them
+	// hitting past keys (those interact with the merge via bitmaps).
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			wcfg := workload.DefaultConfig(seed)
+			wcfg.MessageMin, wcfg.MessageMax = 100, 100
+			wcfg.UpdateRatio = updateRatio
+			g := workload.NewGenerator(wcfg)
+			// Seed some keys so updates have targets.
+			for i := 0; i < 100; i++ {
+				op := g.Next()
+				ds.Upsert(op.Tweet.PK(), op.Tweet.Encode())
+			}
+			for !stop.Load() {
+				op := g.Next()
+				ds.Upsert(op.Tweet.PK(), op.Tweet.Encode())
+			}
+		}(int64(100 + w))
+	}
+	n := ds.Primary().NumDiskComponents()
+	nk := ds.PKIndex().NumDiskComponents()
+	start := time.Now()
+	_, err := ds.MergePrimaryRange(0, n, 0, nk)
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+	return elapsed, err
+}
+
+func ccVariants() []core.CCMethod {
+	return []core.CCMethod{core.NoCC, core.SideFile, core.Lock}
+}
+
+// medianCCMerge repeats the build-then-merge measurement three times and
+// reports the median wall time, damping scheduler and allocator noise.
+func medianCCMerge(s Scale, cc core.CCMethod, componentRecords, recordSize int, upd float64) (time.Duration, error) {
+	var runs []time.Duration
+	for i := 0; i < 3; i++ {
+		ds, gen, err := ccSetup(s, cc, componentRecords, recordSize, 4)
+		if err != nil {
+			return 0, err
+		}
+		d, err := measureCCMerge(ds, gen, upd)
+		if err != nil {
+			return 0, err
+		}
+		runs = append(runs, d)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i] < runs[j] })
+	return runs[1], nil
+}
+
+// fig23a — CC overhead vs update ratio of the concurrent writers.
+func fig23a(s Scale) (*Result, error) {
+	res := &Result{Figure: "fig23a", Title: "Mutable-bitmap CC overhead vs update ratio (wall time)"}
+	recs := s.IngestOps / 8
+	for _, cc := range ccVariants() {
+		for _, upd := range []float64{0, 0.2, 0.4, 0.8, 1.0} {
+			d, err := medianCCMerge(s, cc, recs, 100, upd)
+			if err != nil {
+				return nil, err
+			}
+			res.Add(cc.String(), fmt.Sprintf("%.0f%%", upd*100), d.Seconds(), "s")
+		}
+	}
+	return res, nil
+}
+
+// fig23b — CC overhead vs record size.
+func fig23b(s Scale) (*Result, error) {
+	res := &Result{Figure: "fig23b", Title: "Mutable-bitmap CC overhead vs record size (wall time)"}
+	recs := s.IngestOps / 8
+	for _, cc := range ccVariants() {
+		for _, size := range []int{20, 100, 200, 500, 1000} {
+			d, err := medianCCMerge(s, cc, recs, size, 0.5)
+			if err != nil {
+				return nil, err
+			}
+			res.Add(cc.String(), fmt.Sprintf("%dB", size), d.Seconds(), "s")
+		}
+	}
+	return res, nil
+}
+
+// fig23c — CC overhead vs component size (records per merged component).
+func fig23c(s Scale) (*Result, error) {
+	res := &Result{Figure: "fig23c", Title: "Mutable-bitmap CC overhead vs component size (wall time)"}
+	base := s.IngestOps / 16
+	for _, cc := range ccVariants() {
+		for mult := 1; mult <= 5; mult++ {
+			d, err := medianCCMerge(s, cc, base*mult, 100, 0.5)
+			if err != nil {
+				return nil, err
+			}
+			res.Add(cc.String(), fmt.Sprintf("%dx", mult), d.Seconds(), "s")
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,191 @@
+// Package kv defines the entry model shared by every index in the storage
+// engine: a key/value pair stamped with an ingestion timestamp and an
+// anti-matter flag, plus the canonical byte encodings used inside B+-tree
+// pages and write-ahead-log records.
+package kv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Entry is a single index entry. Keys order entries inside a component;
+// TS is the node-local ingestion timestamp used by the Validation strategy;
+// Anti marks an anti-matter (delete) entry.
+type Entry struct {
+	Key   []byte
+	Value []byte
+	TS    int64
+	Anti  bool
+}
+
+// Compare orders keys with bytes.Compare semantics.
+func Compare(a, b []byte) int { return bytes.Compare(a, b) }
+
+// Size returns the approximate in-memory footprint of the entry in bytes,
+// used for memory-component budget accounting.
+func (e Entry) Size() int { return len(e.Key) + len(e.Value) + 16 }
+
+// Clone deep-copies the entry so callers may retain it past iterator reuse.
+func (e Entry) Clone() Entry {
+	c := Entry{TS: e.TS, Anti: e.Anti}
+	c.Key = append([]byte(nil), e.Key...)
+	c.Value = append([]byte(nil), e.Value...)
+	return c
+}
+
+func (e Entry) String() string {
+	anti := ""
+	if e.Anti {
+		anti = "-"
+	}
+	return fmt.Sprintf("%s%q@%d=%q", anti, e.Key, e.TS, e.Value)
+}
+
+const antiFlag = 0x01
+
+// AppendPayload encodes everything but the key (flags, timestamp, value)
+// and appends it to dst. The key is stored separately by the B+-tree.
+func AppendPayload(dst []byte, e Entry) []byte {
+	var flags byte
+	if e.Anti {
+		flags |= antiFlag
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendVarint(dst, e.TS)
+	dst = binary.AppendUvarint(dst, uint64(len(e.Value)))
+	dst = append(dst, e.Value...)
+	return dst
+}
+
+// ErrCorrupt reports a malformed payload encoding.
+var ErrCorrupt = errors.New("kv: corrupt entry payload")
+
+// DecodePayload decodes a payload produced by AppendPayload into e
+// (the key must be filled in by the caller). The returned slice aliases buf.
+func DecodePayload(buf []byte, key []byte) (Entry, error) {
+	if len(buf) < 1 {
+		return Entry{}, ErrCorrupt
+	}
+	flags := buf[0]
+	buf = buf[1:]
+	ts, n := binary.Varint(buf)
+	if n <= 0 {
+		return Entry{}, ErrCorrupt
+	}
+	buf = buf[n:]
+	vlen, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return Entry{}, ErrCorrupt
+	}
+	buf = buf[n:]
+	if uint64(len(buf)) < vlen {
+		return Entry{}, ErrCorrupt
+	}
+	return Entry{
+		Key:   key,
+		Value: buf[:vlen],
+		TS:    ts,
+		Anti:  flags&antiFlag != 0,
+	}, nil
+}
+
+// EncodeUint64 encodes v as an 8-byte big-endian key so that byte order
+// matches numeric order. All integer primary keys in the engine use this.
+func EncodeUint64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// AppendUint64 appends the big-endian encoding of v to dst.
+func AppendUint64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+// DecodeUint64 decodes a key produced by EncodeUint64.
+func DecodeUint64(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// EncodeInt64 encodes v order-preservingly (sign bit flipped).
+func EncodeInt64(v int64) []byte { return EncodeUint64(uint64(v) ^ (1 << 63)) }
+
+// DecodeInt64 reverses EncodeInt64.
+func DecodeInt64(b []byte) int64 { return int64(DecodeUint64(b) ^ (1 << 63)) }
+
+// Composite-key encoding. Secondary indexes key entries on the composition
+// (secondary key, primary key) so duplicate secondary keys remain unique, as
+// in Section 3 of the paper. The secondary part is escaped (0x00 becomes
+// 0x00 0xFF) and terminated with 0x00 0x01, which keeps byte comparison of
+// composites equal to (secondary, primary) lexicographic order even for
+// variable-length secondary keys.
+const (
+	escByte  = 0x00
+	escCont  = 0xFF // 0x00 0xFF encodes a literal 0x00 inside the secondary
+	escTerm  = 0x01 // 0x00 0x01 terminates the secondary part
+	escUpper = 0x02 // 0x00 0x02 sorts above every primary, below extensions
+)
+
+// ComposeKey builds a composite (secondary key, primary key) index key.
+func ComposeKey(secondary, primary []byte) []byte {
+	out := make([]byte, 0, len(secondary)+len(primary)+4)
+	out = appendEscaped(out, secondary)
+	out = append(out, escByte, escTerm)
+	out = append(out, primary...)
+	return out
+}
+
+func appendEscaped(dst, s []byte) []byte {
+	for _, b := range s {
+		if b == escByte {
+			dst = append(dst, escByte, escCont)
+		} else {
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}
+
+// SplitKey splits a key built by ComposeKey back into its parts.
+// The returned secondary is freshly allocated; primary aliases composite.
+func SplitKey(composite []byte) (secondary, primary []byte, err error) {
+	secondary = make([]byte, 0, len(composite))
+	for i := 0; i < len(composite); i++ {
+		b := composite[i]
+		if b != escByte {
+			secondary = append(secondary, b)
+			continue
+		}
+		if i+1 >= len(composite) {
+			return nil, nil, ErrCorrupt
+		}
+		switch composite[i+1] {
+		case escCont:
+			secondary = append(secondary, escByte)
+			i++
+		case escTerm:
+			return secondary, composite[i+2:], nil
+		default:
+			return nil, nil, ErrCorrupt
+		}
+	}
+	return nil, nil, ErrCorrupt
+}
+
+// SecondaryScanBounds returns the [lo, hi) composite-key bounds covering all
+// entries whose secondary part s satisfies loS <= s <= hiS (inclusive).
+func SecondaryScanBounds(loS, hiS []byte) (lo, hi []byte) {
+	lo = appendEscaped(nil, loS)
+	lo = append(lo, escByte, escTerm)
+	hi = appendEscaped(nil, hiS)
+	hi = append(hi, escByte, escUpper)
+	return lo, hi
+}

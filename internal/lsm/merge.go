@@ -1,0 +1,291 @@
+package lsm
+
+import (
+	"errors"
+
+	"repro/internal/bitmap"
+	"repro/internal/bloom"
+	"repro/internal/btree"
+	"repro/internal/kv"
+)
+
+// MergeSpec describes one merge operation over the contiguous component
+// range disk[Lo:Hi) (oldest to newest). The caller installs the result with
+// ReplaceComponents once any post-processing (index repair, bitmap catch-up)
+// has finished.
+type MergeSpec struct {
+	Lo, Hi int
+	// DropAnti discards winning anti-matter entries; only safe when the
+	// merge includes the tree's oldest component.
+	DropAnti bool
+	// SkipInvisible drops entries invalidated through Obsolete/Valid
+	// bitmaps, physically removing them (Sections 4.4 and 5).
+	SkipInvisible bool
+	// Snapshots overrides components' live mutable bitmaps with immutable
+	// snapshots (Side-file method, Fig 11: the build phase must not see
+	// concurrent deletes).
+	Snapshots map[*Component]*bitmap.Immutable
+	// LockKey, when set, is invoked for every scanned key before its
+	// visibility re-check and copy; the returned function releases the
+	// lock (Lock method, Fig 10: S-lock per scanned key).
+	LockKey func(key []byte) func()
+	// Target, when set, lets concurrent writers forward deletes into the
+	// component being built (Mutable-bitmap strategy, Section 5.3).
+	Target *BuildTarget
+	// EntryFilter, when set, may veto entries (deleted-key B+-tree
+	// strategy cleanup). Called after visibility checks.
+	EntryFilter func(item MergedItem) (keep bool)
+	// OnEntry observes every entry added to the new component together
+	// with its ordinal position (merge repair streams (pkey, ts, position)
+	// to its sorter from here, Fig 7 line 6).
+	OnEntry func(e kv.Entry, ordinal int64)
+}
+
+// MergeResult carries the built component before installation.
+type MergeResult struct {
+	Component *Component
+	// Inputs are the merged components (for the caller's ReplaceComponents
+	// sanity check and repair accounting).
+	Inputs []*Component
+	// Lo, Hi echo the merged range.
+	Lo, Hi int
+}
+
+// ErrBadMergeRange reports an invalid component range.
+var ErrBadMergeRange = errors.New("lsm: bad merge range")
+
+// Merge builds a new component from the given range. It does not install
+// the result; see MergeResult.
+func (t *Tree) Merge(spec MergeSpec) (*MergeResult, error) {
+	t.mu.RLock()
+	if spec.Lo < 0 || spec.Hi > len(t.disk) || spec.Lo >= spec.Hi {
+		t.mu.RUnlock()
+		return nil, ErrBadMergeRange
+	}
+	inputs := append([]*Component(nil), t.disk[spec.Lo:spec.Hi]...)
+	t.mu.RUnlock()
+
+	// Expose the build target so concurrent writers can forward deletes.
+	if spec.Target != nil {
+		for _, c := range inputs {
+			c.Building = spec.Target
+		}
+	}
+
+	var upperBound int64
+	for _, c := range inputs {
+		upperBound += c.NumEntries()
+	}
+
+	b := btree.NewBuilder(t.opts.Store)
+	var filter bloom.Filter
+	var addToFilter func([]byte)
+	if t.opts.BloomFPR > 0 {
+		if t.opts.BlockedBloom {
+			f := bloom.NewBlockedFPR(int(upperBound), t.opts.BloomFPR)
+			filter, addToFilter = f, f.Add
+		} else {
+			f := bloom.NewStandardFPR(int(upperBound), t.opts.BloomFPR)
+			filter, addToFilter = f, f.Add
+		}
+	}
+
+	it, err := t.NewMergedIterator(IterOptions{
+		Components:    inputs,
+		HideAnti:      spec.DropAnti,
+		SkipInvisible: spec.SkipInvisible && spec.LockKey == nil,
+		Snapshots:     spec.Snapshots,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		payload    []byte
+		ordinal    int64
+		hasAnti    bool
+		fmin, fmax int64
+		hasF       bool
+	)
+	widen := func(v int64) {
+		if !hasF {
+			fmin, fmax, hasF = v, v, true
+			return
+		}
+		if v < fmin {
+			fmin = v
+		}
+		if v > fmax {
+			fmax = v
+		}
+	}
+	for {
+		item, ok, err := it.Next()
+		if err != nil {
+			b.Abort()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if spec.LockKey != nil {
+			unlock := spec.LockKey(item.Entry.Key)
+			// Re-check visibility under the lock (Fig 10 line 7): a
+			// writer may have deleted the key since the scan peeked.
+			if spec.SkipInvisible && item.Comp != nil && !visibleWith(item.Comp, item.Ordinal, spec.Snapshots) {
+				unlock()
+				continue
+			}
+			if spec.EntryFilter != nil && !spec.EntryFilter(item) {
+				unlock()
+				continue
+			}
+			if err := t.addMergeEntry(b, addToFilter, item, &payload, ordinal, spec, widen, &hasAnti); err != nil {
+				unlock()
+				b.Abort()
+				return nil, err
+			}
+			unlock()
+		} else {
+			if spec.EntryFilter != nil && !spec.EntryFilter(item) {
+				continue
+			}
+			if err := t.addMergeEntry(b, addToFilter, item, &payload, ordinal, spec, widen, &hasAnti); err != nil {
+				b.Abort()
+				return nil, err
+			}
+		}
+		ordinal++
+	}
+
+	reader, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	comp := &Component{
+		ID:       ID{MinTS: inputs[0].ID.MinTS, MaxTS: inputs[0].ID.MaxTS},
+		EpochMin: inputs[0].EpochMin,
+		EpochMax: inputs[0].EpochMax,
+		BTree:    reader,
+		Bloom:    filter,
+	}
+	comp.RepairedTS = inputs[0].RepairedTS
+	for _, c := range inputs {
+		// The merged component is only repaired as far as its least-
+		// repaired input.
+		if c.RepairedTS < comp.RepairedTS {
+			comp.RepairedTS = c.RepairedTS
+		}
+		if c.ID.MinTS >= 0 && (comp.ID.MinTS < 0 || c.ID.MinTS < comp.ID.MinTS) {
+			comp.ID.MinTS = c.ID.MinTS
+		}
+		if c.ID.MaxTS > comp.ID.MaxTS {
+			comp.ID.MaxTS = c.ID.MaxTS
+		}
+		if c.EpochMin < comp.EpochMin {
+			comp.EpochMin = c.EpochMin
+		}
+		if c.EpochMax > comp.EpochMax {
+			comp.EpochMax = c.EpochMax
+		}
+	}
+	// Range filter: recomputed from surviving records when possible; any
+	// retained anti-matter forces widening to the union of the inputs so
+	// queries still observe the deletes (Section 3.1's correctness rule).
+	if t.opts.FilterExtract != nil {
+		if hasAnti {
+			for _, c := range inputs {
+				if c.HasFilter {
+					widen(c.FilterMin)
+					widen(c.FilterMax)
+				}
+			}
+		}
+		comp.FilterMin, comp.FilterMax, comp.HasFilter = fmin, fmax, hasF
+	} else {
+		for _, c := range inputs {
+			if c.HasFilter {
+				if !comp.HasFilter {
+					comp.FilterMin, comp.FilterMax, comp.HasFilter = c.FilterMin, c.FilterMax, true
+				} else {
+					if c.FilterMin < comp.FilterMin {
+						comp.FilterMin = c.FilterMin
+					}
+					if c.FilterMax > comp.FilterMax {
+						comp.FilterMax = c.FilterMax
+					}
+				}
+			}
+		}
+	}
+	if t.opts.MutableBitmaps {
+		comp.Valid = bitmap.NewMutable(reader.NumEntries())
+	}
+	if spec.Target != nil {
+		spec.Target.Publish(comp.Valid)
+	}
+	return &MergeResult{Component: comp, Inputs: inputs, Lo: spec.Lo, Hi: spec.Hi}, nil
+}
+
+func (t *Tree) addMergeEntry(b *btree.Builder, addToFilter func([]byte), item MergedItem,
+	payload *[]byte, ordinal int64, spec MergeSpec, widen func(int64), hasAnti *bool) error {
+	e := item.Entry
+	*payload = kv.AppendPayload((*payload)[:0], e)
+	if err := b.Add(e.Key, *payload); err != nil {
+		return err
+	}
+	if addToFilter != nil {
+		addToFilter(e.Key)
+	}
+	if e.Anti {
+		*hasAnti = true
+	} else if t.opts.FilterExtract != nil {
+		if v, ok := t.opts.FilterExtract(e); ok {
+			widen(v)
+		}
+	}
+	if spec.Target != nil {
+		spec.Target.RecordCopied(e.Key, ordinal)
+	}
+	if spec.OnEntry != nil {
+		spec.OnEntry(e, ordinal)
+	}
+	return nil
+}
+
+// visibleWith checks entry visibility honoring snapshot overrides.
+func visibleWith(c *Component, ordinal int64, snaps map[*Component]*bitmap.Immutable) bool {
+	if c.Obsolete.IsSet(ordinal) || c.cracked.Load().IsSet(ordinal) {
+		return false
+	}
+	if snaps != nil {
+		if snap, ok := snaps[c]; ok {
+			return !snap.IsSet(ordinal)
+		}
+	}
+	return !c.Valid.IsSet(ordinal)
+}
+
+// Install finalizes a merge: replaces the input range with the new
+// component. The inputs' Building pointers are deliberately left in place:
+// a writer that snapshotted the component list just before the install may
+// still forward a delete through them, and the published BuildTarget routes
+// it to the new component's bitmap (closing the race the paper's
+// "C points to C'" check addresses).
+func (t *Tree) Install(res *MergeResult) error {
+	return t.ReplaceComponents(res.Lo, res.Hi, res.Component)
+}
+
+// Publish makes the new component's bitmap available to writers and applies
+// deletes forwarded before the bitmap existed.
+func (bt *BuildTarget) Publish(valid *bitmap.Mutable) {
+	bt.lock()
+	bt.NewValid = valid
+	for _, ord := range bt.pending {
+		if valid != nil {
+			valid.Set(ord)
+		}
+	}
+	bt.pending = nil
+	bt.unlock()
+}

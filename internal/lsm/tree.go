@@ -1,0 +1,296 @@
+package lsm
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/bitmap"
+	"repro/internal/bloom"
+	"repro/internal/btree"
+	"repro/internal/kv"
+	"repro/internal/memtable"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// Options configures one LSM-tree index.
+type Options struct {
+	// Name labels the tree in errors and stats.
+	Name string
+	// Store is the shared storage handle (disk + buffer cache).
+	Store *storage.Store
+	// BloomFPR, when positive, attaches a Bloom filter with this target
+	// false-positive rate to every disk component (the paper uses 1%).
+	BloomFPR float64
+	// BlockedBloom selects the cache-friendly blocked variant (Section 3.2).
+	BlockedBloom bool
+	// FilterExtract extracts the range-filter key from an entry, or reports
+	// false when the entry carries none (anti-matter). Nil disables
+	// recomputing filters at merge time.
+	FilterExtract func(e kv.Entry) (int64, bool)
+	// MutableBitmaps attaches a mutable validity bitmap to every disk
+	// component (the Mutable-bitmap strategy, Section 5).
+	MutableBitmaps bool
+	// Seed makes memtable shapes deterministic.
+	Seed int64
+}
+
+// Tree is one LSM-tree index. All methods are safe for concurrent use.
+type Tree struct {
+	opts Options
+	env  *metrics.Env
+
+	mu   sync.RWMutex
+	mem  *memtable.Table
+	disk []*Component // oldest -> newest
+	gen  int64
+}
+
+// New creates an empty LSM-tree.
+func New(opts Options) *Tree {
+	t := &Tree{opts: opts, env: opts.Store.Env()}
+	t.mem = memtable.New(opts.Seed)
+	return t
+}
+
+// Name returns the tree's label.
+func (t *Tree) Name() string { return t.opts.Name }
+
+// Env returns the tree's metrics environment.
+func (t *Tree) Env() *metrics.Env { return t.env }
+
+// Options returns the tree's configuration.
+func (t *Tree) Options() Options { return t.opts }
+
+// Mem returns the current memory component.
+func (t *Tree) Mem() *memtable.Table {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.mem
+}
+
+// Components returns a snapshot of the disk components, oldest to newest.
+func (t *Tree) Components() []*Component {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]*Component(nil), t.disk...)
+}
+
+// NumDiskComponents returns the current number of disk components.
+func (t *Tree) NumDiskComponents() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.disk)
+}
+
+// MemBytes returns the memory component's current footprint.
+func (t *Tree) MemBytes() int { return t.Mem().Bytes() }
+
+// DiskBytes returns the total size of all disk components.
+func (t *Tree) DiskBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var total int64
+	for _, c := range t.disk {
+		total += c.SizeBytes()
+	}
+	return total
+}
+
+// Put inserts an entry (possibly anti-matter) into the memory component.
+func (t *Tree) Put(e kv.Entry) {
+	t.env.ChargeMemtable()
+	t.Mem().Put(e)
+}
+
+// WidenMemFilter widens the memory component's range filter (strategy-
+// dependent; see memtable.WidenFilter).
+func (t *Tree) WidenMemFilter(v int64) { t.Mem().WidenFilter(v) }
+
+// Get returns the newest visible version of key, reconciling the memory
+// component and all disk components newest-first. Anti-matter and bitmap-
+// deleted entries make the key read as absent.
+func (t *Tree) Get(key []byte) (kv.Entry, bool, error) {
+	e, _, _, found, err := t.getInternal(key, nil)
+	return e, found, err
+}
+
+// GetWithLocation additionally reports the component holding the winning
+// version (nil for the memory component) and the entry's ordinal in it.
+// It is used by the Mutable-bitmap strategy's delete path and by component-
+// ID propagation. The onlyComponents argument, when non-nil, restricts the
+// search to the given disk components (pID pruning).
+func (t *Tree) GetWithLocation(key []byte, onlyComponents []*Component) (kv.Entry, *Component, int64, bool, error) {
+	e, c, ord, found, err := t.getInternal(key, onlyComponents)
+	return e, c, ord, found, err
+}
+
+func (t *Tree) getInternal(key []byte, only []*Component) (kv.Entry, *Component, int64, bool, error) {
+	t.env.Counters.PointLookups.Add(1)
+	if only == nil {
+		t.env.ChargeMemtable()
+		if e, ok := t.Mem().Get(key); ok {
+			if e.Anti {
+				return kv.Entry{}, nil, 0, false, nil
+			}
+			return e, nil, 0, true, nil
+		}
+	}
+	comps := only
+	if comps == nil {
+		comps = t.Components()
+	}
+	for i := len(comps) - 1; i >= 0; i-- {
+		c := comps[i]
+		if !c.MayContain(t.env, key) {
+			continue
+		}
+		e, ord, found, err := c.BTree.Get(key)
+		if err != nil {
+			return kv.Entry{}, nil, 0, false, err
+		}
+		if !found {
+			continue
+		}
+		if !c.entryVisible(ord) {
+			// Deleted through a bitmap: every older version is deleted
+			// too (see DESIGN.md invariants), so keep searching only to
+			// honor Obsolete-bitmap skips, where older entries may win.
+			if c.Valid.IsSet(ord) {
+				return kv.Entry{}, nil, 0, false, nil
+			}
+			continue
+		}
+		if e.Anti {
+			return kv.Entry{}, nil, 0, false, nil
+		}
+		return e, c, ord, true, nil
+	}
+	return kv.Entry{}, nil, 0, false, nil
+}
+
+// ResetMem discards the memory component (crash simulation: the no-steal
+// policy guarantees disk components never hold uncommitted data, so losing
+// memory state is exactly what a failure does).
+func (t *Tree) ResetMem() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.gen++
+	t.mem = memtable.New(t.opts.Seed + t.gen)
+}
+
+// ErrEmptyFlush reports a flush of an empty memory component.
+var ErrEmptyFlush = errors.New("lsm: empty memory component")
+
+// Flush freezes the memory component, bulk-loads it into a new disk
+// component stamped with the given epoch, and installs it as the newest
+// component. It returns ErrEmptyFlush when there is nothing to flush.
+func (t *Tree) Flush(epoch uint64) (*Component, error) {
+	t.mu.Lock()
+	old := t.mem
+	if old.Len() == 0 {
+		t.mu.Unlock()
+		return nil, ErrEmptyFlush
+	}
+	t.gen++
+	t.mem = memtable.New(t.opts.Seed + t.gen)
+	t.mu.Unlock()
+
+	comp, err := t.buildFromMemtable(old, epoch)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	t.disk = append(t.disk, comp)
+	t.mu.Unlock()
+	return comp, nil
+}
+
+func (t *Tree) buildFromMemtable(mem *memtable.Table, epoch uint64) (*Component, error) {
+	n := mem.Len()
+	b := btree.NewBuilder(t.opts.Store)
+	var filter bloom.Filter
+	var addToFilter func([]byte)
+	if t.opts.BloomFPR > 0 {
+		if t.opts.BlockedBloom {
+			f := bloom.NewBlockedFPR(n, t.opts.BloomFPR)
+			filter, addToFilter = f, f.Add
+		} else {
+			f := bloom.NewStandardFPR(n, t.opts.BloomFPR)
+			filter, addToFilter = f, f.Add
+		}
+	}
+	it := mem.NewIterator(nil, nil)
+	var payload []byte
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		payload = kv.AppendPayload(payload[:0], e)
+		if err := b.Add(e.Key, payload); err != nil {
+			b.Abort()
+			return nil, err
+		}
+		if addToFilter != nil {
+			addToFilter(e.Key)
+		}
+	}
+	reader, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	minTS, maxTS := mem.ID()
+	comp := &Component{
+		ID:       ID{MinTS: minTS, MaxTS: maxTS},
+		EpochMin: epoch,
+		EpochMax: epoch,
+		BTree:    reader,
+		Bloom:    filter,
+		// A fresh component starts repaired up to its own maxTS (Fig 6):
+		// obsolescence among entries of one memory-component lifetime is
+		// already cleaned by the Section 4.2 local anti-matter
+		// optimization, so only strictly newer components can invalidate
+		// its entries.
+		RepairedTS: maxTS,
+	}
+	if fmin, fmax, ok := mem.Filter(); ok {
+		comp.FilterMin, comp.FilterMax, comp.HasFilter = fmin, fmax, true
+	}
+	if t.opts.MutableBitmaps {
+		comp.Valid = bitmap.NewMutable(reader.NumEntries())
+	}
+	return comp, nil
+}
+
+// ReplaceComponents atomically replaces the contiguous run disk[lo:hi] with
+// newComp (which may be nil to just drop them). Retired components' files
+// are intentionally left on the simulated disk: concurrent readers may
+// still hold snapshots of the old component list (a production engine would
+// reference-count components; the simulation simply never reuses file IDs,
+// so stale reads stay safe and retired files are reclaimed when the whole
+// store is garbage collected).
+func (t *Tree) ReplaceComponents(lo, hi int, newComp *Component) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if lo < 0 || hi > len(t.disk) || lo >= hi {
+		return errors.New("lsm: bad component range")
+	}
+	var repl []*Component
+	repl = append(repl, t.disk[:lo]...)
+	if newComp != nil {
+		repl = append(repl, newComp)
+	}
+	repl = append(repl, t.disk[hi:]...)
+	t.disk = repl
+	return nil
+}
+
+// SetObsolete installs the immutable repair bitmap and repair watermark on a
+// component (standalone repair, Section 4.4).
+func (t *Tree) SetObsolete(c *Component, bm *bitmap.Immutable, repairedTS int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c.Obsolete = bm
+	c.RepairedTS = repairedTS
+}

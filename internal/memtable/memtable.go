@@ -1,0 +1,209 @@
+// Package memtable implements the in-memory component of an LSM-tree: a
+// sorted map from key to the newest entry for that key. Inserts, updates
+// and deletes (anti-matter entries, Section 2.1) all go through Put; the
+// table keeps exactly one entry per key, the most recent one.
+//
+// The implementation is a skiplist guarded by a read-write mutex, giving
+// concurrent readers and a single writer path, which matches the engine's
+// record-level locking discipline.
+package memtable
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/kv"
+)
+
+const maxHeight = 16
+
+type node struct {
+	entry kv.Entry
+	next  []*node
+}
+
+// Table is one memory component. Safe for concurrent use.
+type Table struct {
+	mu     sync.RWMutex
+	head   *node
+	height int
+	rng    *rand.Rand
+	count  int
+	bytes  int
+
+	// Component ID bookkeeping (minTS-maxTS of contained entries).
+	minTS int64
+	maxTS int64
+
+	// Range-filter bookkeeping: minimum/maximum filter-key values observed,
+	// maintained by the dataset layer via WidenFilter.
+	filterMin int64
+	filterMax int64
+	hasFilter bool
+}
+
+// New creates an empty memory component. The seed keeps skiplist shapes
+// deterministic across runs.
+func New(seed int64) *Table {
+	return &Table{
+		head:   &node{next: make([]*node, maxHeight)},
+		height: 1,
+		rng:    rand.New(rand.NewSource(seed)),
+		minTS:  -1,
+		maxTS:  -1,
+	}
+}
+
+func (t *Table) randomHeight() int {
+	h := 1
+	for h < maxHeight && t.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// Put inserts or replaces the entry for e.Key.
+func (t *Table) Put(e kv.Entry) {
+	e = e.Clone()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	update := make([]*node, maxHeight)
+	x := t.head
+	for level := t.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && kv.Compare(x.next[level].entry.Key, e.Key) < 0 {
+			x = x.next[level]
+		}
+		update[level] = x
+	}
+	if nxt := x.next[0]; nxt != nil && kv.Compare(nxt.entry.Key, e.Key) == 0 {
+		t.bytes += e.Size() - nxt.entry.Size()
+		nxt.entry = e
+	} else {
+		h := t.randomHeight()
+		if h > t.height {
+			for level := t.height; level < h; level++ {
+				update[level] = t.head
+			}
+			t.height = h
+		}
+		n := &node{entry: e, next: make([]*node, h)}
+		for level := 0; level < h; level++ {
+			n.next[level] = update[level].next[level]
+			update[level].next[level] = n
+		}
+		t.count++
+		t.bytes += e.Size()
+	}
+	if t.minTS < 0 || e.TS < t.minTS {
+		t.minTS = e.TS
+	}
+	if e.TS > t.maxTS {
+		t.maxTS = e.TS
+	}
+}
+
+// Get returns the entry for key (which may be anti-matter) if present.
+func (t *Table) Get(key []byte) (kv.Entry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	x := t.head
+	for level := t.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && kv.Compare(x.next[level].entry.Key, key) < 0 {
+			x = x.next[level]
+		}
+	}
+	if nxt := x.next[0]; nxt != nil && kv.Compare(nxt.entry.Key, key) == 0 {
+		return nxt.entry, true
+	}
+	return kv.Entry{}, false
+}
+
+// Len returns the number of distinct keys.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
+
+// Bytes returns the approximate memory footprint of the entries, used for
+// the dataset-wide memory-component budget (Section 3).
+func (t *Table) Bytes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.bytes
+}
+
+// ID returns the component ID (minTS, maxTS) of the contained entries.
+// Both are -1 while the table is empty.
+func (t *Table) ID() (minTS, maxTS int64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.minTS, t.maxTS
+}
+
+// WidenFilter extends the component's range filter to cover v. The Eager
+// strategy widens with both old and new record values; the Validation and
+// Mutable-bitmap strategies widen with the new value only (Sections 3-5).
+func (t *Table) WidenFilter(v int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.hasFilter {
+		t.filterMin, t.filterMax, t.hasFilter = v, v, true
+		return
+	}
+	if v < t.filterMin {
+		t.filterMin = v
+	}
+	if v > t.filterMax {
+		t.filterMax = v
+	}
+}
+
+// Filter returns the component's range filter bounds; ok is false when no
+// filter value was ever recorded.
+func (t *Table) Filter() (min, max int64, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.filterMin, t.filterMax, t.hasFilter
+}
+
+// Iterator walks entries in ascending key order. It holds no lock; it
+// snapshots next-pointers as it goes, which is safe because nodes are never
+// removed while a table is live and flush freezes the table anyway.
+type Iterator struct {
+	t *Table
+	x *node
+	// bounds: lo inclusive, hi exclusive (nil = unbounded)
+	hi []byte
+}
+
+// NewIterator returns an iterator over [lo, hi); nil bounds are unbounded.
+func (t *Table) NewIterator(lo, hi []byte) *Iterator {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	x := t.head
+	if lo != nil {
+		for level := t.height - 1; level >= 0; level-- {
+			for x.next[level] != nil && kv.Compare(x.next[level].entry.Key, lo) < 0 {
+				x = x.next[level]
+			}
+		}
+	}
+	return &Iterator{t: t, x: x, hi: hi}
+}
+
+// Next returns the next entry; ok is false at the end.
+func (it *Iterator) Next() (kv.Entry, bool) {
+	it.t.mu.RLock()
+	defer it.t.mu.RUnlock()
+	nxt := it.x.next[0]
+	if nxt == nil {
+		return kv.Entry{}, false
+	}
+	if it.hi != nil && kv.Compare(nxt.entry.Key, it.hi) >= 0 {
+		return kv.Entry{}, false
+	}
+	it.x = nxt
+	return nxt.entry, true
+}

@@ -1,0 +1,118 @@
+package memtable
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kv"
+)
+
+// opSpec is a quick-generatable operation description.
+type opSpec struct {
+	Key   uint16
+	Value uint8
+	Anti  bool
+}
+
+// TestQuickMatchesSortedMap: after any operation sequence, iteration yields
+// exactly the model's entries in ascending key order, and Get agrees on
+// every key.
+func TestQuickMatchesSortedMap(t *testing.T) {
+	f := func(ops []opSpec) bool {
+		m := New(3)
+		model := map[uint16]opSpec{}
+		for i, op := range ops {
+			e := kv.Entry{
+				Key:  []byte{byte(op.Key >> 8), byte(op.Key)},
+				TS:   int64(i),
+				Anti: op.Anti,
+			}
+			if !op.Anti {
+				e.Value = []byte{op.Value}
+			}
+			m.Put(e)
+			model[op.Key] = op
+		}
+		if m.Len() != len(model) {
+			return false
+		}
+		// Iteration order and contents.
+		keys := make([]uint16, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		it := m.NewIterator(nil, nil)
+		for _, k := range keys {
+			e, ok := it.Next()
+			if !ok {
+				return false
+			}
+			want := model[k]
+			if kv.DecodeUint64(append(make([]byte, 6), e.Key...)) != uint64(k) {
+				return false
+			}
+			if e.Anti != want.Anti {
+				return false
+			}
+			if !want.Anti && !bytes.Equal(e.Value, []byte{want.Value}) {
+				return false
+			}
+		}
+		if _, ok := it.Next(); ok {
+			return false
+		}
+		// Point gets.
+		for k, want := range model {
+			e, ok := m.Get([]byte{byte(k >> 8), byte(k)})
+			if !ok || e.Anti != want.Anti {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBoundedIteration: bounded iterators never leak keys outside
+// [lo, hi).
+func TestQuickBoundedIteration(t *testing.T) {
+	f := func(keys []uint16, lo, hi uint16) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		m := New(5)
+		inRange := 0
+		seen := map[uint16]bool{}
+		for i, k := range keys {
+			m.Put(kv.Entry{Key: []byte{byte(k >> 8), byte(k)}, TS: int64(i)})
+			if !seen[k] {
+				seen[k] = true
+				if k >= lo && k < hi {
+					inRange++
+				}
+			}
+		}
+		it := m.NewIterator([]byte{byte(lo >> 8), byte(lo)}, []byte{byte(hi >> 8), byte(hi)})
+		n := 0
+		for {
+			e, ok := it.Next()
+			if !ok {
+				break
+			}
+			k := uint16(e.Key[0])<<8 | uint16(e.Key[1])
+			if k < lo || k >= hi {
+				return false
+			}
+			n++
+		}
+		return n == inRange
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(5 * time.Millisecond)
+	c.Advance(3 * time.Millisecond)
+	if c.Now() != 8*time.Millisecond {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.Advance(-time.Second) // ignored
+	if c.Now() != 8*time.Millisecond {
+		t.Fatalf("negative advance changed clock: %v", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestClockConcurrent(t *testing.T) {
+	c := NewClock()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Now() != 8*time.Millisecond {
+		t.Fatalf("concurrent advances lost: %v", c.Now())
+	}
+}
+
+func TestCountersSnapshotSub(t *testing.T) {
+	var c Counters
+	c.RandomReads.Add(5)
+	c.CacheHits.Add(2)
+	before := c.Snapshot()
+	c.RandomReads.Add(3)
+	c.BloomTests.Add(7)
+	delta := c.Snapshot().Sub(before)
+	if delta.RandomReads != 3 || delta.BloomTests != 7 || delta.CacheHits != 0 {
+		t.Fatalf("delta = %+v", delta)
+	}
+	c.Reset()
+	if s := c.Snapshot(); s.RandomReads != 0 || s.BloomTests != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestEnvCharges(t *testing.T) {
+	env := NewEnv()
+	env.ChargeCompare(10)
+	if env.Counters.KeyComparisons.Load() != 10 {
+		t.Fatal("comparisons not counted")
+	}
+	want := 10 * env.CPU.KeyCompare
+	if env.Clock.Now() != want {
+		t.Fatalf("clock = %v, want %v", env.Clock.Now(), want)
+	}
+	before := env.Clock.Now()
+	env.ChargeSort(100)
+	if env.Clock.Now()-before != 100*env.CPU.SortPerEntry {
+		t.Fatal("sort charge wrong")
+	}
+	env.ChargeMemtable()
+	env.ChargeLogAppend()
+	env.ChargeDecode(3)
+}
+
+func TestNopEnvChargesNothing(t *testing.T) {
+	env := NopEnv()
+	env.ChargeCompare(1000)
+	env.ChargeSort(1000)
+	if env.Clock.Now() != 0 {
+		t.Fatalf("NopEnv advanced the clock: %v", env.Clock.Now())
+	}
+	// but counting still works
+	if env.Counters.KeyComparisons.Load() != 1000 {
+		t.Fatal("NopEnv must still count")
+	}
+}
+
+func TestDefaultCostsSane(t *testing.T) {
+	c := DefaultCPUCosts()
+	if c.KeyCompare <= 0 || c.CacheLineMiss <= c.ProbeInBlock {
+		t.Fatal("cost calibration out of order")
+	}
+	if c.CacheHit <= c.CacheLineMiss {
+		t.Fatal("a buffer-cache page access must cost more than one cache-line miss")
+	}
+}

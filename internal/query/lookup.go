@@ -1,0 +1,234 @@
+// Package query implements the paper's query-processing machinery:
+//
+//   - Index-to-index navigation (Section 3.2): fetching primary-index
+//     records for a list of primary keys with the naive sorted algorithm or
+//     the batched point lookup, optionally with stateful B+-tree cursors and
+//     component-ID propagation (pID).
+//   - Query validation for the Validation strategy (Section 4.3, Figure 5):
+//     Direct validation (fetch + re-check) and Timestamp validation (probe
+//     the primary key index).
+//   - Primary-index scans with range-filter pruning (Sections 3, 5), whose
+//     candidate-component rules differ per maintenance strategy.
+package query
+
+import (
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/kv"
+	"repro/internal/lsm"
+	"repro/internal/metrics"
+)
+
+// LookupConfig selects the point-lookup optimizations of Section 3.2.
+// The blocked-Bloom-filter optimization (bBF) is a property of how the
+// dataset's components were built (core.Config.BlockedBloom); the remaining
+// optimizations are per-query.
+type LookupConfig struct {
+	// Batched enables the batched point lookup: sorted keys are divided
+	// into batches and, per batch, the LSM components are accessed one by
+	// one from newest to oldest, so each component's pages are read in
+	// monotone order.
+	Batched bool
+	// BatchMemory bounds the memory holding one batch's fetched records
+	// (16 MB in the paper's default configuration).
+	BatchMemory int
+	// EstRecordSize estimates fetched-record size for batch sizing
+	// (tweets are ~500 bytes).
+	EstRecordSize int
+	// Stateful uses stateful B+-tree lookup cursors with exponential
+	// search instead of a root-to-leaf descent per key.
+	Stateful bool
+	// PropagateIDs prunes primary components that are strictly older than
+	// the secondary component a key was found in (Jia's pID optimization).
+	PropagateIDs bool
+}
+
+// DefaultLookupConfig returns the paper's fully optimized configuration.
+func DefaultLookupConfig() LookupConfig {
+	return LookupConfig{
+		Batched:       true,
+		BatchMemory:   16 << 20,
+		EstRecordSize: 512,
+		Stateful:      true,
+	}
+}
+
+// Key is one primary key to fetch, tagged with the component ID of the
+// secondary-index component it was found in (for pID pruning).
+type Key struct {
+	PK  []byte
+	Src lsm.ID
+}
+
+// FetchRecords retrieves the newest visible record for each key from the
+// primary index, invoking emit for each record found. Keys need not be
+// sorted; they are sorted here (the classic fetch-list optimization), and
+// with cfg.Batched the batched algorithm of Section 3.2 runs. The order of
+// emitted records follows the algorithm (primary-key order without
+// batching; batch-internal component order with it).
+func FetchRecords(primary *lsm.Tree, keys []Key, cfg LookupConfig, emit func(kv.Entry)) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	env := primary.Env()
+	env.ChargeSort(len(keys))
+	sort.Slice(keys, func(i, j int) bool { return kv.Compare(keys[i].PK, keys[j].PK) < 0 })
+
+	if !cfg.Batched {
+		return fetchNaive(primary, keys, cfg, emit)
+	}
+	return fetchBatched(primary, keys, cfg, emit)
+}
+
+// fetchNaive performs one independent point lookup per sorted key: memory
+// component, then components newest to oldest, each guarded by its Bloom
+// filter. Pages of different components interleave, which is exactly the
+// random-I/O pattern batching avoids.
+func fetchNaive(primary *lsm.Tree, keys []Key, cfg LookupConfig, emit func(kv.Entry)) error {
+	env := primary.Env()
+	comps := primary.Components()
+	mem := primary.Mem()
+	cursors := make([]*lsmLookup, len(comps))
+	for i, c := range comps {
+		cursors[i] = newLSMLookup(c, cfg.Stateful)
+	}
+	for i := range keys {
+		k := keys[i]
+		env.Counters.PointLookups.Add(1)
+		env.ChargeMemtable()
+		if e, ok := mem.Get(k.PK); ok {
+			if !e.Anti {
+				emit(e)
+			}
+			continue
+		}
+		for ci := len(comps) - 1; ci >= 0; ci-- {
+			c := comps[ci]
+			if cfg.PropagateIDs && c.ID.MaxTS < k.Src.MinTS {
+				continue // component too old to hold this version
+			}
+			if !c.MayContain(env, k.PK) {
+				continue
+			}
+			e, ord, found, err := cursors[ci].lookup(k.PK)
+			if err != nil {
+				return err
+			}
+			if !found {
+				continue
+			}
+			if c.Valid.IsSet(ord) {
+				break // deleted via mutable bitmap
+			}
+			if !e.Anti {
+				emit(e)
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// fetchBatched implements the batched point lookup (Section 3.2): sorted
+// keys are split into batches sized by BatchMemory; within a batch the
+// memory component and then each disk component (newest to oldest) are
+// probed for every not-yet-found key, so each component's leaf pages are
+// accessed in monotone order. A batch terminates early once every key is
+// found.
+func fetchBatched(primary *lsm.Tree, keys []Key, cfg LookupConfig, emit func(kv.Entry)) error {
+	env := primary.Env()
+	comps := primary.Components()
+	mem := primary.Mem()
+
+	est := cfg.EstRecordSize
+	if est <= 0 {
+		est = 512
+	}
+	batchKeys := 1
+	if cfg.BatchMemory > 0 {
+		batchKeys = cfg.BatchMemory / est
+	}
+	if batchKeys < 1 {
+		batchKeys = 1
+	}
+
+	found := make([]bool, len(keys))
+	for start := 0; start < len(keys); start += batchKeys {
+		end := start + batchKeys
+		if end > len(keys) {
+			end = len(keys)
+		}
+		batch := keys[start:end]
+		bfound := found[start:end]
+		remaining := len(batch)
+
+		// Memory component first (newest).
+		for i := range batch {
+			env.Counters.PointLookups.Add(1)
+			env.ChargeMemtable()
+			if e, ok := mem.Get(batch[i].PK); ok {
+				bfound[i] = true
+				remaining--
+				if !e.Anti {
+					emit(e)
+				}
+			}
+		}
+		// Disk components newest to oldest; a fresh stateful cursor per
+		// component per batch keeps page access monotone.
+		for ci := len(comps) - 1; ci >= 0 && remaining > 0; ci-- {
+			c := comps[ci]
+			cur := newLSMLookup(c, cfg.Stateful)
+			for i := range batch {
+				if bfound[i] {
+					continue
+				}
+				if cfg.PropagateIDs && c.ID.MaxTS < batch[i].Src.MinTS {
+					continue
+				}
+				if !c.MayContain(env, batch[i].PK) {
+					continue
+				}
+				e, ord, ok, err := cur.lookup(batch[i].PK)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				bfound[i] = true
+				remaining--
+				if c.Valid.IsSet(ord) {
+					continue // deleted via mutable bitmap
+				}
+				if !e.Anti {
+					emit(e)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// lsmLookup wraps a component's B+-tree point lookups, optionally stateful.
+type lsmLookup struct {
+	cur *btree.LookupCursor
+}
+
+func newLSMLookup(c *lsm.Component, stateful bool) *lsmLookup {
+	return &lsmLookup{cur: c.BTree.NewLookupCursor(stateful)}
+}
+
+func (l *lsmLookup) lookup(pk []byte) (kv.Entry, int64, bool, error) {
+	return l.cur.Lookup(pk)
+}
+
+// SortRecordsByPK sorts fetched records back into primary-key order
+// (Figure 12d's "batching plus sorting" plan) and charges the sort.
+func SortRecordsByPK(env *metrics.Env, records []kv.Entry) {
+	env.ChargeSort(len(records))
+	sort.Slice(records, func(i, j int) bool {
+		return kv.Compare(records[i].Key, records[j].Key) < 0
+	})
+}

@@ -1,0 +1,191 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kv"
+)
+
+func TestFetchRecordsEmpty(t *testing.T) {
+	d := newDataset(t, core.Eager, nil)
+	err := FetchRecords(d.Primary(), nil, DefaultLookupConfig(), func(kv.Entry) {
+		t.Fatal("emit on empty key list")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFetchRecordsSingleKeyBatches(t *testing.T) {
+	d := newDataset(t, core.Eager, nil)
+	for i := uint64(0); i < 500; i++ {
+		d.Upsert(kv.EncodeUint64(i), mkRecord(uint32(i%10), 1, 40))
+	}
+	d.FlushAll()
+	// BatchMemory below one record forces single-key batches; answers
+	// must still be complete.
+	cfg := LookupConfig{Batched: true, BatchMemory: 1, EstRecordSize: 512, Stateful: true}
+	var keys []Key
+	for i := uint64(0); i < 500; i += 7 {
+		keys = append(keys, Key{PK: kv.EncodeUint64(i)})
+	}
+	got := 0
+	if err := FetchRecords(d.Primary(), keys, cfg, func(kv.Entry) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	if got != len(keys) {
+		t.Fatalf("fetched %d of %d", got, len(keys))
+	}
+}
+
+func TestFetchRecordsMissingKeysSilent(t *testing.T) {
+	d := newDataset(t, core.Eager, nil)
+	for i := uint64(0); i < 100; i++ {
+		d.Upsert(kv.EncodeUint64(i), mkRecord(1, 1, 10))
+	}
+	d.FlushAll()
+	keys := []Key{
+		{PK: kv.EncodeUint64(5)},
+		{PK: kv.EncodeUint64(100000)}, // absent
+		{PK: kv.EncodeUint64(7)},
+	}
+	for _, batched := range []bool{false, true} {
+		got := 0
+		cfg := LookupConfig{Batched: batched, BatchMemory: 1 << 20, EstRecordSize: 64}
+		if err := FetchRecords(d.Primary(), keys, cfg, func(kv.Entry) { got++ }); err != nil {
+			t.Fatal(err)
+		}
+		if got != 2 {
+			t.Fatalf("batched=%v: fetched %d, want 2", batched, got)
+		}
+	}
+}
+
+// TestPIDPruningSafeUnderUpdates guards the pruning direction: propagating
+// component IDs may skip components strictly OLDER than the source entry,
+// but never newer ones — a key updated without a secondary-key change has
+// its newest version in a newer component than the surviving secondary
+// entry, and pruning must not miss it.
+func TestPIDPruningSafeUnderUpdates(t *testing.T) {
+	d := newDataset(t, core.Eager, nil)
+	// Insert with user 5, then upsert the SAME user but a new creation
+	// time: Eager skips secondary maintenance (key unchanged), so the
+	// secondary entry stays in the old component while the record moves
+	// to a newer one.
+	pk := kv.EncodeUint64(77)
+	if _, err := d.Insert(pk, mkRecord(5, 100, 40)); err != nil {
+		t.Fatal(err)
+	}
+	d.FlushAll()
+	if err := d.Upsert(pk, mkRecord(5, 999, 40)); err != nil {
+		t.Fatal(err)
+	}
+	d.FlushAll()
+
+	si := d.Secondary("user")
+	res, err := SecondaryRange(d, si, userKey(5), userKey(5), SecondaryQueryOptions{
+		Validation: NoValidation,
+		Lookup:     LookupConfig{Batched: true, BatchMemory: 1 << 20, EstRecordSize: 64, PropagateIDs: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 1 {
+		t.Fatalf("got %d records", len(res.Records))
+	}
+	if cr, _ := recCreation(res.Records[0].Value); cr != 999 {
+		t.Fatalf("pID pruning returned the stale version (creation %d)", cr)
+	}
+}
+
+func TestSortRecordsByPK(t *testing.T) {
+	d := newDataset(t, core.Eager, nil)
+	records := []kv.Entry{
+		{Key: kv.EncodeUint64(3)},
+		{Key: kv.EncodeUint64(1)},
+		{Key: kv.EncodeUint64(2)},
+	}
+	SortRecordsByPK(d.Env(), records)
+	for i, want := range []uint64{1, 2, 3} {
+		if kv.DecodeUint64(records[i].Key) != want {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+}
+
+func TestSecondaryRangeOnEmptyDataset(t *testing.T) {
+	d := newDataset(t, core.Validation, nil)
+	si := d.Secondary("user")
+	for _, m := range []ValidationMethod{NoValidation, Direct, Timestamp} {
+		res, err := SecondaryRange(d, si, userKey(0), userKey(10), SecondaryQueryOptions{
+			Validation: m, Lookup: DefaultLookupConfig(),
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(res.Records)+len(res.Keys) != 0 {
+			t.Fatalf("%v: non-empty result on empty dataset", m)
+		}
+	}
+}
+
+func TestFilterScanEmptyAndDisjoint(t *testing.T) {
+	for _, strategy := range []core.Strategy{core.Eager, core.Validation, core.MutableBitmap} {
+		d := newDataset(t, strategy, nil)
+		// empty dataset
+		if err := FilterScan(d, 0, 100, func(kv.Entry) { t.Fatal("emit on empty") }); err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 200; i++ {
+			d.Upsert(kv.EncodeUint64(i), mkRecord(1, int64(1000+i), 20))
+		}
+		d.FlushAll()
+		// disjoint window: filters prune everything
+		count := 0
+		if err := FilterScan(d, 5000, 6000, func(kv.Entry) { count++ }); err != nil {
+			t.Fatal(err)
+		}
+		if count != 0 {
+			t.Fatalf("%v: disjoint scan returned %d", strategy, count)
+		}
+	}
+}
+
+// TestValidationQueryNeverMissesNewUpdates is the Section 4.2 correctness
+// rule under randomized flush timing: a filter scan right after updates of
+// OLD records must reflect them even though the memory filter was only
+// maintained with new values.
+func TestValidationQueryNeverMissesNewUpdates(t *testing.T) {
+	d := newDataset(t, core.Validation, nil)
+	rng := rand.New(rand.NewSource(6))
+	type row struct{ creation int64 }
+	model := map[uint64]row{}
+	for i := 0; i < 3000; i++ {
+		pk := uint64(rng.Intn(400))
+		cr := int64(1000 + i)
+		d.Upsert(kv.EncodeUint64(pk), mkRecord(uint32(pk%10), cr, 30))
+		model[pk] = row{cr}
+		if i%500 == 499 {
+			d.FlushAll()
+		}
+		if i%300 == 0 {
+			lo := int64(1000 + rng.Intn(i+1))
+			hi := lo + int64(rng.Intn(500))
+			want := 0
+			for _, r := range model {
+				if r.creation >= lo && r.creation <= hi {
+					want++
+				}
+			}
+			got := 0
+			if err := FilterScan(d, lo, hi, func(kv.Entry) { got++ }); err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("op %d window [%d,%d]: got %d want %d", i, lo, hi, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package query
+
+import (
+	"repro/internal/core"
+	"repro/internal/kv"
+	"repro/internal/lsm"
+	"repro/internal/memtable"
+)
+
+// FilterScan scans the primary index for records whose filter key lies in
+// [lo, hi], using the component-level range filters for pruning. The set of
+// components that must be read depends on the maintenance strategy
+// (Sections 3.1, 4.2, 5; evaluated in Figure 19):
+//
+//   - Eager: filters are widened with old records on every update, so only
+//     components whose filter overlaps the predicate are scanned,
+//     reconciled together.
+//   - Validation: filters only reflect new records; a query touching an
+//     older component must also read every newer component (and memory) so
+//     no overriding update is missed.
+//   - Mutable-bitmap: deletes are reflected in-place through bitmaps, so
+//     only overlapping components are read — and they can be scanned one by
+//     one without reconciliation.
+//
+// emit is called once per matching record.
+func FilterScan(ds *core.Dataset, lo, hi int64, emit func(kv.Entry)) error {
+	extract := ds.Config().FilterExtract
+	primary := ds.Primary()
+	comps := primary.Components()
+	mem := primary.Mem()
+
+	check := func(e kv.Entry) {
+		if extract != nil {
+			if v, ok := extract(e.Value); !ok || v < lo || v > hi {
+				return
+			}
+		}
+		emit(e)
+	}
+
+	memOverlaps := true
+	if fmin, fmax, ok := mem.Filter(); ok {
+		memOverlaps = !(fmax < lo || fmin > hi)
+	} else if mem.Len() == 0 {
+		memOverlaps = false
+	}
+
+	switch ds.Config().Strategy {
+	case core.MutableBitmap:
+		// Scan each overlapping component independently; bitmaps already
+		// reflect deletes, so no cross-component reconciliation is needed.
+		for _, c := range comps {
+			if c.FilterDisjoint(lo, hi) {
+				continue
+			}
+			scan, err := c.BTree.NewScan(nil, nil)
+			if err != nil {
+				return err
+			}
+			for {
+				e, ord, ok, err := scan.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				if e.Anti || c.Valid.IsSet(ord) || c.Obsolete.IsSet(ord) {
+					continue
+				}
+				check(e)
+			}
+		}
+		if memOverlaps {
+			it := mem.NewIterator(nil, nil)
+			for {
+				e, ok := it.Next()
+				if !ok {
+					break
+				}
+				if !e.Anti {
+					check(e)
+				}
+			}
+		}
+		return nil
+
+	case core.Validation, core.DeletedKey:
+		// Correctness rule of Section 4.2: accessing an older component
+		// requires accessing all newer components too, because their
+		// filters were not widened by updates.
+		firstIdx := -1
+		for i, c := range comps {
+			if !c.FilterDisjoint(lo, hi) {
+				firstIdx = i
+				break
+			}
+		}
+		if firstIdx < 0 {
+			if !memOverlaps {
+				return nil
+			}
+			return reconciledScan(primary, nil, mem, check)
+		}
+		return reconciledScan(primary, comps[firstIdx:], mem, check)
+
+	default: // Eager
+		var cands []*lsm.Component
+		for _, c := range comps {
+			if !c.FilterDisjoint(lo, hi) {
+				cands = append(cands, c)
+			}
+		}
+		if len(cands) == 0 && !memOverlaps {
+			return nil
+		}
+		memArg := mem
+		if !memOverlaps {
+			memArg = nil
+		}
+		return reconciledScan(primary, cands, memArg, check)
+	}
+}
+
+// reconciledScan runs a full reconciled scan over the given components and
+// (optionally) the memory component, hiding anti-matter.
+func reconciledScan(primary *lsm.Tree, comps []*lsm.Component, mem *memtable.Table, emit func(kv.Entry)) error {
+	it, err := primary.NewMergedIterator(lsm.IterOptions{
+		Components:    comps,
+		Mem:           mem,
+		HideAnti:      true,
+		SkipInvisible: true,
+	})
+	if err != nil {
+		return err
+	}
+	for {
+		item, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		emit(item.Entry)
+	}
+}

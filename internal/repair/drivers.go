@@ -1,0 +1,222 @@
+package repair
+
+import (
+	"sort"
+
+	"repro/internal/bitmap"
+	"repro/internal/kv"
+	"repro/internal/lsm"
+)
+
+// MergeRepair merges the secondary-index component range [lo, hi) while
+// repairing the result (Fig 7): entries stream into the new component, their
+// (pkey, ts, position) tuples are sorted and validated against the primary
+// key index, and invalid positions are recorded in the new component's
+// immutable bitmap. The merged component's repairedTS advances to the
+// maximum timestamp of the unpruned primary-key-index components.
+func MergeRepair(sec, pkIndex *lsm.Tree, lo, hi int, opts Options) error {
+	comps := sec.Components()
+	if lo < 0 || hi > len(comps) || lo >= hi {
+		return lsm.ErrBadMergeRange
+	}
+	// The merged component's starting watermark is the weakest (minimum)
+	// of the inputs': entries from any input may be stale past it.
+	repairedTS := comps[lo].RepairedTS
+	for _, c := range comps[lo:hi] {
+		if c.RepairedTS < repairedTS {
+			repairedTS = c.RepairedTS
+		}
+	}
+	v := newValidator(pkIndex, repairedTS)
+	env := pkIndex.Env()
+
+	var tuples []tuple
+	var skipped int64
+	res, err := sec.Merge(lsm.MergeSpec{
+		Lo: lo, Hi: hi,
+		DropAnti:      lo == 0,
+		SkipInvisible: true,
+		OnEntry: func(e kv.Entry, ordinal int64) {
+			if e.Anti {
+				return
+			}
+			_, pk, err := kv.SplitKey(e.Key)
+			if err != nil {
+				return
+			}
+			if opts.UseBloom && !v.mayContainAny(pk) {
+				// Bloom optimization (Section 4.4): the key was never
+				// updated after this component's watermark; exclude it
+				// from sorting and validation entirely.
+				skipped++
+				return
+			}
+			tuples = append(tuples, tuple{pk: append([]byte(nil), pk...), ts: e.TS, pos: ordinal})
+		},
+	})
+	if err != nil {
+		return err
+	}
+	env.ChargeSort(len(tuples))
+	sort.Slice(tuples, func(i, j int) bool { return kv.Compare(tuples[i].pk, tuples[j].pk) < 0 })
+
+	bm := bitmap.NewImmutable(res.Component.NumEntries())
+	if err := v.validate(tuples, bm); err != nil {
+		return err
+	}
+	res.Component.Obsolete = bm
+	res.Component.RepairedTS = v.newRepairedTS
+	return sec.Install(res)
+}
+
+// StandaloneRepair validates one secondary-index component in place,
+// producing only a fresh immutable bitmap (Section 4.4): no merge output is
+// written. Scheduled independently of merges (e.g. during off-peak hours).
+func StandaloneRepair(sec, pkIndex *lsm.Tree, comp *lsm.Component, opts Options) error {
+	v := newValidator(pkIndex, comp.RepairedTS)
+	env := pkIndex.Env()
+
+	scan, err := comp.BTree.NewScan(nil, nil)
+	if err != nil {
+		return err
+	}
+	var tuples []tuple
+	for {
+		e, ordinal, ok, err := scan.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if e.Anti || comp.Obsolete.IsSet(ordinal) {
+			continue
+		}
+		_, pk, err := kv.SplitKey(e.Key)
+		if err != nil {
+			continue
+		}
+		if opts.UseBloom && !v.mayContainAny(pk) {
+			continue
+		}
+		tuples = append(tuples, tuple{pk: append([]byte(nil), pk...), ts: e.TS, pos: ordinal})
+	}
+	env.ChargeSort(len(tuples))
+	sort.Slice(tuples, func(i, j int) bool { return kv.Compare(tuples[i].pk, tuples[j].pk) < 0 })
+
+	bm := bitmap.NewImmutable(comp.NumEntries())
+	// Carry forward existing marks so earlier repairs are not forgotten.
+	if comp.Obsolete != nil {
+		for i := int64(0); i < comp.Obsolete.Len(); i++ {
+			if comp.Obsolete.IsSet(i) {
+				bm.Set(i)
+			}
+		}
+	}
+	if err := v.validate(tuples, bm); err != nil {
+		return err
+	}
+	sec.SetObsolete(comp, bm, v.newRepairedTS)
+	return nil
+}
+
+// RepairAll standalone-repairs every disk component of a secondary index.
+func RepairAll(sec, pkIndex *lsm.Tree, opts Options) error {
+	for _, comp := range sec.Components() {
+		if err := StandaloneRepair(sec, pkIndex, comp, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SecondaryTarget names one secondary index for primary repair, together
+// with the key extractor needed to synthesize anti-matter from old records.
+type SecondaryTarget struct {
+	Tree *lsm.Tree
+	// Extract returns the secondary key of a record.
+	Extract func(record []byte) ([]byte, bool)
+	// PutAnti inserts a cleanup anti-matter entry (routed through the
+	// dataset so memory accounting stays correct).
+	PutAnti func(sk, pk []byte, ts int64)
+}
+
+// PrimaryRepair is the DELI baseline (Section 6.5, "primary repair"): scan
+// the primary index's disk components; whenever multiple records share a
+// primary key, produce anti-matter entries for the obsolete versions to
+// clean up every secondary index. With withMerge set, the scanned
+// components are also merged into one as a by-product; otherwise they are
+// left as-is and only the anti-matter is produced.
+//
+// Unlike secondary repair, this reads full records (the paper's point: the
+// I/O volume scales with record size, Figure 21).
+func PrimaryRepair(primary *lsm.Tree, targets []SecondaryTarget, withMerge bool, repairTS int64) error {
+	comps := primary.Components()
+	if len(comps) == 0 {
+		return nil
+	}
+	// Iterate all versions (no reconciliation) so older duplicates are
+	// observed next to the newest version of each key.
+	it, err := primary.NewMergedIterator(lsm.IterOptions{
+		Components:    comps,
+		NoReconcile:   true,
+		SkipInvisible: true,
+	})
+	if err != nil {
+		return err
+	}
+	var (
+		curKey  []byte
+		newest  kv.Entry
+		haveCur bool
+	)
+	emitObsolete := func(old kv.Entry) {
+		if old.Anti {
+			return
+		}
+		// The newest version may have a different secondary key (or be a
+		// delete); clean up the old version's secondary entries.
+		for _, tgt := range targets {
+			oldSK, ok := tgt.Extract(old.Value)
+			if !ok {
+				continue
+			}
+			if !newest.Anti {
+				if newSK, ok2 := tgt.Extract(newest.Value); ok2 && kv.Compare(oldSK, newSK) == 0 {
+					continue
+				}
+			}
+			tgt.PutAnti(oldSK, old.Key, repairTS)
+		}
+	}
+	for {
+		item, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		e := item.Entry
+		if !haveCur || kv.Compare(e.Key, curKey) != 0 {
+			curKey = append(curKey[:0], e.Key...)
+			newest = e
+			haveCur = true
+			continue
+		}
+		// Same key, older version (NoReconcile emits newest first).
+		emitObsolete(e)
+	}
+	if withMerge {
+		res, err := primary.Merge(lsm.MergeSpec{
+			Lo: 0, Hi: len(comps),
+			DropAnti:      true,
+			SkipInvisible: true,
+		})
+		if err != nil {
+			return err
+		}
+		return primary.Install(res)
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package repair_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kv"
+	"repro/internal/lsm"
+	"repro/internal/metrics"
+	"repro/internal/repair"
+	"repro/internal/storage"
+)
+
+func mkRecord(userID uint32, pad int) []byte {
+	rec := make([]byte, 0, 12+pad)
+	rec = kv.AppendUint64(rec, 0)
+	rec = append(rec, byte(userID>>24), byte(userID>>16), byte(userID>>8), byte(userID))
+	rec = append(rec, make([]byte, pad)...)
+	return rec
+}
+
+func recUserID(rec []byte) ([]byte, bool) {
+	if len(rec) < 12 {
+		return nil, false
+	}
+	return rec[8:12], true
+}
+
+func newDataset(t testing.TB, mutate func(*core.Config)) *core.Dataset {
+	t.Helper()
+	env := metrics.NopEnv()
+	disk := storage.NewDisk(storage.ScaledHDD(4096), env)
+	store := storage.NewStore(disk, 1<<30, env)
+	cfg := core.Config{
+		Store:        store,
+		Strategy:     core.Validation,
+		Secondaries:  []core.SecondarySpec{{Name: "user", Extract: recUserID}},
+		MemoryBudget: 32 << 10,
+		UsePKIndex:   true,
+		BloomFPR:     0.01,
+		Seed:         17,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// obsoleteCount counts secondary entries that point at stale versions,
+// ground-truthed against the model.
+func visibleSecondaryEntries(t *testing.T, si *core.SecondaryIndex) []string {
+	t.Helper()
+	it, err := si.Tree.NewMergedIterator(lsm.IterOptions{
+		Components:    si.Tree.Components(),
+		Mem:           si.Tree.Mem(),
+		HideAnti:      true,
+		SkipInvisible: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for {
+		item, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		sk, pk, _ := kv.SplitKey(item.Entry.Key)
+		out = append(out, fmt.Sprintf("%x/%d", sk, kv.DecodeUint64(pk)))
+	}
+}
+
+func expectedEntries(model map[uint64]uint32) []string {
+	var out []string
+	for pk, u := range model {
+		out = append(out, fmt.Sprintf("%x/%d", []byte{byte(u >> 24), byte(u >> 16), byte(u >> 8), byte(u)}, pk))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func driveUpdates(t *testing.T, d *core.Dataset, seed int64, nOps, keySpace int) map[uint64]uint32 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	model := make(map[uint64]uint32)
+	for i := 0; i < nOps; i++ {
+		pk := uint64(rng.Intn(keySpace))
+		u := uint32(rng.Intn(64))
+		if rng.Intn(8) == 0 {
+			d.Delete(kv.EncodeUint64(pk))
+			delete(model, pk)
+			continue
+		}
+		if err := d.Upsert(kv.EncodeUint64(pk), mkRecord(u, 30)); err != nil {
+			t.Fatal(err)
+		}
+		model[pk] = u
+	}
+	return model
+}
+
+// TestStandaloneRepairCleansObsolete: after repairing every component, the
+// visible secondary entries equal exactly the model's live rows.
+func TestStandaloneRepairCleansObsolete(t *testing.T) {
+	for _, useBloom := range []bool{false, true} {
+		t.Run(fmt.Sprintf("bloom=%v", useBloom), func(t *testing.T) {
+			d := newDataset(t, nil)
+			model := driveUpdates(t, d, 31, 4000, 500)
+			si := d.Secondary("user")
+
+			before := visibleSecondaryEntries(t, si)
+			if len(before) <= len(model) {
+				t.Fatalf("setup: expected obsolete entries, visible=%d model=%d", len(before), len(model))
+			}
+			if err := repair.RepairAll(si.Tree, d.PKIndex(), repair.Options{UseBloom: useBloom}); err != nil {
+				t.Fatal(err)
+			}
+			after := visibleSecondaryEntries(t, si)
+			sort.Strings(after)
+			want := expectedEntries(model)
+			if fmt.Sprint(after) != fmt.Sprint(want) {
+				t.Fatalf("after repair: %d entries, want %d", len(after), len(want))
+			}
+		})
+	}
+}
+
+// TestRepairedTSAdvancesAndPrunes: a second repair right after the first
+// must prune every pk-index component and do almost no validation work.
+func TestRepairedTSAdvances(t *testing.T) {
+	d := newDataset(t, nil)
+	driveUpdates(t, d, 32, 3000, 400)
+	si := d.Secondary("user")
+	if err := repair.RepairAll(si.Tree, d.PKIndex(), repair.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	maxPK := int64(0)
+	for _, c := range d.PKIndex().Components() {
+		if c.ID.MaxTS > maxPK {
+			maxPK = c.ID.MaxTS
+		}
+	}
+	for i, c := range si.Tree.Components() {
+		if c.RepairedTS < maxPK {
+			t.Errorf("component %d repairedTS=%d < pk max %d", i, c.RepairedTS, maxPK)
+		}
+	}
+	// Second repair: all disk components pruned -> few point lookups.
+	env := d.Env()
+	env.Counters.Reset()
+	if err := repair.RepairAll(si.Tree, d.PKIndex(), repair.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if lookups := env.Counters.PointLookups.Load(); lookups > int64(d.PKIndex().Mem().Len())*4 {
+		t.Errorf("second repair did %d lookups; pruning should leave only memory checks", lookups)
+	}
+}
+
+// TestMergeRepairEquivalentToStandalone: merge repair and standalone repair
+// must converge to the same visible entries.
+func TestMergeRepairCleansObsolete(t *testing.T) {
+	d := newDataset(t, nil)
+	model := driveUpdates(t, d, 33, 4000, 500)
+	si := d.Secondary("user")
+	n := si.Tree.NumDiskComponents()
+	if n < 2 {
+		t.Skip("need >=2 components")
+	}
+	if err := repair.MergeRepair(si.Tree, d.PKIndex(), 0, n, repair.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if si.Tree.NumDiskComponents() != 1 {
+		t.Fatalf("components after merge repair = %d", si.Tree.NumDiskComponents())
+	}
+	after := visibleSecondaryEntries(t, si)
+	sort.Strings(after)
+	want := expectedEntries(model)
+	if fmt.Sprint(after) != fmt.Sprint(want) {
+		t.Fatalf("after merge repair: %d entries, want %d", len(after), len(want))
+	}
+	// The new component's bitmap marks obsolete entries; a further merge
+	// physically removes them.
+	comp := si.Tree.Components()[0]
+	if comp.Obsolete == nil {
+		t.Fatal("merge repair must attach a bitmap")
+	}
+}
+
+// TestPrimaryRepairCleansObsolete: the DELI baseline produces anti-matter
+// that hides obsolete entries.
+func TestPrimaryRepairCleansObsolete(t *testing.T) {
+	for _, withMerge := range []bool{false, true} {
+		t.Run(fmt.Sprintf("merge=%v", withMerge), func(t *testing.T) {
+			d := newDataset(t, nil)
+			model := driveUpdates(t, d, 34, 4000, 500)
+			// Primary repair scans disk components only (DELI repairs
+			// during merges); flush so every version is on disk, as in
+			// the paper's stop-ingestion-then-repair protocol.
+			if err := d.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+			si := d.Secondary("user")
+			targets := []repair.SecondaryTarget{{
+				Tree:    si.Tree,
+				Extract: recUserID,
+				PutAnti: func(sk, pk []byte, ts int64) {
+					si.Tree.Put(kv.Entry{Key: kv.ComposeKey(sk, pk), TS: ts, Anti: true})
+				},
+			}}
+			if err := repair.PrimaryRepair(d.Primary(), targets, withMerge, d.NextTS()); err != nil {
+				t.Fatal(err)
+			}
+			after := visibleSecondaryEntries(t, si)
+			sort.Strings(after)
+			want := expectedEntries(model)
+			if fmt.Sprint(after) != fmt.Sprint(want) {
+				t.Fatalf("after primary repair: %d entries, want %d\nafter=%v\nwant=%v",
+					len(after), len(want), after, want)
+			}
+			if withMerge && d.Primary().NumDiskComponents() != 1 {
+				t.Errorf("primary components = %d, want 1 after merge", d.Primary().NumDiskComponents())
+			}
+		})
+	}
+}
+
+// TestSecondaryRepairCheaperThanPrimary reproduces the paper's core claim
+// (Figure 20): secondary repair reads only the primary key index, so its
+// I/O is far below primary repair, which reads full records.
+func TestSecondaryRepairCheaperThanPrimary(t *testing.T) {
+	setup := func() (*core.Dataset, *metrics.Env) {
+		env := metrics.NopEnv()
+		disk := storage.NewDisk(storage.ScaledHDD(4096), env)
+		store := storage.NewStore(disk, 1<<20, env) // small cache
+		d, err := core.Open(core.Config{
+			Store:        store,
+			Strategy:     core.Validation,
+			Secondaries:  []core.SecondarySpec{{Name: "user", Extract: recUserID}},
+			MemoryBudget: 64 << 10,
+			UsePKIndex:   true,
+			BloomFPR:     0.01,
+			Seed:         17,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(55))
+		for i := 0; i < 8000; i++ {
+			pk := uint64(rng.Intn(2000))
+			d.Upsert(kv.EncodeUint64(pk), mkRecord(uint32(rng.Intn(64)), 200))
+		}
+		return d, env
+	}
+
+	d1, env1 := setup()
+	env1.Counters.Reset()
+	if err := repair.RepairAll(d1.Secondary("user").Tree, d1.PKIndex(), repair.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	secReads := env1.Counters.RandomReads.Load() + env1.Counters.SequentialReads.Load()
+
+	d2, env2 := setup()
+	env2.Counters.Reset()
+	si := d2.Secondary("user")
+	targets := []repair.SecondaryTarget{{
+		Tree:    si.Tree,
+		Extract: recUserID,
+		PutAnti: func(sk, pk []byte, ts int64) {
+			si.Tree.Put(kv.Entry{Key: kv.ComposeKey(sk, pk), TS: ts, Anti: true})
+		},
+	}}
+	if err := repair.PrimaryRepair(d2.Primary(), targets, false, d2.NextTS()); err != nil {
+		t.Fatal(err)
+	}
+	primReads := env2.Counters.RandomReads.Load() + env2.Counters.SequentialReads.Load()
+
+	if secReads >= primReads {
+		t.Errorf("secondary repair reads=%d, primary repair reads=%d; secondary should be cheaper",
+			secReads, primReads)
+	}
+	t.Logf("page reads: secondary repair=%d, primary repair=%d", secReads, primReads)
+}

@@ -1,0 +1,205 @@
+// Package storage implements the simulated disk underneath every LSM
+// component. It stands in for the paper's 7200 rpm SATA hard disks and SSD
+// (Section 6.1): page-granular, append-only component files whose reads are
+// classified as sequential or random and charged to the virtual clock
+// accordingly. LSM writes are always sequential (flush/merge bulk loads).
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// FileID names one component file on the simulated disk.
+type FileID uint64
+
+// Profile is a device cost model.
+type Profile struct {
+	Name string
+	// PageSize is the data page size in bytes (128 KB on the paper's HDD
+	// configuration, 32 KB on its SSD configuration).
+	PageSize int
+	// Seek is the positioning cost paid by a random page access.
+	Seek time.Duration
+	// TransferPerPage is the sequential transfer time for one page.
+	TransferPerPage time.Duration
+	// ReadAheadPages is the device read-ahead window used by scans
+	// (4 MB in the paper): after a seek, this many pages stream at
+	// sequential cost.
+	ReadAheadPages int
+}
+
+// HDD returns the paper's hard-disk profile: 128 KB pages, ~8.5 ms seek,
+// ~100 MB/s transfer, 4 MB read-ahead.
+func HDD() Profile {
+	return Profile{
+		Name:            "hdd",
+		PageSize:        128 << 10,
+		Seek:            8500 * time.Microsecond,
+		TransferPerPage: 1280 * time.Microsecond, // 128 KB at 100 MB/s
+		ReadAheadPages:  32,                      // 4 MB
+	}
+}
+
+// SSD returns the paper's SSD profile: 32 KB pages, ~80 µs access latency,
+// ~500 MB/s transfer.
+func SSD() Profile {
+	return Profile{
+		Name:            "ssd",
+		PageSize:        32 << 10,
+		Seek:            80 * time.Microsecond,
+		TransferPerPage: 64 * time.Microsecond, // 32 KB at 500 MB/s
+		ReadAheadPages:  32,
+	}
+}
+
+// ScaledHDD returns the HDD profile with a smaller page size, for unit tests
+// that want many pages from small datasets.
+func ScaledHDD(pageSize int) Profile {
+	p := HDD()
+	p.PageSize = pageSize
+	p.TransferPerPage = time.Duration(float64(p.TransferPerPage) * float64(pageSize) / float64(128<<10))
+	if p.TransferPerPage <= 0 {
+		p.TransferPerPage = time.Microsecond
+	}
+	return p
+}
+
+// ErrNoSuchFile reports access to a deleted or never-created file.
+var ErrNoSuchFile = errors.New("storage: no such file")
+
+// ErrNoSuchPage reports an out-of-range page read.
+var ErrNoSuchPage = errors.New("storage: no such page")
+
+type file struct {
+	pages [][]byte
+}
+
+// Disk is a simulated page device holding append-only files. All methods are
+// safe for concurrent use.
+//
+// Sequential-versus-random classification uses a single global head position
+// (lastFile, lastPage), modelling one spindle: a read is sequential only when
+// it targets the page immediately after the previous read on the same file.
+// Interleaving reads across files therefore breaks sequentiality, which is
+// exactly the effect the paper's batched point lookup avoids (Section 3.2).
+type Disk struct {
+	profile Profile
+	env     *metrics.Env
+
+	mu       sync.Mutex
+	files    map[FileID]*file
+	nextID   FileID
+	lastFile FileID
+	lastPage int
+
+	bytesWritten int64
+}
+
+// NewDisk creates an empty simulated disk with the given device profile.
+func NewDisk(profile Profile, env *metrics.Env) *Disk {
+	return &Disk{profile: profile, env: env, files: make(map[FileID]*file), nextID: 1, lastPage: -2}
+}
+
+// Profile returns the device profile.
+func (d *Disk) Profile() Profile { return d.profile }
+
+// PageSize returns the device page size in bytes.
+func (d *Disk) PageSize() int { return d.profile.PageSize }
+
+// Create allocates a new empty file and returns its ID.
+func (d *Disk) Create() FileID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.nextID
+	d.nextID++
+	d.files[id] = &file{}
+	return id
+}
+
+// Delete removes a file (component drop after a merge).
+func (d *Disk) Delete(id FileID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.files, id)
+}
+
+// AppendPage appends one page to the file and returns its page number.
+// Writes are sequential by construction (flush and merge bulk loads), so they
+// are charged at transfer cost only.
+func (d *Disk) AppendPage(id FileID, data []byte) (int, error) {
+	if len(data) > d.profile.PageSize {
+		return 0, fmt.Errorf("storage: page overflow: %d > %d", len(data), d.profile.PageSize)
+	}
+	cp := append([]byte(nil), data...)
+	d.mu.Lock()
+	f, ok := d.files[id]
+	if !ok {
+		d.mu.Unlock()
+		return 0, ErrNoSuchFile
+	}
+	f.pages = append(f.pages, cp)
+	n := len(f.pages) - 1
+	d.bytesWritten += int64(len(cp))
+	d.mu.Unlock()
+
+	d.env.Counters.PagesWritten.Add(1)
+	d.env.Clock.Advance(d.profile.TransferPerPage)
+	return n, nil
+}
+
+// ReadPage reads one page. seqHint tells the device the caller is scanning;
+// combined with the position of the previous read on the same file it
+// decides whether to charge a seek. The returned slice must not be modified.
+func (d *Disk) ReadPage(id FileID, page int, seqHint bool) ([]byte, error) {
+	d.mu.Lock()
+	f, ok := d.files[id]
+	if !ok {
+		d.mu.Unlock()
+		return nil, ErrNoSuchFile
+	}
+	if page < 0 || page >= len(f.pages) {
+		d.mu.Unlock()
+		return nil, ErrNoSuchPage
+	}
+	data := f.pages[page]
+	sequential := id == d.lastFile && page == d.lastPage+1
+	_ = seqHint // classification is positional; the hint drives read-ahead upstream
+	d.lastFile, d.lastPage = id, page
+	d.mu.Unlock()
+
+	if sequential {
+		d.env.Counters.SequentialReads.Add(1)
+		d.env.Clock.Advance(d.profile.TransferPerPage)
+	} else {
+		d.env.Counters.RandomReads.Add(1)
+		d.env.Clock.Advance(d.profile.Seek + d.profile.TransferPerPage)
+	}
+	return data, nil
+}
+
+// NumPages returns the current length of the file in pages.
+func (d *Disk) NumPages(id FileID) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[id]
+	if !ok {
+		return 0, ErrNoSuchFile
+	}
+	return len(f.pages), nil
+}
+
+// BytesWritten reports the total bytes ever appended (write amplification
+// accounting).
+func (d *Disk) BytesWritten() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bytesWritten
+}
+
+// Env exposes the metrics environment the disk charges against.
+func (d *Disk) Env() *metrics.Env { return d.env }

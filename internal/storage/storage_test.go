@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func newHDDDisk() (*Disk, *metrics.Env) {
+	env := metrics.NewEnv()
+	return NewDisk(HDD(), env), env
+}
+
+func TestCreateAppendRead(t *testing.T) {
+	d, _ := newHDDDisk()
+	f := d.Create()
+	page := bytes.Repeat([]byte{0xaa}, 1000)
+	n, err := d.AppendPage(f, page)
+	if err != nil || n != 0 {
+		t.Fatalf("AppendPage = %d, %v", n, err)
+	}
+	got, err := d.ReadPage(f, 0, false)
+	if err != nil || !bytes.Equal(got, page) {
+		t.Fatalf("ReadPage mismatch: %v", err)
+	}
+	if _, err := d.ReadPage(f, 1, false); err != ErrNoSuchPage {
+		t.Fatalf("out-of-range read error = %v", err)
+	}
+	if np, _ := d.NumPages(f); np != 1 {
+		t.Fatalf("NumPages = %d", np)
+	}
+}
+
+func TestDeleteFile(t *testing.T) {
+	d, _ := newHDDDisk()
+	f := d.Create()
+	d.AppendPage(f, []byte{1})
+	d.Delete(f)
+	if _, err := d.ReadPage(f, 0, false); err != ErrNoSuchFile {
+		t.Fatalf("read after delete = %v", err)
+	}
+	if _, err := d.AppendPage(f, []byte{1}); err != ErrNoSuchFile {
+		t.Fatalf("append after delete = %v", err)
+	}
+}
+
+func TestPageOverflowRejected(t *testing.T) {
+	d, _ := newHDDDisk()
+	f := d.Create()
+	if _, err := d.AppendPage(f, make([]byte, d.PageSize()+1)); err == nil {
+		t.Fatal("oversized page accepted")
+	}
+}
+
+func TestSequentialVsRandomAccounting(t *testing.T) {
+	d, env := newHDDDisk()
+	f := d.Create()
+	for i := 0; i < 10; i++ {
+		d.AppendPage(f, []byte{byte(i)})
+	}
+	env.Counters.Reset()
+	// First read: random (head parked elsewhere).
+	d.ReadPage(f, 0, true)
+	// Next reads in order: sequential.
+	for i := 1; i < 5; i++ {
+		d.ReadPage(f, i, true)
+	}
+	// Jump: random again.
+	d.ReadPage(f, 9, true)
+	s := env.Counters.Snapshot()
+	if s.RandomReads != 2 || s.SequentialReads != 4 {
+		t.Fatalf("random=%d sequential=%d, want 2/4", s.RandomReads, s.SequentialReads)
+	}
+}
+
+func TestCrossFileInterleavingBreaksSequentiality(t *testing.T) {
+	// The single-head model: alternating between two files makes every
+	// access random even if each file is read in order. This is the
+	// mechanism that makes batched point lookups win (Section 3.2).
+	d, env := newHDDDisk()
+	f1, f2 := d.Create(), d.Create()
+	for i := 0; i < 5; i++ {
+		d.AppendPage(f1, []byte{1})
+		d.AppendPage(f2, []byte{2})
+	}
+	env.Counters.Reset()
+	for i := 0; i < 5; i++ {
+		d.ReadPage(f1, i, true)
+		d.ReadPage(f2, i, true)
+	}
+	s := env.Counters.Snapshot()
+	if s.SequentialReads != 0 || s.RandomReads != 10 {
+		t.Fatalf("random=%d sequential=%d, want 10/0", s.RandomReads, s.SequentialReads)
+	}
+}
+
+func TestClockChargesSeekAndTransfer(t *testing.T) {
+	d, env := newHDDDisk()
+	f := d.Create()
+	d.AppendPage(f, []byte{1})
+	d.AppendPage(f, []byte{2})
+	before := env.Clock.Now()
+	d.ReadPage(f, 0, false) // random: seek + transfer
+	afterRandom := env.Clock.Now()
+	d.ReadPage(f, 1, false) // adjacent: transfer only
+	afterSeq := env.Clock.Now()
+
+	p := d.Profile()
+	if afterRandom-before != p.Seek+p.TransferPerPage {
+		t.Errorf("random read charged %v, want %v", afterRandom-before, p.Seek+p.TransferPerPage)
+	}
+	if afterSeq-afterRandom != p.TransferPerPage {
+		t.Errorf("sequential read charged %v, want %v", afterSeq-afterRandom, p.TransferPerPage)
+	}
+}
+
+func TestWritesChargedSequentially(t *testing.T) {
+	d, env := newHDDDisk()
+	f := d.Create()
+	before := env.Clock.Now()
+	d.AppendPage(f, make([]byte, 100))
+	if got := env.Clock.Now() - before; got != d.Profile().TransferPerPage {
+		t.Errorf("write charged %v, want transfer %v", got, d.Profile().TransferPerPage)
+	}
+	if d.BytesWritten() != 100 {
+		t.Errorf("BytesWritten = %d", d.BytesWritten())
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	h, s := HDD(), SSD()
+	if h.PageSize != 128<<10 || s.PageSize != 32<<10 {
+		t.Error("profile page sizes diverge from the paper's setup")
+	}
+	if h.Seek <= s.Seek {
+		t.Error("HDD seek must dwarf SSD access latency")
+	}
+	sc := ScaledHDD(4096)
+	if sc.PageSize != 4096 || sc.TransferPerPage <= 0 || sc.TransferPerPage >= h.TransferPerPage {
+		t.Errorf("ScaledHDD transfer = %v", sc.TransferPerPage)
+	}
+}
+
+func TestStoreCachingAndReadAhead(t *testing.T) {
+	env := metrics.NewEnv()
+	prof := ScaledHDD(512)
+	prof.ReadAheadPages = 4
+	d := NewDisk(prof, env)
+	store := NewStore(d, 1<<20, env)
+	f := store.Create()
+	for i := 0; i < 16; i++ {
+		store.AppendPage(f, []byte{byte(i)})
+	}
+	// Scan access with read-ahead: first miss prefetches the window.
+	env.Counters.Reset()
+	store.ReadPage(f, 0, true)
+	s := env.Counters.Snapshot()
+	if s.RandomReads+s.SequentialReads != 4 {
+		t.Fatalf("read-ahead fetched %d pages, want 4", s.RandomReads+s.SequentialReads)
+	}
+	// The next 3 pages are cache hits.
+	env.Counters.Reset()
+	for i := 1; i < 4; i++ {
+		store.ReadPage(f, i, true)
+	}
+	s = env.Counters.Snapshot()
+	if s.CacheHits != 3 || s.RandomReads+s.SequentialReads != 0 {
+		t.Fatalf("hits=%d diskReads=%d, want 3/0", s.CacheHits, s.RandomReads+s.SequentialReads)
+	}
+	// Point reads (no hint) do not prefetch.
+	env.Counters.Reset()
+	store.ReadPage(f, 10, false)
+	s = env.Counters.Snapshot()
+	if s.RandomReads != 1 || s.CacheMisses != 1 {
+		t.Fatalf("point read: random=%d misses=%d", s.RandomReads, s.CacheMisses)
+	}
+}
+
+func TestStoreDeleteInvalidatesCache(t *testing.T) {
+	env := metrics.NewEnv()
+	d := NewDisk(ScaledHDD(512), env)
+	store := NewStore(d, 1<<20, env)
+	f := store.Create()
+	store.AppendPage(f, []byte{1})
+	store.ReadPage(f, 0, false) // cached
+	store.Delete(f)
+	if _, err := store.ReadPage(f, 0, false); err == nil {
+		t.Fatal("read of deleted file served from cache")
+	}
+}
+
+func TestCacheHitCostCheaperThanDisk(t *testing.T) {
+	env := metrics.NewEnv()
+	d := NewDisk(HDD(), env)
+	store := NewStore(d, 1<<30, env)
+	f := store.Create()
+	store.AppendPage(f, []byte{1})
+	store.ReadPage(f, 0, false)
+	before := env.Clock.Now()
+	store.ReadPage(f, 0, false) // hit
+	hitCost := env.Clock.Now() - before
+	if hitCost <= 0 || hitCost >= time.Millisecond {
+		t.Errorf("cache hit cost = %v, want small positive", hitCost)
+	}
+}

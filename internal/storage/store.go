@@ -1,0 +1,101 @@
+package storage
+
+import (
+	"repro/internal/cache"
+	"repro/internal/metrics"
+)
+
+// PageReader is the read interface consumed by B+-tree readers and scans.
+type PageReader interface {
+	// ReadPage fetches a page; seqHint marks scan accesses.
+	ReadPage(id FileID, page int, seqHint bool) ([]byte, error)
+	// PageSize returns the device page size.
+	PageSize() int
+}
+
+// Store combines the simulated disk with the LRU buffer cache and charges
+// the virtual clock for each access. It is the single storage handle shared
+// by every index of a dataset (as the buffer cache is shared in AsterixDB).
+type Store struct {
+	disk  *Disk
+	cache *cache.LRU
+	env   *metrics.Env
+}
+
+// NewStore wraps disk with a buffer cache of cacheBytes capacity.
+func NewStore(disk *Disk, cacheBytes int64, env *metrics.Env) *Store {
+	pages := int(cacheBytes / int64(disk.PageSize()))
+	return &Store{disk: disk, cache: cache.NewLRU(pages), env: env}
+}
+
+// Disk returns the underlying device (for file create/append/delete).
+func (s *Store) Disk() *Disk { return s.disk }
+
+// Cache returns the buffer cache.
+func (s *Store) Cache() *cache.LRU { return s.cache }
+
+// Env returns the metrics environment.
+func (s *Store) Env() *metrics.Env { return s.env }
+
+// PageSize returns the device page size.
+func (s *Store) PageSize() int { return s.disk.PageSize() }
+
+// ReadPage serves a page from the buffer cache, falling through to the
+// device on a miss and installing the page afterwards.
+//
+// When seqHint is set (scans), a miss triggers device read-ahead: the
+// following ReadAheadPages-1 pages are prefetched into the cache at
+// sequential transfer cost, modelling the paper's 4 MB scan read-ahead.
+func (s *Store) ReadPage(id FileID, page int, seqHint bool) ([]byte, error) {
+	key := cache.PageKey{File: uint64(id), Page: page}
+	if data, ok := s.cache.Get(key); ok {
+		s.env.Counters.CacheHits.Add(1)
+		s.env.Clock.Advance(s.env.CPU.CacheHit)
+		return data, nil
+	}
+	s.env.Counters.CacheMisses.Add(1)
+	data, err := s.disk.ReadPage(id, page, seqHint)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.Put(key, data)
+	if seqHint {
+		if n, err := s.disk.NumPages(id); err == nil {
+			end := page + s.disk.Profile().ReadAheadPages
+			if end > n {
+				end = n
+			}
+			for p := page + 1; p < end; p++ {
+				pk := cache.PageKey{File: uint64(id), Page: p}
+				if _, ok := s.cache.Get(pk); ok {
+					continue
+				}
+				d, err := s.disk.ReadPage(id, p, true)
+				if err != nil {
+					break
+				}
+				s.cache.Put(pk, d)
+			}
+		}
+	}
+	return data, nil
+}
+
+// Create allocates a new component file.
+func (s *Store) Create() FileID { return s.disk.Create() }
+
+// AppendPage appends a page to a component file being bulk-loaded.
+func (s *Store) AppendPage(id FileID, data []byte) (int, error) {
+	return s.disk.AppendPage(id, data)
+}
+
+// Delete drops a component file and invalidates its cached pages.
+func (s *Store) Delete(id FileID) {
+	s.cache.InvalidateFile(uint64(id))
+	s.disk.Delete(id)
+}
+
+// NumPages returns the length of a file in pages.
+func (s *Store) NumPages(id FileID) (int, error) { return s.disk.NumPages(id) }
+
+var _ PageReader = (*Store)(nil)

@@ -1,0 +1,136 @@
+// Package txn provides the record-level concurrency control the paper's
+// ingestion paths assume: writers hold an exclusive lock on a primary key
+// for the duration of a record-level transaction (Section 5.2), component
+// builders take shared locks on scanned keys (Lock method, Fig 10), and the
+// Side-file method briefly takes a dataset-level shared lock to drain
+// in-flight transactions (Fig 11).
+package txn
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// LockMode distinguishes shared from exclusive key locks.
+type LockMode int
+
+// Lock modes.
+const (
+	Shared LockMode = iota
+	Exclusive
+)
+
+type keyLock struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	readers int
+	writer  bool
+	waiters int
+}
+
+// LockManager provides blocking S/X locks on keys.
+type LockManager struct {
+	mu    sync.Mutex
+	locks map[string]*keyLock
+}
+
+// NewLockManager creates an empty lock table.
+func NewLockManager() *LockManager {
+	return &LockManager{locks: make(map[string]*keyLock)}
+}
+
+func (m *LockManager) get(key string) *keyLock {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.locks[key]
+	if !ok {
+		l = &keyLock{}
+		l.cond = sync.NewCond(&l.mu)
+		m.locks[key] = l
+	}
+	l.waiters++
+	return l
+}
+
+func (m *LockManager) put(key string, l *keyLock) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l.waiters--
+	if l.waiters == 0 && l.readers == 0 && !l.writer {
+		delete(m.locks, key)
+	}
+}
+
+// Lock acquires key in the given mode, blocking until compatible.
+func (m *LockManager) Lock(key []byte, mode LockMode) {
+	k := string(key)
+	l := m.get(k)
+	l.mu.Lock()
+	if mode == Exclusive {
+		for l.writer || l.readers > 0 {
+			l.cond.Wait()
+		}
+		l.writer = true
+	} else {
+		for l.writer {
+			l.cond.Wait()
+		}
+		l.readers++
+	}
+	l.mu.Unlock()
+}
+
+// Unlock releases key from the given mode.
+func (m *LockManager) Unlock(key []byte, mode LockMode) {
+	k := string(key)
+	m.mu.Lock()
+	l := m.locks[k]
+	m.mu.Unlock()
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	if mode == Exclusive {
+		l.writer = false
+	} else {
+		l.readers--
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	m.put(k, l)
+}
+
+// WithLock runs fn while holding key in the given mode.
+func (m *LockManager) WithLock(key []byte, mode LockMode, fn func()) {
+	m.Lock(key, mode)
+	defer m.Unlock(key, mode)
+	fn()
+}
+
+// IDs allocates transaction identifiers.
+type IDs struct{ next atomic.Int64 }
+
+// Next returns a fresh transaction ID.
+func (g *IDs) Next() int64 { return g.next.Add(1) }
+
+// DatasetLock is the dataset-level lock of the Side-file protocol: normal
+// writers hold it shared for the duration of each record-level transaction;
+// the component builder takes it exclusively (the paper's "S lock dataset"
+// drains in-flight transactions; exclusivity against writers is what the
+// drain achieves, so we model it directly as a write lock).
+type DatasetLock struct {
+	mu sync.RWMutex
+}
+
+// Enter marks a writer transaction in flight.
+func (d *DatasetLock) Enter() { d.mu.RLock() }
+
+// Exit marks the writer transaction finished.
+func (d *DatasetLock) Exit() { d.mu.RUnlock() }
+
+// Drain blocks until all in-flight writers exit, runs fn, then reopens.
+func (d *DatasetLock) Drain(fn func()) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fn()
+}

@@ -1,0 +1,152 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary record encoding, used to persist the log onto a device and to
+// measure log volume. Layout (all varint/length-prefixed):
+//
+//	totalLen u32 | lsn varint | txn varint | type u8 | flags u8 |
+//	ts varint | indexLen uvarint | index | keyLen uvarint | key |
+//	valLen uvarint | value | prevLen uvarint | prev
+const (
+	flagUpdateBit = 1 << 0
+	flagHadPrev   = 1 << 1
+)
+
+// ErrCorruptRecord reports a malformed binary record.
+var ErrCorruptRecord = errors.New("wal: corrupt record")
+
+// AppendRecord appends the binary encoding of r to dst.
+func AppendRecord(dst []byte, r Record) []byte {
+	body := make([]byte, 0, 64+len(r.Key)+len(r.Value)+len(r.PrevValue))
+	body = binary.AppendVarint(body, r.LSN)
+	body = binary.AppendVarint(body, r.TxnID)
+	body = append(body, byte(r.Type))
+	var flags byte
+	if r.UpdateBit {
+		flags |= flagUpdateBit
+	}
+	if r.HadPrev {
+		flags |= flagHadPrev
+	}
+	body = append(body, flags)
+	body = binary.AppendVarint(body, r.TS)
+	body = binary.AppendUvarint(body, uint64(len(r.Index)))
+	body = append(body, r.Index...)
+	body = binary.AppendUvarint(body, uint64(len(r.Key)))
+	body = append(body, r.Key...)
+	body = binary.AppendUvarint(body, uint64(len(r.Value)))
+	body = append(body, r.Value...)
+	body = binary.AppendUvarint(body, uint64(len(r.PrevValue)))
+	body = append(body, r.PrevValue...)
+
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(body)))
+	return append(dst, body...)
+}
+
+// DecodeRecord decodes one record from buf, returning it and the remaining
+// bytes.
+func DecodeRecord(buf []byte) (Record, []byte, error) {
+	if len(buf) < 4 {
+		return Record{}, nil, ErrCorruptRecord
+	}
+	total := int(binary.BigEndian.Uint32(buf))
+	buf = buf[4:]
+	if len(buf) < total {
+		return Record{}, nil, fmt.Errorf("%w: truncated body", ErrCorruptRecord)
+	}
+	body, rest := buf[:total], buf[total:]
+
+	var r Record
+	var n int
+	r.LSN, n = binary.Varint(body)
+	if n <= 0 {
+		return Record{}, nil, ErrCorruptRecord
+	}
+	body = body[n:]
+	r.TxnID, n = binary.Varint(body)
+	if n <= 0 {
+		return Record{}, nil, ErrCorruptRecord
+	}
+	body = body[n:]
+	if len(body) < 2 {
+		return Record{}, nil, ErrCorruptRecord
+	}
+	r.Type = RecordType(body[0])
+	flags := body[1]
+	r.UpdateBit = flags&flagUpdateBit != 0
+	r.HadPrev = flags&flagHadPrev != 0
+	body = body[2:]
+	r.TS, n = binary.Varint(body)
+	if n <= 0 {
+		return Record{}, nil, ErrCorruptRecord
+	}
+	body = body[n:]
+
+	readBytes := func() ([]byte, error) {
+		l, n := binary.Uvarint(body)
+		if n <= 0 || uint64(len(body)-n) < l {
+			return nil, ErrCorruptRecord
+		}
+		out := body[n : n+int(l)]
+		body = body[n+int(l):]
+		return out, nil
+	}
+	idx, err := readBytes()
+	if err != nil {
+		return Record{}, nil, err
+	}
+	r.Index = string(idx)
+	if r.Key, err = readBytes(); err != nil {
+		return Record{}, nil, err
+	}
+	if r.Value, err = readBytes(); err != nil {
+		return Record{}, nil, err
+	}
+	if r.PrevValue, err = readBytes(); err != nil {
+		return Record{}, nil, err
+	}
+	if len(r.Key) == 0 {
+		r.Key = nil
+	}
+	if len(r.Value) == 0 {
+		r.Value = nil
+	}
+	if len(r.PrevValue) == 0 {
+		r.PrevValue = nil
+	}
+	return r, rest, nil
+}
+
+// Marshal serializes the whole log.
+func (l *Log) Marshal() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []byte
+	for _, r := range l.records {
+		out = AppendRecord(out, r)
+	}
+	return out
+}
+
+// Unmarshal reconstructs a log from Marshal output. The reconstructed log
+// has no metrics environment attached; appends to it are not charged.
+func Unmarshal(data []byte) (*Log, error) {
+	l := &Log{nextLSN: 1}
+	for len(data) > 0 {
+		r, rest, err := DecodeRecord(data)
+		if err != nil {
+			return nil, err
+		}
+		l.records = append(l.records, r)
+		if r.LSN >= l.nextLSN {
+			l.nextLSN = r.LSN + 1
+		}
+		data = rest
+	}
+	return l, nil
+}

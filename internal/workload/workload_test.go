@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTweetEncodeExtract(t *testing.T) {
+	tw := Tweet{ID: 42, UserID: 77, Creation: 12345, Message: []byte("hello world")}
+	rec := tw.Encode()
+	u, ok := UserIDOf(rec)
+	if !ok || len(u) != 4 {
+		t.Fatal("UserIDOf failed")
+	}
+	if string(u) != string(UserKey(77)) {
+		t.Fatalf("user key mismatch: %x", u)
+	}
+	c, ok := CreationOf(rec)
+	if !ok || c != 12345 {
+		t.Fatalf("CreationOf = %d, %v", c, ok)
+	}
+	if len(tw.PK()) != 8 {
+		t.Fatal("PK length")
+	}
+	if _, ok := UserIDOf([]byte("short")); ok {
+		t.Fatal("short record accepted")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1 := NewGenerator(DefaultConfig(5))
+	g2 := NewGenerator(DefaultConfig(5))
+	for i := 0; i < 1000; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a.Tweet.ID != b.Tweet.ID || a.Tweet.UserID != b.Tweet.UserID {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+}
+
+func TestGeneratorBasicProperties(t *testing.T) {
+	cfg := DefaultConfig(1)
+	g := NewGenerator(cfg)
+	seen := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		tw := op.Tweet
+		if tw.ID == 0 {
+			t.Fatal("zero primary key")
+		}
+		if tw.UserID >= cfg.UserIDRange {
+			t.Fatalf("user id %d out of range", tw.UserID)
+		}
+		if len(tw.Message) < cfg.MessageMin || len(tw.Message) > cfg.MessageMax {
+			t.Fatalf("message length %d", len(tw.Message))
+		}
+		if tw.Creation != int64(i+1) {
+			t.Fatalf("creation %d at op %d: must be monotone", tw.Creation, i)
+		}
+		if op.IsUpdate {
+			t.Fatalf("op %d: update without UpdateRatio", i)
+		}
+		if seen[tw.ID] {
+			t.Fatalf("duplicate key without DuplicateRatio")
+		}
+		seen[tw.ID] = true
+	}
+	if g.NumPast() != 5000 {
+		t.Fatalf("NumPast = %d", g.NumPast())
+	}
+}
+
+func TestUpdateRatioApproximate(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.UpdateRatio = 0.5
+	g := NewGenerator(cfg)
+	updates := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Next().IsUpdate {
+			updates++
+		}
+	}
+	ratio := float64(updates) / n
+	if math.Abs(ratio-0.5) > 0.03 {
+		t.Fatalf("update ratio = %.3f, want ~0.5", ratio)
+	}
+}
+
+func TestDuplicateRatioApproximate(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.DuplicateRatio = 0.5
+	g := NewGenerator(cfg)
+	dups := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Next().IsUpdate {
+			dups++
+		}
+	}
+	ratio := float64(dups) / n
+	if math.Abs(ratio-0.5) > 0.03 {
+		t.Fatalf("duplicate ratio = %.3f, want ~0.5", ratio)
+	}
+}
+
+func TestSequentialIDs(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.SequentialIDs = true
+	g := NewGenerator(cfg)
+	for i := 1; i <= 100; i++ {
+		if op := g.Next(); op.Tweet.ID != uint64(i) {
+			t.Fatalf("sequential id %d at %d", op.Tweet.ID, i)
+		}
+	}
+}
+
+func TestZipfSkewsTowardLowRanks(t *testing.T) {
+	// Rank 1 is the most recently ingested key; Zipf(0.99) must
+	// concentrate mass on low ranks (YCSB's "latest" flavor).
+	z := newZipfPast(0.99)
+	g := NewGenerator(DefaultConfig(6))
+	const n = 10000
+	const samples = 20000
+	lowDecile := 0
+	var sum float64
+	for i := 0; i < samples; i++ {
+		r := z.sample(g.rng, n)
+		if r <= n/10 {
+			lowDecile++
+		}
+		sum += float64(r)
+	}
+	fracLow := float64(lowDecile) / samples
+	if fracLow < 0.5 {
+		t.Fatalf("P(rank <= n/10) = %.3f, want > 0.5 for theta 0.99", fracLow)
+	}
+	if mean := sum / samples; mean > float64(n)/4 {
+		t.Fatalf("mean rank %.0f too high for Zipf(0.99)", mean)
+	}
+}
+
+func TestZipfRanksBounded(t *testing.T) {
+	z := newZipfPast(0.99)
+	for _, n := range []int{1, 2, 10, 1000, 100000} {
+		g := NewGenerator(DefaultConfig(9))
+		for i := 0; i < 100; i++ {
+			r := z.sample(g.rng, n)
+			if r < 1 || r > n {
+				t.Fatalf("rank %d for n=%d", r, n)
+			}
+		}
+	}
+}
+
+func TestUniformUpdatesNotSkewed(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.UpdateRatio = 0.5
+	g := NewGenerator(cfg)
+	for i := 0; i < 2000; i++ {
+		g.Next()
+	}
+	recentSet := map[uint64]bool{}
+	half := g.NumPast() / 2
+	for i := half; i < g.NumPast(); i++ {
+		recentSet[g.PastKey(i)] = true
+	}
+	recent, total := 0, 0
+	for i := 0; i < 10000; i++ {
+		op := g.Next()
+		if !op.IsUpdate {
+			continue
+		}
+		total++
+		if recentSet[op.Tweet.ID] {
+			recent++
+		}
+	}
+	frac := float64(recent) / float64(total)
+	if frac > 0.65 {
+		t.Fatalf("uniform updates skewed: %.3f recent", frac)
+	}
+}

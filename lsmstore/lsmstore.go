@@ -1,0 +1,343 @@
+// Package lsmstore is the public API of this repository: a general-purpose
+// LSM-based storage engine with secondary indexes and range filters,
+// implementing the ingestion and query-processing techniques of Luo &
+// Carey, "Efficient Data Ingestion and Query Processing for LSM-Based
+// Storage Systems" (PVLDB 12(5), 2019).
+//
+// A DB is one dataset partition backed by a simulated disk with an explicit
+// I/O cost model (see DESIGN.md), holding a primary LSM index, an optional
+// primary key index, and any number of secondary indexes that share a
+// memory budget. The maintenance strategy for auxiliary structures — Eager,
+// Validation, Mutable-bitmap, or Deleted-key B+-tree — is chosen at Open
+// time, and queries pick a validation method per request.
+//
+// Quickstart:
+//
+//	db, _ := lsmstore.Open(lsmstore.Options{
+//		Strategy: lsmstore.Validation,
+//		Secondaries: []lsmstore.SecondaryIndex{
+//			{Name: "user", Extract: extractUserID},
+//		},
+//	})
+//	db.Upsert(pk, record)
+//	res, _ := db.SecondaryQuery("user", loKey, hiKey, lsmstore.QueryOptions{
+//		Validation: lsmstore.TimestampValidation,
+//	})
+package lsmstore
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/advisor"
+	"repro/internal/core"
+	"repro/internal/kv"
+	"repro/internal/lsm"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/repair"
+	"repro/internal/storage"
+)
+
+// Strategy selects the auxiliary-structure maintenance strategy.
+type Strategy = core.Strategy
+
+// Maintenance strategies (paper Sections 3-5).
+const (
+	Eager         = core.Eager
+	Validation    = core.Validation
+	MutableBitmap = core.MutableBitmap
+	DeletedKey    = core.DeletedKey
+)
+
+// CCMethod selects Mutable-bitmap merge concurrency control.
+type CCMethod = core.CCMethod
+
+// Concurrency-control methods (Section 5.3).
+const (
+	SideFile = core.SideFile
+	Lock     = core.Lock
+	NoCC     = core.NoCC
+)
+
+// ValidationMethod selects query validation (Figure 5).
+type ValidationMethod = query.ValidationMethod
+
+// Validation methods.
+const (
+	NoValidation        = query.NoValidation
+	DirectValidation    = query.Direct
+	TimestampValidation = query.Timestamp
+)
+
+// Device selects the simulated storage device profile.
+type Device int
+
+// Devices (Section 6.1's two testbeds).
+const (
+	HDD Device = iota
+	SSD
+)
+
+// SecondaryIndex declares one secondary index.
+type SecondaryIndex struct {
+	// Name identifies the index in SecondaryQuery calls.
+	Name string
+	// Extract returns the secondary key of a record, or false when the
+	// record carries none.
+	Extract func(record []byte) ([]byte, bool)
+}
+
+// Options configures a DB. The zero value gives an Eager-strategy store on
+// a simulated HDD with a 64 MB buffer cache and a 4 MB memory budget.
+type Options struct {
+	// Strategy is the maintenance strategy for secondary indexes and
+	// filters.
+	Strategy Strategy
+	// CC is the Mutable-bitmap concurrency-control method.
+	CC CCMethod
+	// Secondaries declares secondary indexes.
+	Secondaries []SecondaryIndex
+	// FilterExtract, when set, maintains a component-level range filter
+	// over the extracted value (e.g. a creation timestamp).
+	FilterExtract func(record []byte) (int64, bool)
+	// Device selects the simulated device profile (HDD or SSD).
+	Device Device
+	// PageSize overrides the device page size (testing).
+	PageSize int
+	// CacheBytes sizes the buffer cache (2 GB HDD / 4 GB SSD in the
+	// paper; defaults to 64 MB here to match scaled-down datasets).
+	CacheBytes int64
+	// MemoryBudget is the shared memory-component budget (default 4 MB).
+	MemoryBudget int
+	// DisablePKIndex drops the primary key index (Figure 13's ablation);
+	// uniqueness checks then use the primary index.
+	DisablePKIndex bool
+	// MaxMergeableBytes caps mergeable component size for the tiering
+	// merge policy (1 GB in the paper; 0 = uncapped). Set
+	// DisableMerges to turn merging off entirely.
+	MaxMergeableBytes int64
+	DisableMerges     bool
+	// CorrelatedMerges synchronizes merges across all indexes.
+	CorrelatedMerges bool
+	// MergeRepair repairs secondary indexes during merges (Validation).
+	MergeRepair bool
+	// RepairBloomOpt enables the Bloom-filter repair optimization.
+	RepairBloomOpt bool
+	// BlockedBloom uses cache-friendly blocked Bloom filters.
+	BlockedBloom bool
+	// DisableWAL turns off write-ahead logging.
+	DisableWAL bool
+	// Seed fixes all pseudo-random choices.
+	Seed int64
+}
+
+// DB is one dataset partition.
+type DB struct {
+	ds    *core.Dataset
+	store *storage.Store
+	env   *metrics.Env
+}
+
+// Open creates an empty DB.
+func Open(opts Options) (*DB, error) {
+	env := metrics.NewEnv()
+	profile := storage.HDD()
+	if opts.Device == SSD {
+		profile = storage.SSD()
+	}
+	if opts.PageSize > 0 {
+		profile = storage.ScaledHDD(opts.PageSize)
+		if opts.Device == SSD {
+			p := storage.SSD()
+			p.PageSize = opts.PageSize
+			profile = p
+		}
+	}
+	cacheBytes := opts.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = 64 << 20
+	}
+	store := storage.NewStore(storage.NewDisk(profile, env), cacheBytes, env)
+
+	cfg := core.Config{
+		Store:            store,
+		Strategy:         opts.Strategy,
+		CC:               opts.CC,
+		FilterExtract:    opts.FilterExtract,
+		MemoryBudget:     opts.MemoryBudget,
+		UsePKIndex:       !opts.DisablePKIndex,
+		CorrelatedMerges: opts.CorrelatedMerges,
+		MergeRepair:      opts.MergeRepair,
+		RepairBloomOpt:   opts.RepairBloomOpt,
+		BloomFPR:         0.01,
+		BlockedBloom:     opts.BlockedBloom,
+		DisableWAL:       opts.DisableWAL,
+		Seed:             opts.Seed,
+	}
+	if !opts.DisableMerges {
+		cfg.Policy = lsm.NewTiering(opts.MaxMergeableBytes)
+	}
+	for _, s := range opts.Secondaries {
+		cfg.Secondaries = append(cfg.Secondaries, core.SecondarySpec(s))
+	}
+	ds, err := core.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{ds: ds, store: store, env: env}, nil
+}
+
+// Insert adds a record; it reports false when the key already exists.
+func (db *DB) Insert(pk, record []byte) (bool, error) { return db.ds.Insert(pk, record) }
+
+// Upsert inserts or replaces the record under pk.
+func (db *DB) Upsert(pk, record []byte) error { return db.ds.Upsert(pk, record) }
+
+// Delete removes the record under pk; it reports false when absent.
+func (db *DB) Delete(pk []byte) (bool, error) { return db.ds.Delete(pk) }
+
+// Get returns the current record under pk.
+func (db *DB) Get(pk []byte) ([]byte, bool, error) {
+	e, found, err := db.ds.Primary().Get(pk)
+	if err != nil || !found {
+		return nil, false, err
+	}
+	return append([]byte(nil), e.Value...), true, nil
+}
+
+// QueryOptions configures a secondary-index query.
+type QueryOptions struct {
+	// Validation selects the validation method; required (non-
+	// NoValidation) for lazy strategies.
+	Validation ValidationMethod
+	// IndexOnly returns primary keys without fetching records.
+	IndexOnly bool
+	// Lookup tunes the point-lookup optimizations; the zero value is
+	// upgraded to the paper's fully optimized configuration.
+	Lookup *query.LookupConfig
+	// CrackOnValidate lets Timestamp validation mark the obsolete entries
+	// it discovers so later queries skip them and the next merge drops
+	// them (query-driven maintenance, the paper's Section 7 extension).
+	CrackOnValidate bool
+}
+
+// QueryResult is a secondary query's answer.
+type QueryResult struct {
+	// Records holds (pk, record) pairs for non-index-only queries.
+	Records []Record
+	// Keys holds matching primary keys for index-only queries.
+	Keys [][]byte
+}
+
+// Record is one fetched record.
+type Record struct {
+	PK    []byte
+	Value []byte
+}
+
+// ErrUnknownIndex reports a query against an undeclared secondary index.
+var ErrUnknownIndex = errors.New("lsmstore: unknown secondary index")
+
+// SecondaryQuery runs a range query lo <= secondary key <= hi on the named
+// index.
+func (db *DB) SecondaryQuery(index string, lo, hi []byte, opts QueryOptions) (*QueryResult, error) {
+	si := db.ds.Secondary(index)
+	if si == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownIndex, index)
+	}
+	lookup := query.DefaultLookupConfig()
+	if opts.Lookup != nil {
+		lookup = *opts.Lookup
+	}
+	res, err := query.SecondaryRange(db.ds, si, lo, hi, query.SecondaryQueryOptions{
+		Validation:      opts.Validation,
+		IndexOnly:       opts.IndexOnly,
+		Lookup:          lookup,
+		CrackOnValidate: opts.CrackOnValidate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &QueryResult{Keys: res.Keys}
+	for _, e := range res.Records {
+		out.Records = append(out.Records, Record{PK: e.Key, Value: e.Value})
+	}
+	return out, nil
+}
+
+// FilterScan scans the primary index for records whose filter key lies in
+// [lo, hi], using component range filters for pruning.
+func (db *DB) FilterScan(lo, hi int64, fn func(pk, record []byte)) error {
+	return query.FilterScan(db.ds, lo, hi, func(e kv.Entry) { fn(e.Key, e.Value) })
+}
+
+// Flush forces all memory components to disk and runs due merges.
+func (db *DB) Flush() error { return db.ds.FlushAll() }
+
+// Crash simulates a failure: all memory components are lost; disk
+// components survive (no-steal/no-force, Section 2.2 of the paper).
+func (db *DB) Crash() { db.ds.Crash() }
+
+// Recover replays committed write-ahead-log records lost in a Crash.
+func (db *DB) Recover() error { return db.ds.Recover() }
+
+// RepairSecondaryIndexes runs a standalone repair over every component of
+// every secondary index (Validation strategy housekeeping).
+func (db *DB) RepairSecondaryIndexes() error {
+	pk := db.ds.PKIndex()
+	if pk == nil {
+		return core.ErrNoPKIndex
+	}
+	for _, si := range db.ds.Secondaries() {
+		if err := repair.RepairAll(si.Tree, pk, repair.Options{UseBloom: db.ds.Config().RepairBloomOpt}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats summarizes engine state and accumulated costs.
+type Stats struct {
+	// SimulatedTime is the virtual clock reading (cost-model time).
+	SimulatedTime string
+	// Ingested and Ignored count accepted and ignored writes.
+	Ingested, Ignored int64
+	// PrimaryComponents is the primary index's disk-component count.
+	PrimaryComponents int
+	// DiskBytesWritten is total bytes flushed/merged (write amplification).
+	DiskBytesWritten int64
+	// Counters snapshots the low-level event counters.
+	Counters metrics.Snapshot
+}
+
+// Stats reports current statistics.
+func (db *DB) Stats() Stats {
+	return Stats{
+		SimulatedTime:     db.env.Clock.Now().String(),
+		Ingested:          db.ds.IngestedCount(),
+		Ignored:           db.ds.IgnoredCount(),
+		PrimaryComponents: db.ds.Primary().NumDiskComponents(),
+		DiskBytesWritten:  db.store.Disk().BytesWritten(),
+		Counters:          db.env.Counters.Snapshot(),
+	}
+}
+
+// WorkloadProfile describes an expected workload for Advise.
+type WorkloadProfile = advisor.Profile
+
+// AdvisorReport holds per-strategy probe measurements.
+type AdvisorReport = advisor.Report
+
+// Advise recommends a maintenance strategy for the given workload profile
+// by probing every candidate on a miniature simulated replay (the paper's
+// Section 7 auto-tuning direction).
+func Advise(p WorkloadProfile) (Strategy, AdvisorReport, error) {
+	return advisor.Recommend(p)
+}
+
+// Dataset exposes the underlying dataset for advanced use (experiments).
+func (db *DB) Dataset() *core.Dataset { return db.ds }
+
+// Env exposes the metrics environment (virtual clock and counters).
+func (db *DB) Env() *metrics.Env { return db.env }

@@ -1,0 +1,263 @@
+package lsmstore_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/workload"
+	"repro/lsmstore"
+)
+
+func tinyOptions(strategy lsmstore.Strategy) lsmstore.Options {
+	return lsmstore.Options{
+		Strategy: strategy,
+		Secondaries: []lsmstore.SecondaryIndex{
+			{Name: "user", Extract: workload.UserIDOf},
+		},
+		FilterExtract: workload.CreationOf,
+		MemoryBudget:  64 << 10,
+		CacheBytes:    2 << 20,
+		PageSize:      4 << 10,
+		Seed:          5,
+	}
+}
+
+func TestOpenRejectsBadConfigs(t *testing.T) {
+	_, err := lsmstore.Open(lsmstore.Options{
+		Strategy:       lsmstore.MutableBitmap,
+		DisablePKIndex: true,
+	})
+	if err == nil {
+		t.Fatal("mutable-bitmap without pk index must fail")
+	}
+	_, err = lsmstore.Open(lsmstore.Options{RepairBloomOpt: true})
+	if err == nil {
+		t.Fatal("bf repair optimization without correlated merges must fail")
+	}
+}
+
+func TestCRUDRoundTrip(t *testing.T) {
+	db, err := lsmstore.Open(tinyOptions(lsmstore.Eager))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := binary.BigEndian.AppendUint64(nil, 42)
+	rec := workload.Tweet{ID: 42, UserID: 7, Creation: 1, Message: []byte("m")}.Encode()
+
+	ok, err := db.Insert(pk, rec)
+	if err != nil || !ok {
+		t.Fatal(err, ok)
+	}
+	if ok, _ := db.Insert(pk, rec); ok {
+		t.Fatal("duplicate insert accepted")
+	}
+	got, found, err := db.Get(pk)
+	if err != nil || !found || len(got) != len(rec) {
+		t.Fatal("Get mismatch")
+	}
+	rec2 := workload.Tweet{ID: 42, UserID: 9, Creation: 2, Message: []byte("mm")}.Encode()
+	if err := db.Upsert(pk, rec2); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = db.Get(pk)
+	if u, _ := workload.UserIDOf(got); string(u) != string(workload.UserKey(9)) {
+		t.Fatal("upsert not visible")
+	}
+	if ok, _ := db.Delete(pk); !ok {
+		t.Fatal("delete failed")
+	}
+	if _, found, _ := db.Get(pk); found {
+		t.Fatal("deleted key visible")
+	}
+}
+
+func TestUnknownIndexError(t *testing.T) {
+	db, _ := lsmstore.Open(tinyOptions(lsmstore.Eager))
+	if _, err := db.SecondaryQuery("nope", nil, nil, lsmstore.QueryOptions{}); err == nil {
+		t.Fatal("unknown index accepted")
+	}
+}
+
+// TestPublicAPIEquivalence drives the full public surface across all
+// strategies against a model.
+func TestPublicAPIEquivalence(t *testing.T) {
+	strategies := []struct {
+		s lsmstore.Strategy
+		v lsmstore.ValidationMethod
+	}{
+		{lsmstore.Eager, lsmstore.NoValidation},
+		{lsmstore.Validation, lsmstore.TimestampValidation},
+		{lsmstore.Validation, lsmstore.DirectValidation},
+		{lsmstore.MutableBitmap, lsmstore.TimestampValidation},
+	}
+	for _, sc := range strategies {
+		t.Run(fmt.Sprintf("%v-%v", sc.s, sc.v), func(t *testing.T) {
+			db, err := lsmstore.Open(tinyOptions(sc.s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(8))
+			type row struct {
+				user     uint32
+				creation int64
+			}
+			model := map[uint64]row{}
+			for i := 0; i < 4000; i++ {
+				id := uint64(rng.Intn(500) + 1)
+				pk := binary.BigEndian.AppendUint64(nil, id)
+				if rng.Intn(10) == 0 {
+					db.Delete(pk)
+					delete(model, id)
+					continue
+				}
+				u := uint32(rng.Intn(40))
+				cr := int64(i + 1)
+				rec := workload.Tweet{ID: id, UserID: u, Creation: cr, Message: []byte("x")}.Encode()
+				if err := db.Upsert(pk, rec); err != nil {
+					t.Fatal(err)
+				}
+				model[id] = row{u, cr}
+			}
+
+			// Secondary query over a user range.
+			for trial := 0; trial < 10; trial++ {
+				lo := uint32(rng.Intn(35))
+				hi := lo + uint32(rng.Intn(5))
+				var want []uint64
+				for id, r := range model {
+					if r.user >= lo && r.user <= hi {
+						want = append(want, id)
+					}
+				}
+				sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+				res, err := db.SecondaryQuery("user", workload.UserKey(lo), workload.UserKey(hi),
+					lsmstore.QueryOptions{Validation: sc.v})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var got []uint64
+				for _, r := range res.Records {
+					got = append(got, binary.BigEndian.Uint64(r.PK))
+				}
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("trial %d: got %v want %v", trial, got, want)
+				}
+			}
+
+			// Filter scan over a creation-time window.
+			lo, hi := int64(1000), int64(3000)
+			var want []uint64
+			for id, r := range model {
+				if r.creation >= lo && r.creation <= hi {
+					want = append(want, id)
+				}
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			var got []uint64
+			if err := db.FilterScan(lo, hi, func(pk, _ []byte) {
+				got = append(got, binary.BigEndian.Uint64(pk))
+			}); err != nil {
+				t.Fatal(err)
+			}
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("filter scan: got %d want %d rows", len(got), len(want))
+			}
+		})
+	}
+}
+
+func TestRepairSecondaryIndexes(t *testing.T) {
+	db, err := lsmstore.Open(tinyOptions(lsmstore.Validation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		id := uint64(rng.Intn(300) + 1)
+		pk := binary.BigEndian.AppendUint64(nil, id)
+		rec := workload.Tweet{ID: id, UserID: uint32(rng.Intn(20)), Creation: int64(i), Message: []byte("y")}.Encode()
+		if err := db.Upsert(pk, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.RepairSecondaryIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	// Query answers stay correct after repair.
+	res, err := db.SecondaryQuery("user", workload.UserKey(0), workload.UserKey(19),
+		lsmstore.QueryOptions{Validation: lsmstore.TimestampValidation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, r := range res.Records {
+		if seen[string(r.PK)] {
+			t.Fatal("duplicate pk after repair")
+		}
+		seen[string(r.PK)] = true
+	}
+}
+
+func TestIndexOnlyQuery(t *testing.T) {
+	db, _ := lsmstore.Open(tinyOptions(lsmstore.Validation))
+	for i := uint64(1); i <= 100; i++ {
+		pk := binary.BigEndian.AppendUint64(nil, i)
+		rec := workload.Tweet{ID: i, UserID: uint32(i % 10), Creation: int64(i), Message: []byte("z")}.Encode()
+		db.Upsert(pk, rec)
+	}
+	res, err := db.SecondaryQuery("user", workload.UserKey(3), workload.UserKey(3),
+		lsmstore.QueryOptions{Validation: lsmstore.TimestampValidation, IndexOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Keys) != 10 || len(res.Records) != 0 {
+		t.Fatalf("index-only: %d keys %d records", len(res.Keys), len(res.Records))
+	}
+}
+
+func TestStatsProgress(t *testing.T) {
+	db, _ := lsmstore.Open(tinyOptions(lsmstore.Eager))
+	for i := uint64(1); i <= 2000; i++ {
+		pk := binary.BigEndian.AppendUint64(nil, i)
+		rec := workload.Tweet{ID: i, UserID: 1, Creation: int64(i), Message: make([]byte, 100)}.Encode()
+		db.Upsert(pk, rec)
+	}
+	st := db.Stats()
+	if st.Ingested != 2000 {
+		t.Fatalf("Ingested = %d", st.Ingested)
+	}
+	if st.PrimaryComponents == 0 {
+		t.Fatal("no flush happened; budget accounting broken?")
+	}
+	if st.DiskBytesWritten == 0 {
+		t.Fatal("no disk writes recorded")
+	}
+	if st.SimulatedTime == "0s" {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+func TestFlushIsExplicit(t *testing.T) {
+	opts := tinyOptions(lsmstore.Eager)
+	opts.MemoryBudget = 1 << 30 // never auto-flush
+	db, _ := lsmstore.Open(opts)
+	pk := binary.BigEndian.AppendUint64(nil, 1)
+	db.Upsert(pk, workload.Tweet{ID: 1, UserID: 1, Creation: 1, Message: []byte("m")}.Encode())
+	if db.Stats().PrimaryComponents != 0 {
+		t.Fatal("unexpected auto-flush")
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().PrimaryComponents != 1 {
+		t.Fatal("explicit flush did nothing")
+	}
+	if _, found, _ := db.Get(pk); !found {
+		t.Fatal("record lost by flush")
+	}
+}
