@@ -1,4 +1,5 @@
-// Command lsmbench regenerates the paper's evaluation figures (Section 6).
+// Command lsmbench regenerates the paper's evaluation figures (Section 6)
+// and benchmarks this repository's extensions.
 //
 // Usage:
 //
@@ -6,29 +7,46 @@
 //	lsmbench -figure all             # every figure
 //	lsmbench -figure fig12b -quick   # reduced scale
 //	lsmbench -list                   # list figure IDs
+//	lsmbench -shardsweep 1,2,4,8     # sharded ingest throughput sweep
+//	lsmbench -shardsweep 1,4 -n 200000
 //
 // Output rows mirror the series the paper plots; times are virtual
-// (cost-model) seconds except Figure 23, which reports wall time.
+// (cost-model) seconds except Figure 23, which reports wall time. The
+// shard sweep ingests the same batch at each shard count and reports the
+// simulated ingest time (max over shards) and throughput.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/workload"
+	"repro/lsmstore"
 )
 
 func main() {
 	figure := flag.String("figure", "all", "figure ID to run (see -list), or 'all'")
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	list := flag.Bool("list", false, "list available figure IDs")
+	sweep := flag.String("shardsweep", "", "comma-separated shard counts: run the sharded ingest sweep instead of figures")
+	nrecs := flag.Int("n", 100_000, "records to ingest per -shardsweep run")
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+	if *sweep != "" {
+		if err := runShardSweep(*sweep, *nrecs); err != nil {
+			fmt.Fprintf(os.Stderr, "lsmbench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -50,4 +68,64 @@ func main() {
 		res.Print(os.Stdout)
 		fmt.Printf("-- %s completed in %.1fs (real)\n\n", id, time.Since(start).Seconds())
 	}
+}
+
+// runShardSweep ingests the same generated batch into fresh stores with
+// each requested shard count and prints simulated time, throughput, and
+// speedup relative to the first entry of the sweep.
+func runShardSweep(spec string, n int) error {
+	var counts []int
+	for _, f := range strings.Split(spec, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || c < 1 {
+			return fmt.Errorf("bad shard count %q in -shardsweep", f)
+		}
+		counts = append(counts, c)
+	}
+
+	cfg := workload.DefaultConfig(3)
+	cfg.UpdateRatio = 0.20
+	cfg.ZipfUpdates = true
+	gen := workload.NewGenerator(cfg)
+	muts := make([]lsmstore.Mutation, n)
+	for i := range muts {
+		op := gen.Next()
+		muts[i] = lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: op.Tweet.PK(), Record: op.Tweet.Encode()}
+	}
+
+	fmt.Printf("# sharded ingest sweep: %d records (20%% Zipf updates), Validation strategy\n", n)
+	fmt.Printf("%-8s %14s %16s %10s\n", "shards", "sim-time", "records/simsec", "speedup")
+	var base time.Duration
+	for _, shards := range counts {
+		db, err := lsmstore.Open(lsmstore.Options{
+			Strategy:      lsmstore.Validation,
+			Secondaries:   []lsmstore.SecondaryIndex{{Name: "user", Extract: workload.UserIDOf}},
+			FilterExtract: workload.CreationOf,
+			MemoryBudget:  1 << 20,
+			CacheBytes:    16 << 20,
+			PageSize:      8 << 10,
+			Seed:          3,
+			Shards:        shards,
+		})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := db.ApplyBatch(muts); err != nil {
+			return err
+		}
+		if err := db.Flush(); err != nil {
+			return err
+		}
+		sim, err := time.ParseDuration(db.Stats().SimulatedTime)
+		if err != nil {
+			return err
+		}
+		if base == 0 {
+			base = sim
+		}
+		fmt.Printf("%-8d %14s %16.0f %9.2fx   (%.1fs real)\n",
+			shards, sim, float64(n)/sim.Seconds(), float64(base)/float64(sim), time.Since(start).Seconds())
+	}
+	return nil
 }

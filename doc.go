@@ -3,7 +3,14 @@
 // Storage Systems" (PVLDB 12(5), 2019).
 //
 // The public API lives in package lsmstore; the engine internals live under
-// internal/ (see README.md for the map). This root package holds only the
-// benchmark harness (bench_test.go) that regenerates every figure of the
-// paper's evaluation via internal/experiments.
+// internal/ (see README.md for the map). Beyond the paper, the store runs
+// in hash-sharded mode (lsmstore.Options.Shards, internal/shard): N
+// independent dataset partitions ingest batches concurrently via
+// ApplyBatch while queries fan out and merge, scaling the paper's single-
+// partition engine toward production traffic.
+//
+// This root package holds the benchmark harness: bench_test.go regenerates
+// every figure of the paper's evaluation via internal/experiments, and
+// shard_bench_test.go sweeps shard counts over the same ingest workload
+// (BenchmarkShardedIngest, TestShardedIngestScaling).
 package repro

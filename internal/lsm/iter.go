@@ -82,6 +82,10 @@ type IterOptions struct {
 	Lo, Hi []byte // key range [lo, hi); nil = unbounded
 	// Components to include, oldest to newest. Required.
 	Components []*Component
+	// Flushing includes a memory component frozen by an in-flight flush as
+	// a source newer than every disk component and older than Mem (see
+	// Tree.ReadView).
+	Flushing *memtable.Table
 	// Mem includes the given memory component as the newest source.
 	Mem *memtable.Table
 	// HideAnti suppresses winning anti-matter entries (query mode).
@@ -137,8 +141,11 @@ func (t *Tree) NewMergedIterator(opts IterOptions) (*MergedIterator, error) {
 		}
 		rank++
 	}
-	if opts.Mem != nil {
-		it := opts.Mem.NewIterator(opts.Lo, opts.Hi)
+	for _, memSrc := range []*memtable.Table{opts.Flushing, opts.Mem} {
+		if memSrc == nil {
+			continue
+		}
+		it := memSrc.NewIterator(opts.Lo, opts.Hi)
 		s := &source{rank: rank}
 		s.next = func() (kv.Entry, int64, bool, error) {
 			e, ok := it.Next()
@@ -148,6 +155,7 @@ func (t *Tree) NewMergedIterator(opts IterOptions) (*MergedIterator, error) {
 		if s.valid {
 			mi.h = append(mi.h, s)
 		}
+		rank++
 	}
 	if opts.NoReconcile {
 		mi.noReconcile = true

@@ -44,6 +44,11 @@ type Tree struct {
 	mem  *memtable.Table
 	disk []*Component // oldest -> newest
 	gen  int64
+	// flushing holds the frozen memory component while a flush builds its
+	// disk component, keeping its entries visible to concurrent readers
+	// during the build window (writers are drained during flushes, readers
+	// are not).
+	flushing *memtable.Table
 }
 
 // New creates an empty LSM-tree.
@@ -74,6 +79,18 @@ func (t *Tree) Components() []*Component {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return append([]*Component(nil), t.disk...)
+}
+
+// ReadView atomically snapshots the tree's read sources: the live memory
+// component, the memory component currently being flushed (nil outside a
+// flush), and the disk components oldest to newest. Readers that consult
+// mem and components non-atomically can miss the entries of an in-flight
+// flush — swapped out of the memtable but not yet installed on disk — so
+// every concurrent read path should start from one ReadView.
+func (t *Tree) ReadView() (mem, flushing *memtable.Table, comps []*Component) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.mem, t.flushing, append([]*Component(nil), t.disk...)
 }
 
 // NumDiskComponents returns the current number of disk components.
@@ -127,18 +144,26 @@ func (t *Tree) GetWithLocation(key []byte, onlyComponents []*Component) (kv.Entr
 
 func (t *Tree) getInternal(key []byte, only []*Component) (kv.Entry, *Component, int64, bool, error) {
 	t.env.Counters.PointLookups.Add(1)
-	if only == nil {
+	comps := only
+	if comps == nil {
+		mem, flushing, viewComps := t.ReadView()
 		t.env.ChargeMemtable()
-		if e, ok := t.Mem().Get(key); ok {
+		if e, ok := mem.Get(key); ok {
 			if e.Anti {
 				return kv.Entry{}, nil, 0, false, nil
 			}
 			return e, nil, 0, true, nil
 		}
-	}
-	comps := only
-	if comps == nil {
-		comps = t.Components()
+		if flushing != nil {
+			t.env.ChargeMemtable()
+			if e, ok := flushing.Get(key); ok {
+				if e.Anti {
+					return kv.Entry{}, nil, 0, false, nil
+				}
+				return e, nil, 0, true, nil
+			}
+		}
+		comps = viewComps
 	}
 	for i := len(comps) - 1; i >= 0; i-- {
 		c := comps[i]
@@ -194,14 +219,20 @@ func (t *Tree) Flush(epoch uint64) (*Component, error) {
 	}
 	t.gen++
 	t.mem = memtable.New(t.opts.Seed + t.gen)
+	// Keep the frozen memtable readable until its component is installed.
+	t.flushing = old
 	t.mu.Unlock()
 
 	comp, err := t.buildFromMemtable(old, epoch)
 	if err != nil {
+		t.mu.Lock()
+		t.flushing = nil
+		t.mu.Unlock()
 		return nil, err
 	}
 	t.mu.Lock()
 	t.disk = append(t.disk, comp)
+	t.flushing = nil
 	t.mu.Unlock()
 	return comp, nil
 }

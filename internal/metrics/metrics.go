@@ -121,6 +121,22 @@ func (c *Counters) Snapshot() Snapshot {
 	}
 }
 
+// Add returns s plus o, for aggregating counters across shards or runs.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	return Snapshot{
+		RandomReads:     s.RandomReads + o.RandomReads,
+		SequentialReads: s.SequentialReads + o.SequentialReads,
+		PagesWritten:    s.PagesWritten + o.PagesWritten,
+		CacheHits:       s.CacheHits + o.CacheHits,
+		CacheMisses:     s.CacheMisses + o.CacheMisses,
+		BloomTests:      s.BloomTests + o.BloomTests,
+		BloomNegatives:  s.BloomNegatives + o.BloomNegatives,
+		KeyComparisons:  s.KeyComparisons + o.KeyComparisons,
+		PointLookups:    s.PointLookups + o.PointLookups,
+		EntriesScanned:  s.EntriesScanned + o.EntriesScanned,
+	}
+}
+
 // Sub returns s minus o, for measuring a bounded region of work.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
 	return Snapshot{

@@ -87,8 +87,7 @@ func FetchRecords(primary *lsm.Tree, keys []Key, cfg LookupConfig, emit func(kv.
 // random-I/O pattern batching avoids.
 func fetchNaive(primary *lsm.Tree, keys []Key, cfg LookupConfig, emit func(kv.Entry)) error {
 	env := primary.Env()
-	comps := primary.Components()
-	mem := primary.Mem()
+	mem, flushing, comps := primary.ReadView()
 	cursors := make([]*lsmLookup, len(comps))
 	for i, c := range comps {
 		cursors[i] = newLSMLookup(c, cfg.Stateful)
@@ -102,6 +101,15 @@ func fetchNaive(primary *lsm.Tree, keys []Key, cfg LookupConfig, emit func(kv.En
 				emit(e)
 			}
 			continue
+		}
+		if flushing != nil {
+			env.ChargeMemtable()
+			if e, ok := flushing.Get(k.PK); ok {
+				if !e.Anti {
+					emit(e)
+				}
+				continue
+			}
 		}
 		for ci := len(comps) - 1; ci >= 0; ci-- {
 			c := comps[ci]
@@ -138,8 +146,7 @@ func fetchNaive(primary *lsm.Tree, keys []Key, cfg LookupConfig, emit func(kv.En
 // found.
 func fetchBatched(primary *lsm.Tree, keys []Key, cfg LookupConfig, emit func(kv.Entry)) error {
 	env := primary.Env()
-	comps := primary.Components()
-	mem := primary.Mem()
+	mem, flushing, comps := primary.ReadView()
 
 	est := cfg.EstRecordSize
 	if est <= 0 {
@@ -163,7 +170,7 @@ func fetchBatched(primary *lsm.Tree, keys []Key, cfg LookupConfig, emit func(kv.
 		bfound := found[start:end]
 		remaining := len(batch)
 
-		// Memory component first (newest).
+		// Memory components first (newest), then the one being flushed.
 		for i := range batch {
 			env.Counters.PointLookups.Add(1)
 			env.ChargeMemtable()
@@ -172,6 +179,17 @@ func fetchBatched(primary *lsm.Tree, keys []Key, cfg LookupConfig, emit func(kv.
 				remaining--
 				if !e.Anti {
 					emit(e)
+				}
+				continue
+			}
+			if flushing != nil {
+				env.ChargeMemtable()
+				if e, ok := flushing.Get(batch[i].PK); ok {
+					bfound[i] = true
+					remaining--
+					if !e.Anti {
+						emit(e)
+					}
 				}
 			}
 		}

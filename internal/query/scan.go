@@ -26,8 +26,9 @@ import (
 func FilterScan(ds *core.Dataset, lo, hi int64, emit func(kv.Entry)) error {
 	extract := ds.Config().FilterExtract
 	primary := ds.Primary()
-	comps := primary.Components()
-	mem := primary.Mem()
+	// One atomic view: a concurrent flush's frozen memtable stays visible
+	// as a source newer than every disk component (see Tree.ReadView).
+	mem, flushing, comps := primary.ReadView()
 
 	check := func(e kv.Entry) {
 		if extract != nil {
@@ -38,12 +39,17 @@ func FilterScan(ds *core.Dataset, lo, hi int64, emit func(kv.Entry)) error {
 		emit(e)
 	}
 
-	memOverlaps := true
-	if fmin, fmax, ok := mem.Filter(); ok {
-		memOverlaps = !(fmax < lo || fmin > hi)
-	} else if mem.Len() == 0 {
-		memOverlaps = false
+	overlaps := func(m *memtable.Table) bool {
+		if m == nil {
+			return false
+		}
+		if fmin, fmax, ok := m.Filter(); ok {
+			return !(fmax < lo || fmin > hi)
+		}
+		return m.Len() > 0
 	}
+	memOverlaps := overlaps(mem)
+	flushingOverlaps := overlaps(flushing)
 
 	switch ds.Config().Strategy {
 	case core.MutableBitmap:
@@ -71,8 +77,11 @@ func FilterScan(ds *core.Dataset, lo, hi int64, emit func(kv.Entry)) error {
 				check(e)
 			}
 		}
-		if memOverlaps {
-			it := mem.NewIterator(nil, nil)
+		for _, m := range []*memtable.Table{flushing, mem} {
+			if !overlaps(m) {
+				continue
+			}
+			it := m.NewIterator(nil, nil)
 			for {
 				e, ok := it.Next()
 				if !ok {
@@ -97,12 +106,17 @@ func FilterScan(ds *core.Dataset, lo, hi int64, emit func(kv.Entry)) error {
 			}
 		}
 		if firstIdx < 0 {
+			if flushingOverlaps {
+				// Reading the flushing table requires reading the (newer)
+				// memory component too.
+				return reconciledScan(primary, nil, flushing, mem, check)
+			}
 			if !memOverlaps {
 				return nil
 			}
-			return reconciledScan(primary, nil, mem, check)
+			return reconciledScan(primary, nil, nil, mem, check)
 		}
-		return reconciledScan(primary, comps[firstIdx:], mem, check)
+		return reconciledScan(primary, comps[firstIdx:], flushing, mem, check)
 
 	default: // Eager
 		var cands []*lsm.Component
@@ -111,22 +125,28 @@ func FilterScan(ds *core.Dataset, lo, hi int64, emit func(kv.Entry)) error {
 				cands = append(cands, c)
 			}
 		}
-		if len(cands) == 0 && !memOverlaps {
-			return nil
+		flushArg := flushing
+		if !flushingOverlaps {
+			flushArg = nil
 		}
 		memArg := mem
 		if !memOverlaps {
 			memArg = nil
 		}
-		return reconciledScan(primary, cands, memArg, check)
+		if len(cands) == 0 && flushArg == nil && memArg == nil {
+			return nil
+		}
+		return reconciledScan(primary, cands, flushArg, memArg, check)
 	}
 }
 
-// reconciledScan runs a full reconciled scan over the given components and
-// (optionally) the memory component, hiding anti-matter.
-func reconciledScan(primary *lsm.Tree, comps []*lsm.Component, mem *memtable.Table, emit func(kv.Entry)) error {
+// reconciledScan runs a full reconciled scan over the given components, the
+// flushing memtable, and the live memory component (either may be nil),
+// hiding anti-matter.
+func reconciledScan(primary *lsm.Tree, comps []*lsm.Component, flushing, mem *memtable.Table, emit func(kv.Entry)) error {
 	it, err := primary.NewMergedIterator(lsm.IterOptions{
 		Components:    comps,
+		Flushing:      flushing,
 		Mem:           mem,
 		HideAnti:      true,
 		SkipInvisible: true,

@@ -94,11 +94,14 @@ func SecondaryRange(ds *core.Dataset, si *core.SecondaryIndex, loSK, hiSK []byte
 	env := ds.Env()
 	lo, hi := kv.SecondaryScanBounds(loSK, hiSK)
 
-	comps := si.Tree.Components()
+	// One atomic view of the index: entries of an in-flight flush stay
+	// visible through the frozen memtable until their component lands.
+	mem, flushing, comps := si.Tree.ReadView()
 	it, err := si.Tree.NewMergedIterator(lsm.IterOptions{
 		Lo: lo, Hi: hi,
 		Components:    comps,
-		Mem:           si.Tree.Mem(),
+		Flushing:      flushing,
+		Mem:           mem,
 		HideAnti:      true,
 		SkipInvisible: true,
 	})
@@ -279,8 +282,7 @@ func timestampValidate(ds *core.Dataset, cands []candidate, crack bool) ([]candi
 	env.ChargeSort(len(cands))
 	sort.Slice(cands, func(i, j int) bool { return kv.Compare(cands[i].pk, cands[j].pk) < 0 })
 
-	comps := pkIndex.Components()
-	mem := pkIndex.Mem()
+	mem, flushing, comps := pkIndex.ReadView()
 	cursors := make([]interface {
 		Lookup([]byte) (kv.Entry, int64, bool, error)
 	}, len(comps))
@@ -288,11 +290,24 @@ func timestampValidate(ds *core.Dataset, cands []candidate, crack bool) ([]candi
 		cursors[i] = c.BTree.NewLookupCursor(true)
 	}
 
+	memGet := func(pk []byte) (kv.Entry, bool) {
+		env.ChargeMemtable()
+		if e, ok := mem.Get(pk); ok {
+			return e, true
+		}
+		if flushing != nil {
+			env.ChargeMemtable()
+			if e, ok := flushing.Get(pk); ok {
+				return e, true
+			}
+		}
+		return kv.Entry{}, false
+	}
+
 	var valid []candidate
 	for _, c := range cands {
 		newestTS := int64(-1)
-		env.ChargeMemtable()
-		if e, ok := mem.Get(c.pk); ok {
+		if e, ok := memGet(c.pk); ok {
 			newestTS = e.TS
 		} else {
 			for ci := len(comps) - 1; ci >= 0; ci-- {

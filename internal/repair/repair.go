@@ -41,10 +41,13 @@ type tuple struct {
 // validator answers "does the primary key index hold this key with a larger
 // timestamp?" against a pruned snapshot of the primary key index.
 type validator struct {
-	env     *metrics.Env
-	mem     *memtable.Table
-	comps   []*lsm.Component // unpruned, oldest to newest
-	cursors []*btree.LookupCursor
+	env *metrics.Env
+	mem *memtable.Table
+	// flushing is the memory component frozen by an in-flight flush (nil
+	// outside one); it ranks between mem and the disk components.
+	flushing *memtable.Table
+	comps    []*lsm.Component // unpruned, oldest to newest
+	cursors  []*btree.LookupCursor
 	// newRepairedTS is the repair watermark after this operation: the
 	// maximum timestamp covered by the examined components and memory.
 	newRepairedTS int64
@@ -53,8 +56,9 @@ type validator struct {
 // newValidator snapshots the primary key index, pruning disk components
 // with maxTS <= repairedTS (Fig 6).
 func newValidator(pkIndex *lsm.Tree, repairedTS int64) *validator {
-	v := &validator{env: pkIndex.Env(), mem: pkIndex.Mem(), newRepairedTS: repairedTS}
-	for _, c := range pkIndex.Components() {
+	mem, flushing, comps := pkIndex.ReadView()
+	v := &validator{env: pkIndex.Env(), mem: mem, flushing: flushing, newRepairedTS: repairedTS}
+	for _, c := range comps {
 		if c.ID.MaxTS <= repairedTS {
 			continue // pruned
 		}
@@ -67,6 +71,11 @@ func newValidator(pkIndex *lsm.Tree, repairedTS int64) *validator {
 	if _, maxTS := v.mem.ID(); maxTS > v.newRepairedTS {
 		v.newRepairedTS = maxTS
 	}
+	if v.flushing != nil {
+		if _, maxTS := v.flushing.ID(); maxTS > v.newRepairedTS {
+			v.newRepairedTS = maxTS
+		}
+	}
 	return v
 }
 
@@ -78,6 +87,9 @@ func (v *validator) numRecentKeys() int64 {
 		n += c.NumEntries()
 	}
 	n += int64(v.mem.Len())
+	if v.flushing != nil {
+		n += int64(v.flushing.Len())
+	}
 	return n
 }
 
@@ -86,6 +98,11 @@ func (v *validator) numRecentKeys() int64 {
 func (v *validator) mayContainAny(pk []byte) bool {
 	if _, ok := v.mem.Get(pk); ok {
 		return true
+	}
+	if v.flushing != nil {
+		if _, ok := v.flushing.Get(pk); ok {
+			return true
+		}
 	}
 	for _, c := range v.comps {
 		if c.MayContain(v.env, pk) {
@@ -100,6 +117,11 @@ func (v *validator) mayContainAny(pk []byte) bool {
 func (v *validator) newestTS(pk []byte) (int64, bool) {
 	if e, ok := v.mem.Get(pk); ok {
 		return e.TS, true
+	}
+	if v.flushing != nil {
+		if e, ok := v.flushing.Get(pk); ok {
+			return e.TS, true
+		}
 	}
 	for i := len(v.comps) - 1; i >= 0; i-- {
 		if !v.comps[i].MayContain(v.env, pk) {
@@ -199,13 +221,20 @@ func newSnapshotIterator(v *validator) (func() (kv.Entry, bool, error), error) {
 		}
 		srcs = append(srcs, s)
 	}
-	memIt := v.mem.NewIterator(nil, nil)
-	ms := &src{rank: len(v.comps)}
-	ms.next = func() (kv.Entry, bool, error) {
-		e, ok := memIt.Next()
-		return e, ok, nil
+	memRank := len(v.comps)
+	for _, m := range []*memtable.Table{v.flushing, v.mem} {
+		if m == nil {
+			continue
+		}
+		memIt := m.NewIterator(nil, nil)
+		ms := &src{rank: memRank}
+		ms.next = func() (kv.Entry, bool, error) {
+			e, ok := memIt.Next()
+			return e, ok, nil
+		}
+		srcs = append(srcs, ms)
+		memRank++
 	}
-	srcs = append(srcs, ms)
 	for _, s := range srcs {
 		e, ok, err := s.next()
 		if err != nil {

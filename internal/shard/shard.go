@@ -1,0 +1,269 @@
+// Package shard implements a hash-partitioned router over N independent
+// dataset partitions. The paper evaluates one partition at a time
+// (Section 6.1) and notes that scaling across partitions is near-linear
+// because both ingestion and queries are partition-local; this package
+// supplies that scaling layer: primary-key operations route to one
+// partition by PK hash, batches apply to all partitions concurrently, and
+// secondary-index queries fan out to every partition with bounded worker
+// parallelism and merge their answers.
+//
+// Each partition is a self-contained core.Dataset with its own simulated
+// disk, buffer cache, write-ahead log, and virtual clock, modelling one
+// storage node (or one spindle of a multi-disk node). Because partitions
+// run concurrently, the router's aggregate simulated time is the maximum
+// over partitions, while counters and byte totals are sums.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// Partition is one shard: a dataset plus the storage handle and metrics
+// environment it was opened against.
+type Partition struct {
+	DS    *core.Dataset
+	Store *storage.Store
+	Env   *metrics.Env
+}
+
+// Router fronts N partitions behind a single-dataset-shaped API.
+type Router struct {
+	parts   []*Partition
+	workers int
+}
+
+// NewRouter builds a router over the given partitions. workers bounds the
+// goroutines used by fan-out operations (queries, batch applies, flushes);
+// values < 1 mean one worker per partition.
+func NewRouter(parts []*Partition, workers int) (*Router, error) {
+	if len(parts) == 0 {
+		return nil, errors.New("shard: at least one partition is required")
+	}
+	if workers < 1 || workers > len(parts) {
+		workers = len(parts)
+	}
+	return &Router{parts: parts, workers: workers}, nil
+}
+
+// NumShards returns the partition count.
+func (r *Router) NumShards() int { return len(r.parts) }
+
+// Partition returns shard i.
+func (r *Router) Partition(i int) *Partition { return r.parts[i] }
+
+// Partitions returns all shards in order.
+func (r *Router) Partitions() []*Partition { return r.parts }
+
+// ShardOf returns the shard index owning pk. The hash (FNV-1a) depends
+// only on the key bytes and the shard count, so placement is deterministic
+// across process restarts and router reopens.
+func (r *Router) ShardOf(pk []byte) int { return ShardOf(pk, len(r.parts)) }
+
+// DatasetFor returns the dataset owning pk.
+func (r *Router) DatasetFor(pk []byte) *core.Dataset { return r.parts[ShardOf(pk, len(r.parts))].DS }
+
+// ShardOf hashes pk (FNV-1a, 64-bit) onto [0, n).
+func ShardOf(pk []byte, n int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range pk {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	if n <= 1 {
+		return 0
+	}
+	return int(h % uint64(n))
+}
+
+// Op is a batched mutation's operation.
+type Op uint8
+
+// Batched operations.
+const (
+	// OpUpsert inserts or replaces the record under PK.
+	OpUpsert Op = iota
+	// OpInsert adds the record only when PK is absent (duplicates are
+	// counted as ignored, matching Dataset.Insert).
+	OpInsert
+	// OpDelete removes the record under PK (missing keys are ignored).
+	OpDelete
+)
+
+// Mutation is one write in an ApplyBatch.
+type Mutation struct {
+	Op     Op
+	PK     []byte
+	Record []byte // unused by OpDelete
+}
+
+// ApplyBatch groups the mutations by owning shard and applies each group
+// concurrently, one worker per shard with pending work (bounded by the
+// router's worker limit). Within a shard, mutations apply in input order,
+// so writes to the same key keep their program order; across shards there
+// is no ordering, matching the independence of hash partitions. The first
+// error in a shard stops that shard's remaining mutations; all shard
+// errors are joined.
+func (r *Router) ApplyBatch(muts []Mutation) error {
+	if len(muts) == 0 {
+		return nil
+	}
+	groups := make([][]Mutation, len(r.parts))
+	if len(r.parts) == 1 {
+		groups[0] = muts
+	} else {
+		// Hash each key once, then size the groups so appends don't
+		// reallocate.
+		owners := make([]int, len(muts))
+		counts := make([]int, len(r.parts))
+		for i := range muts {
+			s := ShardOf(muts[i].PK, len(r.parts))
+			owners[i] = s
+			counts[s]++
+		}
+		for s, n := range counts {
+			if n > 0 {
+				groups[s] = make([]Mutation, 0, n)
+			}
+		}
+		for i := range muts {
+			groups[owners[i]] = append(groups[owners[i]], muts[i])
+		}
+	}
+	return r.fanOut(func(s int, p *Partition) error {
+		return ApplyMutations(p.DS, groups[s])
+	})
+}
+
+// ApplyMutations applies the mutations to one dataset sequentially, in
+// order, stopping at the first error. It is the per-shard (and unsharded)
+// half of ApplyBatch.
+func ApplyMutations(ds *core.Dataset, muts []Mutation) error {
+	for _, m := range muts {
+		var err error
+		switch m.Op {
+		case OpUpsert:
+			err = ds.Upsert(m.PK, m.Record)
+		case OpInsert:
+			_, err = ds.Insert(m.PK, m.Record)
+		case OpDelete:
+			_, err = ds.Delete(m.PK)
+		default:
+			err = fmt.Errorf("shard: unknown mutation op %d", m.Op)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fanOut runs fn once per partition on up to r.workers goroutines and
+// joins the per-shard errors.
+func (r *Router) fanOut(fn func(i int, p *Partition) error) error {
+	if len(r.parts) == 1 || r.workers == 1 {
+		var errs []error
+		for i, p := range r.parts {
+			if err := fn(i, p); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return errors.Join(errs...)
+	}
+	sem := make(chan struct{}, r.workers)
+	errs := make([]error, len(r.parts))
+	var wg sync.WaitGroup
+	for i := range r.parts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i, r.parts[i])
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// ForEach runs fn on every partition's dataset with bounded parallelism,
+// joining errors. It backs the lifecycle operations (flush, recovery,
+// repair) that apply uniformly to all shards.
+func (r *Router) ForEach(fn func(ds *core.Dataset) error) error {
+	return r.fanOut(func(_ int, p *Partition) error { return fn(p.DS) })
+}
+
+// FlushAll flushes every shard.
+func (r *Router) FlushAll() error {
+	return r.ForEach(func(ds *core.Dataset) error { return ds.FlushAll() })
+}
+
+// Crash fails every shard: all memory components are lost, disk components
+// survive (the cluster-wide power failure case).
+func (r *Router) Crash() {
+	_ = r.ForEach(func(ds *core.Dataset) error { ds.Crash(); return nil })
+}
+
+// Recover replays every shard's write-ahead log.
+func (r *Router) Recover() error {
+	return r.ForEach(func(ds *core.Dataset) error { return ds.Recover() })
+}
+
+// Stats is one shard's statistics snapshot, or an aggregate over shards.
+type Stats struct {
+	// SimulatedTime is the shard's virtual clock; in an aggregate it is
+	// the maximum over shards (they run concurrently).
+	SimulatedTime int64 // nanoseconds
+	// Ingested and Ignored count accepted and ignored writes.
+	Ingested, Ignored int64
+	// PrimaryComponents is the primary index's disk-component count
+	// (summed in an aggregate).
+	PrimaryComponents int
+	// DiskBytesWritten is total bytes flushed/merged.
+	DiskBytesWritten int64
+	// Counters snapshots the low-level event counters.
+	Counters metrics.Snapshot
+}
+
+// StatsPerShard snapshots every shard's statistics, in shard order.
+func (r *Router) StatsPerShard() []Stats {
+	out := make([]Stats, len(r.parts))
+	for i, p := range r.parts {
+		out[i] = Stats{
+			SimulatedTime:     int64(p.Env.Clock.Now()),
+			Ingested:          p.DS.IngestedCount(),
+			Ignored:           p.DS.IgnoredCount(),
+			PrimaryComponents: p.DS.Primary().NumDiskComponents(),
+			DiskBytesWritten:  p.Store.Disk().BytesWritten(),
+			Counters:          p.Env.Counters.Snapshot(),
+		}
+	}
+	return out
+}
+
+// Aggregate folds per-shard stats into cluster totals: sums everywhere
+// except SimulatedTime, which is the maximum because shards progress
+// concurrently on independent devices.
+func Aggregate(per []Stats) Stats {
+	var agg Stats
+	for _, s := range per {
+		if s.SimulatedTime > agg.SimulatedTime {
+			agg.SimulatedTime = s.SimulatedTime
+		}
+		agg.Ingested += s.Ingested
+		agg.Ignored += s.Ignored
+		agg.PrimaryComponents += s.PrimaryComponents
+		agg.DiskBytesWritten += s.DiskBytesWritten
+		agg.Counters = agg.Counters.Add(s.Counters)
+	}
+	return agg
+}

@@ -4,12 +4,13 @@
 // Carey, "Efficient Data Ingestion and Query Processing for LSM-Based
 // Storage Systems" (PVLDB 12(5), 2019).
 //
-// A DB is one dataset partition backed by a simulated disk with an explicit
-// I/O cost model (see DESIGN.md), holding a primary LSM index, an optional
-// primary key index, and any number of secondary indexes that share a
-// memory budget. The maintenance strategy for auxiliary structures — Eager,
-// Validation, Mutable-bitmap, or Deleted-key B+-tree — is chosen at Open
-// time, and queries pick a validation method per request.
+// A DB is one or more dataset partitions, each backed by a simulated disk
+// with an explicit I/O cost model (see DESIGN.md), holding a primary LSM
+// index, an optional primary key index, and any number of secondary
+// indexes that share a memory budget. The maintenance strategy for
+// auxiliary structures — Eager, Validation, Mutable-bitmap, or Deleted-key
+// B+-tree — is chosen at Open time, and queries pick a validation method
+// per request.
 //
 // Quickstart:
 //
@@ -23,11 +24,26 @@
 //	res, _ := db.SecondaryQuery("user", loKey, hiKey, lsmstore.QueryOptions{
 //		Validation: lsmstore.TimestampValidation,
 //	})
+//
+// # Sharding
+//
+// Options.Shards > 1 opens a hash-partitioned store: N independent
+// partitions, each with its own disk, buffer cache, write-ahead log and
+// virtual clock, fronted by a router (internal/shard). Primary-key
+// operations route to the owning partition by PK hash; ApplyBatch groups
+// a batch of mutations per shard and applies the groups concurrently;
+// SecondaryQuery and FilterScan fan out to every shard with bounded
+// worker parallelism and merge the answers in primary-key order; Flush,
+// Crash, Recover, RepairSecondaryIndexes and Stats apply to (or aggregate
+// over) all shards. Shards is 1 by default, which behaves exactly like
+// the unsharded store.
 package lsmstore
 
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"time"
 
 	"repro/internal/advisor"
 	"repro/internal/core"
@@ -36,6 +52,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/repair"
+	"repro/internal/shard"
 	"repro/internal/storage"
 )
 
@@ -130,17 +147,90 @@ type Options struct {
 	DisableWAL bool
 	// Seed fixes all pseudo-random choices.
 	Seed int64
+	// Shards selects the number of hash partitions (default 1, the
+	// unsharded store). With Shards > 1 the buffer cache (hardware RAM)
+	// is split evenly across partitions, while MemoryBudget applies per
+	// partition, following the paper's per-partition budget (128 MB per
+	// dataset partition in Section 6.1).
+	Shards int
+	// ShardWorkers bounds the goroutines used by cross-shard fan-out
+	// (batch applies, queries, flushes). 0 means one worker per shard.
+	ShardWorkers int
 }
 
-// DB is one dataset partition.
+// DB is one dataset partition or, with Options.Shards > 1, a hash-
+// partitioned group of them behind a router.
 type DB struct {
-	ds    *core.Dataset
-	store *storage.Store
-	env   *metrics.Env
+	ds     *core.Dataset
+	store  *storage.Store
+	env    *metrics.Env
+	shards *shard.Router // non-nil only when Options.Shards > 1
 }
 
 // Open creates an empty DB.
 func Open(opts Options) (*DB, error) {
+	if opts.Shards > 1 {
+		return openSharded(opts)
+	}
+	p, err := openPartition(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{ds: p.DS, store: p.Store, env: p.Env}, nil
+}
+
+// openSharded opens Options.Shards independent partitions — the buffer
+// cache splits evenly across them, the memory budget applies per partition
+// (the paper's per-partition budget) — and fronts them with a hash router.
+func openSharded(opts Options) (*DB, error) {
+	n := opts.Shards
+	per := opts
+	per.Shards = 1
+	per.CacheBytes = resolveCacheBytes(opts) / int64(n)
+	if minCache := int64(8 * resolvePageSize(opts)); per.CacheBytes < minCache {
+		per.CacheBytes = minCache
+	}
+	parts := make([]*shard.Partition, n)
+	for i := range parts {
+		po := per
+		// Distinct seeds keep per-shard memtable shapes independent while
+		// staying deterministic for a given (Seed, Shards) pair.
+		po.Seed = opts.Seed + int64(i)*101
+		p, err := openPartition(po)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = p
+	}
+	r, err := shard.NewRouter(parts, opts.ShardWorkers)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{ds: parts[0].DS, store: parts[0].Store, env: parts[0].Env, shards: r}, nil
+}
+
+// resolveCacheBytes applies the buffer-cache default (64 MB, matching the
+// scaled-down datasets; 2 GB HDD / 4 GB SSD in the paper).
+func resolveCacheBytes(opts Options) int64 {
+	if opts.CacheBytes != 0 {
+		return opts.CacheBytes
+	}
+	return 64 << 20
+}
+
+// resolvePageSize returns the effective device page size for the options.
+func resolvePageSize(opts Options) int {
+	if opts.PageSize > 0 {
+		return opts.PageSize
+	}
+	if opts.Device == SSD {
+		return storage.SSD().PageSize
+	}
+	return storage.HDD().PageSize
+}
+
+// openPartition opens one partition: the unsharded store, or one shard.
+func openPartition(opts Options) (*shard.Partition, error) {
 	env := metrics.NewEnv()
 	profile := storage.HDD()
 	if opts.Device == SSD {
@@ -154,11 +244,7 @@ func Open(opts Options) (*DB, error) {
 			profile = p
 		}
 	}
-	cacheBytes := opts.CacheBytes
-	if cacheBytes == 0 {
-		cacheBytes = 64 << 20
-	}
-	store := storage.NewStore(storage.NewDisk(profile, env), cacheBytes, env)
+	store := storage.NewStore(storage.NewDisk(profile, env), resolveCacheBytes(opts), env)
 
 	cfg := core.Config{
 		Store:            store,
@@ -185,25 +271,68 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{ds: ds, store: store, env: env}, nil
+	return &shard.Partition{DS: ds, Store: store, Env: env}, nil
+}
+
+// dsFor returns the dataset owning pk: the single dataset, or the shard
+// selected by PK hash.
+func (db *DB) dsFor(pk []byte) *core.Dataset {
+	if db.shards != nil {
+		return db.shards.DatasetFor(pk)
+	}
+	return db.ds
 }
 
 // Insert adds a record; it reports false when the key already exists.
-func (db *DB) Insert(pk, record []byte) (bool, error) { return db.ds.Insert(pk, record) }
+func (db *DB) Insert(pk, record []byte) (bool, error) { return db.dsFor(pk).Insert(pk, record) }
 
 // Upsert inserts or replaces the record under pk.
-func (db *DB) Upsert(pk, record []byte) error { return db.ds.Upsert(pk, record) }
+func (db *DB) Upsert(pk, record []byte) error { return db.dsFor(pk).Upsert(pk, record) }
 
 // Delete removes the record under pk; it reports false when absent.
-func (db *DB) Delete(pk []byte) (bool, error) { return db.ds.Delete(pk) }
+func (db *DB) Delete(pk []byte) (bool, error) { return db.dsFor(pk).Delete(pk) }
 
 // Get returns the current record under pk.
 func (db *DB) Get(pk []byte) ([]byte, bool, error) {
-	e, found, err := db.ds.Primary().Get(pk)
+	e, found, err := db.dsFor(pk).Primary().Get(pk)
 	if err != nil || !found {
 		return nil, false, err
 	}
 	return append([]byte(nil), e.Value...), true, nil
+}
+
+// Mutation is one write in an ApplyBatch.
+type Mutation = shard.Mutation
+
+// Op is a Mutation's operation.
+type Op = shard.Op
+
+// Batched operations.
+const (
+	OpUpsert = shard.OpUpsert
+	OpInsert = shard.OpInsert
+	OpDelete = shard.OpDelete
+)
+
+// ApplyBatch applies a batch of mutations. On a sharded store the batch is
+// grouped by owning shard and the groups apply concurrently (bounded by
+// Options.ShardWorkers); mutations to the same primary key always land in
+// the same shard and keep their order within the batch. On an unsharded
+// store the batch applies sequentially in order. Duplicate inserts and
+// deletes of missing keys are counted as ignored, as in Insert and Delete.
+func (db *DB) ApplyBatch(muts []Mutation) error {
+	if db.shards != nil {
+		return db.shards.ApplyBatch(muts)
+	}
+	return shard.ApplyMutations(db.ds, muts)
+}
+
+// NumShards returns the number of hash partitions (1 when unsharded).
+func (db *DB) NumShards() int {
+	if db.shards != nil {
+		return db.shards.NumShards()
+	}
+	return 1
 }
 
 // QueryOptions configures a secondary-index query.
@@ -220,6 +349,13 @@ type QueryOptions struct {
 	// it discovers so later queries skip them and the next merge drops
 	// them (query-driven maintenance, the paper's Section 7 extension).
 	CrackOnValidate bool
+	// Limit caps the number of returned records (or keys, for index-only
+	// queries); 0 means unlimited. With a limit the answer is sorted in
+	// primary-key order before the cap applies — on every shard count —
+	// so the selected subset is deterministic for a given store state and
+	// does not change when a store is re-opened with a different Shards
+	// value.
+	Limit int
 }
 
 // QueryResult is a secondary query's answer.
@@ -242,22 +378,53 @@ var ErrUnknownIndex = errors.New("lsmstore: unknown secondary index")
 // SecondaryQuery runs a range query lo <= secondary key <= hi on the named
 // index.
 func (db *DB) SecondaryQuery(index string, lo, hi []byte, opts QueryOptions) (*QueryResult, error) {
-	si := db.ds.Secondary(index)
-	if si == nil {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownIndex, index)
-	}
 	lookup := query.DefaultLookupConfig()
 	if opts.Lookup != nil {
 		lookup = *opts.Lookup
 	}
-	res, err := query.SecondaryRange(db.ds, si, lo, hi, query.SecondaryQueryOptions{
+	qopts := query.SecondaryQueryOptions{
 		Validation:      opts.Validation,
 		IndexOnly:       opts.IndexOnly,
 		Lookup:          lookup,
 		CrackOnValidate: opts.CrackOnValidate,
-	})
-	if err != nil {
-		return nil, err
+	}
+	var res *query.SecondaryResult
+	if db.shards != nil {
+		var err error
+		res, err = db.shards.SecondaryQuery(index, lo, hi, qopts, opts.Limit)
+		if errors.Is(err, shard.ErrUnknownIndex) {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownIndex, index)
+		}
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		si := db.ds.Secondary(index)
+		if si == nil {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownIndex, index)
+		}
+		var err error
+		res, err = query.SecondaryRange(db.ds, si, lo, hi, qopts)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Limit > 0 {
+			// Match the sharded path's semantics: the capped subset is the
+			// first Limit results in primary-key order, regardless of the
+			// scan order the validation method produced.
+			sort.Slice(res.Records, func(i, j int) bool {
+				return kv.Compare(res.Records[i].Key, res.Records[j].Key) < 0
+			})
+			sort.Slice(res.Keys, func(i, j int) bool {
+				return kv.Compare(res.Keys[i], res.Keys[j]) < 0
+			})
+			if len(res.Records) > opts.Limit {
+				res.Records = res.Records[:opts.Limit]
+			}
+			if len(res.Keys) > opts.Limit {
+				res.Keys = res.Keys[:opts.Limit]
+			}
+		}
 	}
 	out := &QueryResult{Keys: res.Keys}
 	for _, e := range res.Records {
@@ -267,37 +434,71 @@ func (db *DB) SecondaryQuery(index string, lo, hi []byte, opts QueryOptions) (*Q
 }
 
 // FilterScan scans the primary index for records whose filter key lies in
-// [lo, hi], using component range filters for pruning.
+// [lo, hi], using component range filters for pruning. On a sharded store
+// every shard scans concurrently and the union is emitted in primary-key
+// order from the caller's goroutine.
 func (db *DB) FilterScan(lo, hi int64, fn func(pk, record []byte)) error {
+	if db.shards != nil {
+		return db.shards.FilterScan(lo, hi, func(e kv.Entry) { fn(e.Key, e.Value) })
+	}
 	return query.FilterScan(db.ds, lo, hi, func(e kv.Entry) { fn(e.Key, e.Value) })
 }
 
-// Flush forces all memory components to disk and runs due merges.
-func (db *DB) Flush() error { return db.ds.FlushAll() }
+// Flush forces all memory components to disk and runs due merges, on every
+// shard.
+func (db *DB) Flush() error {
+	if db.shards != nil {
+		return db.shards.FlushAll()
+	}
+	return db.ds.FlushAll()
+}
 
 // Crash simulates a failure: all memory components are lost; disk
-// components survive (no-steal/no-force, Section 2.2 of the paper).
-func (db *DB) Crash() { db.ds.Crash() }
+// components survive (no-steal/no-force, Section 2.2 of the paper). On a
+// sharded store every shard fails.
+func (db *DB) Crash() {
+	if db.shards != nil {
+		db.shards.Crash()
+		return
+	}
+	db.ds.Crash()
+}
 
-// Recover replays committed write-ahead-log records lost in a Crash.
-func (db *DB) Recover() error { return db.ds.Recover() }
+// Recover replays committed write-ahead-log records lost in a Crash, on
+// every shard.
+func (db *DB) Recover() error {
+	if db.shards != nil {
+		return db.shards.Recover()
+	}
+	return db.ds.Recover()
+}
 
 // RepairSecondaryIndexes runs a standalone repair over every component of
-// every secondary index (Validation strategy housekeeping).
+// every secondary index (Validation strategy housekeeping), on every shard.
 func (db *DB) RepairSecondaryIndexes() error {
-	pk := db.ds.PKIndex()
+	if db.shards != nil {
+		return db.shards.ForEach(repairSecondaries)
+	}
+	return repairSecondaries(db.ds)
+}
+
+func repairSecondaries(ds *core.Dataset) error {
+	pk := ds.PKIndex()
 	if pk == nil {
 		return core.ErrNoPKIndex
 	}
-	for _, si := range db.ds.Secondaries() {
-		if err := repair.RepairAll(si.Tree, pk, repair.Options{UseBloom: db.ds.Config().RepairBloomOpt}); err != nil {
+	for _, si := range ds.Secondaries() {
+		if err := repair.RepairAll(si.Tree, pk, repair.Options{UseBloom: ds.Config().RepairBloomOpt}); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Stats summarizes engine state and accumulated costs.
+// Stats summarizes engine state and accumulated costs. On a sharded store
+// the top-level fields aggregate over shards (sums, except SimulatedTime,
+// which is the maximum because shards progress concurrently on independent
+// devices) and PerShard holds each shard's own snapshot.
 type Stats struct {
 	// SimulatedTime is the virtual clock reading (cost-model time).
 	SimulatedTime string
@@ -309,10 +510,27 @@ type Stats struct {
 	DiskBytesWritten int64
 	// Counters snapshots the low-level event counters.
 	Counters metrics.Snapshot
+	// Shards is the hash-partition count (1 when unsharded).
+	Shards int
+	// PerShard holds per-shard statistics in shard order; nil when
+	// unsharded.
+	PerShard []Stats
 }
 
 // Stats reports current statistics.
 func (db *DB) Stats() Stats {
+	if db.shards != nil {
+		per := db.shards.StatsPerShard()
+		agg := shard.Aggregate(per)
+		out := statsFrom(agg)
+		out.Shards = db.shards.NumShards()
+		out.PerShard = make([]Stats, len(per))
+		for i, s := range per {
+			out.PerShard[i] = statsFrom(s)
+			out.PerShard[i].Shards = 1
+		}
+		return out
+	}
 	return Stats{
 		SimulatedTime:     db.env.Clock.Now().String(),
 		Ingested:          db.ds.IngestedCount(),
@@ -320,6 +538,19 @@ func (db *DB) Stats() Stats {
 		PrimaryComponents: db.ds.Primary().NumDiskComponents(),
 		DiskBytesWritten:  db.store.Disk().BytesWritten(),
 		Counters:          db.env.Counters.Snapshot(),
+		Shards:            1,
+	}
+}
+
+// statsFrom converts a shard-level snapshot to the public shape.
+func statsFrom(s shard.Stats) Stats {
+	return Stats{
+		SimulatedTime:     time.Duration(s.SimulatedTime).String(),
+		Ingested:          s.Ingested,
+		Ignored:           s.Ignored,
+		PrimaryComponents: s.PrimaryComponents,
+		DiskBytesWritten:  s.DiskBytesWritten,
+		Counters:          s.Counters,
 	}
 }
 
@@ -337,7 +568,21 @@ func Advise(p WorkloadProfile) (Strategy, AdvisorReport, error) {
 }
 
 // Dataset exposes the underlying dataset for advanced use (experiments).
+// On a sharded store it returns shard 0; use Shard to reach the others.
 func (db *DB) Dataset() *core.Dataset { return db.ds }
 
-// Env exposes the metrics environment (virtual clock and counters).
+// Shard exposes shard i's dataset for advanced use. On an unsharded store
+// only shard 0 exists.
+func (db *DB) Shard(i int) *core.Dataset {
+	if db.shards != nil {
+		return db.shards.Partition(i).DS
+	}
+	if i != 0 {
+		panic(fmt.Sprintf("lsmstore: shard %d of an unsharded store", i))
+	}
+	return db.ds
+}
+
+// Env exposes the metrics environment (virtual clock and counters). On a
+// sharded store it returns shard 0's environment; each shard has its own.
 func (db *DB) Env() *metrics.Env { return db.env }
