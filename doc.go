@@ -7,10 +7,15 @@
 // in hash-sharded mode (lsmstore.Options.Shards, internal/shard): N
 // independent dataset partitions ingest batches concurrently via
 // ApplyBatch while queries fan out and merge, scaling the paper's single-
-// partition engine toward production traffic.
+// partition engine toward production traffic. Background maintenance
+// (lsmstore.Options.MaintenanceWorkers, internal/maint) moves flush builds
+// and policy merges off the write path onto a bounded worker pool, with
+// backpressure and a two-lane cost model (ingest vs maintenance virtual
+// time).
 //
 // This root package holds the benchmark harness: bench_test.go regenerates
 // every figure of the paper's evaluation via internal/experiments, and
 // shard_bench_test.go sweeps shard counts over the same ingest workload
-// (BenchmarkShardedIngest, TestShardedIngestScaling).
+// (BenchmarkShardedIngest with sync and maint=N variants,
+// TestShardedIngestScaling, TestAsyncIngestThroughput).
 package repro

@@ -53,6 +53,25 @@ func Open(store *storage.Store, file storage.FileID) (*Reader, error) {
 	}, nil
 }
 
+// Rebind switches the reader onto another store view of the same disk
+// (typically from a background-lane store back to the foreground store
+// before a freshly built component is installed). Call it before the
+// reader is shared; it is not synchronized with concurrent searches.
+func (r *Reader) Rebind(store *storage.Store) {
+	r.store = store
+	r.env = store.Env()
+}
+
+// CloneFor returns a shallow reader over the same tree charging the given
+// store view (background merges scan inputs on their own I/O lane without
+// disturbing concurrent foreground readers).
+func (r *Reader) CloneFor(store *storage.Store) *Reader {
+	cp := *r
+	cp.store = store
+	cp.env = store.Env()
+	return &cp
+}
+
 // NumEntries returns the number of entries in the tree.
 func (r *Reader) NumEntries() int64 { return r.count }
 

@@ -1,0 +1,518 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/lsm"
+	"repro/internal/maint"
+	"repro/internal/memtable"
+)
+
+// This file implements the asynchronous half of dataset maintenance: with
+// Config.Maintenance set, the write that crosses the memory budget only
+// freezes the memory components (a writer drain plus pointer swaps) and
+// returns; the disk-component builds and every policy-picked merge run on
+// the shared background pool. The frozen memtables stay readable through
+// the trees' flushing queues (lsm.Tree.ReadView), writers soft-stall when
+// maintenance falls too far behind (backpressure), and worker errors
+// surface on the next write. Crash abandons in-flight installs through the
+// trees' install generations, so a failure can never resurrect pre-crash
+// memory state.
+
+// flushBatch is one frozen set of memory components: every index of the
+// dataset freezes together under one epoch, exactly like a synchronous
+// flush (Section 3's shared memory budget), only the build is deferred.
+type flushBatch struct {
+	epoch uint64
+
+	primary, pk *memtable.Table // nil when that index's memtable was empty
+	primGen     uint64          // install generation captured at freeze
+	pkGen       uint64
+	secondaries []*memtable.Table // per secondary index; nil entries allowed
+	secGens     []uint64
+	secDeleted  []*frozenDeleted // DeletedKey accumulators frozen with the batch
+
+	// Mutable-bitmap bookkeeping: deletes of keys whose newest version
+	// lives in this batch's frozen memtables are forwarded here; the build
+	// applies them to the new component's validity bitmap before install
+	// (the same idea as the Section 5.3 build-target forwarding, one stage
+	// earlier in the pipeline).
+	delMu         sync.Mutex
+	frozenDeletes map[string]struct{}
+	sealed        bool
+	sealedPrim    *lsm.Component // set at seal time; nil when abandoned by a crash
+}
+
+// addFrozenDelete forwards a delete of pk into the batch. Before sealing it
+// lands in the forwarded set, which the build applies to the component's
+// bitmap (forwarded=true). After sealing the caller must apply the delete
+// to the returned sealed component itself — through the normal
+// disk-component path, so a merge concurrently building over it still sees
+// the delete forwarded. Both results zero means the batch was abandoned by
+// a crash and the caller re-runs its search against the post-crash state.
+func (b *flushBatch) addFrozenDelete(pk []byte) (forwarded bool, sealedComp *lsm.Component) {
+	b.delMu.Lock()
+	defer b.delMu.Unlock()
+	if !b.sealed {
+		if b.frozenDeletes == nil {
+			b.frozenDeletes = make(map[string]struct{})
+		}
+		b.frozenDeletes[string(pk)] = struct{}{}
+		return true, nil
+	}
+	return false, b.sealedPrim // nil when abandoned: the memtables died with the crash
+}
+
+// seal closes the forwarded-delete window: later forwards apply directly to
+// comp's bitmap. It returns the deletes forwarded so far.
+func (b *flushBatch) seal(comp *lsm.Component) map[string]struct{} {
+	b.delMu.Lock()
+	defer b.delMu.Unlock()
+	b.sealed = true
+	b.sealedPrim = comp
+	dels := b.frozenDeletes
+	b.frozenDeletes = nil
+	return dels
+}
+
+// maintState is the per-dataset scheduling state over the shared pool.
+type maintState struct {
+	pool *maint.Pool
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pending   []*flushBatch
+	byPKTable map[*memtable.Table]*flushBatch
+	frozen    int // pending + building batches not yet installed
+	building  bool
+	mergeWant bool // a merge job is queued
+	merging   bool
+	err       error // sticky first failure of any background job
+
+	freezeMu sync.Mutex // serializes freeze decisions
+}
+
+func newMaintState(pool *maint.Pool) *maintState {
+	m := &maintState{pool: pool, byPKTable: make(map[*memtable.Table]*flushBatch)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// ErrMaintenanceClosed reports a write against a store whose maintenance
+// pool was closed (the store was Closed).
+var ErrMaintenanceClosed = errors.New("core: maintenance pool is closed")
+
+// setErrLocked records the first background failure; m.mu must be held.
+func (m *maintState) setErrLocked(err error) {
+	if m.err == nil && err != nil {
+		m.err = err
+	}
+	m.cond.Broadcast()
+}
+
+// MaintErr returns the sticky background-maintenance error, if any. The
+// next write after an asynchronous flush or merge fails returns this error;
+// it stays set (the store is considered wedged) until a Crash+Recover
+// cycle.
+func (d *Dataset) MaintErr() error {
+	m := d.maint
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// maybeFlushAsync is the asynchronous counterpart of maybeFlush: apply
+// backpressure, then freeze-and-schedule instead of flushing inline. The
+// sticky-error check is folded into the backpressure pass so the common
+// write takes the maintenance mutex once.
+func (d *Dataset) maybeFlushAsync() error {
+	if err := d.stallForBackpressure(); err != nil {
+		return err
+	}
+	if d.memBytes() < d.cfg.MemoryBudget {
+		return nil
+	}
+	d.freezeAndSchedule(true)
+	return d.MaintErr()
+}
+
+// stallForBackpressure blocks the writer while maintenance is too far
+// behind: too many frozen batches awaiting builds, or (when configured) too
+// many unmerged disk components while a merge is still pending. Stall
+// counts and wall-clock durations land in the metrics counters. It returns
+// the sticky maintenance error, which also breaks any stall.
+func (d *Dataset) stallForBackpressure() error {
+	m := d.maint
+	maxFrozen := d.cfg.MaxFrozenMemtables
+	if maxFrozen <= 0 {
+		maxFrozen = 4
+	}
+	maxComps := d.cfg.MaxUnmergedComponents
+	var start time.Time
+	stalled := false
+	m.mu.Lock()
+	for m.err == nil {
+		over := m.frozen >= maxFrozen
+		if !over && maxComps > 0 && (m.mergeWant || m.merging) &&
+			d.primary.NumDiskComponents() >= maxComps {
+			over = true
+		}
+		if !over {
+			break
+		}
+		if !stalled {
+			stalled = true
+			start = time.Now()
+		}
+		m.cond.Wait()
+	}
+	err := m.err
+	m.mu.Unlock()
+	if stalled {
+		d.env.Counters.WriteStalls.Add(1)
+		d.env.Counters.WriteStallNanos.Add(time.Since(start).Nanoseconds())
+		// Lane synchronization: a stalled writer waited for background
+		// maintenance, so the ingest lane's virtual clock catches up to
+		// the maintenance lane.
+		d.env.Clock.AdvanceTo(d.bgEnv.Clock.Now())
+	}
+	return err
+}
+
+// freezeAndSchedule freezes the memory components into a batch and submits
+// its build to the pool. With checkBudget set it re-verifies the memory
+// budget under the freeze lock, so racing writers freeze at most once per
+// crossing. The batch is enqueued while freezeMu is still held: freeze
+// (epoch) order and queue order must agree, or the FIFO builder could
+// install a newer epoch's components below an older one and break the
+// component list's recency order.
+func (d *Dataset) freezeAndSchedule(checkBudget bool) {
+	m := d.maint
+	m.freezeMu.Lock()
+	if checkBudget && d.memBytes() < d.cfg.MemoryBudget {
+		m.freezeMu.Unlock()
+		return
+	}
+	b := d.freezeBatch()
+	m.freezeMu.Unlock()
+	if b == nil {
+		return
+	}
+	if !m.pool.Submit(d.processOneBatch) {
+		m.mu.Lock()
+		for i, p := range m.pending {
+			if p == b {
+				m.pending = append(m.pending[:i:i], m.pending[i+1:]...)
+				m.frozen--
+				break
+			}
+		}
+		delete(m.byPKTable, b.pk)
+		m.setErrLocked(ErrMaintenanceClosed)
+		m.mu.Unlock()
+	}
+}
+
+// freezeBatch freezes every index's memory component under a writer drain,
+// stamps the batch with a fresh epoch, and enqueues it — still inside the
+// drain, so no resumed writer can ever observe a frozen memtable whose
+// batch is not yet registered (the Mutable-bitmap delete forward relies on
+// finding the owning batch through byPKTable). It returns nil when every
+// memtable is empty (no epoch is consumed, nothing is enqueued).
+func (d *Dataset) freezeBatch() *flushBatch {
+	b := &flushBatch{}
+	any := false
+	d.dsLock.Drain(func() {
+		var ok bool
+		if b.primary, b.primGen, ok = d.primary.Freeze(); ok {
+			any = true
+		} else {
+			b.primary = nil
+		}
+		if d.pkIndex != nil {
+			if b.pk, b.pkGen, ok = d.pkIndex.Freeze(); ok {
+				any = true
+			} else {
+				b.pk = nil
+			}
+		}
+		b.secondaries = make([]*memtable.Table, len(d.secondaries))
+		b.secGens = make([]uint64, len(d.secondaries))
+		b.secDeleted = make([]*frozenDeleted, len(d.secondaries))
+		for i, si := range d.secondaries {
+			if tbl, gen, ok := si.Tree.Freeze(); ok {
+				b.secondaries[i], b.secGens[i] = tbl, gen
+				any = true
+				if d.cfg.Strategy == DeletedKey {
+					// The accumulator freezes with its memtable, exactly
+					// as the synchronous flush takes it when the component
+					// is built; an empty-memtable secondary keeps
+					// accumulating for its next flush.
+					b.secDeleted[i] = si.freezeMemDeleted()
+				}
+			}
+		}
+		if any {
+			b.epoch = d.epoch.Add(1)
+			m := d.maint
+			m.mu.Lock()
+			m.pending = append(m.pending, b)
+			m.frozen++
+			if b.pk != nil {
+				m.byPKTable[b.pk] = b
+			}
+			m.mu.Unlock()
+		}
+	})
+	if !any {
+		return nil
+	}
+	return b
+}
+
+// processOneBatch is the pool job that builds and installs pending flush
+// batches, strictly in freeze (epoch) order: the `building` flag admits one
+// builder per dataset and the pending queue pops FIFO. A job that finds a
+// builder already active returns immediately — the active builder drains
+// the queue before exiting — so a busy dataset never pins extra pool
+// workers that other shards could use.
+func (d *Dataset) processOneBatch() {
+	m := d.maint
+	m.mu.Lock()
+	if m.building {
+		m.mu.Unlock()
+		return
+	}
+	for len(m.pending) > 0 {
+		b := m.pending[0]
+		m.pending = m.pending[1:]
+		m.building = true
+		m.mu.Unlock()
+
+		err := d.buildAndInstallBatch(b)
+
+		// Queue the follow-up merge BEFORE announcing completion: a
+		// drainer woken by the broadcast below must observe the pending
+		// merge, or it could return with merges still due.
+		if err == nil {
+			d.scheduleMerge()
+		}
+
+		m.mu.Lock()
+		m.building = false
+		m.frozen--
+		delete(m.byPKTable, b.pk)
+		if err != nil && !errors.Is(err, lsm.ErrStaleInstall) {
+			m.setErrLocked(err)
+		}
+		m.cond.Broadcast()
+	}
+	m.mu.Unlock()
+}
+
+// batchForPKTable maps a frozen pk-index memtable to its flush batch (for
+// forwarding Mutable-bitmap deletes).
+func (d *Dataset) batchForPKTable(tbl *memtable.Table) *flushBatch {
+	m := d.maint
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.byPKTable[tbl]
+}
+
+// buildAndInstallBatch bulk-loads every frozen memtable of the batch into
+// disk components, then installs them all atomically with respect to Crash.
+func (d *Dataset) buildAndInstallBatch(b *flushBatch) error {
+	var primComp, pkComp *lsm.Component
+	var err error
+	if b.primary != nil {
+		if primComp, err = d.primary.BuildFrozenOn(d.bgStore, b.primary, b.epoch); err != nil {
+			return err
+		}
+	}
+	if b.pk != nil {
+		if pkComp, err = d.pkIndex.BuildFrozenOn(d.bgStore, b.pk, b.epoch); err != nil {
+			return err
+		}
+	}
+	if d.cfg.Strategy == MutableBitmap {
+		if err := pairPrimaryPK(primComp, pkComp); err != nil {
+			return err
+		}
+	}
+	secComps := make([]*lsm.Component, len(d.secondaries))
+	for i, si := range d.secondaries {
+		if b.secondaries[i] == nil {
+			continue
+		}
+		comp, err := si.Tree.BuildFrozenOn(d.bgStore, b.secondaries[i], b.epoch)
+		if err != nil {
+			return err
+		}
+		if d.cfg.Strategy == DeletedKey && b.secDeleted[i] != nil {
+			if err := d.attachDeletedEntries(comp, sortedDeleted(b.secDeleted[i].m)); err != nil {
+				return err
+			}
+		}
+		secComps[i] = comp
+	}
+
+	// Install atomically with respect to Crash: either the whole batch
+	// lands before the failure (and is durable) or none of it does. The
+	// trees' per-install generation checks agree because Crash bumps them
+	// all while holding crashMu.
+	d.crashMu.Lock()
+	defer d.crashMu.Unlock()
+	if b.primary != nil && d.primary.InstallGen() != b.primGen {
+		// A crash abandoned the batch; the frozen memtables are already
+		// gone. Seal with no component so racing delete-forwarders fall
+		// back to re-running their search.
+		b.seal(nil)
+		return lsm.ErrStaleInstall
+	}
+	if primComp != nil && primComp.Valid != nil {
+		// Seal the forwarded-delete window and apply the deletes gathered
+		// while the memtable was frozen (Mutable-bitmap strategy). The
+		// component is not installed yet, so no merge can be building over
+		// it; a lookup failure must fail the batch — silently dropping a
+		// forwarded delete would resurrect the record.
+		for pk := range b.seal(primComp) {
+			_, ord, found, err := primComp.BTree.Get([]byte(pk))
+			if err != nil {
+				return err
+			}
+			if found {
+				primComp.Valid.Set(ord)
+			}
+		}
+	}
+	if b.primary != nil {
+		if err := d.primary.InstallFlushed(b.primary, primComp, b.primGen); err != nil {
+			return err
+		}
+	}
+	if b.pk != nil {
+		if err := d.pkIndex.InstallFlushed(b.pk, pkComp, b.pkGen); err != nil {
+			return err
+		}
+	}
+	for i, si := range d.secondaries {
+		if b.secondaries[i] != nil {
+			if err := si.Tree.InstallFlushed(b.secondaries[i], secComps[i], b.secGens[i]); err != nil {
+				return err
+			}
+		}
+		si.releasePendingDeleted(b.secDeleted[i])
+	}
+	return nil
+}
+
+// scheduleMerge queues one merge job unless one is already queued. The job
+// runs every due merge; flush batches finishing during the run queue a
+// fresh job, so newly due merges are never missed.
+func (d *Dataset) scheduleMerge() {
+	if d.cfg.Policy == nil {
+		return
+	}
+	m := d.maint
+	m.mu.Lock()
+	if m.mergeWant || m.err != nil {
+		m.mu.Unlock()
+		return
+	}
+	m.mergeWant = true
+	m.mu.Unlock()
+	if !m.pool.Submit(d.runMergeJob) {
+		m.mu.Lock()
+		m.mergeWant = false
+		m.setErrLocked(ErrMaintenanceClosed)
+		m.mu.Unlock()
+	}
+}
+
+// runMergeJob is the pool job that runs every due merge for the dataset.
+// The `merging` flag admits one merger per dataset: a job arriving while
+// one is active returns at once, leaving mergeWant set for the active
+// merger's loop to consume, so no pool worker ever blocks behind another
+// shard's merge pass.
+func (d *Dataset) runMergeJob() {
+	m := d.maint
+	m.mu.Lock()
+	if m.merging {
+		m.mu.Unlock()
+		return
+	}
+	for m.mergeWant {
+		m.mergeWant = false
+		m.merging = true
+		m.mu.Unlock()
+
+		err := d.mergeDue()
+		if errors.Is(err, lsm.ErrStaleInstall) {
+			err = nil // a crash abandoned the merge; its inputs are intact
+		}
+
+		m.mu.Lock()
+		m.merging = false
+		if err != nil {
+			m.setErrLocked(err)
+		}
+		m.cond.Broadcast()
+	}
+	m.mu.Unlock()
+}
+
+// flushAllAsync makes FlushAll deterministic in asynchronous mode: freeze
+// whatever the memtables hold, make sure due merges are considered, and
+// drain until every background job for this dataset has finished.
+func (d *Dataset) flushAllAsync() error {
+	if err := d.MaintErr(); err != nil {
+		return err
+	}
+	d.freezeAndSchedule(false)
+	d.scheduleMerge()
+	return d.DrainMaintenance()
+}
+
+// DrainMaintenance blocks until no flush batches are pending or building
+// and no merge job is queued or running, then returns the sticky
+// maintenance error, if any. On a synchronous dataset it returns nil
+// immediately.
+func (d *Dataset) DrainMaintenance() error {
+	m := d.maint
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	for m.err == nil && (len(m.pending) > 0 || m.building || m.mergeWant || m.merging) {
+		m.cond.Wait()
+	}
+	err := m.err
+	m.mu.Unlock()
+	// Lane synchronization: draining waits for the maintenance lane, so
+	// the ingest lane's virtual clock catches up to it.
+	d.env.Clock.AdvanceTo(d.bgEnv.Clock.Now())
+	return err
+}
+
+// crashAsync abandons queued flush batches (their frozen memtables die with
+// the crash) and wakes stalled writers. In-flight builds and merges abandon
+// themselves at install time through the trees' generation checks. The
+// caller holds crashMu.
+func (d *Dataset) crashAsync() {
+	m := d.maint
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.frozen -= len(m.pending)
+	m.pending = nil
+	m.byPKTable = make(map[*memtable.Table]*flushBatch)
+	m.err = nil // the crash wipes the wedged state; Recover rebuilds from the log
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}

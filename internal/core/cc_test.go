@@ -1,8 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"testing"
+
+	"repro/internal/lsm"
+	"repro/internal/maint"
 )
 
 // setupCCDataset builds a Mutable-bitmap dataset with two flushed
@@ -205,5 +209,160 @@ func TestMergedComponentSharesBitmapWithPK(t *testing.T) {
 	}
 	if p[0].Valid.Count() != 1 {
 		t.Fatalf("bitmap count = %d after post-merge delete", p[0].Valid.Count())
+	}
+}
+
+// newAsyncDataset opens a dataset with background maintenance on a fresh
+// pool: a small budget forces frequent freezes and the tiering policy keeps
+// merges flowing, so builds and merges overlap the concurrent writers.
+func newAsyncDataset(t *testing.T, pool *maint.Pool, mutate func(*Config)) *Dataset {
+	t.Helper()
+	return newTestDataset(t, func(c *Config) {
+		c.Maintenance = pool
+		c.MemoryBudget = 32 << 10
+		c.Policy = lsm.NewTiering(0)
+		if mutate != nil {
+			mutate(c)
+		}
+	})
+}
+
+// TestAsyncConcurrentWritersAndReaders is the background-scheduler race
+// battery: concurrent Insert/Delete/Upsert streams (disjoint key ranges per
+// writer) race point reads and reconciled secondary scans while flush
+// builds and policy merges run on the pool. After a drain, every writer's
+// final state must be visible. The real assertions run under -race in CI.
+func TestAsyncConcurrentWritersAndReaders(t *testing.T) {
+	type variant struct {
+		name   string
+		mutate func(*Config)
+	}
+	variants := []variant{
+		{"eager", func(c *Config) { c.Strategy = Eager }},
+		{"validation", func(c *Config) { c.Strategy = Validation }},
+		{"mutable-bitmap/side-file", func(c *Config) { c.Strategy = MutableBitmap; c.CC = SideFile }},
+		{"mutable-bitmap/lock", func(c *Config) { c.Strategy = MutableBitmap; c.CC = Lock }},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			pool := maint.NewPool(2)
+			defer pool.Close()
+			d := newAsyncDataset(t, pool, v.mutate)
+
+			const (
+				writers = 3
+				perW    = 700
+			)
+			var wg sync.WaitGroup
+			errc := make(chan error, writers+1)
+			finals := make([]map[uint64]string, writers)
+			for w := 0; w < writers; w++ {
+				w := w
+				finals[w] = make(map[uint64]string)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					base := uint64(w) * 1_000_000
+					for i := 0; i < perW; i++ {
+						pk := base + uint64(i%200)
+						loc := fmt.Sprintf("L%02d", (w*7+i)%30)
+						switch i % 5 {
+						case 3:
+							if _, err := d.Delete(pkOf(pk)); err != nil {
+								errc <- err
+								return
+							}
+							delete(finals[w], pk)
+						case 4:
+							if _, err := d.Insert(pkOf(pk), testRecord(loc, int64(2000+i))); err != nil {
+								errc <- err
+								return
+							}
+							if _, ok := finals[w][pk]; !ok {
+								finals[w][pk] = loc
+							}
+						default:
+							if err := d.Upsert(pkOf(pk), testRecord(loc, int64(2000+i))); err != nil {
+								errc <- err
+								return
+							}
+							finals[w][pk] = loc
+						}
+					}
+				}()
+			}
+			// A reader hammers point lookups and reconciled secondary scans
+			// while the writers and the background maintenance jobs run.
+			stop := make(chan struct{})
+			var rwg sync.WaitGroup
+			rwg.Add(1)
+			go func() {
+				defer rwg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for pk := uint64(0); pk < 50; pk++ {
+						if _, _, err := d.Primary().Get(pkOf(pk)); err != nil {
+							errc <- err
+							return
+						}
+					}
+					si := d.Secondary("location")
+					mem, flushing, comps := si.Tree.ReadView()
+					it, err := si.Tree.NewMergedIterator(lsm.IterOptions{
+						Components: comps, Flushing: flushing, Mem: mem,
+						HideAnti: true, SkipInvisible: true,
+					})
+					if err != nil {
+						errc <- err
+						return
+					}
+					for {
+						_, ok, err := it.Next()
+						if err != nil {
+							errc <- err
+							return
+						}
+						if !ok {
+							break
+						}
+					}
+				}
+			}()
+			wg.Wait()
+			close(stop)
+			rwg.Wait()
+			select {
+			case err := <-errc:
+				t.Fatal(err)
+			default:
+			}
+			if err := d.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+			for w := 0; w < writers; w++ {
+				base := uint64(w) * 1_000_000
+				for off := uint64(0); off < 200; off++ {
+					pk := base + off
+					e, found, err := d.Primary().Get(pkOf(pk))
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, ok := finals[w][pk]
+					if found != ok {
+						t.Fatalf("%s: writer %d key %d: found=%v want %v", v.name, w, pk, found, ok)
+					}
+					if found {
+						if loc, _ := recLocation(e.Value); string(loc) != want {
+							t.Fatalf("%s: writer %d key %d: location %s want %s", v.name, w, pk, loc, want)
+						}
+					}
+				}
+			}
+		})
 	}
 }

@@ -24,9 +24,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/kv"
 	"repro/internal/lsm"
+	"repro/internal/maint"
 	"repro/internal/metrics"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -145,6 +147,21 @@ type Config struct {
 	DisableWAL bool
 	// Seed makes memtable shapes deterministic.
 	Seed int64
+	// Maintenance, when non-nil, moves flushes and policy-picked merges off
+	// the write path: writes freeze the memory components and return
+	// immediately while disk-component builds and merges run on the pool's
+	// workers. Nil (the default) keeps today's synchronous behavior: the
+	// write that crosses the memory budget performs the flush and all due
+	// merges inline.
+	Maintenance *maint.Pool
+	// MaxFrozenMemtables bounds the frozen flush batches awaiting
+	// background builds before writers soft-stall (backpressure;
+	// asynchronous mode only). 0 means the default of 4.
+	MaxFrozenMemtables int
+	// MaxUnmergedComponents soft-stalls writers while the primary index
+	// holds at least this many disk components and a merge is pending or
+	// running (asynchronous mode only). 0 disables this threshold.
+	MaxUnmergedComponents int
 }
 
 // SecondaryIndex is one secondary index of a dataset.
@@ -152,10 +169,21 @@ type SecondaryIndex struct {
 	Spec SecondarySpec
 	Tree *lsm.Tree
 
-	// mu guards memDeleted, the deleted-key accumulator of the
-	// DeletedKey strategy for the current memory component.
+	// mu guards memDeleted and pendingDeleted, the deleted-key
+	// accumulators of the DeletedKey strategy.
 	mu         sync.Mutex
-	memDeleted map[string]int64 // pk -> delete timestamp
+	memDeleted map[string]int64 // pk -> delete timestamp (current memtable)
+	// pendingDeleted holds accumulators frozen by in-flight asynchronous
+	// flushes (oldest to newest): their deletes stay visible to query
+	// validation until the deleted-key B+-tree of the flushed component is
+	// installed.
+	pendingDeleted []*frozenDeleted
+}
+
+// frozenDeleted is one deleted-key accumulator frozen by an asynchronous
+// flush, addressable by pointer so its batch can release it after install.
+type frozenDeleted struct {
+	m map[string]int64
 }
 
 // Dataset is one partition of a dataset: the unit all of the paper's
@@ -177,8 +205,22 @@ type Dataset struct {
 	ids    txn.IDs
 	log    *wal.Log
 
-	// flushMu serializes flushes and merges with each other.
+	// flushMu serializes synchronous flushes and merges with each other.
 	flushMu sync.Mutex
+	// crashMu makes multi-tree installs (flush batches, the paired
+	// primary/pk merge) atomic with respect to Crash, so a simulated
+	// failure can never observe a half-installed batch.
+	crashMu sync.Mutex
+	// maint holds the background maintenance state (nil in synchronous
+	// mode).
+	maint *maintState
+	// bgEnv/bgStore are the background maintenance I/O lane: a clock of
+	// its own over the same disk, cache, cost model and counters. Flush
+	// builds and merges charge this lane, modelling maintenance that
+	// overlaps the ingest path; the lanes couple at backpressure stalls
+	// and drains. Nil in synchronous mode.
+	bgEnv   *metrics.Env
+	bgStore *storage.Store
 
 	// stats
 	ingested atomic.Int64
@@ -259,6 +301,11 @@ func Open(cfg Config) (*Dataset, error) {
 		}
 		d.secondaries = append(d.secondaries, si)
 	}
+	if cfg.Maintenance != nil {
+		d.maint = newMaintState(cfg.Maintenance)
+		d.bgEnv = env.BackgroundLane()
+		d.bgStore = cfg.Store.WithEnv(d.bgEnv)
+	}
 	return d, nil
 }
 
@@ -289,6 +336,39 @@ func (d *Dataset) Secondary(name string) *SecondaryIndex {
 
 // Env returns the dataset's metrics environment.
 func (d *Dataset) Env() *metrics.Env { return d.env }
+
+// MaintSimTime returns the background maintenance lane's virtual time
+// (zero on a synchronous dataset). The dataset's elapsed simulated time
+// under overlapped maintenance is max(Env().Clock.Now(), MaintSimTime()).
+func (d *Dataset) MaintSimTime() time.Duration {
+	if d.bgEnv == nil {
+		return 0
+	}
+	return d.bgEnv.Clock.Now()
+}
+
+// maintIOStore returns the store view maintenance I/O should charge: the
+// background lane when configured, else the foreground store.
+func (d *Dataset) maintIOStore() *storage.Store {
+	if d.bgStore != nil {
+		return d.bgStore
+	}
+	return d.cfg.Store
+}
+
+// mergeIOStore returns the store view merges should pass to lsm.MergeSpec:
+// nil in synchronous mode (the tree's own store), the background lane
+// otherwise.
+func (d *Dataset) mergeIOStore() *storage.Store { return d.bgStore }
+
+// maintEnv returns the metrics environment maintenance CPU work should
+// charge: the background lane when configured, else the foreground env.
+func (d *Dataset) maintEnv() *metrics.Env {
+	if d.bgEnv != nil {
+		return d.bgEnv
+	}
+	return d.env
+}
 
 // Config returns the dataset's configuration.
 func (d *Dataset) Config() Config { return d.cfg }
@@ -345,6 +425,47 @@ func (si *SecondaryIndex) takeMemDeleted() []kv.Entry {
 	}
 	si.memDeleted = make(map[string]int64)
 	si.mu.Unlock()
+	return sortedDeleted(m)
+}
+
+// freezeMemDeleted swaps out the accumulator and parks it on pendingDeleted,
+// keeping its deletes visible to query validation until the owning flush
+// batch installs its deleted-key B+-tree (asynchronous flushes). It returns
+// nil when the accumulator is empty.
+func (si *SecondaryIndex) freezeMemDeleted() *frozenDeleted {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	if len(si.memDeleted) == 0 {
+		return nil
+	}
+	fd := &frozenDeleted{m: si.memDeleted}
+	si.memDeleted = make(map[string]int64)
+	si.pendingDeleted = append(si.pendingDeleted, fd)
+	return fd
+}
+
+// releasePendingDeleted drops a parked accumulator once its deleted-key
+// B+-tree is installed (or its batch abandoned by a crash).
+func (si *SecondaryIndex) releasePendingDeleted(fd *frozenDeleted) {
+	if fd == nil {
+		return
+	}
+	si.mu.Lock()
+	for i, p := range si.pendingDeleted {
+		if p == fd {
+			si.pendingDeleted = append(si.pendingDeleted[:i:i], si.pendingDeleted[i+1:]...)
+			break
+		}
+	}
+	si.mu.Unlock()
+}
+
+// sortedDeleted converts an accumulator map to entries sorted by primary key
+// (the bulk-load order of a deleted-key B+-tree).
+func sortedDeleted(m map[string]int64) []kv.Entry {
+	if len(m) == 0 {
+		return nil
+	}
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)
@@ -364,15 +485,23 @@ func (si *SecondaryIndex) addMemDeleted(pk []byte, ts int64) {
 	si.mu.Unlock()
 }
 
-// MemDeletedAfter reports whether the memory component's deleted-key set
-// holds pk with a deletion timestamp newer than ts (deleted-key strategy
-// query validation, Section 4.1).
+// MemDeletedAfter reports whether the memory component's deleted-key set —
+// or an accumulator frozen by an in-flight asynchronous flush — holds pk
+// with a deletion timestamp newer than ts (deleted-key strategy query
+// validation, Section 4.1).
 func (si *SecondaryIndex) MemDeletedAfter(pk []byte, ts int64) bool {
 	si.mu.Lock()
 	defer si.mu.Unlock()
 	if si.memDeleted == nil {
 		return false
 	}
-	del, ok := si.memDeleted[string(pk)]
-	return ok && del > ts
+	if del, ok := si.memDeleted[string(pk)]; ok && del > ts {
+		return true
+	}
+	for _, fd := range si.pendingDeleted {
+		if del, ok := fd.m[string(pk)]; ok && del > ts {
+			return true
+		}
+	}
+	return false
 }

@@ -2,9 +2,11 @@ package core
 
 import (
 	"bytes"
+	"runtime"
 
 	"repro/internal/kv"
 	"repro/internal/lsm"
+	"repro/internal/memtable"
 	"repro/internal/txn"
 	"repro/internal/wal"
 )
@@ -276,30 +278,92 @@ func (d *Dataset) cleanSecondariesFromMem(pk []byte, ts int64) {
 
 // markDeletedViaBitmap performs the Mutable-bitmap delete/upsert search
 // (Figures 10b, 11b): find the newest version of pk via the memory
-// component then the primary key index; when it lives in a disk component,
-// set the component's bitmap bit and forward the delete to any component
-// under construction. It reports whether a disk bitmap bit was flipped (the
-// log record's update bit) and whether the key currently exists.
+// component, the memtables frozen by in-flight asynchronous flushes, and
+// then the primary key index; when it lives in a disk component, set the
+// component's bitmap bit and forward the delete to any component under
+// construction. A version still in a frozen memtable forwards the delete to
+// its flush batch, which applies it to the built component's bitmap before
+// install. It reports whether a disk bitmap bit was flipped or forwarded
+// (the log record's update bit) and whether the key currently exists.
 func (d *Dataset) markDeletedViaBitmap(pk []byte) (updateBit, existed bool, err error) {
 	if d.pkIndex == nil {
 		return false, false, ErrNoPKIndex
 	}
-	// Memory component first: a blind Put will supersede it; no bitmap work.
-	if e, ok := d.pkIndex.Mem().Get(pk); ok {
-		return false, !e.Anti, nil
+	var lastGone *memtable.Table
+	for {
+		// Memory component first: a blind Put will supersede it; no bitmap
+		// work.
+		if e, ok := d.pkIndex.Mem().Get(pk); ok {
+			return false, !e.Anti, nil
+		}
+		if e, tbl, ok := d.pkIndex.FrozenGet(pk); ok {
+			if e.Anti {
+				return false, false, nil
+			}
+			if d.maint == nil {
+				// Synchronous flushes drain writers for the whole build, so
+				// a writer can never observe a frozen memtable; defensive
+				// fallback mirroring the memory-component case.
+				return false, true, nil
+			}
+			if b := d.batchForPKTable(tbl); b != nil {
+				forwarded, sealedComp := b.addFrozenDelete(pk)
+				if forwarded {
+					return true, true, nil
+				}
+				if sealedComp != nil {
+					// The batch sealed (its component is built, the
+					// forwarded set already applied): treat the sealed
+					// component exactly like a disk-component hit — set
+					// its bitmap bit and forward the delete to any merge
+					// already building over it.
+					_, ordinal, found, err := sealedComp.BTree.Get(pk)
+					if err != nil {
+						return false, false, err
+					}
+					if found {
+						if sealedComp.Valid != nil {
+							sealedComp.Valid.Set(ordinal)
+						}
+						d.forwardDelete(sealedComp, pk)
+						return true, true, nil
+					}
+					// Defensive: the frozen table held pk, so its built
+					// component must too; fall through and re-search.
+				}
+			}
+			if lastGone == tbl {
+				// Seen twice with no owning batch: the table is frozen but
+				// its batch is gone, so a crash is tearing the queue down
+				// (and its writer drain is waiting on us — retrying would
+				// deadlock) or the maintenance pool closed mid-freeze. The
+				// version dies with the frozen memtable; the blind
+				// anti-matter put supersedes it exactly like a
+				// memory-component hit, and WAL replay reconstructs the
+				// delete after the crash. An installed batch never shows
+				// this signature: its memtable leaves the frozen queue
+				// before its batch registration is dropped.
+				return false, true, nil
+			}
+			lastGone = tbl
+			// The owning batch may have just installed; re-run the search
+			// against the updated state.
+			runtime.Gosched()
+			continue
+		}
+		e, comp, ordinal, found, err := d.pkIndex.GetWithLocation(pk, d.pkIndex.Components())
+		if err != nil || !found || e.Anti {
+			return false, false, err
+		}
+		if comp == nil {
+			return false, true, nil
+		}
+		if comp.Valid != nil {
+			comp.Valid.Set(ordinal)
+		}
+		d.forwardDelete(comp, pk)
+		return true, true, nil
 	}
-	e, comp, ordinal, found, err := d.pkIndex.GetWithLocation(pk, d.pkIndex.Components())
-	if err != nil || !found || e.Anti {
-		return false, false, err
-	}
-	if comp == nil {
-		return false, true, nil
-	}
-	if comp.Valid != nil {
-		comp.Valid.Set(ordinal)
-	}
-	d.forwardDelete(comp, pk)
-	return true, true, nil
 }
 
 // forwardDelete propagates a delete into the component currently being

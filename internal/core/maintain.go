@@ -15,8 +15,13 @@ import (
 )
 
 // maybeFlush flushes all memory components when the shared budget is
-// exceeded (the dataset's indexes always flush together, Section 3).
+// exceeded (the dataset's indexes always flush together, Section 3). With
+// background maintenance configured, the flush only freezes the memtables
+// and the build runs off the write path.
 func (d *Dataset) maybeFlush() error {
+	if d.maint != nil {
+		return d.maybeFlushAsync()
+	}
 	if d.memBytes() < d.cfg.MemoryBudget {
 		return nil
 	}
@@ -24,10 +29,16 @@ func (d *Dataset) maybeFlush() error {
 }
 
 // FlushAll flushes every index's memory component into new disk components
-// stamped with a fresh epoch, then lets the merge policy run. Writers are
-// drained for the (memory-bound) duration of the flush; long-running merges
-// use the Section 5.3 concurrency-control protocols instead.
+// stamped with a fresh epoch, then lets the merge policy run. In
+// synchronous mode writers are drained for the (memory-bound) duration of
+// the flush; long-running merges use the Section 5.3 concurrency-control
+// protocols instead. In asynchronous mode FlushAll freezes the memtables,
+// then drains every pending background build and merge, so the store is
+// fully quiesced when it returns.
 func (d *Dataset) FlushAll() error {
+	if d.maint != nil {
+		return d.flushAllAsync()
+	}
 	d.flushMu.Lock()
 	defer d.flushMu.Unlock()
 	var err error
@@ -38,37 +49,56 @@ func (d *Dataset) FlushAll() error {
 	return d.mergeDue()
 }
 
+// flushTree flushes one index, normalizing the empty case: an empty memory
+// component yields (nil, nil), never ErrEmptyFlush, so every index of the
+// dataset is handled uniformly (primary, primary key, and secondaries
+// alike).
+func flushTree(tr *lsm.Tree, epoch uint64) (*lsm.Component, error) {
+	comp, err := tr.Flush(epoch)
+	if err == lsm.ErrEmptyFlush {
+		return nil, nil
+	}
+	return comp, err
+}
+
 func (d *Dataset) flushLocked() error {
+	// Consume an epoch only when at least one index has data; a fully
+	// empty flush is a no-op.
+	any := d.primary.Mem().Len() > 0
+	if d.pkIndex != nil && d.pkIndex.Mem().Len() > 0 {
+		any = true
+	}
+	for _, si := range d.secondaries {
+		if si.Tree.Mem().Len() > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
 	epoch := d.epoch.Add(1)
-	var primComp, pkComp *lsm.Component
-	var err error
-	primComp, err = d.primary.Flush(epoch)
-	if err != nil && err != lsm.ErrEmptyFlush {
+	primComp, err := flushTree(d.primary, epoch)
+	if err != nil {
 		return err
 	}
+	var pkComp *lsm.Component
 	if d.pkIndex != nil {
-		pkComp, err = d.pkIndex.Flush(epoch)
-		if err != nil && err != lsm.ErrEmptyFlush {
+		if pkComp, err = flushTree(d.pkIndex, epoch); err != nil {
 			return err
 		}
 	}
-	// Mutable-bitmap strategy: the primary component and its primary-key-
-	// index sibling hold the same keys in the same order, so they share
-	// one validity bitmap (Figure 9).
-	if d.cfg.Strategy == MutableBitmap && primComp != nil && pkComp != nil {
-		if primComp.NumEntries() != pkComp.NumEntries() {
-			return fmt.Errorf("core: primary/pk flush mismatch: %d vs %d entries",
-				primComp.NumEntries(), pkComp.NumEntries())
+	if d.cfg.Strategy == MutableBitmap {
+		if err := pairPrimaryPK(primComp, pkComp); err != nil {
+			return err
 		}
-		pkComp.Valid = primComp.Valid
 	}
 	for _, si := range d.secondaries {
-		comp, err := si.Tree.Flush(epoch)
-		if err != nil && err != lsm.ErrEmptyFlush {
+		comp, err := flushTree(si.Tree, epoch)
+		if err != nil {
 			return err
 		}
 		if d.cfg.Strategy == DeletedKey && comp != nil {
-			if err := d.attachDeletedKeys(si, comp); err != nil {
+			if err := d.attachDeletedEntries(comp, si.takeMemDeleted()); err != nil {
 				return err
 			}
 		}
@@ -76,15 +106,36 @@ func (d *Dataset) flushLocked() error {
 	return nil
 }
 
-// attachDeletedKeys bulk-loads the secondary's accumulated deleted keys
-// into a deleted-key B+-tree attached to the freshly flushed component
-// (Section 4.1's deleted-key B+-tree strategy; one copy per secondary).
-func (d *Dataset) attachDeletedKeys(si *SecondaryIndex, comp *lsm.Component) error {
-	entries := si.takeMemDeleted()
+// pairPrimaryPK enforces the Mutable-bitmap pairing invariant on freshly
+// flushed primary and primary-key-index components: the two indexes flush
+// together — one being empty while the other is not breaks the pairing —
+// hold the same keys in the same order, and share one validity bitmap
+// (Figure 9). Both the synchronous flush and the background batch build go
+// through this single check.
+func pairPrimaryPK(primComp, pkComp *lsm.Component) error {
+	if (primComp == nil) != (pkComp == nil) {
+		return fmt.Errorf("core: primary/pk flush mismatch under mutable bitmaps")
+	}
+	if primComp != nil {
+		if primComp.NumEntries() != pkComp.NumEntries() {
+			return fmt.Errorf("core: primary/pk flush mismatch: %d vs %d entries",
+				primComp.NumEntries(), pkComp.NumEntries())
+		}
+		pkComp.Valid = primComp.Valid
+	}
+	return nil
+}
+
+// attachDeletedEntries bulk-loads pk-sorted deleted-key entries into a
+// deleted-key B+-tree attached to a freshly flushed component (Section
+// 4.1's deleted-key B+-tree strategy; one copy per secondary). The build
+// charges the maintenance lane when one is configured; the reader is bound
+// to the foreground store for queries.
+func (d *Dataset) attachDeletedEntries(comp *lsm.Component, entries []kv.Entry) error {
 	if len(entries) == 0 {
 		return nil
 	}
-	b := btree.NewBuilder(d.cfg.Store)
+	b := btree.NewBuilder(d.maintIOStore())
 	f := bloom.NewStandardFPR(len(entries), 0.01)
 	var payload []byte
 	for _, e := range entries {
@@ -99,13 +150,22 @@ func (d *Dataset) attachDeletedKeys(si *SecondaryIndex, comp *lsm.Component) err
 	if err != nil {
 		return err
 	}
+	if d.maintIOStore() != d.cfg.Store {
+		r.Rebind(d.cfg.Store)
+	}
 	comp.DeletedKeys = r
 	comp.DeletedKeysBloom = f
 	return nil
 }
 
-// MergeDue runs the merge policy to completion (all due merges).
+// MergeDue runs the merge policy to completion (all due merges). In
+// asynchronous mode the merges run on the background pool; MergeDue
+// schedules them and drains, so two merge passes never overlap.
 func (d *Dataset) MergeDue() error {
+	if d.maint != nil {
+		d.scheduleMerge()
+		return d.DrainMaintenance()
+	}
 	d.flushMu.Lock()
 	defer d.flushMu.Unlock()
 	return d.mergeDue()
@@ -246,6 +306,7 @@ func (d *Dataset) mergeTreeRange(tr *lsm.Tree, lo, hi int, dropAnti bool) error 
 		Lo: lo, Hi: hi,
 		DropAnti:      dropAnti,
 		SkipInvisible: true,
+		Store:         d.mergeIOStore(),
 	})
 	if err != nil {
 		return err
@@ -260,7 +321,7 @@ func (d *Dataset) mergeSecondaryRange(si *SecondaryIndex, lo, hi int) error {
 	switch {
 	case (d.cfg.Strategy == Validation || d.cfg.Strategy == MutableBitmap) && d.cfg.MergeRepair && d.pkIndex != nil:
 		return repair.MergeRepair(si.Tree, d.pkIndex, lo, hi,
-			repair.Options{UseBloom: d.cfg.RepairBloomOpt})
+			repair.Options{UseBloom: d.cfg.RepairBloomOpt, Store: d.mergeIOStore()})
 	case d.cfg.Strategy == DeletedKey:
 		return d.mergeDeletedKeyRange(si, lo, hi)
 	default:
@@ -284,11 +345,22 @@ func (d *Dataset) mergeDeletedKeyRange(si *SecondaryIndex, lo, hi int) error {
 	for i, c := range inputs {
 		rankOf[c] = i
 	}
-	env := d.env
+	env := d.maintEnv()
+	// Deleted-key probes during the merge charge the maintenance lane.
+	dkReaders := make([]*btree.Reader, len(inputs))
+	for i, c := range inputs {
+		if c.DeletedKeys == nil {
+			continue
+		}
+		dkReaders[i] = c.DeletedKeys
+		if d.bgStore != nil {
+			dkReaders[i] = c.DeletedKeys.CloneFor(d.bgStore)
+		}
+	}
 	deletedIn := func(pk []byte, newerThan int) bool {
 		for i := newerThan + 1; i < len(inputs); i++ {
 			c := inputs[i]
-			if c.DeletedKeys == nil {
+			if dkReaders[i] == nil {
 				continue
 			}
 			if c.DeletedKeysBloom != nil {
@@ -301,7 +373,7 @@ func (d *Dataset) mergeDeletedKeyRange(si *SecondaryIndex, lo, hi int) error {
 					continue
 				}
 			}
-			if _, _, found, _ := c.DeletedKeys.Get(pk); found {
+			if _, _, found, _ := dkReaders[i].Get(pk); found {
 				return true
 			}
 		}
@@ -311,6 +383,7 @@ func (d *Dataset) mergeDeletedKeyRange(si *SecondaryIndex, lo, hi int) error {
 		Lo: lo, Hi: hi,
 		DropAnti:      lo == 0,
 		SkipInvisible: true,
+		Store:         d.mergeIOStore(),
 		EntryFilter: func(item lsm.MergedItem) bool {
 			if item.Entry.Anti {
 				return true
@@ -336,14 +409,19 @@ func (d *Dataset) mergeDeletedKeyRange(si *SecondaryIndex, lo, hi int) error {
 	return si.Tree.Install(res)
 }
 
-// unionDeletedKeys bulk-loads the union of the inputs' deleted-key trees.
+// unionDeletedKeys bulk-loads the union of the inputs' deleted-key trees,
+// charging the maintenance lane when one is configured.
 func (d *Dataset) unionDeletedKeys(dst *lsm.Component, inputs []*lsm.Component) error {
 	merged := make(map[string]int64)
 	for _, c := range inputs {
 		if c.DeletedKeys == nil {
 			continue
 		}
-		scan, err := c.DeletedKeys.NewScan(nil, nil)
+		dk := c.DeletedKeys
+		if d.bgStore != nil {
+			dk = dk.CloneFor(d.bgStore)
+		}
+		scan, err := dk.NewScan(nil, nil)
 		if err != nil {
 			return err
 		}
@@ -368,7 +446,7 @@ func (d *Dataset) unionDeletedKeys(dst *lsm.Component, inputs []*lsm.Component) 
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	b := btree.NewBuilder(d.cfg.Store)
+	b := btree.NewBuilder(d.maintIOStore())
 	f := bloom.NewStandardFPR(len(keys), 0.01)
 	var payload []byte
 	for _, k := range keys {
@@ -382,6 +460,9 @@ func (d *Dataset) unionDeletedKeys(dst *lsm.Component, inputs []*lsm.Component) 
 	r, err := b.Finish()
 	if err != nil {
 		return err
+	}
+	if d.maintIOStore() != d.cfg.Store {
+		r.Rebind(d.cfg.Store)
 	}
 	dst.DeletedKeys = r
 	dst.DeletedKeysBloom = f
@@ -413,9 +494,11 @@ func (d *Dataset) mergePrimaryAndPK(eMin, eMax uint64) error {
 func (d *Dataset) MergePrimaryRange(pLo, pHi, kLo, kHi int) (*lsm.Component, error) {
 	primComps := d.primary.Components()[pLo:pHi]
 	pkComps := d.pkIndex.Components()[kLo:kHi]
+	pkGen := d.pkIndex.InstallGen()
 
 	var spec lsm.MergeSpec
 	spec.Lo, spec.Hi = pLo, pHi
+	spec.Store = d.mergeIOStore()
 	// Anti-matter is retained even at the bottom: the primary-key-index
 	// sibling is built from the same entry stream and Timestamp validation
 	// needs deletion evidence there. Bitmap-deleted records themselves are
@@ -465,8 +548,8 @@ func (d *Dataset) MergePrimaryRange(pLo, pHi, kLo, kHi int) (*lsm.Component, err
 		// Baseline: no protection (only valid without concurrent writers).
 	}
 
-	// Build the pk-index sibling in the same pass.
-	pkBuilder := btree.NewBuilder(d.cfg.Store)
+	// Build the pk-index sibling in the same pass (maintenance I/O lane).
+	pkBuilder := btree.NewBuilder(d.maintIOStore())
 	var pkBloom bloom.Filter
 	var addPK func([]byte)
 	if d.cfg.BloomFPR > 0 {
@@ -506,6 +589,9 @@ func (d *Dataset) MergePrimaryRange(pLo, pHi, kLo, kHi int) (*lsm.Component, err
 	if err != nil {
 		return nil, err
 	}
+	if d.maintIOStore() != d.cfg.Store {
+		pkReader.Rebind(d.cfg.Store)
+	}
 	newPrim := res.Component
 
 	// Side-file catch-up phase (Fig 11a lines 11-16): close the side-file
@@ -514,7 +600,7 @@ func (d *Dataset) MergePrimaryRange(pLo, pHi, kLo, kHi int) (*lsm.Component, err
 	if d.cfg.CC == SideFile {
 		var deleted [][]byte
 		d.dsLock.Drain(func() { deleted = target.SideFile.Close() })
-		d.env.ChargeSort(len(deleted))
+		d.maintEnv().ChargeSort(len(deleted))
 		for _, pk := range deleted {
 			if ord, ok := target.OrdinalOf(pk); ok {
 				newPrim.Valid.Set(ord)
@@ -530,10 +616,17 @@ func (d *Dataset) MergePrimaryRange(pLo, pHi, kLo, kHi int) (*lsm.Component, err
 		Bloom:    pkBloom,
 		Valid:    newPrim.Valid, // shared bitmap
 	}
+	// The two installs are one atomic step with respect to Crash: the
+	// primary component and its pk-index sibling share one bitmap, so a
+	// failure must never observe one installed without the other. The pk
+	// run is replaced by identity, tolerating components appended by
+	// concurrent asynchronous flushes.
+	d.crashMu.Lock()
+	defer d.crashMu.Unlock()
 	if err := d.primary.Install(res); err != nil {
 		return nil, err
 	}
-	if err := d.pkIndex.ReplaceComponents(kLo, kHi, pkComp); err != nil {
+	if err := d.pkIndex.ReplaceRun(pkComps, pkComp, pkGen); err != nil {
 		return nil, err
 	}
 	return newPrim, nil

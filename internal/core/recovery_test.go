@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"repro/internal/lsm"
+	"repro/internal/maint"
 )
 
 // driveMixed applies a random op stream and returns the expected live rows.
@@ -148,5 +151,92 @@ func TestRecoveryPreservesTimestampOrder(t *testing.T) {
 	e, _, _ := d.Primary().Get(pkOf(5))
 	if loc, _ := recLocation(e.Value); string(loc) != "UT" {
 		t.Fatalf("latest write lost: %s", loc)
+	}
+}
+
+// driveNoFlush applies a deterministic op stream without ever draining, so
+// asynchronous flush batches and merges pile up behind the writers.
+func driveNoFlush(t *testing.T, d *Dataset, seed int64, nOps int) map[uint64]string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	model := make(map[uint64]string)
+	for i := 0; i < nOps; i++ {
+		pk := uint64(rng.Intn(300))
+		loc := fmt.Sprintf("L%02d", rng.Intn(20))
+		if rng.Intn(6) == 0 {
+			if _, err := d.Delete(pkOf(pk)); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, pk)
+		} else {
+			mustUpsert(t, d, pk, loc, int64(2000+i))
+			model[pk] = loc
+		}
+	}
+	return model
+}
+
+// TestCrashDuringAsyncMaintenance kills the store while background flush
+// builds and merges are in flight — queued batches die with their frozen
+// memtables, in-flight installs abandon — and asserts Recover restores the
+// exact committed state from the write-ahead log. A tiny memory budget and
+// an uncapped tiering policy keep the single-worker pool saturated, so the
+// crash lands mid-build/mid-merge with batches still pending.
+func TestCrashDuringAsyncMaintenance(t *testing.T) {
+	for _, strat := range []Strategy{Eager, Validation, MutableBitmap, DeletedKey} {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			for trial := 0; trial < 3; trial++ {
+				pool := maint.NewPool(1)
+				d := newTestDataset(t, func(c *Config) {
+					c.Strategy = strat
+					c.Maintenance = pool
+					c.MemoryBudget = 16 << 10
+					c.Policy = lsm.NewTiering(0)
+					// Let maintenance lag far behind the writers so the
+					// crash catches pending and in-flight work.
+					c.MaxFrozenMemtables = 1 << 20
+				})
+				model := driveNoFlush(t, d, int64(100+trial), 1500)
+				d.Crash()
+				if err := d.Recover(); err != nil {
+					t.Fatal(err)
+				}
+				verifyModel(t, d, model)
+				// Post-recovery maintenance still works: flush, merge,
+				// verify again.
+				if err := d.FlushAll(); err != nil {
+					t.Fatal(err)
+				}
+				verifyModel(t, d, model)
+				pool.Close()
+			}
+		})
+	}
+}
+
+// TestCrashRecoveryAsyncAllStrategies is the asynchronous twin of
+// TestCrashRecoveryAllStrategies: the same mixed workload with periodic
+// drains, crashed and recovered, must restore the model under background
+// maintenance too.
+func TestCrashRecoveryAsyncAllStrategies(t *testing.T) {
+	for _, strat := range []Strategy{Eager, Validation, MutableBitmap, DeletedKey} {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			pool := maint.NewPool(2)
+			defer pool.Close()
+			d := newTestDataset(t, func(c *Config) {
+				c.Strategy = strat
+				c.Maintenance = pool
+				c.Policy = lsm.NewTiering(0)
+				c.MemoryBudget = 64 << 10
+			})
+			model := driveMixed(t, d, 61, 2000, 400)
+			d.Crash()
+			if err := d.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			verifyModel(t, d, model)
+		})
 	}
 }

@@ -68,7 +68,7 @@ func TestReadVisibilityDuringFlush(t *testing.T) {
 		}
 		// Sanity: view is clean after the flush.
 		mem, flushing, comps := tr.ReadView()
-		if flushing != nil {
+		if len(flushing) != 0 {
 			t.Fatal("flushing table still set after flush")
 		}
 		if mem.Len() != 0 || len(comps) != 1 {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bitmap"
 	"repro/internal/kv"
 	"repro/internal/memtable"
+	"repro/internal/storage"
 )
 
 // source is one input stream to a merge iterator, tagged with a recency
@@ -82,10 +83,10 @@ type IterOptions struct {
 	Lo, Hi []byte // key range [lo, hi); nil = unbounded
 	// Components to include, oldest to newest. Required.
 	Components []*Component
-	// Flushing includes a memory component frozen by an in-flight flush as
-	// a source newer than every disk component and older than Mem (see
-	// Tree.ReadView).
-	Flushing *memtable.Table
+	// Flushing includes memory components frozen by in-flight flushes
+	// (oldest to newest) as sources newer than every disk component and
+	// older than Mem (see Tree.ReadView).
+	Flushing []*memtable.Table
 	// Mem includes the given memory component as the newest source.
 	Mem *memtable.Table
 	// HideAnti suppresses winning anti-matter entries (query mode).
@@ -99,6 +100,9 @@ type IterOptions struct {
 	// Snapshots overrides components' live mutable bitmaps with immutable
 	// snapshots for visibility checks (Side-file builds).
 	Snapshots map[*Component]*bitmap.Immutable
+	// Store, when set, charges the component scans to this store view
+	// (the background maintenance I/O lane) instead of the readers' own.
+	Store *storage.Store
 }
 
 // NewMergedIterator builds a reconciling iterator over the given sources.
@@ -107,7 +111,11 @@ func (t *Tree) NewMergedIterator(opts IterOptions) (*MergedIterator, error) {
 	rank := 0
 	for _, comp := range opts.Components {
 		comp := comp
-		scan, err := comp.BTree.NewScan(opts.Lo, opts.Hi)
+		reader := comp.BTree
+		if opts.Store != nil {
+			reader = reader.CloneFor(opts.Store)
+		}
+		scan, err := reader.NewScan(opts.Lo, opts.Hi)
 		if err != nil {
 			return nil, err
 		}
@@ -141,7 +149,7 @@ func (t *Tree) NewMergedIterator(opts IterOptions) (*MergedIterator, error) {
 		}
 		rank++
 	}
-	for _, memSrc := range []*memtable.Table{opts.Flushing, opts.Mem} {
+	for _, memSrc := range append(append([]*memtable.Table(nil), opts.Flushing...), opts.Mem) {
 		if memSrc == nil {
 			continue
 		}

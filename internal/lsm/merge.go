@@ -7,12 +7,13 @@ import (
 	"repro/internal/bloom"
 	"repro/internal/btree"
 	"repro/internal/kv"
+	"repro/internal/storage"
 )
 
 // MergeSpec describes one merge operation over the contiguous component
 // range disk[Lo:Hi) (oldest to newest). The caller installs the result with
-// ReplaceComponents once any post-processing (index repair, bitmap catch-up)
-// has finished.
+// Install (or ReplaceRun) once any post-processing (index repair, bitmap
+// catch-up) has finished.
 type MergeSpec struct {
 	Lo, Hi int
 	// DropAnti discards winning anti-matter entries; only safe when the
@@ -39,16 +40,24 @@ type MergeSpec struct {
 	// with its ordinal position (merge repair streams (pkey, ts, position)
 	// to its sorter from here, Fig 7 line 6).
 	OnEntry func(e kv.Entry, ordinal int64)
+	// Store, when set, charges the merge's I/O (input scans and the new
+	// component's build) to this store view — the background maintenance
+	// lane. The merged component's reader is rebound to the tree's
+	// foreground store before the result is returned.
+	Store *storage.Store
 }
 
 // MergeResult carries the built component before installation.
 type MergeResult struct {
 	Component *Component
-	// Inputs are the merged components (for the caller's ReplaceComponents
-	// sanity check and repair accounting).
+	// Inputs are the merged components (located by identity at install
+	// time, and used for repair accounting).
 	Inputs []*Component
 	// Lo, Hi echo the merged range.
 	Lo, Hi int
+	// gen is the install generation captured when the merge began; Install
+	// abandons the result when the tree was reset since.
+	gen uint64
 }
 
 // ErrBadMergeRange reports an invalid component range.
@@ -63,6 +72,7 @@ func (t *Tree) Merge(spec MergeSpec) (*MergeResult, error) {
 		return nil, ErrBadMergeRange
 	}
 	inputs := append([]*Component(nil), t.disk[spec.Lo:spec.Hi]...)
+	gen := t.installGen
 	t.mu.RUnlock()
 
 	// Expose the build target so concurrent writers can forward deletes.
@@ -77,7 +87,11 @@ func (t *Tree) Merge(spec MergeSpec) (*MergeResult, error) {
 		upperBound += c.NumEntries()
 	}
 
-	b := btree.NewBuilder(t.opts.Store)
+	buildStore := t.opts.Store
+	if spec.Store != nil {
+		buildStore = spec.Store
+	}
+	b := btree.NewBuilder(buildStore)
 	var filter bloom.Filter
 	var addToFilter func([]byte)
 	if t.opts.BloomFPR > 0 {
@@ -95,6 +109,7 @@ func (t *Tree) Merge(spec MergeSpec) (*MergeResult, error) {
 		HideAnti:      spec.DropAnti,
 		SkipInvisible: spec.SkipInvisible && spec.LockKey == nil,
 		Snapshots:     spec.Snapshots,
+		Store:         spec.Store,
 	})
 	if err != nil {
 		return nil, err
@@ -162,6 +177,9 @@ func (t *Tree) Merge(spec MergeSpec) (*MergeResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if buildStore != t.opts.Store {
+		reader.Rebind(t.opts.Store)
+	}
 	comp := &Component{
 		ID:       ID{MinTS: inputs[0].ID.MinTS, MaxTS: inputs[0].ID.MaxTS},
 		EpochMin: inputs[0].EpochMin,
@@ -224,7 +242,7 @@ func (t *Tree) Merge(spec MergeSpec) (*MergeResult, error) {
 	if spec.Target != nil {
 		spec.Target.Publish(comp.Valid)
 	}
-	return &MergeResult{Component: comp, Inputs: inputs, Lo: spec.Lo, Hi: spec.Hi}, nil
+	return &MergeResult{Component: comp, Inputs: inputs, Lo: spec.Lo, Hi: spec.Hi, gen: gen}, nil
 }
 
 func (t *Tree) addMergeEntry(b *btree.Builder, addToFilter func([]byte), item MergedItem,
@@ -266,14 +284,17 @@ func visibleWith(c *Component, ordinal int64, snaps map[*Component]*bitmap.Immut
 	return !c.Valid.IsSet(ordinal)
 }
 
-// Install finalizes a merge: replaces the input range with the new
-// component. The inputs' Building pointers are deliberately left in place:
-// a writer that snapshotted the component list just before the install may
-// still forward a delete through them, and the published BuildTarget routes
-// it to the new component's bitmap (closing the race the paper's
-// "C points to C'" check addresses).
+// Install finalizes a merge: replaces the input run with the new component.
+// The inputs are located by identity, so disk components appended by a
+// concurrent asynchronous flush do not disturb the install; a tree reset
+// since the merge began abandons it with ErrStaleInstall. The inputs'
+// Building pointers are deliberately left in place: a writer that
+// snapshotted the component list just before the install may still forward
+// a delete through them, and the published BuildTarget routes it to the new
+// component's bitmap (closing the race the paper's "C points to C'" check
+// addresses).
 func (t *Tree) Install(res *MergeResult) error {
-	return t.ReplaceComponents(res.Lo, res.Hi, res.Component)
+	return t.ReplaceRun(res.Inputs, res.Component, res.gen)
 }
 
 // Publish makes the new component's bitmap available to writers and applies

@@ -44,11 +44,16 @@ type Tree struct {
 	mem  *memtable.Table
 	disk []*Component // oldest -> newest
 	gen  int64
-	// flushing holds the frozen memory component while a flush builds its
-	// disk component, keeping its entries visible to concurrent readers
-	// during the build window (writers are drained during flushes, readers
-	// are not).
-	flushing *memtable.Table
+	// flushing holds the frozen memory components, oldest to newest, while
+	// flushes build their disk components, keeping their entries visible to
+	// concurrent readers during the build window (writers are drained during
+	// freezes, readers are not). Synchronous flushes hold at most one; the
+	// background maintenance scheduler may queue several.
+	flushing []*memtable.Table
+	// installGen invalidates in-flight merge/flush installs across a crash:
+	// ResetMem bumps it, and installs captured under an older generation are
+	// abandoned with ErrStaleInstall.
+	installGen uint64
 }
 
 // New creates an empty LSM-tree.
@@ -82,15 +87,41 @@ func (t *Tree) Components() []*Component {
 }
 
 // ReadView atomically snapshots the tree's read sources: the live memory
-// component, the memory component currently being flushed (nil outside a
-// flush), and the disk components oldest to newest. Readers that consult
-// mem and components non-atomically can miss the entries of an in-flight
-// flush — swapped out of the memtable but not yet installed on disk — so
-// every concurrent read path should start from one ReadView.
-func (t *Tree) ReadView() (mem, flushing *memtable.Table, comps []*Component) {
+// component, the memory components currently being flushed (oldest to
+// newest; empty outside a flush), and the disk components oldest to newest.
+// Readers that consult mem and components non-atomically can miss the
+// entries of an in-flight flush — swapped out of the memtable but not yet
+// installed on disk — so every concurrent read path should start from one
+// ReadView.
+func (t *Tree) ReadView() (mem *memtable.Table, flushing []*memtable.Table, comps []*Component) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.mem, t.flushing, append([]*Component(nil), t.disk...)
+	return t.mem, append([]*memtable.Table(nil), t.flushing...), append([]*Component(nil), t.disk...)
+}
+
+// NumFrozen returns the number of frozen memory components awaiting their
+// disk-component builds (the backpressure signal).
+func (t *Tree) NumFrozen() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.flushing)
+}
+
+// FrozenGet searches the frozen memory components newest-first for key,
+// returning the winning entry and the table holding it. It backs write
+// paths (Mutable-bitmap delete search) that must observe entries swapped
+// out by an in-flight asynchronous flush.
+func (t *Tree) FrozenGet(key []byte) (kv.Entry, *memtable.Table, bool) {
+	t.mu.RLock()
+	frozen := t.flushing
+	for i := len(frozen) - 1; i >= 0; i-- {
+		if e, ok := frozen[i].Get(key); ok {
+			t.mu.RUnlock()
+			return e, frozen[i], true
+		}
+	}
+	t.mu.RUnlock()
+	return kv.Entry{}, nil, false
 }
 
 // NumDiskComponents returns the current number of disk components.
@@ -154,9 +185,9 @@ func (t *Tree) getInternal(key []byte, only []*Component) (kv.Entry, *Component,
 			}
 			return e, nil, 0, true, nil
 		}
-		if flushing != nil {
+		for i := len(flushing) - 1; i >= 0; i-- {
 			t.env.ChargeMemtable()
-			if e, ok := flushing.Get(key); ok {
+			if e, ok := flushing[i].Get(key); ok {
 				if e.Anti {
 					return kv.Entry{}, nil, 0, false, nil
 				}
@@ -194,52 +225,132 @@ func (t *Tree) getInternal(key []byte, only []*Component) (kv.Entry, *Component,
 	return kv.Entry{}, nil, 0, false, nil
 }
 
-// ResetMem discards the memory component (crash simulation: the no-steal
-// policy guarantees disk components never hold uncommitted data, so losing
-// memory state is exactly what a failure does).
+// ResetMem discards the memory component and every frozen memory component
+// (crash simulation: the no-steal policy guarantees disk components never
+// hold uncommitted data, so losing memory state is exactly what a failure
+// does). It also bumps the install generation so in-flight asynchronous
+// flush builds and merges abandon their installs instead of resurrecting
+// pre-crash memory state.
 func (t *Tree) ResetMem() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.gen++
+	t.installGen++
 	t.mem = memtable.New(t.opts.Seed + t.gen)
+	t.flushing = nil
 }
 
 // ErrEmptyFlush reports a flush of an empty memory component.
 var ErrEmptyFlush = errors.New("lsm: empty memory component")
 
+// ErrStaleInstall reports an install abandoned because the tree's memory
+// state was reset (a simulated crash) after the merge or flush build began.
+// The built component is discarded; its inputs — and, for flushes, nothing —
+// remain in place, which is exactly the on-disk state a real crash leaves.
+var ErrStaleInstall = errors.New("lsm: install abandoned by a concurrent reset")
+
 // Flush freezes the memory component, bulk-loads it into a new disk
 // component stamped with the given epoch, and installs it as the newest
 // component. It returns ErrEmptyFlush when there is nothing to flush.
 func (t *Tree) Flush(epoch uint64) (*Component, error) {
-	t.mu.Lock()
-	old := t.mem
-	if old.Len() == 0 {
-		t.mu.Unlock()
+	frozen, gen, ok := t.Freeze()
+	if !ok {
 		return nil, ErrEmptyFlush
 	}
-	t.gen++
-	t.mem = memtable.New(t.opts.Seed + t.gen)
-	// Keep the frozen memtable readable until its component is installed.
-	t.flushing = old
-	t.mu.Unlock()
-
-	comp, err := t.buildFromMemtable(old, epoch)
+	comp, err := t.BuildFrozen(frozen, epoch)
 	if err != nil {
-		t.mu.Lock()
-		t.flushing = nil
-		t.mu.Unlock()
+		t.dropFrozen(frozen)
 		return nil, err
 	}
-	t.mu.Lock()
-	t.disk = append(t.disk, comp)
-	t.flushing = nil
-	t.mu.Unlock()
+	if err := t.InstallFlushed(frozen, comp, gen); err != nil {
+		return nil, err
+	}
 	return comp, nil
 }
 
+// Freeze swaps the live memory component for a fresh one and appends the old
+// one to the frozen queue, where it stays readable until InstallFlushed. It
+// reports ok=false (and freezes nothing) when the memory component is empty.
+// The returned generation must be passed to InstallFlushed; it detects
+// crashes between freeze and install.
+func (t *Tree) Freeze() (frozen *memtable.Table, gen uint64, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := t.mem
+	if old.Len() == 0 {
+		return nil, t.installGen, false
+	}
+	t.gen++
+	t.mem = memtable.New(t.opts.Seed + t.gen)
+	t.flushing = append(t.flushing, old)
+	return old, t.installGen, true
+}
+
+// BuildFrozen bulk-loads a frozen memory component into a new disk component
+// stamped with the given epoch. It does not install the component; pair it
+// with InstallFlushed.
+func (t *Tree) BuildFrozen(frozen *memtable.Table, epoch uint64) (*Component, error) {
+	return t.buildFromMemtableOn(t.opts.Store, frozen, epoch)
+}
+
+// BuildFrozenOn is BuildFrozen with the build I/O charged to the given
+// store view (the background maintenance lane). The built component's
+// reader is rebound to the tree's foreground store before it is returned,
+// so queries against the installed component charge the foreground lane.
+func (t *Tree) BuildFrozenOn(store *storage.Store, frozen *memtable.Table, epoch uint64) (*Component, error) {
+	if store == nil {
+		store = t.opts.Store
+	}
+	return t.buildFromMemtableOn(store, frozen, epoch)
+}
+
+// InstallFlushed atomically appends comp as the newest disk component and
+// retires its frozen source memtable. With a stale generation (the tree was
+// reset since Freeze) the install is abandoned with ErrStaleInstall: the
+// frozen memtable is already gone and the built component is discarded.
+func (t *Tree) InstallFlushed(frozen *memtable.Table, comp *Component, gen uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if gen != t.installGen {
+		return ErrStaleInstall
+	}
+	t.disk = append(t.disk, comp)
+	t.removeFrozenLocked(frozen)
+	return nil
+}
+
+// dropFrozen removes a frozen memtable whose build failed, so the queue does
+// not grow without bound; the tree is considered wedged by the caller.
+func (t *Tree) dropFrozen(frozen *memtable.Table) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.removeFrozenLocked(frozen)
+}
+
+func (t *Tree) removeFrozenLocked(frozen *memtable.Table) {
+	for i, m := range t.flushing {
+		if m == frozen {
+			t.flushing = append(t.flushing[:i:i], t.flushing[i+1:]...)
+			return
+		}
+	}
+}
+
+// InstallGen returns the current install generation (captured by background
+// maintenance jobs before building, checked again at install).
+func (t *Tree) InstallGen() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.installGen
+}
+
 func (t *Tree) buildFromMemtable(mem *memtable.Table, epoch uint64) (*Component, error) {
+	return t.buildFromMemtableOn(t.opts.Store, mem, epoch)
+}
+
+func (t *Tree) buildFromMemtableOn(store *storage.Store, mem *memtable.Table, epoch uint64) (*Component, error) {
 	n := mem.Len()
-	b := btree.NewBuilder(t.opts.Store)
+	b := btree.NewBuilder(store)
 	var filter bloom.Filter
 	var addToFilter func([]byte)
 	if t.opts.BloomFPR > 0 {
@@ -271,6 +382,9 @@ func (t *Tree) buildFromMemtable(mem *memtable.Table, epoch uint64) (*Component,
 	if err != nil {
 		return nil, err
 	}
+	if store != t.opts.Store {
+		reader.Rebind(t.opts.Store)
+	}
 	minTS, maxTS := mem.ID()
 	comp := &Component{
 		ID:       ID{MinTS: minTS, MaxTS: maxTS},
@@ -294,25 +408,50 @@ func (t *Tree) buildFromMemtable(mem *memtable.Table, epoch uint64) (*Component,
 	return comp, nil
 }
 
-// ReplaceComponents atomically replaces the contiguous run disk[lo:hi] with
-// newComp (which may be nil to just drop them). Retired components' files
-// are intentionally left on the simulated disk: concurrent readers may
-// still hold snapshots of the old component list (a production engine would
-// reference-count components; the simulation simply never reuses file IDs,
-// so stale reads stay safe and retired files are reclaimed when the whole
-// store is garbage collected).
-func (t *Tree) ReplaceComponents(lo, hi int, newComp *Component) error {
+// ErrRunNotFound reports an identity-based replacement whose input run is no
+// longer contiguous in the component list (another maintenance operation
+// replaced one of the inputs first).
+var ErrRunNotFound = errors.New("lsm: component run not found")
+
+// ReplaceRun atomically replaces the contiguous run of components identified
+// by inputs (by identity, not index) with newComp. Locating the run at
+// install time tolerates components appended by concurrent flush installs;
+// with a stale generation the replacement is abandoned with ErrStaleInstall.
+// Retired components' files are intentionally left on the simulated disk:
+// concurrent readers may still hold snapshots of the old component list (a
+// production engine would reference-count components; the simulation simply
+// never reuses file IDs, so stale reads stay safe and retired files are
+// reclaimed when the whole store is garbage collected).
+func (t *Tree) ReplaceRun(inputs []*Component, newComp *Component, gen uint64) error {
+	if len(inputs) == 0 {
+		return ErrBadMergeRange
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if lo < 0 || hi > len(t.disk) || lo >= hi {
-		return errors.New("lsm: bad component range")
+	if gen != t.installGen {
+		return ErrStaleInstall
+	}
+	lo := -1
+	for i, c := range t.disk {
+		if c == inputs[0] {
+			lo = i
+			break
+		}
+	}
+	if lo < 0 || lo+len(inputs) > len(t.disk) {
+		return ErrRunNotFound
+	}
+	for i, in := range inputs {
+		if t.disk[lo+i] != in {
+			return ErrRunNotFound
+		}
 	}
 	var repl []*Component
 	repl = append(repl, t.disk[:lo]...)
 	if newComp != nil {
 		repl = append(repl, newComp)
 	}
-	repl = append(repl, t.disk[hi:]...)
+	repl = append(repl, t.disk[lo+len(inputs):]...)
 	t.disk = repl
 	return nil
 }

@@ -1,0 +1,44 @@
+// Package maint provides the background maintenance scheduler: a bounded
+// pool of workers that run disk-component builds (asynchronous flushes) and
+// policy-picked merges off the ingestion path.
+//
+// # Why
+//
+// The paper's concurrency-control protocols (Section 5.3) exist precisely
+// so long-running merges can overlap with writers; this package supplies
+// the execution side of that design. Synchronously, the write that crosses
+// the memory budget performs the flush and every due merge inline, so
+// ingest latency tracks merge latency. With a Pool configured
+// (lsmstore.Options.MaintenanceWorkers), the write path only freezes the
+// memory components — a writer drain plus pointer swaps — and returns; the
+// frozen memtables stay readable through the trees' flushing queues until
+// their disk components install.
+//
+// # How the pieces fit
+//
+// A Pool is shared by every partition of a store, so the total number of
+// concurrent maintenance jobs is bounded machine-wide while each dataset
+// (shard) schedules its own flush builds and merges independently —
+// per-shard compaction. Ordering between jobs of one dataset is enforced
+// by the dataset, not the pool: flush builds pop a FIFO batch queue under
+// a per-dataset build mutex (so components install in freeze/epoch order),
+// and merges serialize on a per-dataset merge mutex while remaining free
+// to overlap flush builds (merge installs locate their inputs by identity,
+// tolerating concurrently appended components).
+//
+// Backpressure couples the two sides: writers soft-stall when too many
+// frozen batches await builds, or when the primary index accumulates too
+// many unmerged components while a merge is still pending. Stall counts
+// and durations surface in metrics.Counters (WriteStalls,
+// WriteStallNanos).
+//
+// Failure semantics live outside the pool as well: a simulated Crash bumps
+// the trees' install generations, so jobs caught mid-build or mid-merge
+// abandon their installs — exactly as a real failure discards a
+// half-written component — and the write-ahead log replays whatever died
+// with the frozen memtables. Errors from background jobs are sticky on the
+// dataset and surface on the next write.
+//
+// The scheduler itself is deliberately minimal: jobs are plain funcs, the
+// pool only bounds concurrency and supports draining (Drain, Close).
+package maint

@@ -1,0 +1,101 @@
+package maint
+
+import "sync"
+
+// Pool runs maintenance jobs on a bounded set of worker goroutines. Submitted
+// jobs queue without bound; at most the configured number run at once. All
+// methods are safe for concurrent use.
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []func()
+	workers int // configured worker bound
+	spawned int // workers currently alive
+	active  int // jobs currently executing
+	closed  bool
+}
+
+// NewPool creates a pool with the given worker bound. workers < 1 is treated
+// as 1 (a pool with zero workers could never drain).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Workers returns the pool's worker bound.
+func (p *Pool) Workers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.workers
+}
+
+// Submit enqueues a job. It returns false when the pool is closed (the job is
+// dropped); callers that must not lose work should check the result. Workers
+// are spawned lazily, up to the bound.
+func (p *Pool) Submit(job func()) bool {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	p.queue = append(p.queue, job)
+	if p.spawned < p.workers && p.spawned < p.active+len(p.queue) {
+		p.spawned++
+		go p.worker()
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	return true
+}
+
+// worker drains the queue until the pool closes and no work remains.
+func (p *Pool) worker() {
+	p.mu.Lock()
+	for {
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 && p.closed {
+			p.spawned--
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return
+		}
+		job := p.queue[0]
+		p.queue = p.queue[1:]
+		p.active++
+		p.mu.Unlock()
+
+		job()
+
+		p.mu.Lock()
+		p.active--
+		p.cond.Broadcast()
+	}
+}
+
+// Drain blocks until every job submitted so far has finished and the queue is
+// empty. Jobs submitted while draining are waited for too (drain-to-idle).
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	for len(p.queue) > 0 || p.active > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Close drains the pool and stops its workers. Submit returns false
+// afterwards. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	for len(p.queue) > 0 || p.active > 0 || p.spawned > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}

@@ -1,0 +1,79 @@
+package maint
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsAllJobs(t *testing.T) {
+	p := NewPool(3)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		if !p.Submit(func() { n.Add(1) }) {
+			t.Fatal("submit refused on an open pool")
+		}
+	}
+	p.Drain()
+	if got := n.Load(); got != 100 {
+		t.Fatalf("ran %d of 100 jobs", got)
+	}
+	p.Close()
+	if p.Submit(func() {}) {
+		t.Fatal("submit accepted on a closed pool")
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 2
+	p := NewPool(workers)
+	defer p.Close()
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		p.Submit(func() {
+			defer wg.Done()
+			c := cur.Add(1)
+			for {
+				old := peak.Load()
+				if c <= old || peak.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		})
+	}
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent jobs, bound is %d", got, workers)
+	}
+}
+
+func TestPoolDrainWaitsForInFlight(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	release := make(chan struct{})
+	var done atomic.Bool
+	p.Submit(func() {
+		<-release
+		done.Store(true)
+	})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	p.Drain()
+	if !done.Load() {
+		t.Fatal("Drain returned before the in-flight job finished")
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Submit(func() {})
+	p.Close()
+	p.Close()
+}

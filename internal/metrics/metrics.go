@@ -29,6 +29,18 @@ func (c *Clock) Advance(d time.Duration) {
 	}
 }
 
+// AdvanceTo moves the clock forward to at least t (a lane synchronization
+// point: a writer that waited for background maintenance observes the
+// maintenance lane's time). Earlier times are ignored.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	for {
+		cur := c.ns.Load()
+		if int64(t) <= cur || c.ns.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}
+
 // Now returns the current virtual time since the clock was created or reset.
 func (c *Clock) Now() time.Duration { return time.Duration(c.ns.Load()) }
 
@@ -89,6 +101,8 @@ type Counters struct {
 	KeyComparisons  atomic.Int64 // B+-tree search comparisons
 	PointLookups    atomic.Int64 // primary/pk-index point lookups issued
 	EntriesScanned  atomic.Int64 // entries pulled through iterators
+	WriteStalls     atomic.Int64 // writes stalled by maintenance backpressure
+	WriteStallNanos atomic.Int64 // total wall-clock time writes spent stalled
 }
 
 // Snapshot is an immutable copy of the counter values.
@@ -103,6 +117,8 @@ type Snapshot struct {
 	KeyComparisons  int64
 	PointLookups    int64
 	EntriesScanned  int64
+	WriteStalls     int64
+	WriteStallNanos int64
 }
 
 // Snapshot captures the current counter values.
@@ -118,6 +134,8 @@ func (c *Counters) Snapshot() Snapshot {
 		KeyComparisons:  c.KeyComparisons.Load(),
 		PointLookups:    c.PointLookups.Load(),
 		EntriesScanned:  c.EntriesScanned.Load(),
+		WriteStalls:     c.WriteStalls.Load(),
+		WriteStallNanos: c.WriteStallNanos.Load(),
 	}
 }
 
@@ -134,6 +152,8 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		KeyComparisons:  s.KeyComparisons + o.KeyComparisons,
 		PointLookups:    s.PointLookups + o.PointLookups,
 		EntriesScanned:  s.EntriesScanned + o.EntriesScanned,
+		WriteStalls:     s.WriteStalls + o.WriteStalls,
+		WriteStallNanos: s.WriteStallNanos + o.WriteStallNanos,
 	}
 }
 
@@ -150,6 +170,8 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		KeyComparisons:  s.KeyComparisons - o.KeyComparisons,
 		PointLookups:    s.PointLookups - o.PointLookups,
 		EntriesScanned:  s.EntriesScanned - o.EntriesScanned,
+		WriteStalls:     s.WriteStalls - o.WriteStalls,
+		WriteStallNanos: s.WriteStallNanos - o.WriteStallNanos,
 	}
 }
 
@@ -165,6 +187,8 @@ func (c *Counters) Reset() {
 	c.KeyComparisons.Store(0)
 	c.PointLookups.Store(0)
 	c.EntriesScanned.Store(0)
+	c.WriteStalls.Store(0)
+	c.WriteStallNanos.Store(0)
 }
 
 // Env bundles the clock, cost model and counters that thread through the
@@ -184,6 +208,15 @@ func NewEnv() *Env {
 // NopEnv returns an Env whose costs are all zero (accounting still counts).
 func NopEnv() *Env {
 	return &Env{Clock: NewClock(), CPU: CPUCosts{}, Counters: &Counters{}}
+}
+
+// BackgroundLane derives an Env for background maintenance I/O: it shares
+// the cost model and counters (event totals stay global) but advances its
+// own clock, modelling a maintenance channel that overlaps the ingest path.
+// The two lanes couple at synchronization points — backpressure stalls and
+// drains — via Clock.AdvanceTo.
+func (e *Env) BackgroundLane() *Env {
+	return &Env{Clock: NewClock(), CPU: e.CPU, Counters: e.Counters}
 }
 
 // ChargeCompare records n key comparisons.

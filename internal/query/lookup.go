@@ -17,6 +17,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/kv"
 	"repro/internal/lsm"
+	"repro/internal/memtable"
 	"repro/internal/metrics"
 )
 
@@ -95,21 +96,11 @@ func fetchNaive(primary *lsm.Tree, keys []Key, cfg LookupConfig, emit func(kv.En
 	for i := range keys {
 		k := keys[i]
 		env.Counters.PointLookups.Add(1)
-		env.ChargeMemtable()
-		if e, ok := mem.Get(k.PK); ok {
+		if e, ok := memGet(env, mem, flushing, k.PK); ok {
 			if !e.Anti {
 				emit(e)
 			}
 			continue
-		}
-		if flushing != nil {
-			env.ChargeMemtable()
-			if e, ok := flushing.Get(k.PK); ok {
-				if !e.Anti {
-					emit(e)
-				}
-				continue
-			}
 		}
 		for ci := len(comps) - 1; ci >= 0; ci-- {
 			c := comps[ci]
@@ -170,26 +161,15 @@ func fetchBatched(primary *lsm.Tree, keys []Key, cfg LookupConfig, emit func(kv.
 		bfound := found[start:end]
 		remaining := len(batch)
 
-		// Memory components first (newest), then the one being flushed.
+		// Memory components first (newest), then the frozen ones being
+		// flushed, newest to oldest.
 		for i := range batch {
 			env.Counters.PointLookups.Add(1)
-			env.ChargeMemtable()
-			if e, ok := mem.Get(batch[i].PK); ok {
+			if e, ok := memGet(env, mem, flushing, batch[i].PK); ok {
 				bfound[i] = true
 				remaining--
 				if !e.Anti {
 					emit(e)
-				}
-				continue
-			}
-			if flushing != nil {
-				env.ChargeMemtable()
-				if e, ok := flushing.Get(batch[i].PK); ok {
-					bfound[i] = true
-					remaining--
-					if !e.Anti {
-						emit(e)
-					}
 				}
 			}
 		}
@@ -227,6 +207,22 @@ func fetchBatched(primary *lsm.Tree, keys []Key, cfg LookupConfig, emit func(kv.
 		}
 	}
 	return nil
+}
+
+// memGet probes the live memory component and then the frozen flushing
+// memtables newest-first, charging one memtable operation per table probed.
+func memGet(env *metrics.Env, mem *memtable.Table, flushing []*memtable.Table, pk []byte) (kv.Entry, bool) {
+	env.ChargeMemtable()
+	if e, ok := mem.Get(pk); ok {
+		return e, true
+	}
+	for i := len(flushing) - 1; i >= 0; i-- {
+		env.ChargeMemtable()
+		if e, ok := flushing[i].Get(pk); ok {
+			return e, true
+		}
+	}
+	return kv.Entry{}, false
 }
 
 // lsmLookup wraps a component's B+-tree point lookups, optionally stateful.

@@ -49,7 +49,13 @@ func FilterScan(ds *core.Dataset, lo, hi int64, emit func(kv.Entry)) error {
 		return m.Len() > 0
 	}
 	memOverlaps := overlaps(mem)
-	flushingOverlaps := overlaps(flushing)
+	flushingOverlaps := false
+	for _, m := range flushing {
+		if overlaps(m) {
+			flushingOverlaps = true
+			break
+		}
+	}
 
 	switch ds.Config().Strategy {
 	case core.MutableBitmap:
@@ -77,11 +83,22 @@ func FilterScan(ds *core.Dataset, lo, hi int64, emit func(kv.Entry)) error {
 				check(e)
 			}
 		}
-		for _, m := range []*memtable.Table{flushing, mem} {
-			if !overlaps(m) {
-				continue
+		if len(flushing) > 0 {
+			// Memory-side sources must reconcile among themselves: a
+			// version frozen by an in-flight asynchronous flush may be
+			// superseded by a newer version or anti-matter in a later
+			// frozen memtable or the live one, and memtables carry no
+			// validity bitmaps to reflect that. (Deletes of keys living in
+			// frozen memtables reach the built component's bitmap through
+			// the flush batch; until the install, the anti-matter in the
+			// newer memory source is the only evidence.)
+			if flushingOverlaps || memOverlaps {
+				return reconciledScan(primary, nil, flushing, mem, check)
 			}
-			it := m.NewIterator(nil, nil)
+			return nil
+		}
+		if memOverlaps {
+			it := mem.NewIterator(nil, nil)
 			for {
 				e, ok := it.Next()
 				if !ok {
@@ -141,9 +158,9 @@ func FilterScan(ds *core.Dataset, lo, hi int64, emit func(kv.Entry)) error {
 }
 
 // reconciledScan runs a full reconciled scan over the given components, the
-// flushing memtable, and the live memory component (either may be nil),
+// flushing memtables, and the live memory component (either may be empty),
 // hiding anti-matter.
-func reconciledScan(primary *lsm.Tree, comps []*lsm.Component, flushing, mem *memtable.Table, emit func(kv.Entry)) error {
+func reconciledScan(primary *lsm.Tree, comps []*lsm.Component, flushing []*memtable.Table, mem *memtable.Table, emit func(kv.Entry)) error {
 	it, err := primary.NewMergedIterator(lsm.IterOptions{
 		Components:    comps,
 		Flushing:      flushing,

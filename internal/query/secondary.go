@@ -290,24 +290,10 @@ func timestampValidate(ds *core.Dataset, cands []candidate, crack bool) ([]candi
 		cursors[i] = c.BTree.NewLookupCursor(true)
 	}
 
-	memGet := func(pk []byte) (kv.Entry, bool) {
-		env.ChargeMemtable()
-		if e, ok := mem.Get(pk); ok {
-			return e, true
-		}
-		if flushing != nil {
-			env.ChargeMemtable()
-			if e, ok := flushing.Get(pk); ok {
-				return e, true
-			}
-		}
-		return kv.Entry{}, false
-	}
-
 	var valid []candidate
 	for _, c := range cands {
 		newestTS := int64(-1)
-		if e, ok := memGet(c.pk); ok {
+		if e, ok := memGet(env, mem, flushing, c.pk); ok {
 			newestTS = e.TS
 		} else {
 			for ci := len(comps) - 1; ci >= 0; ci-- {

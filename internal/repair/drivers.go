@@ -36,6 +36,7 @@ func MergeRepair(sec, pkIndex *lsm.Tree, lo, hi int, opts Options) error {
 		Lo: lo, Hi: hi,
 		DropAnti:      lo == 0,
 		SkipInvisible: true,
+		Store:         opts.Store,
 		OnEntry: func(e kv.Entry, ordinal int64) {
 			if e.Anti {
 				return

@@ -18,6 +18,7 @@ import (
 	"repro/internal/lsm"
 	"repro/internal/memtable"
 	"repro/internal/metrics"
+	"repro/internal/storage"
 )
 
 // Options tunes a repair operation.
@@ -28,6 +29,11 @@ type Options struct {
 	// under a correlated merge policy, which guarantees the unpruned
 	// components are strictly newer than the repairing component.
 	UseBloom bool
+	// Store, when set, charges MergeRepair's merge I/O (input scans and
+	// the new component's build) to this store view — the background
+	// maintenance lane. Validation lookups against the primary key index
+	// keep their readers' own accounting.
+	Store *storage.Store
 }
 
 // tuple is one (primary key, timestamp, position) record fed to the sorter
@@ -43,9 +49,9 @@ type tuple struct {
 type validator struct {
 	env *metrics.Env
 	mem *memtable.Table
-	// flushing is the memory component frozen by an in-flight flush (nil
-	// outside one); it ranks between mem and the disk components.
-	flushing *memtable.Table
+	// flushing holds the memory components frozen by in-flight flushes
+	// (oldest to newest); they rank between mem and the disk components.
+	flushing []*memtable.Table
 	comps    []*lsm.Component // unpruned, oldest to newest
 	cursors  []*btree.LookupCursor
 	// newRepairedTS is the repair watermark after this operation: the
@@ -71,8 +77,8 @@ func newValidator(pkIndex *lsm.Tree, repairedTS int64) *validator {
 	if _, maxTS := v.mem.ID(); maxTS > v.newRepairedTS {
 		v.newRepairedTS = maxTS
 	}
-	if v.flushing != nil {
-		if _, maxTS := v.flushing.ID(); maxTS > v.newRepairedTS {
+	for _, m := range v.flushing {
+		if _, maxTS := m.ID(); maxTS > v.newRepairedTS {
 			v.newRepairedTS = maxTS
 		}
 	}
@@ -87,8 +93,8 @@ func (v *validator) numRecentKeys() int64 {
 		n += c.NumEntries()
 	}
 	n += int64(v.mem.Len())
-	if v.flushing != nil {
-		n += int64(v.flushing.Len())
+	for _, m := range v.flushing {
+		n += int64(m.Len())
 	}
 	return n
 }
@@ -99,8 +105,8 @@ func (v *validator) mayContainAny(pk []byte) bool {
 	if _, ok := v.mem.Get(pk); ok {
 		return true
 	}
-	if v.flushing != nil {
-		if _, ok := v.flushing.Get(pk); ok {
+	for i := len(v.flushing) - 1; i >= 0; i-- {
+		if _, ok := v.flushing[i].Get(pk); ok {
 			return true
 		}
 	}
@@ -118,8 +124,8 @@ func (v *validator) newestTS(pk []byte) (int64, bool) {
 	if e, ok := v.mem.Get(pk); ok {
 		return e.TS, true
 	}
-	if v.flushing != nil {
-		if e, ok := v.flushing.Get(pk); ok {
+	for i := len(v.flushing) - 1; i >= 0; i-- {
+		if e, ok := v.flushing[i].Get(pk); ok {
 			return e.TS, true
 		}
 	}
@@ -222,7 +228,7 @@ func newSnapshotIterator(v *validator) (func() (kv.Entry, bool, error), error) {
 		srcs = append(srcs, s)
 	}
 	memRank := len(v.comps)
-	for _, m := range []*memtable.Table{v.flushing, v.mem} {
+	for _, m := range append(append([]*memtable.Table(nil), v.flushing...), v.mem) {
 		if m == nil {
 			continue
 		}

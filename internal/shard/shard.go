@@ -220,9 +220,19 @@ func (r *Router) Recover() error {
 
 // Stats is one shard's statistics snapshot, or an aggregate over shards.
 type Stats struct {
-	// SimulatedTime is the shard's virtual clock; in an aggregate it is
-	// the maximum over shards (they run concurrently).
+	// SimulatedTime is the shard's elapsed virtual time: the maximum of
+	// the ingest lane and the background maintenance lane (which overlap);
+	// in an aggregate it is the maximum over shards (they run
+	// concurrently).
 	SimulatedTime int64 // nanoseconds
+	// IngestTime is the ingest lane's virtual time: the time the write
+	// path experienced. It equals SimulatedTime on a synchronous shard;
+	// with background maintenance it only absorbs maintenance time at
+	// backpressure stalls and drains. Max in an aggregate.
+	IngestTime int64 // nanoseconds
+	// MaintTime is the background maintenance lane's virtual time (zero
+	// without background maintenance); max in an aggregate.
+	MaintTime int64 // nanoseconds
 	// Ingested and Ignored count accepted and ignored writes.
 	Ingested, Ignored int64
 	// PrimaryComponents is the primary index's disk-component count
@@ -238,8 +248,16 @@ type Stats struct {
 func (r *Router) StatsPerShard() []Stats {
 	out := make([]Stats, len(r.parts))
 	for i, p := range r.parts {
+		ingest := int64(p.Env.Clock.Now())
+		mnt := int64(p.DS.MaintSimTime())
+		sim := ingest
+		if mnt > sim {
+			sim = mnt
+		}
 		out[i] = Stats{
-			SimulatedTime:     int64(p.Env.Clock.Now()),
+			SimulatedTime:     sim,
+			IngestTime:        ingest,
+			MaintTime:         mnt,
 			Ingested:          p.DS.IngestedCount(),
 			Ignored:           p.DS.IgnoredCount(),
 			PrimaryComponents: p.DS.Primary().NumDiskComponents(),
@@ -258,6 +276,12 @@ func Aggregate(per []Stats) Stats {
 	for _, s := range per {
 		if s.SimulatedTime > agg.SimulatedTime {
 			agg.SimulatedTime = s.SimulatedTime
+		}
+		if s.IngestTime > agg.IngestTime {
+			agg.IngestTime = s.IngestTime
+		}
+		if s.MaintTime > agg.MaintTime {
+			agg.MaintTime = s.MaintTime
 		}
 		agg.Ingested += s.Ingested
 		agg.Ignored += s.Ignored

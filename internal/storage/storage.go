@@ -132,6 +132,12 @@ func (d *Disk) Delete(id FileID) {
 // Writes are sequential by construction (flush and merge bulk loads), so they
 // are charged at transfer cost only.
 func (d *Disk) AppendPage(id FileID, data []byte) (int, error) {
+	return d.AppendPageEnv(d.env, id, data)
+}
+
+// AppendPageEnv is AppendPage charging the given metrics environment (the
+// caller's I/O lane: background maintenance charges its own clock).
+func (d *Disk) AppendPageEnv(env *metrics.Env, id FileID, data []byte) (int, error) {
 	if len(data) > d.profile.PageSize {
 		return 0, fmt.Errorf("storage: page overflow: %d > %d", len(data), d.profile.PageSize)
 	}
@@ -147,8 +153,8 @@ func (d *Disk) AppendPage(id FileID, data []byte) (int, error) {
 	d.bytesWritten += int64(len(cp))
 	d.mu.Unlock()
 
-	d.env.Counters.PagesWritten.Add(1)
-	d.env.Clock.Advance(d.profile.TransferPerPage)
+	env.Counters.PagesWritten.Add(1)
+	env.Clock.Advance(d.profile.TransferPerPage)
 	return n, nil
 }
 
@@ -156,6 +162,11 @@ func (d *Disk) AppendPage(id FileID, data []byte) (int, error) {
 // combined with the position of the previous read on the same file it
 // decides whether to charge a seek. The returned slice must not be modified.
 func (d *Disk) ReadPage(id FileID, page int, seqHint bool) ([]byte, error) {
+	return d.ReadPageEnv(d.env, id, page, seqHint)
+}
+
+// ReadPageEnv is ReadPage charging the given metrics environment.
+func (d *Disk) ReadPageEnv(env *metrics.Env, id FileID, page int, seqHint bool) ([]byte, error) {
 	d.mu.Lock()
 	f, ok := d.files[id]
 	if !ok {
@@ -173,11 +184,11 @@ func (d *Disk) ReadPage(id FileID, page int, seqHint bool) ([]byte, error) {
 	d.mu.Unlock()
 
 	if sequential {
-		d.env.Counters.SequentialReads.Add(1)
-		d.env.Clock.Advance(d.profile.TransferPerPage)
+		env.Counters.SequentialReads.Add(1)
+		env.Clock.Advance(d.profile.TransferPerPage)
 	} else {
-		d.env.Counters.RandomReads.Add(1)
-		d.env.Clock.Advance(d.profile.Seek + d.profile.TransferPerPage)
+		env.Counters.RandomReads.Add(1)
+		env.Clock.Advance(d.profile.Seek + d.profile.TransferPerPage)
 	}
 	return data, nil
 }

@@ -28,6 +28,14 @@ func NewStore(disk *Disk, cacheBytes int64, env *metrics.Env) *Store {
 	return &Store{disk: disk, cache: cache.NewLRU(pages), env: env}
 }
 
+// WithEnv returns a Store view sharing this store's disk and buffer cache
+// but charging the given metrics environment. Background maintenance uses
+// it to account its I/O on a separate lane (clock) while keeping the event
+// counters and cache state global.
+func (s *Store) WithEnv(env *metrics.Env) *Store {
+	return &Store{disk: s.disk, cache: s.cache, env: env}
+}
+
 // Disk returns the underlying device (for file create/append/delete).
 func (s *Store) Disk() *Disk { return s.disk }
 
@@ -54,7 +62,7 @@ func (s *Store) ReadPage(id FileID, page int, seqHint bool) ([]byte, error) {
 		return data, nil
 	}
 	s.env.Counters.CacheMisses.Add(1)
-	data, err := s.disk.ReadPage(id, page, seqHint)
+	data, err := s.disk.ReadPageEnv(s.env, id, page, seqHint)
 	if err != nil {
 		return nil, err
 	}
@@ -70,7 +78,7 @@ func (s *Store) ReadPage(id FileID, page int, seqHint bool) ([]byte, error) {
 				if _, ok := s.cache.Get(pk); ok {
 					continue
 				}
-				d, err := s.disk.ReadPage(id, p, true)
+				d, err := s.disk.ReadPageEnv(s.env, id, p, true)
 				if err != nil {
 					break
 				}
@@ -86,7 +94,7 @@ func (s *Store) Create() FileID { return s.disk.Create() }
 
 // AppendPage appends a page to a component file being bulk-loaded.
 func (s *Store) AppendPage(id FileID, data []byte) (int, error) {
-	return s.disk.AppendPage(id, data)
+	return s.disk.AppendPageEnv(s.env, id, data)
 }
 
 // Delete drops a component file and invalidates its cached pages.

@@ -49,6 +49,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kv"
 	"repro/internal/lsm"
+	"repro/internal/maint"
 	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/repair"
@@ -156,6 +157,25 @@ type Options struct {
 	// ShardWorkers bounds the goroutines used by cross-shard fan-out
 	// (batch applies, queries, flushes). 0 means one worker per shard.
 	ShardWorkers int
+	// MaintenanceWorkers enables background maintenance: flushes swap the
+	// memory components and return immediately (the frozen memtables stay
+	// readable until their disk components install), while component
+	// builds and policy-picked merges run on a pool of this many workers
+	// shared by every shard. Each shard schedules its own flush builds and
+	// merges, so partitions compact independently and concurrently. 0 (the
+	// default) keeps the synchronous behavior: the write crossing the
+	// memory budget flushes and merges inline.
+	MaintenanceWorkers int
+	// MaxFrozenMemtables bounds the frozen flush batches per shard
+	// awaiting background builds before writers soft-stall (backpressure;
+	// stall counts and durations appear in Stats.Counters). 0 means the
+	// default of 4. Only meaningful with MaintenanceWorkers > 0.
+	MaxFrozenMemtables int
+	// MaxUnmergedComponents soft-stalls writers while a shard's primary
+	// index holds at least this many disk components and a merge is still
+	// pending. 0 disables the threshold. Only meaningful with
+	// MaintenanceWorkers > 0.
+	MaxUnmergedComponents int
 }
 
 // DB is one dataset partition or, with Options.Shards > 1, a hash-
@@ -165,24 +185,32 @@ type DB struct {
 	store  *storage.Store
 	env    *metrics.Env
 	shards *shard.Router // non-nil only when Options.Shards > 1
+	pool   *maint.Pool   // non-nil only when Options.MaintenanceWorkers > 0
+	closed bool
 }
 
 // Open creates an empty DB.
 func Open(opts Options) (*DB, error) {
-	if opts.Shards > 1 {
-		return openSharded(opts)
+	var pool *maint.Pool
+	if opts.MaintenanceWorkers > 0 {
+		pool = maint.NewPool(opts.MaintenanceWorkers)
 	}
-	p, err := openPartition(opts)
+	if opts.Shards > 1 {
+		return openSharded(opts, pool)
+	}
+	p, err := openPartition(opts, pool)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{ds: p.DS, store: p.Store, env: p.Env}, nil
+	return &DB{ds: p.DS, store: p.Store, env: p.Env, pool: pool}, nil
 }
 
 // openSharded opens Options.Shards independent partitions — the buffer
 // cache splits evenly across them, the memory budget applies per partition
 // (the paper's per-partition budget) — and fronts them with a hash router.
-func openSharded(opts Options) (*DB, error) {
+// All partitions share one maintenance pool, so background work is bounded
+// machine-wide while each shard compacts independently.
+func openSharded(opts Options, pool *maint.Pool) (*DB, error) {
 	n := opts.Shards
 	per := opts
 	per.Shards = 1
@@ -196,7 +224,7 @@ func openSharded(opts Options) (*DB, error) {
 		// Distinct seeds keep per-shard memtable shapes independent while
 		// staying deterministic for a given (Seed, Shards) pair.
 		po.Seed = opts.Seed + int64(i)*101
-		p, err := openPartition(po)
+		p, err := openPartition(po, pool)
 		if err != nil {
 			return nil, err
 		}
@@ -206,7 +234,7 @@ func openSharded(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{ds: parts[0].DS, store: parts[0].Store, env: parts[0].Env, shards: r}, nil
+	return &DB{ds: parts[0].DS, store: parts[0].Store, env: parts[0].Env, shards: r, pool: pool}, nil
 }
 
 // resolveCacheBytes applies the buffer-cache default (64 MB, matching the
@@ -230,7 +258,7 @@ func resolvePageSize(opts Options) int {
 }
 
 // openPartition opens one partition: the unsharded store, or one shard.
-func openPartition(opts Options) (*shard.Partition, error) {
+func openPartition(opts Options, pool *maint.Pool) (*shard.Partition, error) {
 	env := metrics.NewEnv()
 	profile := storage.HDD()
 	if opts.Device == SSD {
@@ -247,19 +275,22 @@ func openPartition(opts Options) (*shard.Partition, error) {
 	store := storage.NewStore(storage.NewDisk(profile, env), resolveCacheBytes(opts), env)
 
 	cfg := core.Config{
-		Store:            store,
-		Strategy:         opts.Strategy,
-		CC:               opts.CC,
-		FilterExtract:    opts.FilterExtract,
-		MemoryBudget:     opts.MemoryBudget,
-		UsePKIndex:       !opts.DisablePKIndex,
-		CorrelatedMerges: opts.CorrelatedMerges,
-		MergeRepair:      opts.MergeRepair,
-		RepairBloomOpt:   opts.RepairBloomOpt,
-		BloomFPR:         0.01,
-		BlockedBloom:     opts.BlockedBloom,
-		DisableWAL:       opts.DisableWAL,
-		Seed:             opts.Seed,
+		Store:                 store,
+		Strategy:              opts.Strategy,
+		CC:                    opts.CC,
+		FilterExtract:         opts.FilterExtract,
+		MemoryBudget:          opts.MemoryBudget,
+		UsePKIndex:            !opts.DisablePKIndex,
+		CorrelatedMerges:      opts.CorrelatedMerges,
+		MergeRepair:           opts.MergeRepair,
+		RepairBloomOpt:        opts.RepairBloomOpt,
+		BloomFPR:              0.01,
+		BlockedBloom:          opts.BlockedBloom,
+		DisableWAL:            opts.DisableWAL,
+		Seed:                  opts.Seed,
+		Maintenance:           pool,
+		MaxFrozenMemtables:    opts.MaxFrozenMemtables,
+		MaxUnmergedComponents: opts.MaxUnmergedComponents,
 	}
 	if !opts.DisableMerges {
 		cfg.Policy = lsm.NewTiering(opts.MaxMergeableBytes)
@@ -445,12 +476,38 @@ func (db *DB) FilterScan(lo, hi int64, fn func(pk, record []byte)) error {
 }
 
 // Flush forces all memory components to disk and runs due merges, on every
-// shard.
+// shard. With background maintenance enabled it also drains every pending
+// build and merge, so the store is fully quiesced when it returns.
 func (db *DB) Flush() error {
 	if db.shards != nil {
 		return db.shards.FlushAll()
 	}
 	return db.ds.FlushAll()
+}
+
+// Close drains all pending background maintenance (flush builds and
+// merges on every shard) and stops the maintenance workers. It does not
+// flush live memory components — call Flush first for a clean shutdown
+// image. Close is idempotent; after it, writes on a store with background
+// maintenance fail. On a synchronous store Close is a no-op.
+func (db *DB) Close() error {
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	var errs []error
+	drain := func(ds *core.Dataset) error { return ds.DrainMaintenance() }
+	if db.shards != nil {
+		if err := db.shards.ForEach(drain); err != nil {
+			errs = append(errs, err)
+		}
+	} else if err := drain(db.ds); err != nil {
+		errs = append(errs, err)
+	}
+	if db.pool != nil {
+		db.pool.Close()
+	}
+	return errors.Join(errs...)
 }
 
 // Crash simulates a failure: all memory components are lost; disk
@@ -500,8 +557,19 @@ func repairSecondaries(ds *core.Dataset) error {
 // which is the maximum because shards progress concurrently on independent
 // devices) and PerShard holds each shard's own snapshot.
 type Stats struct {
-	// SimulatedTime is the virtual clock reading (cost-model time).
+	// SimulatedTime is the virtual clock reading (cost-model time): the
+	// elapsed time of the partition, i.e. the maximum of the ingest lane
+	// and the background maintenance lane, which overlap when background
+	// maintenance is enabled.
 	SimulatedTime string
+	// IngestTime is the ingest lane's virtual time: the time the write
+	// path experienced. It equals SimulatedTime on a synchronous store;
+	// with background maintenance it only absorbs maintenance time at
+	// backpressure stalls and drains.
+	IngestTime string
+	// MaintenanceTime is the background maintenance lane's virtual time
+	// ("0s" without background maintenance).
+	MaintenanceTime string
 	// Ingested and Ignored count accepted and ignored writes.
 	Ingested, Ignored int64
 	// PrimaryComponents is the primary index's disk-component count.
@@ -531,8 +599,16 @@ func (db *DB) Stats() Stats {
 		}
 		return out
 	}
+	ingest := db.env.Clock.Now()
+	mnt := db.ds.MaintSimTime()
+	sim := ingest
+	if mnt > sim {
+		sim = mnt
+	}
 	return Stats{
-		SimulatedTime:     db.env.Clock.Now().String(),
+		SimulatedTime:     sim.String(),
+		IngestTime:        ingest.String(),
+		MaintenanceTime:   mnt.String(),
 		Ingested:          db.ds.IngestedCount(),
 		Ignored:           db.ds.IgnoredCount(),
 		PrimaryComponents: db.ds.Primary().NumDiskComponents(),
@@ -546,6 +622,8 @@ func (db *DB) Stats() Stats {
 func statsFrom(s shard.Stats) Stats {
 	return Stats{
 		SimulatedTime:     time.Duration(s.SimulatedTime).String(),
+		IngestTime:        time.Duration(s.IngestTime).String(),
+		MaintenanceTime:   time.Duration(s.MaintTime).String(),
 		Ingested:          s.Ingested,
 		Ignored:           s.Ignored,
 		PrimaryComponents: s.PrimaryComponents,
