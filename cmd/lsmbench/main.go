@@ -10,6 +10,8 @@
 //	lsmbench -shardsweep 1,2,4,8     # sharded ingest throughput sweep
 //	lsmbench -shardsweep 1,4 -n 200000
 //	lsmbench -shardsweep 4 -async 2  # background maintenance (2 workers)
+//	lsmbench -shardsweep 1,4 -backend=disk        # real files, real fsync
+//	lsmbench -shardsweep 4 -backend=disk -dir /data/bench
 //
 // Output rows mirror the series the paper plots; times are virtual
 // (cost-model) seconds except Figure 23, which reports wall time. The
@@ -18,16 +20,24 @@
 // the flush builds and merges run on N background workers and the sweep
 // reports the ingest-lane time (what the write path experienced), the
 // maintenance-lane time, and the backpressure stalls.
+//
+// With -backend=disk the sweep runs on the file backend (real files,
+// batched appends, fsync on commit and install) under -dir — a fresh
+// temporary directory, removed on exit, when -dir is empty. Virtual times
+// then reflect CPU charges only; the wall-clock column is the honest
+// figure. The paper figures (-figure) always run the simulated cost model.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/cmd/internal/backendflag"
 	"repro/internal/experiments"
 	"repro/internal/workload"
 	"repro/lsmstore"
@@ -40,6 +50,8 @@ func main() {
 	sweep := flag.String("shardsweep", "", "comma-separated shard counts: run the sharded ingest sweep instead of figures")
 	nrecs := flag.Int("n", 100_000, "records to ingest per -shardsweep run")
 	async := flag.Int("async", 0, "background maintenance workers for -shardsweep (0 = synchronous)")
+	backendFlag := flag.String("backend", "sim", "storage backend for -shardsweep: sim | disk")
+	dir := flag.String("dir", "", "data directory for -backend=disk (default: a temp dir, removed on exit)")
 	flag.Parse()
 
 	if *list {
@@ -49,7 +61,12 @@ func main() {
 		return
 	}
 	if *sweep != "" {
-		if err := runShardSweep(*sweep, *nrecs, *async); err != nil {
+		backend, resolvedDir, cleanup, err := backendflag.Resolve(*backendFlag, *dir)
+		if err == nil {
+			err = runShardSweep(*sweep, *nrecs, *async, backend, resolvedDir)
+		}
+		cleanup()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "lsmbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -79,8 +96,9 @@ func main() {
 // each requested shard count and prints simulated time, throughput, and
 // speedup relative to the first entry of the sweep. With async > 0,
 // background maintenance runs on that many pool workers and the reported
-// ingest time is the ingest lane's (the write path's) virtual time.
-func runShardSweep(spec string, n, async int) error {
+// ingest time is the ingest lane's (the write path's) virtual time. On the
+// disk backend each shard count runs in its own subdirectory of dir.
+func runShardSweep(spec string, n, async int, backend lsmstore.Backend, dir string) error {
 	var counts []int
 	for _, f := range strings.Split(spec, ",") {
 		c, err := strconv.Atoi(strings.TrimSpace(f))
@@ -104,10 +122,25 @@ func runShardSweep(spec string, n, async int) error {
 	if async > 0 {
 		mode = fmt.Sprintf("background maintenance, %d workers", async)
 	}
-	fmt.Printf("# sharded ingest sweep: %d records (20%% Zipf updates), Validation strategy, %s\n", n, mode)
+	where := "backend=sim"
+	if backend == lsmstore.FileBackend {
+		where = fmt.Sprintf("backend=disk dir=%s", dir)
+	}
+	fmt.Printf("# sharded ingest sweep: %d records (20%% Zipf updates), Validation strategy, %s, %s\n", n, mode, where)
 	fmt.Printf("%-8s %14s %16s %10s %14s %8s\n", "shards", "ingest-time", "records/simsec", "speedup", "maint-time", "stalls")
 	var base time.Duration
 	for _, shards := range counts {
+		runDir := ""
+		if backend == lsmstore.FileBackend {
+			// Each shard count is its own store; a shared directory would
+			// (correctly) refuse to reopen under a different count. A
+			// leftover run directory would be silently reopened and
+			// ingested on top of, skewing the sweep — refuse it.
+			runDir = filepath.Join(dir, fmt.Sprintf("run-%02d", shards))
+			if _, err := os.Stat(runDir); err == nil {
+				return fmt.Errorf("%s already holds a previous run; pass a fresh -dir or remove it", runDir)
+			}
+		}
 		db, err := lsmstore.Open(lsmstore.Options{
 			Strategy:           lsmstore.Validation,
 			Secondaries:        []lsmstore.SecondaryIndex{{Name: "user", Extract: workload.UserIDOf}},
@@ -118,6 +151,8 @@ func runShardSweep(spec string, n, async int) error {
 			Seed:               3,
 			Shards:             shards,
 			MaintenanceWorkers: async,
+			Backend:            backend,
+			Dir:                runDir,
 		})
 		if err != nil {
 			return err

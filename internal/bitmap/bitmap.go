@@ -13,9 +13,43 @@
 package bitmap
 
 import (
+	"encoding/binary"
+	"errors"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrCorrupt reports a malformed serialized bitmap.
+var ErrCorrupt = errors.New("bitmap: corrupt serialized bitmap")
+
+// appendWords serializes (n, words) as a varint length plus little-endian
+// 64-bit words — the common wire form of both bitmap flavors, used by the
+// durable manifest.
+func appendWords(dst []byte, n int64, words []uint64) []byte {
+	dst = binary.AppendVarint(dst, n)
+	for _, w := range words {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
+}
+
+// decodeWords parses appendWords output.
+func decodeWords(data []byte) (n int64, words []uint64, err error) {
+	n, k := binary.Varint(data)
+	if k <= 0 || n < 0 {
+		return 0, nil, ErrCorrupt
+	}
+	data = data[k:]
+	nw := int((n + 63) / 64)
+	if len(data) != nw*8 {
+		return 0, nil, ErrCorrupt
+	}
+	words = make([]uint64, nw)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	return n, words, nil
+}
 
 // Immutable is a fixed bitmap over entry ordinals; bit=1 marks the entry
 // invalid (obsolete). The zero-length bitmap treats every entry as valid.
@@ -64,6 +98,28 @@ func (b *Immutable) Len() int64 {
 		return 0
 	}
 	return b.n
+}
+
+// Marshal serializes the bitmap for the durable manifest. A nil bitmap
+// marshals to nil.
+func (b *Immutable) Marshal() []byte {
+	if b == nil {
+		return nil
+	}
+	return appendWords(nil, b.n, b.bits)
+}
+
+// UnmarshalImmutable reconstructs a Marshal-ed immutable bitmap; nil input
+// yields a nil bitmap.
+func UnmarshalImmutable(data []byte) (*Immutable, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	n, words, err := decodeWords(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Immutable{bits: words, n: n}, nil
 }
 
 // Mutable is a concurrently updatable validity bitmap. Bits are flipped with
@@ -144,6 +200,34 @@ func (b *Mutable) Count() int64 {
 		}
 	}
 	return c
+}
+
+// Marshal serializes the bitmap's current state for the durable manifest.
+// Concurrent Sets may or may not be captured — the manifest's WAL replay
+// re-applies any that are not (Set is idempotent). A nil bitmap marshals to
+// nil.
+func (b *Mutable) Marshal() []byte {
+	if b == nil {
+		return nil
+	}
+	words := make([]uint64, len(b.bits))
+	for i := range b.bits {
+		words[i] = atomic.LoadUint64(&b.bits[i])
+	}
+	return appendWords(nil, b.n, words)
+}
+
+// UnmarshalMutable reconstructs a Marshal-ed mutable bitmap; nil input
+// yields a nil bitmap.
+func UnmarshalMutable(data []byte) (*Mutable, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	n, words, err := decodeWords(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Mutable{bits: words, n: n}, nil
 }
 
 // Snapshot copies the current state into an Immutable bitmap; the Side-file

@@ -77,6 +77,17 @@ func (c *LRU) Put(key PageKey, data []byte) {
 	}
 }
 
+// Contains reports whether key is cached without promoting it in the LRU
+// order and without counting a hit or miss. Read-ahead uses it to skip
+// already-cached pages of a prefetch window: a prefetch overlap is not a
+// use of the page and must not disturb recency or the statistics.
+func (c *LRU) Contains(key PageKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
 // InvalidateFile drops every cached page of the given file (component drop).
 func (c *LRU) InvalidateFile(file uint64) {
 	c.mu.Lock()

@@ -77,6 +77,21 @@ func (b *flushBatch) seal(comp *lsm.Component) map[string]struct{} {
 	return dels
 }
 
+// removeFrozenDelete retracts a forwarded delete whose WAL append failed.
+// Before sealing it simply leaves the forwarded set; after sealing the set
+// was already applied to the built component, which is returned so the
+// caller can clear the bit there (nil when the batch was abandoned by a
+// crash — nothing was applied).
+func (b *flushBatch) removeFrozenDelete(pk []byte) *lsm.Component {
+	b.delMu.Lock()
+	defer b.delMu.Unlock()
+	if !b.sealed {
+		delete(b.frozenDeletes, string(pk))
+		return nil
+	}
+	return b.sealedPrim
+}
+
 // maintState is the per-dataset scheduling state over the shared pool.
 type maintState struct {
 	pool *maint.Pool
@@ -295,6 +310,11 @@ func (d *Dataset) processOneBatch() {
 		m.mu.Unlock()
 
 		err := d.buildAndInstallBatch(b)
+		if err == nil {
+			// Durability point: sync the built component files and publish
+			// them in the manifest before the batch counts as complete.
+			err = d.Persist()
+		}
 
 		// Queue the follow-up merge BEFORE announcing completion: a
 		// drainer woken by the broadcast below must observe the pending
@@ -454,6 +474,9 @@ func (d *Dataset) runMergeJob() {
 		err := d.mergeDue()
 		if errors.Is(err, lsm.ErrStaleInstall) {
 			err = nil // a crash abandoned the merge; its inputs are intact
+		}
+		if err == nil {
+			err = d.Persist()
 		}
 
 		m.mu.Lock()

@@ -207,6 +207,10 @@ type Dataset struct {
 
 	// flushMu serializes synchronous flushes and merges with each other.
 	flushMu sync.Mutex
+	// persistMu serializes manifest saves, so a later component-list
+	// snapshot is never overwritten by an earlier one (durable devices
+	// only).
+	persistMu sync.Mutex
 	// crashMu makes multi-tree installs (flush batches, the paired
 	// primary/pk merge) atomic with respect to Crash, so a simulated
 	// failure can never observe a half-installed batch.
@@ -249,6 +253,19 @@ func Open(cfg Config) (*Dataset, error) {
 	}
 	if cfg.RepairBloomOpt && !cfg.CorrelatedMerges {
 		return nil, errors.New("core: the Bloom-filter repair optimization requires correlated merges")
+	}
+	// Secondary names key the durable manifest (and Secondary lookups), so
+	// the reserved primary/pk tree names and duplicates must be rejected —
+	// a collision would restore one index's component files into another.
+	seenNames := make(map[string]bool, len(cfg.Secondaries))
+	for _, s := range cfg.Secondaries {
+		if s.Name == "" || s.Name == manifestPrimary || s.Name == manifestPKIndex {
+			return nil, fmt.Errorf("core: secondary index name %q is empty or reserved", s.Name)
+		}
+		if seenNames[s.Name] {
+			return nil, fmt.Errorf("core: duplicate secondary index name %q", s.Name)
+		}
+		seenNames[s.Name] = true
 	}
 	env := cfg.Store.Env()
 	d := &Dataset{
@@ -300,6 +317,13 @@ func Open(cfg Config) (*Dataset, error) {
 			si.memDeleted = make(map[string]int64)
 		}
 		d.secondaries = append(d.secondaries, si)
+	}
+	// On a durable device, restore a previous session's components, drop
+	// files a crash left unreferenced, and replay the on-disk WAL (the
+	// dataset serves no traffic yet, so replay needs no coordination). On
+	// the simulated device this is a no-op.
+	if err := d.setupDurability(); err != nil {
+		return nil, err
 	}
 	if cfg.Maintenance != nil {
 		d.maint = newMaintState(cfg.Maintenance)

@@ -16,12 +16,30 @@ import (
 // and holds an exclusive lock on the primary key (Section 5.2). The flush
 // check runs after both locks are released — flushing drains writers, so it
 // must never run while this writer is still registered.
-func (d *Dataset) withWriteLocks(pk []byte, fn func() error) error {
+//
+// The ingestion timestamp is drawn INSIDE the registered window and handed
+// to fn. This ordering is load-bearing for recovery: flushes freeze
+// memtables under a writer drain, so every timestamp issued before a
+// freeze has its entry in the frozen memtable, and a flushed component's
+// MaxTS can never cover a timestamp whose write is still in flight. WAL
+// replay (and on-disk WAL compaction) drop records with TS <= the maximum
+// durable component timestamp — drawing the timestamp before registering
+// would let a stalled writer log an acknowledged write that replay then
+// skips forever.
+func (d *Dataset) withWriteLocks(pk []byte, fn func(ts int64) error) error {
 	d.dsLock.Enter()
 	defer d.dsLock.Exit()
 	d.locks.Lock(pk, txn.Exclusive)
 	defer d.locks.Unlock(pk, txn.Exclusive)
-	return fn()
+	// A sticky WAL-durability failure makes the dataset read-only: fail
+	// here, before any strategy mutates shared state (the Mutable-bitmap
+	// paths flip disk bitmaps before logging).
+	if d.log != nil {
+		if err := d.log.SinkErr(); err != nil {
+			return err
+		}
+	}
+	return fn(d.NextTS())
 }
 
 // Insert adds a new record under pk. It returns false when the key already
@@ -30,9 +48,8 @@ func (d *Dataset) withWriteLocks(pk []byte, fn func() error) error {
 // point lookup against the primary key index when available, else the
 // primary index.
 func (d *Dataset) Insert(pk, record []byte) (bool, error) {
-	ts := d.NextTS()
 	inserted := false
-	err := d.withWriteLocks(pk, func() error {
+	err := d.withWriteLocks(pk, func(ts int64) error {
 		exists, err := d.keyExists(pk)
 		if err != nil {
 			return err
@@ -41,7 +58,9 @@ func (d *Dataset) Insert(pk, record []byte) (bool, error) {
 			d.ignored.Add(1)
 			return nil
 		}
-		d.logOp(wal.RecInsert, pk, record, ts, false)
+		if err := d.logOp(wal.RecInsert, pk, record, ts, false); err != nil {
+			return err
+		}
 		d.putAllIndexes(pk, record, ts)
 		d.widenFilterFor(record)
 		d.ingested.Add(1)
@@ -60,9 +79,8 @@ func (d *Dataset) Insert(pk, record []byte) (bool, error) {
 // Delete removes the record under pk, if any. It returns false when the key
 // does not exist.
 func (d *Dataset) Delete(pk []byte) (bool, error) {
-	ts := d.NextTS()
 	deleted := false
-	err := d.withWriteLocks(pk, func() error {
+	err := d.withWriteLocks(pk, func(ts int64) error {
 		ok, err := d.deleteLocked(pk, ts)
 		deleted = ok
 		return err
@@ -89,7 +107,9 @@ func (d *Dataset) deleteLocked(pk []byte, ts int64) (bool, error) {
 			d.ignored.Add(1)
 			return false, nil
 		}
-		d.logOp(wal.RecDelete, pk, nil, ts, false)
+		if err := d.logOp(wal.RecDelete, pk, nil, ts, false); err != nil {
+			return false, err
+		}
 		d.putAnti(pk, ts)
 		for _, si := range d.secondaries {
 			if sk, ok := si.Spec.Extract(old.Value); ok {
@@ -101,12 +121,14 @@ func (d *Dataset) deleteLocked(pk []byte, ts int64) (bool, error) {
 	case Validation:
 		// Anti-matter goes to the primary and primary key indexes only
 		// (Section 4.2); obsolete secondary entries are repaired later.
-		d.logOp(wal.RecDelete, pk, nil, ts, false)
+		if err := d.logOp(wal.RecDelete, pk, nil, ts, false); err != nil {
+			return false, err
+		}
 		d.cleanSecondariesFromMem(pk, ts)
 		d.putAnti(pk, ts)
 
 	case MutableBitmap:
-		updateBit, existed, err := d.markDeletedViaBitmap(pk)
+		updateBit, existed, undo, commit, err := d.markDeletedViaBitmap(pk)
 		if err != nil {
 			return false, err
 		}
@@ -117,12 +139,24 @@ func (d *Dataset) deleteLocked(pk []byte, ts int64) (bool, error) {
 		// An anti-matter key is still added (Section 5.2): the bitmap is
 		// an auxiliary structure and must not change LSM semantics, and
 		// it keeps Validation-maintained secondaries repairable.
-		d.logOp(wal.RecDelete, pk, nil, ts, updateBit)
+		if err := d.logOp(wal.RecDelete, pk, nil, ts, updateBit); err != nil {
+			// The append failed, so the delete never durably happened:
+			// revert the bitmap flip before reporting failure.
+			if undo != nil {
+				undo()
+			}
+			return false, err
+		}
+		if commit != nil {
+			commit() // durably logged: now forward to any in-flight build
+		}
 		d.cleanSecondariesFromMem(pk, ts)
 		d.putAnti(pk, ts)
 
 	case DeletedKey:
-		d.logOp(wal.RecDelete, pk, nil, ts, false)
+		if err := d.logOp(wal.RecDelete, pk, nil, ts, false); err != nil {
+			return false, err
+		}
 		d.putAnti(pk, ts)
 		for _, si := range d.secondaries {
 			si.addMemDeleted(pk, ts)
@@ -135,8 +169,7 @@ func (d *Dataset) deleteLocked(pk []byte, ts int64) (bool, error) {
 // Upsert inserts record under pk, replacing any existing record. This is
 // the operation where the strategies differ most (Sections 3.1, 4.2, 5.2).
 func (d *Dataset) Upsert(pk, record []byte) error {
-	ts := d.NextTS()
-	if err := d.withWriteLocks(pk, func() error {
+	if err := d.withWriteLocks(pk, func(ts int64) error {
 		return d.upsertLocked(pk, record, ts)
 	}); err != nil {
 		return err
@@ -154,7 +187,9 @@ func (d *Dataset) upsertLocked(pk, record []byte, ts int64) error {
 		if err != nil {
 			return err
 		}
-		d.logOp(wal.RecUpsert, pk, record, ts, false)
+		if err := d.logOp(wal.RecUpsert, pk, record, ts, false); err != nil {
+			return err
+		}
 		for _, si := range d.secondaries {
 			newSK, hasNew := si.Spec.Extract(record)
 			if found {
@@ -183,7 +218,9 @@ func (d *Dataset) upsertLocked(pk, record []byte, ts int64) error {
 	case Validation:
 		// Blind insert into every index (Figure 4); filters maintained
 		// with the new record only.
-		d.logOp(wal.RecUpsert, pk, record, ts, false)
+		if err := d.logOp(wal.RecUpsert, pk, record, ts, false); err != nil {
+			return err
+		}
 		d.cleanSecondariesFromMem(pk, ts)
 		d.putAllIndexes(pk, record, ts)
 		d.widenFilterFor(record)
@@ -192,17 +229,29 @@ func (d *Dataset) upsertLocked(pk, record []byte, ts int64) error {
 		// The primary key index locates the old record; if it lives in a
 		// disk component its bitmap bit is set (Figure 9). Filters are
 		// maintained with the new record only.
-		updateBit, _, err := d.markDeletedViaBitmap(pk)
+		updateBit, _, undo, commit, err := d.markDeletedViaBitmap(pk)
 		if err != nil {
 			return err
 		}
-		d.logOp(wal.RecUpsert, pk, record, ts, updateBit)
+		if err := d.logOp(wal.RecUpsert, pk, record, ts, updateBit); err != nil {
+			// The append failed, so the upsert never durably happened:
+			// revert the bitmap flip before reporting failure.
+			if undo != nil {
+				undo()
+			}
+			return err
+		}
+		if commit != nil {
+			commit() // durably logged: now forward to any in-flight build
+		}
 		d.cleanSecondariesFromMem(pk, ts)
 		d.putAllIndexes(pk, record, ts)
 		d.widenFilterFor(record)
 
 	case DeletedKey:
-		d.logOp(wal.RecUpsert, pk, record, ts, false)
+		if err := d.logOp(wal.RecUpsert, pk, record, ts, false); err != nil {
+			return err
+		}
 		d.putAllIndexes(pk, record, ts)
 		for _, si := range d.secondaries {
 			si.addMemDeleted(pk, ts)
@@ -285,31 +334,44 @@ func (d *Dataset) cleanSecondariesFromMem(pk []byte, ts int64) {
 // its flush batch, which applies it to the built component's bitmap before
 // install. It reports whether a disk bitmap bit was flipped or forwarded
 // (the log record's update bit) and whether the key currently exists.
-func (d *Dataset) markDeletedViaBitmap(pk []byte) (updateBit, existed bool, err error) {
+//
+// The returned undo (non-nil only when state was mutated) reverts the
+// bitmap flip or un-forwards the delete; the caller invokes it when the
+// operation's WAL append fails, so a write reported as failed never leaves
+// a half-applied delete. The returned commit (non-nil only when the flip
+// must also reach a component under construction) forwards the delete to
+// any in-flight merge build and is invoked only AFTER the WAL append
+// succeeded — a forward cannot be retracted from a side-file, so it must
+// never happen for an operation that ends up failing. Deferring it is
+// race-free because the caller holds the exclusive key lock and is
+// registered with the dataset lock: the Lock-method builder S-locks our
+// key and blocks, and the Side-file close drains writers, so neither can
+// slip between the flip and the forward.
+func (d *Dataset) markDeletedViaBitmap(pk []byte) (updateBit, existed bool, undo, commit func(), err error) {
 	if d.pkIndex == nil {
-		return false, false, ErrNoPKIndex
+		return false, false, nil, nil, ErrNoPKIndex
 	}
 	var lastGone *memtable.Table
 	for {
 		// Memory component first: a blind Put will supersede it; no bitmap
 		// work.
 		if e, ok := d.pkIndex.Mem().Get(pk); ok {
-			return false, !e.Anti, nil
+			return false, !e.Anti, nil, nil, nil
 		}
 		if e, tbl, ok := d.pkIndex.FrozenGet(pk); ok {
 			if e.Anti {
-				return false, false, nil
+				return false, false, nil, nil, nil
 			}
 			if d.maint == nil {
 				// Synchronous flushes drain writers for the whole build, so
 				// a writer can never observe a frozen memtable; defensive
 				// fallback mirroring the memory-component case.
-				return false, true, nil
+				return false, true, nil, nil, nil
 			}
 			if b := d.batchForPKTable(tbl); b != nil {
 				forwarded, sealedComp := b.addFrozenDelete(pk)
 				if forwarded {
-					return true, true, nil
+					return true, true, func() { d.unforwardFrozenDelete(b, pk) }, nil, nil
 				}
 				if sealedComp != nil {
 					// The batch sealed (its component is built, the
@@ -319,14 +381,11 @@ func (d *Dataset) markDeletedViaBitmap(pk []byte) (updateBit, existed bool, err 
 					// already building over it.
 					_, ordinal, found, err := sealedComp.BTree.Get(pk)
 					if err != nil {
-						return false, false, err
+						return false, false, nil, nil, err
 					}
 					if found {
-						if sealedComp.Valid != nil {
-							sealedComp.Valid.Set(ordinal)
-						}
-						d.forwardDelete(sealedComp, pk)
-						return true, true, nil
+						undo, commit := d.flipDeferred(sealedComp, ordinal, pk)
+						return true, true, undo, commit, nil
 					}
 					// Defensive: the frozen table held pk, so its built
 					// component must too; fall through and re-search.
@@ -343,7 +402,7 @@ func (d *Dataset) markDeletedViaBitmap(pk []byte) (updateBit, existed bool, err 
 				// delete after the crash. An installed batch never shows
 				// this signature: its memtable leaves the frozen queue
 				// before its batch registration is dropped.
-				return false, true, nil
+				return false, true, nil, nil, nil
 			}
 			lastGone = tbl
 			// The owning batch may have just installed; re-run the search
@@ -353,16 +412,38 @@ func (d *Dataset) markDeletedViaBitmap(pk []byte) (updateBit, existed bool, err 
 		}
 		e, comp, ordinal, found, err := d.pkIndex.GetWithLocation(pk, d.pkIndex.Components())
 		if err != nil || !found || e.Anti {
-			return false, false, err
+			return false, false, nil, nil, err
 		}
 		if comp == nil {
-			return false, true, nil
+			return false, true, nil, nil, nil
 		}
-		if comp.Valid != nil {
-			comp.Valid.Set(ordinal)
+		undo, commit := d.flipDeferred(comp, ordinal, pk)
+		return true, true, undo, commit, nil
+	}
+}
+
+// flipDeferred sets a component's validity bit for the entry at ordinal,
+// returning an undo that clears the bit again (only when this call flipped
+// it) and a commit that forwards the delete to any component being built
+// over it. Exactly one of the two must run: undo when the operation's WAL
+// append fails, commit after it succeeds.
+func (d *Dataset) flipDeferred(comp *lsm.Component, ordinal int64, pk []byte) (undo, commit func()) {
+	if comp.Valid != nil && comp.Valid.Set(ordinal) {
+		undo = func() { comp.Valid.Unset(ordinal) }
+	}
+	commit = func() { d.forwardDelete(comp, pk) }
+	return undo, commit
+}
+
+// unforwardFrozenDelete retracts a delete forwarded into a flush batch
+// whose WAL append failed. If the batch sealed in the meantime the
+// forwarded set was already applied to the built component's bitmap, so
+// the bit is cleared there instead.
+func (d *Dataset) unforwardFrozenDelete(b *flushBatch, pk []byte) {
+	if comp := b.removeFrozenDelete(pk); comp != nil && comp.Valid != nil {
+		if _, ordinal, found, err := comp.BTree.Get(pk); err == nil && found {
+			comp.Valid.Unset(ordinal)
 		}
-		d.forwardDelete(comp, pk)
-		return true, true, nil
 	}
 }
 
@@ -384,13 +465,18 @@ func (d *Dataset) forwardDelete(comp *lsm.Component, pk []byte) {
 	bt.ForwardDelete(pk)
 }
 
-// logOp appends one logical log record and its commit record.
-func (d *Dataset) logOp(t wal.RecordType, pk, record []byte, ts int64, updateBit bool) {
+// logOp appends one logical log record and its commit record. On a durable
+// device the commit record is fsynced through the log's sink; a failure of
+// THIS operation's appends means the write is not durably committed and is
+// surfaced as the operation's error (a concurrent writer's failure wedges
+// the dataset via the sticky-error precheck instead, without mislabeling
+// writes that did commit).
+func (d *Dataset) logOp(t wal.RecordType, pk, record []byte, ts int64, updateBit bool) error {
 	if d.log == nil {
-		return
+		return nil
 	}
 	id := d.ids.Next()
-	d.log.Append(wal.Record{
+	if _, err := d.log.AppendChecked(wal.Record{
 		TxnID:     id,
 		Type:      t,
 		Index:     "dataset",
@@ -398,6 +484,9 @@ func (d *Dataset) logOp(t wal.RecordType, pk, record []byte, ts int64, updateBit
 		Value:     append([]byte(nil), record...),
 		TS:        ts,
 		UpdateBit: updateBit,
-	})
-	d.log.Commit(id)
+	}); err != nil {
+		return err
+	}
+	_, err := d.log.CommitChecked(id)
+	return err
 }

@@ -46,7 +46,12 @@ func (d *Dataset) FlushAll() error {
 	if err != nil {
 		return err
 	}
-	return d.mergeDue()
+	if err := d.mergeDue(); err != nil {
+		return err
+	}
+	// Durability point: on a durable device the freshly installed
+	// components are synced and the manifest now references them.
+	return d.Persist()
 }
 
 // flushTree flushes one index, normalizing the empty case: an empty memory
@@ -168,7 +173,10 @@ func (d *Dataset) MergeDue() error {
 	}
 	d.flushMu.Lock()
 	defer d.flushMu.Unlock()
-	return d.mergeDue()
+	if err := d.mergeDue(); err != nil {
+		return err
+	}
+	return d.Persist()
 }
 
 func (d *Dataset) mergeDue() error {

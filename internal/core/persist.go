@@ -1,0 +1,345 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/bitmap"
+	"repro/internal/lsm"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// This file implements durable persistence on top of a
+// storage.ManifestDevice: after every component install (flush or merge)
+// the dataset snapshots its component metadata into a small manifest and
+// hands it to the device, whose SaveManifest syncs the data files first and
+// then replaces the manifest atomically. Reopening a directory restores the
+// component lists from the manifest, garbage-collects files a crash left
+// half-installed, and replays the on-disk write-ahead log to rebuild the
+// memory components — the real-files analogue of the simulated
+// Crash/Recover battery. On the simulated device every hook here is a
+// no-op, keeping the default backend byte-for-byte unchanged.
+
+// manifestVersion guards the on-disk manifest schema.
+const manifestVersion = 1
+
+// Reserved tree names of the primary and primary-key indexes in the
+// manifest (secondary trees use their declared names).
+const (
+	manifestPrimary = "primary"
+	manifestPKIndex = "pk-index"
+)
+
+type manifest struct {
+	Version  int
+	Strategy string
+	PageSize int
+	Epoch    uint64
+	Clock    int64
+	Trees    []treeManifest
+}
+
+type treeManifest struct {
+	Name       string
+	Components []componentManifest
+}
+
+type componentManifest struct {
+	File            uint64
+	MinTS           int64
+	MaxTS           int64
+	EpochMin        uint64
+	EpochMax        uint64
+	FilterMin       int64  `json:",omitempty"`
+	FilterMax       int64  `json:",omitempty"`
+	HasFilter       bool   `json:",omitempty"`
+	RepairedTS      int64  `json:",omitempty"`
+	Obsolete        []byte `json:",omitempty"`
+	Valid           []byte `json:",omitempty"`
+	SharedValid     bool   `json:",omitempty"`
+	DeletedKeysFile uint64 `json:",omitempty"`
+}
+
+// Persist snapshots every tree's component list into the device manifest.
+// On a non-durable device it is a no-op. The snapshot is taken under
+// crashMu, so it can never observe half of a multi-tree install (a flush
+// batch or a paired primary/pk merge); saves are serialized so a later
+// snapshot is never overwritten by an earlier one.
+func (d *Dataset) Persist() error {
+	md, ok := d.cfg.Store.Device().(storage.ManifestDevice)
+	if !ok {
+		return nil
+	}
+	d.persistMu.Lock()
+	defer d.persistMu.Unlock()
+	d.crashMu.Lock()
+	m := d.buildManifest()
+	d.crashMu.Unlock()
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return md.SaveManifest(data)
+}
+
+func (d *Dataset) buildManifest() manifest {
+	m := manifest{
+		Version:  manifestVersion,
+		Strategy: d.cfg.Strategy.String(),
+		PageSize: d.cfg.Store.PageSize(),
+		Epoch:    d.epoch.Load(),
+		Clock:    d.clock.Load(),
+	}
+	m.Trees = append(m.Trees, d.treeManifest(manifestPrimary, d.primary, false))
+	if d.pkIndex != nil {
+		// Under mutable bitmaps the pk sibling shares the primary
+		// component's bitmap; mark it shared instead of double-storing.
+		m.Trees = append(m.Trees, d.treeManifest(manifestPKIndex, d.pkIndex, d.cfg.Strategy == MutableBitmap))
+	}
+	for _, si := range d.secondaries {
+		m.Trees = append(m.Trees, d.treeManifest(si.Spec.Name, si.Tree, false))
+	}
+	return m
+}
+
+func (d *Dataset) treeManifest(name string, tr *lsm.Tree, sharedValid bool) treeManifest {
+	tm := treeManifest{Name: name}
+	for _, c := range tr.Components() {
+		obsolete, repairedTS := tr.RepairState(c)
+		cm := componentManifest{
+			File:       uint64(c.BTree.FileID()),
+			MinTS:      c.ID.MinTS,
+			MaxTS:      c.ID.MaxTS,
+			EpochMin:   c.EpochMin,
+			EpochMax:   c.EpochMax,
+			FilterMin:  c.FilterMin,
+			FilterMax:  c.FilterMax,
+			HasFilter:  c.HasFilter,
+			RepairedTS: repairedTS,
+			Obsolete:   obsolete.Marshal(),
+		}
+		if sharedValid {
+			cm.SharedValid = c.Valid != nil
+		} else {
+			cm.Valid = c.Valid.Marshal()
+		}
+		if c.DeletedKeys != nil {
+			cm.DeletedKeysFile = uint64(c.DeletedKeys.FileID())
+		}
+		tm.Components = append(tm.Components, cm)
+	}
+	return tm
+}
+
+// walSink streams log records onto the device's WAL area.
+type walSink struct{ dev storage.WALDevice }
+
+func (s walSink) Append(b []byte, sync bool) error { return s.dev.AppendWAL(b, sync) }
+
+// setupDurability wires a freshly opened dataset to a durable device:
+// restore the manifest's component lists, garbage-collect files a crash
+// left unreferenced (half-built components whose install never reached the
+// manifest), attach the persisted write-ahead log, and replay committed
+// records past the maximum durable component timestamp — rebuilding the
+// memory components the previous process lost. On a non-durable device it
+// is a no-op.
+func (d *Dataset) setupDurability() error {
+	dev := d.cfg.Store.Device()
+	md, ok := dev.(storage.ManifestDevice)
+	if !ok {
+		return nil
+	}
+	data, err := md.LoadManifest()
+	if err != nil {
+		return err
+	}
+	referenced := make(map[storage.FileID]bool)
+	if data != nil {
+		if err := d.restoreManifest(data, referenced); err != nil {
+			return err
+		}
+	}
+	// Drop every file the manifest does not reference: components a crash
+	// caught mid-install (data synced, manifest never written) and
+	// components retired by merges (their files are kept live in-process
+	// for stale readers, but no reader survives a restart).
+	for _, id := range dev.List() {
+		if !referenced[id] {
+			d.cfg.Store.Delete(id)
+		}
+	}
+	if d.cfg.DisableWAL {
+		return nil
+	}
+	wd, ok := dev.(storage.WALDevice)
+	if !ok {
+		return nil
+	}
+	image, err := wd.LoadWAL()
+	if err != nil {
+		return err
+	}
+	log, consumed := wal.OpenPersisted(d.env, image, walSink{wd})
+	d.log = log
+	// Seed the transaction-ID allocator past every recovered ID: replay
+	// matches commits to data records by ID, so a recycled ID could marry
+	// a dead data record from an earlier session to a new session's
+	// commit.
+	d.ids.AdvanceTo(d.log.MaxTxnID())
+	if len(image) > 0 {
+		if err := d.Recover(); err != nil {
+			return fmt.Errorf("core: replay of the on-disk WAL failed: %w", err)
+		}
+	}
+	// Compact the on-disk log: drop records the restored components cover
+	// and, crucially, any torn tail a crash left (consumed < len(image)) —
+	// appends must never land behind garbage, or every commit of this
+	// session would be unreadable at the next reopen.
+	compacted := d.log.CompactImage(d.maxComponentTS())
+	if len(compacted) != len(image) || consumed != len(image) {
+		if err := wd.ResetWAL(compacted); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompactWAL rewrites the device's WAL area keeping only records that
+// durable components do not cover. It must only run while the log is
+// quiescent — no writers, maintenance drained — i.e. at clean shutdown
+// (reopen compacts automatically). A no-op off the file backend.
+func (d *Dataset) CompactWAL() error {
+	wd, ok := d.cfg.Store.Device().(storage.WALDevice)
+	if !ok || d.log == nil {
+		return nil
+	}
+	// After a sink failure the in-memory record list is a superset of what
+	// was durably appended (the failed operation returned an error to the
+	// caller and never reached the memtable). Rewriting the device from
+	// memory would make that failed write durable; leave the on-disk log
+	// alone — it is consistent on its own: an uncommitted or torn record
+	// is skipped or truncated at the next reopen.
+	if err := d.log.SinkErr(); err != nil {
+		return err
+	}
+	return wd.ResetWAL(d.log.CompactImage(d.maxComponentTS()))
+}
+
+// restoreManifest rebuilds every tree's component list from the manifest,
+// validating that the dataset was reopened with a compatible configuration,
+// and records every referenced file ID.
+func (d *Dataset) restoreManifest(data []byte, referenced map[storage.FileID]bool) error {
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("core: corrupt manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return fmt.Errorf("core: manifest version %d is not supported", m.Version)
+	}
+	if m.Strategy != d.cfg.Strategy.String() {
+		return fmt.Errorf("core: reopen with strategy %s, but the directory was written with %s", d.cfg.Strategy, m.Strategy)
+	}
+	if m.PageSize != d.cfg.Store.PageSize() {
+		return fmt.Errorf("core: reopen with page size %d, but the directory was written with %d", d.cfg.Store.PageSize(), m.PageSize)
+	}
+	byName := make(map[string]treeManifest, len(m.Trees))
+	for _, tm := range m.Trees {
+		byName[tm.Name] = tm
+	}
+	expected := map[string]*lsm.Tree{manifestPrimary: d.primary}
+	if d.pkIndex != nil {
+		expected[manifestPKIndex] = d.pkIndex
+	}
+	for _, si := range d.secondaries {
+		expected[si.Spec.Name] = si.Tree
+	}
+	for name := range byName {
+		if expected[name] == nil {
+			return fmt.Errorf("core: the directory holds index %q, which the reopen configuration does not declare", name)
+		}
+	}
+	for name := range expected {
+		if _, ok := byName[name]; !ok {
+			return fmt.Errorf("core: reopen declares index %q, which the directory does not hold", name)
+		}
+	}
+
+	primComps, err := d.restoreTree(d.primary, byName[manifestPrimary], referenced)
+	if err != nil {
+		return err
+	}
+	if d.pkIndex != nil {
+		pkComps, err := d.restoreTree(d.pkIndex, byName[manifestPKIndex], referenced)
+		if err != nil {
+			return err
+		}
+		// Re-link the pairing invariant: a pk component marked SharedValid
+		// shares its primary sibling's validity bitmap (Figure 9).
+		primByID := make(map[lsm.ID]*lsm.Component, len(primComps))
+		for _, c := range primComps {
+			primByID[c.ID] = c
+		}
+		for i, cm := range byName[manifestPKIndex].Components {
+			if !cm.SharedValid {
+				continue
+			}
+			sib := primByID[pkComps[i].ID]
+			if sib == nil || sib.Valid == nil {
+				return fmt.Errorf("core: manifest pairs pk component (%d,%d) with a missing primary bitmap", pkComps[i].ID.MinTS, pkComps[i].ID.MaxTS)
+			}
+			pkComps[i].Valid = sib.Valid
+		}
+	}
+	for _, si := range d.secondaries {
+		if _, err := d.restoreTree(si.Tree, byName[si.Spec.Name], referenced); err != nil {
+			return err
+		}
+	}
+	d.epoch.Store(m.Epoch)
+	// The clock must stay ahead of every timestamp ever issued: the
+	// manifest records it as of the last install, and WAL replay bumps it
+	// past any newer committed record.
+	clock := m.Clock
+	for _, tm := range m.Trees {
+		for _, cm := range tm.Components {
+			if cm.MaxTS > clock {
+				clock = cm.MaxTS
+			}
+		}
+	}
+	d.clock.Store(clock)
+	return nil
+}
+
+func (d *Dataset) restoreTree(tr *lsm.Tree, tm treeManifest, referenced map[storage.FileID]bool) ([]*lsm.Component, error) {
+	images := make([]lsm.RestoredComponent, len(tm.Components))
+	for i, cm := range tm.Components {
+		obsolete, err := bitmap.UnmarshalImmutable(cm.Obsolete)
+		if err != nil {
+			return nil, fmt.Errorf("core: manifest of %s: %w", tm.Name, err)
+		}
+		valid, err := bitmap.UnmarshalMutable(cm.Valid)
+		if err != nil {
+			return nil, fmt.Errorf("core: manifest of %s: %w", tm.Name, err)
+		}
+		images[i] = lsm.RestoredComponent{
+			ID:              lsm.ID{MinTS: cm.MinTS, MaxTS: cm.MaxTS},
+			EpochMin:        cm.EpochMin,
+			EpochMax:        cm.EpochMax,
+			File:            storage.FileID(cm.File),
+			FilterMin:       cm.FilterMin,
+			FilterMax:       cm.FilterMax,
+			HasFilter:       cm.HasFilter,
+			RepairedTS:      cm.RepairedTS,
+			Obsolete:        obsolete,
+			Valid:           valid,
+			DeletedKeysFile: storage.FileID(cm.DeletedKeysFile),
+		}
+		referenced[storage.FileID(cm.File)] = true
+		if cm.DeletedKeysFile != 0 {
+			referenced[storage.FileID(cm.DeletedKeysFile)] = true
+		}
+	}
+	return tr.Restore(images)
+}

@@ -55,14 +55,7 @@ func (d *Dataset) Recover() error {
 	if d.log == nil {
 		return ErrNoWAL
 	}
-	maxComponentTS := int64(-1)
-	for _, tr := range d.allTrees() {
-		for _, c := range tr.Components() {
-			if c.ID.MaxTS > maxComponentTS {
-				maxComponentTS = c.ID.MaxTS
-			}
-		}
-	}
+	maxComponentTS := d.maxComponentTS()
 	err := d.log.Replay(0, func(r wal.Record) error {
 		if r.TS <= maxComponentTS {
 			return nil // already durable in a disk component
@@ -86,6 +79,35 @@ func (d *Dataset) Recover() error {
 		return err
 	}
 	d.ingested.Store(d.ingested.Load()) // counters unchanged; kept for clarity
+	return nil
+}
+
+// maxComponentTS returns the newest timestamp durable in any disk
+// component across all indexes (-1 on an empty store): log records at or
+// below it are covered and need no replay.
+func (d *Dataset) maxComponentTS() int64 {
+	maxTS := int64(-1)
+	for _, tr := range d.allTrees() {
+		for _, c := range tr.Components() {
+			if c.ID.MaxTS > maxTS {
+				maxTS = c.ID.MaxTS
+			}
+		}
+	}
+	return maxTS
+}
+
+// replayBitmapMark re-executes a logged bitmap mutation, applying the
+// deferred forward immediately: replay is single-threaded and already
+// durable, so there is nothing to roll back.
+func (d *Dataset) replayBitmapMark(key []byte) error {
+	_, _, _, commit, err := d.markDeletedViaBitmap(key)
+	if err != nil {
+		return err
+	}
+	if commit != nil {
+		commit()
+	}
 	return nil
 }
 
@@ -123,7 +145,7 @@ func (d *Dataset) replayUpsert(r wal.Record) error {
 		if r.UpdateBit {
 			// Replay the bitmap mutation; Set is idempotent, so records
 			// whose bitmap page was checkpointed are harmless to replay.
-			if _, _, err := d.markDeletedViaBitmap(r.Key); err != nil {
+			if err := d.replayBitmapMark(r.Key); err != nil {
 				return err
 			}
 		}
@@ -160,7 +182,7 @@ func (d *Dataset) replayDelete(r wal.Record) error {
 		}
 	case MutableBitmap:
 		if r.UpdateBit {
-			if _, _, err := d.markDeletedViaBitmap(r.Key); err != nil {
+			if err := d.replayBitmapMark(r.Key); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,147 @@
+package lsm
+
+import (
+	"fmt"
+
+	"repro/internal/bitmap"
+	"repro/internal/bloom"
+	"repro/internal/btree"
+	"repro/internal/storage"
+)
+
+// RestoredComponent is one persisted disk-component image read back from a
+// durable device's manifest at reopen time. File contents (the bulk-loaded
+// B+-tree pages) live on the device; this struct carries the in-memory
+// metadata that the manifest persists alongside them.
+type RestoredComponent struct {
+	ID                 ID
+	EpochMin, EpochMax uint64
+	File               storage.FileID
+	FilterMin          int64
+	FilterMax          int64
+	HasFilter          bool
+	RepairedTS         int64
+	// Obsolete is the persisted repair bitmap (nil when none).
+	Obsolete *bitmap.Immutable
+	// Valid is the persisted mutable validity bitmap (nil when the tree
+	// does not use mutable bitmaps). For primary-key-index siblings the
+	// caller shares the primary component's bitmap instead (see
+	// Component.Valid's pairing invariant).
+	Valid *bitmap.Mutable
+	// DeletedKeysFile is the component's deleted-key B+-tree file
+	// (DeletedKey strategy); zero when none.
+	DeletedKeysFile storage.FileID
+}
+
+// Restore rebuilds the tree's disk-component list from persisted images,
+// oldest to newest: each component's B+-tree reader is reopened on the
+// tree's store and its Bloom filter — which lives only in memory — is
+// rebuilt by a sequential scan of the component's keys. Restore must run
+// before the tree serves traffic; it replaces any existing disk components.
+// It returns the installed components in list order so the caller can
+// re-link cross-tree shared state (paired validity bitmaps).
+func (t *Tree) Restore(images []RestoredComponent) ([]*Component, error) {
+	comps := make([]*Component, 0, len(images))
+	for _, im := range images {
+		reader, err := btree.Open(t.opts.Store, im.File)
+		if err != nil {
+			return nil, fmt.Errorf("lsm: restore %s component file %d: %w", t.opts.Name, im.File, err)
+		}
+		c := &Component{
+			ID:         im.ID,
+			EpochMin:   im.EpochMin,
+			EpochMax:   im.EpochMax,
+			BTree:      reader,
+			FilterMin:  im.FilterMin,
+			FilterMax:  im.FilterMax,
+			HasFilter:  im.HasFilter,
+			RepairedTS: im.RepairedTS,
+			Obsolete:   im.Obsolete,
+			Valid:      im.Valid,
+		}
+		if t.opts.MutableBitmaps && c.Valid == nil {
+			c.Valid = bitmap.NewMutable(reader.NumEntries())
+		}
+		if t.opts.BloomFPR > 0 {
+			f, err := rebuildBloom(reader, t.opts.BloomFPR, t.opts.BlockedBloom)
+			if err != nil {
+				return nil, err
+			}
+			c.Bloom = f
+		}
+		if im.DeletedKeysFile != 0 {
+			dk, err := btree.Open(t.opts.Store, im.DeletedKeysFile)
+			if err != nil {
+				return nil, fmt.Errorf("lsm: restore %s deleted-key file %d: %w", t.opts.Name, im.DeletedKeysFile, err)
+			}
+			dkBloom, err := rebuildBloomStandard(dk, 0.01)
+			if err != nil {
+				return nil, err
+			}
+			c.DeletedKeys = dk
+			c.DeletedKeysBloom = dkBloom
+		}
+		comps = append(comps, c)
+	}
+	t.mu.Lock()
+	t.disk = append([]*Component(nil), comps...)
+	t.mu.Unlock()
+	return comps, nil
+}
+
+// rebuildBloom scans every key of a restored component into a fresh Bloom
+// filter of the tree's configured flavor (the filters are in-memory only
+// and are not persisted — a reopen pays one sequential scan per component
+// instead).
+func rebuildBloom(r *btree.Reader, fpr float64, blocked bool) (bloom.Filter, error) {
+	n := int(r.NumEntries())
+	var filter bloom.Filter
+	var add func([]byte)
+	if blocked {
+		f := bloom.NewBlockedFPR(n, fpr)
+		filter, add = f, f.Add
+	} else {
+		f := bloom.NewStandardFPR(n, fpr)
+		filter, add = f, f.Add
+	}
+	if err := scanKeys(r, add); err != nil {
+		return nil, err
+	}
+	return filter, nil
+}
+
+// rebuildBloomStandard rebuilds the standard filter of a deleted-key tree.
+func rebuildBloomStandard(r *btree.Reader, fpr float64) (bloom.Filter, error) {
+	f := bloom.NewStandardFPR(int(r.NumEntries()), fpr)
+	if err := scanKeys(r, f.Add); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func scanKeys(r *btree.Reader, add func([]byte)) error {
+	scan, err := r.NewScan(nil, nil)
+	if err != nil {
+		return err
+	}
+	for {
+		e, _, ok, err := scan.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		add(e.Key)
+	}
+}
+
+// RepairState returns a consistent (Obsolete, RepairedTS) pair for a
+// component: SetObsolete installs both under the tree lock, so reading them
+// under the same lock can never observe a new bitmap with an old watermark.
+// The durable manifest snapshots repair state through this accessor.
+func (t *Tree) RepairState(c *Component) (*bitmap.Immutable, int64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return c.Obsolete, c.RepairedTS
+}

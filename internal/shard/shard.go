@@ -261,7 +261,7 @@ func (r *Router) StatsPerShard() []Stats {
 			Ingested:          p.DS.IngestedCount(),
 			Ignored:           p.DS.IgnoredCount(),
 			PrimaryComponents: p.DS.Primary().NumDiskComponents(),
-			DiskBytesWritten:  p.Store.Disk().BytesWritten(),
+			DiskBytesWritten:  p.Store.Device().BytesWritten(),
 			Counters:          p.Env.Counters.Snapshot(),
 		}
 	}

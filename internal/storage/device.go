@@ -1,0 +1,91 @@
+package storage
+
+import "repro/internal/metrics"
+
+// Device is the page-device abstraction beneath Store: append-only,
+// page-granular component files plus the lifecycle hooks a persistent
+// backend needs (sync, listing, shutdown). Two implementations exist:
+//
+//   - *Disk (this package): the paper's simulated device. Every access is
+//     charged to the virtual clock per the device Profile; nothing survives
+//     the process.
+//   - filedev.Device (internal/storage/filedev): real files under a data
+//     directory with batched appends and explicit fsync. Accesses update
+//     the event counters but not the virtual clock — wall time is the
+//     measurement there.
+//
+// All methods must be safe for concurrent use.
+type Device interface {
+	// Profile returns the device cost profile (page size, seek/transfer
+	// costs, read-ahead window). File-backed devices still carry a profile:
+	// the page size defines the on-disk layout and the read-ahead window
+	// drives Store prefetching.
+	Profile() Profile
+	// PageSize returns the device page size in bytes.
+	PageSize() int
+	// Create allocates a new empty component file and returns its ID.
+	// File IDs are never reused within one device lifetime.
+	Create() FileID
+	// Delete removes a component file (component drop after a merge).
+	Delete(id FileID)
+	// AppendPageEnv appends one page (at most PageSize bytes) to the file,
+	// charging the given metrics environment, and returns its page number.
+	AppendPageEnv(env *metrics.Env, id FileID, data []byte) (int, error)
+	// ReadPageEnv reads one page, charging env; seqHint marks scan
+	// accesses. The returned slice must not be modified.
+	ReadPageEnv(env *metrics.Env, id FileID, page int, seqHint bool) ([]byte, error)
+	// PrefetchPageEnv reads one page as part of a device read-ahead window:
+	// the access is part of an already-positioned sequential stream, so it
+	// is charged at streaming (transfer-only) cost and never pays a seek,
+	// even when cached pages inside the window were skipped over.
+	PrefetchPageEnv(env *metrics.Env, id FileID, page int) ([]byte, error)
+	// NumPages returns the current length of the file in pages.
+	NumPages(id FileID) (int, error)
+	// List returns the IDs of all live component files, in ascending order
+	// (reopen-time garbage collection diffs this against the manifest).
+	List() []FileID
+	// BytesWritten reports the total bytes ever appended (write
+	// amplification accounting).
+	BytesWritten() int64
+	// Sync makes all completed appends durable. A no-op on the simulated
+	// device.
+	Sync() error
+	// Close syncs and releases the device. A no-op on the simulated device.
+	Close() error
+}
+
+// ManifestDevice is implemented by devices that can durably persist a small
+// manifest blob (component metadata, file IDs, epochs) next to their data
+// files. SaveManifest must act as the durability point of a component
+// install: the device is synced first, then the manifest replaces the
+// previous one atomically, so a crash leaves either the old or the new
+// manifest — never a mix — and every file the surviving manifest references
+// is durable.
+type ManifestDevice interface {
+	Device
+	// SaveManifest syncs the device, then atomically replaces the manifest.
+	SaveManifest(data []byte) error
+	// LoadManifest returns the manifest written by a previous session, or
+	// (nil, nil) when none exists.
+	LoadManifest() ([]byte, error)
+}
+
+// WALDevice is implemented by devices with a durable write-ahead-log area.
+// The log is a raw byte stream owned by the wal package; the device only
+// appends and reads it.
+type WALDevice interface {
+	// AppendWAL appends encoded log records; with sync set the append is
+	// fsynced before returning (group commit durability).
+	AppendWAL(data []byte, sync bool) error
+	// LoadWAL returns the whole log image written by previous sessions
+	// (nil when none). A torn tail from a crash mid-append is expected;
+	// the decoder stops at the first corrupt record.
+	LoadWAL() ([]byte, error)
+	// ResetWAL atomically replaces the log area with data (WAL
+	// compaction: records covered by durable components are dropped, and
+	// so is any torn tail — later appends must never land behind garbage).
+	// Only call while the log is quiescent (reopen, clean shutdown).
+	ResetWAL(data []byte) error
+}
+
+var _ Device = (*Disk)(nil)

@@ -1,0 +1,40 @@
+// Package storage provides the page-device layer underneath every LSM
+// component, behind the Device interface: page-granular, append-only
+// component files created by flush/merge bulk loads and read by point
+// lookups and scans.
+//
+// # Backends
+//
+// Two Device implementations exist:
+//
+//   - The simulated device (*Disk, this package) stands in for the paper's
+//     7200 rpm SATA hard disks and SSD (Section 6.1). Pages live in memory;
+//     every read is classified as sequential or random against a single
+//     head position and charged to the virtual clock per the device
+//     Profile (seek + transfer for random reads, transfer only for
+//     sequential ones; LSM writes are always sequential bulk loads).
+//     Nothing survives process exit — crash/recovery is simulated by
+//     discarding memory components.
+//
+//   - The file-backed device (internal/storage/filedev) maps each
+//     component file to a real file under a data directory, batches
+//     appends, fsyncs on WAL commit and component install, and persists a
+//     manifest so a store can be reopened after a clean shutdown or a
+//     crash. See that package's documentation for the layout.
+//
+// # What the cost model does (and doesn't) measure on real disks
+//
+// The virtual clock and its Profile describe the *simulated* device only.
+// On the file backend, reads and writes still update the event counters
+// (pages written, sequential/random reads, cache hits), so the access
+// pattern remains observable, but the virtual clock is NOT advanced for
+// I/O: seek charges would be fiction on a kernel page cache and modern
+// media, and the honest figure for a real device is wall-clock time. CPU
+// charges (comparisons, memtable operations) still tick the clock, so
+// simulated time on the file backend reflects compute only and must not be
+// compared against simulated-device numbers.
+//
+// Store combines a Device with the shared LRU buffer cache and implements
+// the paper's 4 MB scan read-ahead: a missing page read with the scan hint
+// prefetches the rest of the device read-ahead window at streaming cost.
+package storage

@@ -1,0 +1,614 @@
+// Package filedev implements storage.Device on real files: the persistence
+// backend behind lsmstore's Options.Backend = FileBackend.
+//
+// Layout, under one data directory per partition:
+//
+//	c00000001.lsm ...  component files: fixed-size page slots, each a
+//	                   4-byte big-endian length header followed by the page
+//	                   bytes, zero-padded to PageSize+4, so page p lives at
+//	                   offset p*(PageSize+4) and the page count of a file is
+//	                   size/(PageSize+4) — reopen needs no per-page index.
+//	wal.log            write-ahead log: raw record stream appended by the
+//	                   wal package, fsynced on commit. A torn tail from a
+//	                   crash mid-append is expected and tolerated.
+//	MANIFEST           component metadata blob written by the dataset layer.
+//	                   Replaced atomically (write temp + fsync + rename +
+//	                   dir fsync) after the data files are synced, so it is
+//	                   the durability point of a component install.
+//
+// Appends are batched: pages accumulate in memory and are written to the
+// OS in appendBatchPages-sized runs; Sync flushes everything outstanding
+// and fsyncs the dirty files (and the directory after creates/deletes).
+// Reads served from a not-yet-written tail come straight from the batch
+// buffer. The virtual clock is never advanced for I/O — wall time is the
+// honest measure on real hardware — but event counters (pages written,
+// sequential/random reads) are maintained exactly like the simulated
+// device's, using the same single-head positional classification.
+package filedev
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+const (
+	slotHeader = 4
+	// appendBatchPages is the number of buffered appended pages per file
+	// before the batch is written through to the OS (without fsync).
+	appendBatchPages = 16
+
+	compPrefix   = "c"
+	compSuffix   = ".lsm"
+	walName      = "wal.log"
+	manifestName = "MANIFEST"
+	lockName     = "LOCK"
+)
+
+// ErrClosed reports use of a closed device.
+var ErrClosed = errors.New("filedev: device is closed")
+
+type file struct {
+	f       *os.File
+	flushed int      // page slots written to the OS
+	pending [][]byte // appended pages not yet written through
+	dirty   bool     // needs fsync before the next durability point
+}
+
+// Device is a storage.Device backed by real files under a data directory.
+// All methods are safe for concurrent use.
+type Device struct {
+	dir     string
+	profile storage.Profile
+	slot    int64
+
+	mu           sync.Mutex
+	files        map[storage.FileID]*file
+	nextID       storage.FileID
+	lastFile     storage.FileID
+	lastPage     int
+	bytesWritten int64
+	dirDirty     bool
+	wal          *os.File
+	walSize      int64
+	walDirty     bool
+	walBroken    bool
+	lock         *os.File
+	closed       bool
+}
+
+// Open opens (creating if needed) the data directory and scans it for
+// component files left by a previous session. The profile's page size
+// defines the slot layout and must match across sessions; the dataset
+// manifest carries the authoritative check.
+func Open(dir string, profile storage.Profile) (*Device, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// One live device per directory: a second opener would rename-replace
+	// the WAL out from under the first one's append handle and clobber
+	// manifest saves. The lock dies with the process, so a crashed owner
+	// never wedges the directory.
+	lock, err := acquireDirLock(filepath.Join(dir, lockName))
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		lock:     lock,
+		dir:      dir,
+		profile:  profile,
+		slot:     int64(profile.PageSize + slotHeader),
+		files:    make(map[storage.FileID]*file),
+		nextID:   1,
+		lastPage: -2,
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, compPrefix) || !strings.HasSuffix(name, compSuffix) {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, compPrefix), compSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		id := storage.FileID(n)
+		f, err := os.OpenFile(filepath.Join(dir, name), os.O_RDWR, 0o644)
+		if err != nil {
+			d.closeAllLocked()
+			return nil, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			d.closeAllLocked()
+			return nil, err
+		}
+		// A torn tail slot (crash mid-write-through) is dropped: the slot
+		// was never part of a synced install, so nothing durable refers to
+		// it.
+		pages := int(st.Size() / d.slot)
+		d.files[id] = &file{f: f, flushed: pages}
+		if id >= d.nextID {
+			d.nextID = id + 1
+		}
+	}
+	d.wal, err = os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		d.closeAllLocked()
+		return nil, err
+	}
+	st, err := d.wal.Stat()
+	if err != nil {
+		d.closeAllLocked()
+		return nil, err
+	}
+	d.walSize = st.Size()
+	return d, nil
+}
+
+// Dir returns the device's data directory.
+func (d *Device) Dir() string { return d.dir }
+
+// Profile returns the device profile (layout + read-ahead window).
+func (d *Device) Profile() storage.Profile { return d.profile }
+
+// PageSize returns the page size in bytes.
+func (d *Device) PageSize() int { return d.profile.PageSize }
+
+func (d *Device) compPath(id storage.FileID) string {
+	return filepath.Join(d.dir, fmt.Sprintf("%s%08d%s", compPrefix, uint64(id), compSuffix))
+}
+
+// Create allocates a new empty component file.
+func (d *Device) Create() storage.FileID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0
+	}
+	id := d.nextID
+	d.nextID++
+	f, err := os.OpenFile(d.compPath(id), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		// Create has no error return in the Device contract; the first
+		// append to the ID fails immediately instead.
+		d.files[id] = &file{f: nil}
+		return id
+	}
+	d.files[id] = &file{f: f, dirty: true}
+	d.dirDirty = true
+	return id
+}
+
+// Delete removes a component file.
+func (d *Device) Delete(id storage.FileID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[id]
+	if !ok {
+		return
+	}
+	delete(d.files, id)
+	if f.f != nil {
+		f.f.Close()
+	}
+	os.Remove(d.compPath(id))
+	d.dirDirty = true
+}
+
+// writeThroughLocked writes the file's pending pages to the OS.
+func (d *Device) writeThroughLocked(id storage.FileID, f *file) error {
+	if len(f.pending) == 0 {
+		return nil
+	}
+	if f.f == nil {
+		return fmt.Errorf("filedev: file %d was not created on disk", id)
+	}
+	buf := make([]byte, 0, int64(len(f.pending))*d.slot)
+	for _, p := range f.pending {
+		var hdr [slotHeader]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(p)))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, p...)
+		buf = append(buf, make([]byte, int(d.slot)-slotHeader-len(p))...)
+	}
+	if _, err := f.f.WriteAt(buf, int64(f.flushed)*d.slot); err != nil {
+		return err
+	}
+	f.flushed += len(f.pending)
+	f.pending = nil
+	f.dirty = true
+	return nil
+}
+
+// AppendPageEnv appends one page, buffering it in the file's batch. The
+// page is visible to reads immediately; it becomes durable at the next
+// Sync (component install) — the same no-force posture as the simulation.
+func (d *Device) AppendPageEnv(env *metrics.Env, id storage.FileID, data []byte) (int, error) {
+	if len(data) > d.profile.PageSize {
+		return 0, fmt.Errorf("filedev: page overflow: %d > %d", len(data), d.profile.PageSize)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	f, ok := d.files[id]
+	if !ok {
+		return 0, storage.ErrNoSuchFile
+	}
+	if f.f == nil {
+		return 0, fmt.Errorf("filedev: file %d was never created on disk", id)
+	}
+	f.pending = append(f.pending, append([]byte(nil), data...))
+	n := f.flushed + len(f.pending) - 1
+	d.bytesWritten += int64(len(data))
+	if len(f.pending) >= appendBatchPages {
+		if err := d.writeThroughLocked(id, f); err != nil {
+			return 0, err
+		}
+	}
+	env.Counters.PagesWritten.Add(1)
+	return n, nil
+}
+
+// planRead resolves a page read under the device mutex without performing
+// any I/O: a page still in the append batch is returned directly (the
+// buffered slices are never mutated after append), a written-through page
+// returns the file handle to pread outside the lock — os.File.ReadAt is
+// safe for concurrent use, and holding the device mutex across real disk
+// reads (or the multi-fsync Sync path) would serialize the partition.
+func (d *Device) planRead(id storage.FileID, page int) (buffered []byte, h *os.File, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[id]
+	if !ok {
+		return nil, nil, storage.ErrNoSuchFile
+	}
+	if page < 0 || page >= f.flushed+len(f.pending) {
+		return nil, nil, storage.ErrNoSuchPage
+	}
+	if page >= f.flushed {
+		return f.pending[page-f.flushed], nil, nil
+	}
+	return nil, f.f, nil
+}
+
+// readSlot preads one written-through page slot.
+func (d *Device) readSlot(h *os.File, page int) ([]byte, error) {
+	buf := make([]byte, d.slot)
+	if _, err := h.ReadAt(buf, int64(page)*d.slot); err != nil && err != io.EOF {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(buf)
+	if int(n) > d.profile.PageSize {
+		return nil, fmt.Errorf("filedev: corrupt page header (len %d) at page %d", n, page)
+	}
+	return buf[slotHeader : slotHeader+int(n)], nil
+}
+
+// advanceHead updates the positional head and reports whether the access
+// was sequential (counter classification only; no clock charge).
+func (d *Device) advanceHead(id storage.FileID, page int) bool {
+	d.mu.Lock()
+	sequential := id == d.lastFile && page == d.lastPage+1
+	d.lastFile, d.lastPage = id, page
+	d.mu.Unlock()
+	return sequential
+}
+
+// ReadPageEnv reads one page. Counters classify the access sequential or
+// random exactly like the simulated device (single head position); the
+// virtual clock is not advanced.
+func (d *Device) ReadPageEnv(env *metrics.Env, id storage.FileID, page int, seqHint bool) ([]byte, error) {
+	buffered, h, err := d.planRead(id, page)
+	if err != nil {
+		return nil, err
+	}
+	data := buffered
+	if h != nil {
+		if data, err = d.readSlot(h, page); err != nil {
+			return nil, err
+		}
+	}
+	_ = seqHint // classification is positional, as on the simulated device
+	if d.advanceHead(id, page) {
+		env.Counters.SequentialReads.Add(1)
+	} else {
+		env.Counters.RandomReads.Add(1)
+	}
+	return data, nil
+}
+
+// PrefetchPageEnv reads one page of a read-ahead window (streaming access).
+func (d *Device) PrefetchPageEnv(env *metrics.Env, id storage.FileID, page int) ([]byte, error) {
+	buffered, h, err := d.planRead(id, page)
+	if err != nil {
+		return nil, err
+	}
+	data := buffered
+	if h != nil {
+		if data, err = d.readSlot(h, page); err != nil {
+			return nil, err
+		}
+	}
+	d.advanceHead(id, page)
+	env.Counters.SequentialReads.Add(1)
+	return data, nil
+}
+
+// NumPages returns the length of a file in pages (including buffered ones).
+func (d *Device) NumPages(id storage.FileID) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[id]
+	if !ok {
+		return 0, storage.ErrNoSuchFile
+	}
+	return f.flushed + len(f.pending), nil
+}
+
+// List returns the IDs of all live component files in ascending order.
+func (d *Device) List() []storage.FileID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids := make([]storage.FileID, 0, len(d.files))
+	for id := range d.files {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// BytesWritten reports the total page bytes ever appended.
+func (d *Device) BytesWritten() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bytesWritten
+}
+
+// syncLocked flushes every pending append, fsyncs dirty component files and
+// the WAL, and fsyncs the directory after creates/deletes.
+func (d *Device) syncLocked() error {
+	var errs []error
+	for id, f := range d.files {
+		if err := d.writeThroughLocked(id, f); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if f.dirty && f.f != nil {
+			if err := f.f.Sync(); err != nil {
+				errs = append(errs, err)
+				continue
+			}
+			f.dirty = false
+		}
+	}
+	if d.walBroken {
+		errs = append(errs, errWALBroken)
+	} else if d.walDirty && d.wal != nil {
+		if err := d.wal.Sync(); err != nil {
+			errs = append(errs, err)
+		} else {
+			d.walDirty = false
+		}
+	}
+	if d.dirDirty {
+		if err := syncDir(d.dir); err != nil {
+			errs = append(errs, err)
+		} else {
+			d.dirDirty = false
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Sync makes all completed appends durable.
+func (d *Device) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.syncLocked()
+}
+
+// Close syncs and releases the device. The device is unusable afterwards.
+func (d *Device) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	err := d.syncLocked()
+	d.closeAllLocked()
+	d.closed = true
+	return err
+}
+
+func (d *Device) closeAllLocked() {
+	for _, f := range d.files {
+		if f.f != nil {
+			f.f.Close()
+		}
+	}
+	if d.wal != nil {
+		d.wal.Close()
+		d.wal = nil
+	}
+	if d.lock != nil {
+		d.lock.Close() // releases the directory lock
+		d.lock = nil
+	}
+}
+
+// errWALBroken poisons the log area after a failed append could not be
+// rolled back: the on-disk suffix is indeterminate, so neither appends nor
+// background syncs may touch it again (a later sync would silently make a
+// failed commit durable).
+var errWALBroken = errors.New("filedev: WAL is poisoned by an earlier failed append")
+
+// AppendWAL appends encoded log records to wal.log, fsyncing when sync is
+// set (commit durability). A failed write or fsync means the operation was
+// reported as failed to the caller, so the appended bytes are truncated
+// away; if even the rollback fails, the WAL is poisoned rather than left
+// where a later background sync could durably commit the failed write.
+func (d *Device) AppendWAL(data []byte, sync bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.walBroken {
+		return errWALBroken
+	}
+	pre := d.walSize
+	rollback := func(cause error) error {
+		if terr := d.wal.Truncate(pre); terr != nil {
+			d.walBroken = true
+		} else {
+			d.walSize = pre
+		}
+		return cause
+	}
+	n, err := d.wal.Write(data)
+	d.walSize += int64(n)
+	if err != nil {
+		return rollback(err)
+	}
+	d.walDirty = true
+	if sync {
+		if err := d.wal.Sync(); err != nil {
+			return rollback(err)
+		}
+		d.walDirty = false
+	}
+	return nil
+}
+
+// ResetWAL atomically replaces wal.log with data: temp file + fsync +
+// rename + directory fsync, so a crash mid-reset leaves either the old or
+// the new log, never a mix. The append handle is reopened on the new file.
+func (d *Device) ResetWAL(data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := AtomicWriteFile(d.dir, walName, data); err != nil {
+		return err
+	}
+	d.wal.Close()
+	var err error
+	if d.wal, err = os.OpenFile(filepath.Join(d.dir, walName), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644); err != nil {
+		return err
+	}
+	d.walSize = int64(len(data))
+	// The area was rebuilt from known-good content; any earlier poisoning
+	// is gone with the old file.
+	d.walDirty, d.walBroken = false, false
+	return nil
+}
+
+// LoadWAL returns the whole log image (nil when empty).
+func (d *Device) LoadWAL() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	st, err := d.wal.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, st.Size())
+	if _, err := d.wal.ReadAt(buf, 0); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// SaveManifest syncs the device, then atomically replaces the manifest:
+// temp file + fsync + rename + directory fsync. This is the durability
+// point of a component install — a crash leaves either the old manifest or
+// the new one, and everything the surviving one references is on disk.
+func (d *Device) SaveManifest(data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.syncLocked(); err != nil {
+		return err
+	}
+	return AtomicWriteFile(d.dir, manifestName, data)
+}
+
+// LoadManifest returns the manifest of a previous session, or (nil, nil).
+func (d *Device) LoadManifest() ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(d.dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	return data, err
+}
+
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// AtomicWriteFile durably replaces dir/name: temp file + fsync + rename +
+// directory fsync, so a crash leaves either the previous content or the
+// new one, never a mix. It is the one crash-safe replace protocol shared
+// by the manifest, the WAL reset, and the store layout file.
+func AtomicWriteFile(dir, name string, data []byte) error {
+	path := filepath.Join(dir, name)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+var (
+	_ storage.Device         = (*Device)(nil)
+	_ storage.ManifestDevice = (*Device)(nil)
+	_ storage.WALDevice      = (*Device)(nil)
+)

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package filedev
+
+import "os"
+
+// acquireDirLock without flock support: the lock file is created but no
+// kernel exclusion is available — concurrent opens of one directory are
+// the operator's responsibility on these platforms.
+func acquireDirLock(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+}

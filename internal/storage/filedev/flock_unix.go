@@ -1,0 +1,25 @@
+//go:build unix
+
+package filedev
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// acquireDirLock takes the per-directory owner lock: a kernel flock the OS
+// releases when the owning process dies, so a crashed owner never wedges
+// the directory, while a live second opener — same process or another —
+// is refused before it can rename the WAL out from under the first.
+func acquireDirLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("filedev: %s is held by another live store: %w", path, err)
+	}
+	return f, nil
+}

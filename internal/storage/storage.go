@@ -1,13 +1,9 @@
-// Package storage implements the simulated disk underneath every LSM
-// component. It stands in for the paper's 7200 rpm SATA hard disks and SSD
-// (Section 6.1): page-granular, append-only component files whose reads are
-// classified as sequential or random and charged to the virtual clock
-// accordingly. LSM writes are always sequential (flush/merge bulk loads).
 package storage
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -193,6 +189,32 @@ func (d *Disk) ReadPageEnv(env *metrics.Env, id FileID, page int, seqHint bool) 
 	return data, nil
 }
 
+// PrefetchPageEnv reads one page of a device read-ahead window at streaming
+// cost: after the seek that opened the window the device transfers pages
+// back to back, so a prefetched page never pays a seek — even when cached
+// pages inside the window were skipped over and the head-position chain
+// would otherwise look broken. The head still advances, so a subsequent
+// read of the next page stays sequential.
+func (d *Disk) PrefetchPageEnv(env *metrics.Env, id FileID, page int) ([]byte, error) {
+	d.mu.Lock()
+	f, ok := d.files[id]
+	if !ok {
+		d.mu.Unlock()
+		return nil, ErrNoSuchFile
+	}
+	if page < 0 || page >= len(f.pages) {
+		d.mu.Unlock()
+		return nil, ErrNoSuchPage
+	}
+	data := f.pages[page]
+	d.lastFile, d.lastPage = id, page
+	d.mu.Unlock()
+
+	env.Counters.SequentialReads.Add(1)
+	env.Clock.Advance(d.profile.TransferPerPage)
+	return data, nil
+}
+
 // NumPages returns the current length of the file in pages.
 func (d *Disk) NumPages(id FileID) (int, error) {
 	d.mu.Lock()
@@ -211,6 +233,26 @@ func (d *Disk) BytesWritten() int64 {
 	defer d.mu.Unlock()
 	return d.bytesWritten
 }
+
+// List returns the IDs of all live files in ascending order.
+func (d *Disk) List() []FileID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids := make([]FileID, 0, len(d.files))
+	for id := range d.files {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Sync is a no-op: the simulated disk is always "durable" for the lifetime
+// of the process, which is exactly the no-steal/no-force boundary the
+// simulated crash battery exercises.
+func (d *Disk) Sync() error { return nil }
+
+// Close is a no-op on the simulated disk.
+func (d *Disk) Close() error { return nil }
 
 // Env exposes the metrics environment the disk charges against.
 func (d *Disk) Env() *metrics.Env { return d.env }

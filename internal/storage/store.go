@@ -13,31 +13,32 @@ type PageReader interface {
 	PageSize() int
 }
 
-// Store combines the simulated disk with the LRU buffer cache and charges
-// the virtual clock for each access. It is the single storage handle shared
-// by every index of a dataset (as the buffer cache is shared in AsterixDB).
+// Store combines a page device with the LRU buffer cache and charges the
+// virtual clock for each access. It is the single storage handle shared by
+// every index of a dataset (as the buffer cache is shared in AsterixDB).
 type Store struct {
-	disk  *Disk
+	dev   Device
 	cache *cache.LRU
 	env   *metrics.Env
 }
 
-// NewStore wraps disk with a buffer cache of cacheBytes capacity.
-func NewStore(disk *Disk, cacheBytes int64, env *metrics.Env) *Store {
-	pages := int(cacheBytes / int64(disk.PageSize()))
-	return &Store{disk: disk, cache: cache.NewLRU(pages), env: env}
+// NewStore wraps dev with a buffer cache of cacheBytes capacity.
+func NewStore(dev Device, cacheBytes int64, env *metrics.Env) *Store {
+	pages := int(cacheBytes / int64(dev.PageSize()))
+	return &Store{dev: dev, cache: cache.NewLRU(pages), env: env}
 }
 
-// WithEnv returns a Store view sharing this store's disk and buffer cache
+// WithEnv returns a Store view sharing this store's device and buffer cache
 // but charging the given metrics environment. Background maintenance uses
 // it to account its I/O on a separate lane (clock) while keeping the event
 // counters and cache state global.
 func (s *Store) WithEnv(env *metrics.Env) *Store {
-	return &Store{disk: s.disk, cache: s.cache, env: env}
+	return &Store{dev: s.dev, cache: s.cache, env: env}
 }
 
-// Disk returns the underlying device (for file create/append/delete).
-func (s *Store) Disk() *Disk { return s.disk }
+// Device returns the underlying page device (for file create/append/delete
+// and, on durable backends, sync/manifest access).
+func (s *Store) Device() Device { return s.dev }
 
 // Cache returns the buffer cache.
 func (s *Store) Cache() *cache.LRU { return s.cache }
@@ -46,7 +47,7 @@ func (s *Store) Cache() *cache.LRU { return s.cache }
 func (s *Store) Env() *metrics.Env { return s.env }
 
 // PageSize returns the device page size.
-func (s *Store) PageSize() int { return s.disk.PageSize() }
+func (s *Store) PageSize() int { return s.dev.PageSize() }
 
 // ReadPage serves a page from the buffer cache, falling through to the
 // device on a miss and installing the page afterwards.
@@ -54,6 +55,10 @@ func (s *Store) PageSize() int { return s.disk.PageSize() }
 // When seqHint is set (scans), a miss triggers device read-ahead: the
 // following ReadAheadPages-1 pages are prefetched into the cache at
 // sequential transfer cost, modelling the paper's 4 MB scan read-ahead.
+// Pages of the window that are already cached are skipped without touching
+// the device, without promoting them in the LRU order (a prefetch is not a
+// use), and without breaking the streaming cost of the pages behind them —
+// the window was opened by one seek and never pays another.
 func (s *Store) ReadPage(id FileID, page int, seqHint bool) ([]byte, error) {
 	key := cache.PageKey{File: uint64(id), Page: page}
 	if data, ok := s.cache.Get(key); ok {
@@ -62,23 +67,23 @@ func (s *Store) ReadPage(id FileID, page int, seqHint bool) ([]byte, error) {
 		return data, nil
 	}
 	s.env.Counters.CacheMisses.Add(1)
-	data, err := s.disk.ReadPageEnv(s.env, id, page, seqHint)
+	data, err := s.dev.ReadPageEnv(s.env, id, page, seqHint)
 	if err != nil {
 		return nil, err
 	}
 	s.cache.Put(key, data)
 	if seqHint {
-		if n, err := s.disk.NumPages(id); err == nil {
-			end := page + s.disk.Profile().ReadAheadPages
+		if n, err := s.dev.NumPages(id); err == nil {
+			end := page + s.dev.Profile().ReadAheadPages
 			if end > n {
 				end = n
 			}
 			for p := page + 1; p < end; p++ {
 				pk := cache.PageKey{File: uint64(id), Page: p}
-				if _, ok := s.cache.Get(pk); ok {
+				if s.cache.Contains(pk) {
 					continue
 				}
-				d, err := s.disk.ReadPageEnv(s.env, id, p, true)
+				d, err := s.dev.PrefetchPageEnv(s.env, id, p)
 				if err != nil {
 					break
 				}
@@ -90,20 +95,20 @@ func (s *Store) ReadPage(id FileID, page int, seqHint bool) ([]byte, error) {
 }
 
 // Create allocates a new component file.
-func (s *Store) Create() FileID { return s.disk.Create() }
+func (s *Store) Create() FileID { return s.dev.Create() }
 
 // AppendPage appends a page to a component file being bulk-loaded.
 func (s *Store) AppendPage(id FileID, data []byte) (int, error) {
-	return s.disk.AppendPageEnv(s.env, id, data)
+	return s.dev.AppendPageEnv(s.env, id, data)
 }
 
 // Delete drops a component file and invalidates its cached pages.
 func (s *Store) Delete(id FileID) {
 	s.cache.InvalidateFile(uint64(id))
-	s.disk.Delete(id)
+	s.dev.Delete(id)
 }
 
 // NumPages returns the length of a file in pages.
-func (s *Store) NumPages(id FileID) (int, error) { return s.disk.NumPages(id) }
+func (s *Store) NumPages(id FileID) (int, error) { return s.dev.NumPages(id) }
 
 var _ PageReader = (*Store)(nil)

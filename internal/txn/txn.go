@@ -113,6 +113,16 @@ type IDs struct{ next atomic.Int64 }
 // Next returns a fresh transaction ID.
 func (g *IDs) Next() int64 { return g.next.Add(1) }
 
+// AdvanceTo makes sure future IDs exceed floor. Reopening a durable store
+// seeds the allocator past every transaction ID in the recovered log:
+// write-ahead-log replay matches commits to data records by ID, so an ID
+// must never be reused across process generations.
+func (g *IDs) AdvanceTo(floor int64) {
+	for cur := g.next.Load(); cur < floor; cur = g.next.Load() {
+		g.next.CompareAndSwap(cur, floor)
+	}
+}
+
 // DatasetLock is the dataset-level lock of the Side-file protocol: normal
 // writers hold it shared for the duration of each record-level transaction;
 // the component builder takes it exclusively (the paper's "S lock dataset"

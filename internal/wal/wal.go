@@ -45,17 +45,31 @@ type Record struct {
 	HadPrev   bool
 }
 
+// Sink receives the binary encoding of every appended record, letting a
+// durable device persist the log as it grows. Append with sync set marks a
+// group-commit point: the sink must make everything appended so far durable
+// before returning (fsync on a file-backed device).
+type Sink interface {
+	Append(encoded []byte, sync bool) error
+}
+
 // Log is an append-only logical log. The paper's configuration dedicates a
 // separate device to logging, so appends are charged at a flat group-commit
-// cost rather than against the LSM data disk.
+// cost rather than against the LSM data disk. With a Sink attached, every
+// record is additionally streamed to the sink in its binary encoding and
+// commit/abort records are synced (real write-ahead durability).
 type Log struct {
-	env *metrics.Env
+	env  *metrics.Env
+	sink Sink
 
 	mu      sync.Mutex
 	records []Record
 	nextLSN int64
 	// checkpointLSN is the LSN below which bitmap state is known flushed.
 	checkpointLSN int64
+	// sinkErr is the first sink failure; once set the log is considered
+	// wedged for durability purposes and the next logged write surfaces it.
+	sinkErr error
 }
 
 // New creates an empty log.
@@ -63,22 +77,147 @@ func New(env *metrics.Env) *Log {
 	return &Log{env: env, nextLSN: 1}
 }
 
-// Append adds a record, assigning and returning its LSN.
+// NewWithSink creates an empty log streaming its records to sink.
+func NewWithSink(env *metrics.Env, sink Sink) *Log {
+	return &Log{env: env, sink: sink, nextLSN: 1}
+}
+
+// OpenPersisted rebuilds a log from the binary image a previous session
+// left in a device's WAL area, stopping at the first corrupt or truncated
+// record (the torn tail of a crash mid-append), and attaches sink for
+// future appends — which continue the same byte stream, so LSNs keep
+// ascending across sessions. It returns the log and the number of image
+// bytes that decoded cleanly.
+func OpenPersisted(env *metrics.Env, image []byte, sink Sink) (*Log, int) {
+	l := &Log{env: env, sink: sink, nextLSN: 1}
+	consumed := 0
+	data := image
+	for len(data) > 0 {
+		r, rest, err := DecodeRecord(data)
+		if err != nil {
+			break
+		}
+		l.records = append(l.records, r)
+		if r.LSN >= l.nextLSN {
+			l.nextLSN = r.LSN + 1
+		}
+		consumed += len(data) - len(rest)
+		data = rest
+	}
+	return l, consumed
+}
+
+// Append adds a record, assigning and returning its LSN. Callers that
+// need this call's own durability result use AppendChecked.
 func (l *Log) Append(r Record) int64 {
+	lsn, _ := l.AppendChecked(r)
+	return lsn
+}
+
+// AppendChecked adds a record and returns THIS call's sink error — not the
+// log-wide sticky one, which may belong to a concurrent writer whose own
+// append failed while ours durably committed. On a sink failure the
+// in-memory record is removed again, so the log's memory image always
+// matches the device's rolled-back state (an in-session Crash/Recover must
+// not replay a write whose durable append was reported as failed).
+func (l *Log) AppendChecked(r Record) (int64, error) {
 	l.mu.Lock()
 	r.LSN = l.nextLSN
 	l.nextLSN++
 	l.records = append(l.records, r)
+	sink := l.sink
 	l.mu.Unlock()
+	var sinkErr error
+	if sink != nil {
+		sync := r.Type == RecCommit || r.Type == RecAbort
+		if sinkErr = sink.Append(AppendRecord(nil, r), sync); sinkErr != nil {
+			l.mu.Lock()
+			if l.sinkErr == nil {
+				l.sinkErr = sinkErr
+			}
+			for i := len(l.records) - 1; i >= 0; i-- {
+				if l.records[i].LSN == r.LSN {
+					l.records = append(l.records[:i], l.records[i+1:]...)
+					break
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
 	if l.env != nil {
 		l.env.ChargeLogAppend()
 	}
-	return r.LSN
+	return r.LSN, sinkErr
+}
+
+// SinkErr returns the first sink (durability) failure, if any.
+func (l *Log) SinkErr() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sinkErr
+}
+
+// CompactImage serializes only the records recovery still needs once every
+// component with maxTS <= coveredTS is durable: data records of COMMITTED
+// transactions with TS > coveredTS, plus those transactions' commit
+// records. Rewriting a device's WAL area with this image drops the covered
+// prefix, any torn tail, and uncommitted leftovers — compaction only runs
+// while the log is quiescent (reopen, clean shutdown), when no writer can
+// ever deliver a missing commit, and keeping a dead data record would let
+// a future session's commit under a recycled transaction ID resurrect it.
+func (l *Log) CompactImage(coveredTS int64) []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	committed := committedMask(l.records)
+	keep := make([]bool, len(l.records))
+	keepCommit := make(map[int64]bool)
+	for i, r := range l.records {
+		if committed[i] && r.TS > coveredTS {
+			keep[i] = true
+			keepCommit[r.TxnID] = true
+		}
+	}
+	var out []byte
+	for i, r := range l.records {
+		if keep[i] {
+			out = AppendRecord(out, r)
+			continue
+		}
+		if r.Type == RecCommit && keepCommit[r.TxnID] {
+			out = AppendRecord(out, r)
+			// One commit per kept transaction: a (buggy) duplicate ID
+			// later in the log must not re-commit the kept records.
+			keepCommit[r.TxnID] = false
+		}
+	}
+	return out
+}
+
+// MaxTxnID returns the largest transaction ID in the log (0 when empty).
+// Reopen seeds the transaction-ID allocator past it: replay matches
+// commits to data records by ID, so IDs must never recycle across process
+// generations.
+func (l *Log) MaxTxnID() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var maxID int64
+	for _, r := range l.records {
+		if r.TxnID > maxID {
+			maxID = r.TxnID
+		}
+	}
+	return maxID
 }
 
 // Commit appends a commit record for txn.
 func (l *Log) Commit(txnID int64) int64 {
 	return l.Append(Record{TxnID: txnID, Type: RecCommit})
+}
+
+// CommitChecked appends a commit record for txn, returning this call's
+// durability result (the commit fsync on a durable device).
+func (l *Log) CommitChecked(txnID int64) (int64, error) {
+	return l.AppendChecked(Record{TxnID: txnID, Type: RecCommit})
 }
 
 // Abort appends an abort record for txn.
@@ -134,28 +273,47 @@ var ErrNoRecords = errors.New("wal: no records")
 
 // Replay invokes apply for every data record of a committed transaction
 // with LSN greater than fromLSN, in log order. Records of uncommitted or
-// aborted transactions are skipped (no-steal: nothing to undo).
+// aborted transactions are skipped (no-steal: nothing to undo). A data
+// record counts as committed only when its transaction's commit record
+// appears LATER in the log — a commit can never cover work that had not
+// been logged yet, so positional matching keeps a dead leftover record
+// from marrying an unrelated commit under a colliding transaction ID.
 func (l *Log) Replay(fromLSN int64, apply func(Record) error) error {
 	l.mu.Lock()
 	records := append([]Record(nil), l.records...)
 	l.mu.Unlock()
 
-	committed := make(map[int64]bool)
-	for _, r := range records {
-		if r.Type == RecCommit {
-			committed[r.TxnID] = true
-		}
-	}
-	for _, r := range records {
-		if r.LSN <= fromLSN || r.Type == RecCommit || r.Type == RecAbort {
+	for i, r := range committedMask(records) {
+		if !r {
 			continue
 		}
-		if !committed[r.TxnID] {
+		rec := records[i]
+		if rec.LSN <= fromLSN {
 			continue
 		}
-		if err := apply(r); err != nil {
+		if err := apply(rec); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// committedMask marks, per record, the data records whose transaction has
+// a commit record later in the log (reverse scan).
+func committedMask(records []Record) []bool {
+	ok := make([]bool, len(records))
+	commitAhead := make(map[int64]bool)
+	for i := len(records) - 1; i >= 0; i-- {
+		switch records[i].Type {
+		case RecCommit:
+			commitAhead[records[i].TxnID] = true
+		case RecAbort:
+			// An abort closes the transaction: data records before it are
+			// rolled back even if the ID is (incorrectly) reused later.
+			commitAhead[records[i].TxnID] = false
+		default:
+			ok[i] = commitAhead[records[i].TxnID]
+		}
+	}
+	return ok
 }

@@ -1,0 +1,83 @@
+package lsmstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/storage/filedev"
+)
+
+// layoutName is the store-level layout file at the top of a file-backed
+// data directory. Per-shard state (manifest, WAL, component files) lives in
+// the shard subdirectories; the layout file pins the properties that must
+// agree across every shard before any of them opens — most importantly the
+// shard count, because primary keys hash onto shards and a different count
+// would silently route keys to the wrong partition's data.
+const layoutName = "layout.json"
+
+type layout struct {
+	Shards   int
+	PageSize int
+	Device   string
+}
+
+// shardDir returns shard i's subdirectory of a file-backed store.
+func shardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d", i))
+}
+
+// checkLayout validates an existing file-backed directory against the open
+// options, or stamps a fresh directory with the layout of this store.
+func checkLayout(opts Options) error {
+	want := layout{
+		Shards:   opts.Shards,
+		PageSize: resolvePageSize(opts),
+		Device:   deviceName(opts.Device),
+	}
+	if want.Shards < 1 {
+		want.Shards = 1
+	}
+	path := filepath.Join(opts.Dir, layoutName)
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var have layout
+		if err := json.Unmarshal(data, &have); err != nil {
+			return fmt.Errorf("lsmstore: corrupt %s: %w", layoutName, err)
+		}
+		if have != want {
+			return fmt.Errorf("lsmstore: directory %s was written as %+v, reopened as %+v", opts.Dir, have, want)
+		}
+		return nil
+	case errors.Is(err, os.ErrNotExist):
+		// A directory holding shard subdirectories but no layout file is a
+		// foreign or damaged layout; refuse rather than guess the count.
+		if _, err := os.Stat(shardDir(opts.Dir, 0)); err == nil {
+			return fmt.Errorf("lsmstore: directory %s holds shard data but no %s", opts.Dir, layoutName)
+		}
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return err
+		}
+		data, err := json.Marshal(want)
+		if err != nil {
+			return err
+		}
+		// Same discipline as the shard manifests: temp + fsync + rename +
+		// directory fsync. The layout file gates every future Open, so a
+		// power loss must never leave durable shard data behind a missing
+		// or torn layout.
+		return filedev.AtomicWriteFile(opts.Dir, layoutName, data)
+	default:
+		return err
+	}
+}
+
+func deviceName(d Device) string {
+	if d == SSD {
+		return "ssd"
+	}
+	return "hdd"
+}

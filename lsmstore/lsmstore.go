@@ -55,6 +55,7 @@ import (
 	"repro/internal/repair"
 	"repro/internal/shard"
 	"repro/internal/storage"
+	"repro/internal/storage/filedev"
 )
 
 // Strategy selects the auxiliary-structure maintenance strategy.
@@ -97,6 +98,34 @@ const (
 	SSD
 )
 
+// Backend selects the storage backend beneath a DB.
+type Backend int
+
+// Backends.
+const (
+	// SimBackend (the default) runs on the simulated in-memory device with
+	// the paper's explicit I/O cost model. Nothing survives process exit;
+	// crash/recovery is simulated (Crash/Recover).
+	SimBackend Backend = iota
+	// FileBackend runs on real files under Options.Dir: batched appends,
+	// fsync on WAL commit and component install, and a manifest that lets
+	// Open reopen the directory — after a clean Close or a crash — and
+	// continue serving every committed write. The virtual clock is not
+	// advanced for I/O on this backend; wall time is the honest measure.
+	FileBackend
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case SimBackend:
+		return "sim"
+	case FileBackend:
+		return "disk"
+	}
+	return fmt.Sprintf("backend(%d)", int(b))
+}
+
 // SecondaryIndex declares one secondary index.
 type SecondaryIndex struct {
 	// Name identifies the index in SecondaryQuery calls.
@@ -121,6 +150,15 @@ type Options struct {
 	FilterExtract func(record []byte) (int64, bool)
 	// Device selects the simulated device profile (HDD or SSD).
 	Device Device
+	// Backend selects the storage backend: the simulated device (default)
+	// or real files under Dir.
+	Backend Backend
+	// Dir is the data directory of the file backend (required for
+	// FileBackend, ignored otherwise). Each shard keeps its own
+	// subdirectory; reopening an existing directory restores all committed
+	// data and requires the same Shards, PageSize and Strategy it was
+	// written with.
+	Dir string
 	// PageSize overrides the device page size (testing).
 	PageSize int
 	// CacheBytes sizes the buffer cache (2 GB HDD / 4 GB SSD in the
@@ -189,18 +227,46 @@ type DB struct {
 	closed bool
 }
 
-// Open creates an empty DB.
+// Open creates an empty DB or, with Options.Backend = FileBackend and an
+// existing Options.Dir, reopens a previously written store: component
+// files are restored from the per-shard manifests, the on-disk write-ahead
+// logs are replayed, and every committed write — whether the previous
+// process Closed cleanly or crashed — is served again.
 func Open(opts Options) (*DB, error) {
+	if opts.Backend == FileBackend {
+		if opts.Dir == "" {
+			return nil, errors.New("lsmstore: FileBackend requires Options.Dir")
+		}
+		if opts.DisableWAL {
+			// Close does not flush live memtables — their committed writes
+			// are recovered from the on-disk WAL. Without one, acknowledged
+			// writes would silently vanish across a reopen.
+			return nil, errors.New("lsmstore: FileBackend requires the write-ahead log (unset DisableWAL)")
+		}
+		if err := checkLayout(opts); err != nil {
+			return nil, err
+		}
+	}
 	var pool *maint.Pool
 	if opts.MaintenanceWorkers > 0 {
 		pool = maint.NewPool(opts.MaintenanceWorkers)
 	}
-	if opts.Shards > 1 {
-		return openSharded(opts, pool)
+	closePoolOnErr := func(err error) error {
+		if pool != nil {
+			pool.Close()
+		}
+		return err
 	}
-	p, err := openPartition(opts, pool)
+	if opts.Shards > 1 {
+		db, err := openSharded(opts, pool)
+		if err != nil {
+			return nil, closePoolOnErr(err)
+		}
+		return db, nil
+	}
+	p, err := openPartition(opts, pool, 0)
 	if err != nil {
-		return nil, err
+		return nil, closePoolOnErr(err)
 	}
 	return &DB{ds: p.DS, store: p.Store, env: p.Env, pool: pool}, nil
 }
@@ -224,8 +290,11 @@ func openSharded(opts Options, pool *maint.Pool) (*DB, error) {
 		// Distinct seeds keep per-shard memtable shapes independent while
 		// staying deterministic for a given (Seed, Shards) pair.
 		po.Seed = opts.Seed + int64(i)*101
-		p, err := openPartition(po, pool)
+		p, err := openPartition(po, pool, i)
 		if err != nil {
+			for _, prev := range parts[:i] {
+				prev.Store.Device().Close()
+			}
 			return nil, err
 		}
 		parts[i] = p
@@ -257,8 +326,8 @@ func resolvePageSize(opts Options) int {
 	return storage.HDD().PageSize
 }
 
-// openPartition opens one partition: the unsharded store, or one shard.
-func openPartition(opts Options, pool *maint.Pool) (*shard.Partition, error) {
+// openPartition opens one partition: the unsharded store, or shard idx.
+func openPartition(opts Options, pool *maint.Pool, idx int) (*shard.Partition, error) {
 	env := metrics.NewEnv()
 	profile := storage.HDD()
 	if opts.Device == SSD {
@@ -272,7 +341,17 @@ func openPartition(opts Options, pool *maint.Pool) (*shard.Partition, error) {
 			profile = p
 		}
 	}
-	store := storage.NewStore(storage.NewDisk(profile, env), resolveCacheBytes(opts), env)
+	var dev storage.Device
+	if opts.Backend == FileBackend {
+		fd, err := filedev.Open(shardDir(opts.Dir, idx), profile)
+		if err != nil {
+			return nil, err
+		}
+		dev = fd
+	} else {
+		dev = storage.NewDisk(profile, env)
+	}
+	store := storage.NewStore(dev, resolveCacheBytes(opts), env)
 
 	cfg := core.Config{
 		Store:                 store,
@@ -300,6 +379,7 @@ func openPartition(opts Options, pool *maint.Pool) (*shard.Partition, error) {
 	}
 	ds, err := core.Open(cfg)
 	if err != nil {
+		dev.Close()
 		return nil, err
 	}
 	return &shard.Partition{DS: ds, Store: store, Env: env}, nil
@@ -486,10 +566,14 @@ func (db *DB) Flush() error {
 }
 
 // Close drains all pending background maintenance (flush builds and
-// merges on every shard) and stops the maintenance workers. It does not
-// flush live memory components — call Flush first for a clean shutdown
-// image. Close is idempotent; after it, writes on a store with background
-// maintenance fail. On a synchronous store Close is a no-op.
+// merges on every shard), stops the maintenance workers, and — on the file
+// backend — persists the final manifests and releases the devices. It does
+// not flush live memory components: their committed writes sit in the
+// on-disk write-ahead log and are replayed at the next Open (call Flush
+// first for a replay-free shutdown image). Close is idempotent; after it,
+// writes on a store with background maintenance fail, and on the file
+// backend all I/O fails. On a synchronous simulated store Close is a
+// no-op.
 func (db *DB) Close() error {
 	if db.closed {
 		return nil
@@ -506,6 +590,24 @@ func (db *DB) Close() error {
 	}
 	if db.pool != nil {
 		db.pool.Close()
+	}
+	shutdown := func(p *shard.Partition) {
+		if err := p.DS.Persist(); err != nil {
+			errs = append(errs, err)
+		}
+		if err := p.DS.CompactWAL(); err != nil {
+			errs = append(errs, err)
+		}
+		if err := p.Store.Device().Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if db.shards != nil {
+		for _, p := range db.shards.Partitions() {
+			shutdown(p)
+		}
+	} else {
+		shutdown(&shard.Partition{DS: db.ds, Store: db.store, Env: db.env})
 	}
 	return errors.Join(errs...)
 }
@@ -549,7 +651,9 @@ func repairSecondaries(ds *core.Dataset) error {
 			return err
 		}
 	}
-	return nil
+	// Repair rewrites obsolete bitmaps and watermarks; capture them in the
+	// manifest (no-op on the simulated backend).
+	return ds.Persist()
 }
 
 // Stats summarizes engine state and accumulated costs. On a sharded store
@@ -612,7 +716,7 @@ func (db *DB) Stats() Stats {
 		Ingested:          db.ds.IngestedCount(),
 		Ignored:           db.ds.IgnoredCount(),
 		PrimaryComponents: db.ds.Primary().NumDiskComponents(),
-		DiskBytesWritten:  db.store.Disk().BytesWritten(),
+		DiskBytesWritten:  db.store.Device().BytesWritten(),
 		Counters:          db.env.Counters.Snapshot(),
 		Shards:            1,
 	}

@@ -12,7 +12,7 @@ import (
 )
 
 func tinyOptions(strategy lsmstore.Strategy) lsmstore.Options {
-	return lsmstore.Options{
+	return applyTestBackend(lsmstore.Options{
 		Strategy: strategy,
 		Secondaries: []lsmstore.SecondaryIndex{
 			{Name: "user", Extract: workload.UserIDOf},
@@ -22,7 +22,7 @@ func tinyOptions(strategy lsmstore.Strategy) lsmstore.Options {
 		CacheBytes:    2 << 20,
 		PageSize:      4 << 10,
 		Seed:          5,
-	}
+	})
 }
 
 func TestOpenRejectsBadConfigs(t *testing.T) {

@@ -1,0 +1,48 @@
+package lsmstore_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/lsmstore"
+)
+
+// The whole lsmstore suite runs against the simulated backend by default.
+// With LSMSTORE_TEST_BACKEND=disk every store opened through the option
+// helpers (tinyOptions and everything built on it) runs on the file
+// backend in its own directory instead — CI uses this to drive the race
+// battery through real files, fsync, and the manifest/WAL reopen machinery.
+var (
+	diskBackend bool
+	diskRoot    string
+	diskDirSeq  atomic.Int64
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("LSMSTORE_TEST_BACKEND") == "disk" {
+		root, err := os.MkdirTemp("", "lsmstore-disk-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lsmstore_test:", err)
+			os.Exit(1)
+		}
+		diskBackend, diskRoot = true, root
+	}
+	code := m.Run()
+	if diskRoot != "" {
+		os.RemoveAll(diskRoot)
+	}
+	os.Exit(code)
+}
+
+// applyTestBackend rewrites an options value onto the file backend (with a
+// fresh directory) when the suite runs with LSMSTORE_TEST_BACKEND=disk.
+func applyTestBackend(opts lsmstore.Options) lsmstore.Options {
+	if diskBackend && opts.Backend == lsmstore.SimBackend {
+		opts.Backend = lsmstore.FileBackend
+		opts.Dir = filepath.Join(diskRoot, fmt.Sprintf("db-%06d", diskDirSeq.Add(1)))
+	}
+	return opts
+}
