@@ -1,0 +1,211 @@
+// Command lsmload is a closed-loop load generator for a live lsmserver:
+// every worker issues one request, waits for its response, and issues the
+// next, so measured latency is honest round-trip latency and throughput
+// reflects the server's real service rate at the offered concurrency.
+// Workers share a pool of pipelined connections (workers > conns exercises
+// pipelining; concurrent single upserts exercise the server's write
+// coalescer). At the end it reports throughput and latency percentiles
+// per operation class, plus the server's own statistics.
+//
+// Usage:
+//
+//	lsmload -addr 127.0.0.1:4150 -ops 100000 -conns 4 -workers 16
+//	lsmload -addr 127.0.0.1:4150 -ops 50000 -batch 32 -query-ratio 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/workload"
+	"repro/lsmclient"
+	"repro/lsmstore"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lsmload:", err)
+		os.Exit(1)
+	}
+}
+
+type opClass int
+
+const (
+	classWrite opClass = iota
+	classGet
+	classQuery
+	classScan
+	numClasses
+)
+
+var classNames = [numClasses]string{"write", "get", "query", "scan"}
+
+// sample is one worker's measurements for one op class.
+type sample struct {
+	lats []time.Duration
+	errs int
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:4150", "lsmserver address")
+	ops := flag.Int("ops", 100_000, "total operations to issue")
+	conns := flag.Int("conns", 4, "TCP connections in the client pool")
+	workers := flag.Int("workers", 16, "closed-loop workers sharing the pool")
+	batch := flag.Int("batch", 1, "upserts per write op (1 = single upserts, exercising the server-side coalescer)")
+	getRatio := flag.Float64("get-ratio", 0.2, "fraction of ops that are point gets")
+	queryRatio := flag.Float64("query-ratio", 0.02, "fraction of ops that are secondary-index queries")
+	scanRatio := flag.Float64("scan-ratio", 0.01, "fraction of ops that are filter scans")
+	updateRatio := flag.Float64("update-ratio", 0.1, "fraction of upserts hitting past keys")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+	if *workers < 1 || *conns < 1 || *batch < 1 {
+		return fmt.Errorf("-workers, -conns and -batch must be >= 1")
+	}
+
+	client, err := lsmclient.DialOptions(lsmclient.Options{
+		Addr:           *addr,
+		Conns:          *conns,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	if err := client.Ping(); err != nil {
+		return fmt.Errorf("ping %s: %w", *addr, err)
+	}
+
+	var (
+		remaining atomic.Int64
+		wg        sync.WaitGroup
+		samples   = make([][numClasses]sample, *workers)
+	)
+	remaining.Store(int64(*ops))
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wcfg := workload.DefaultConfig(*seed + int64(w)*7919)
+			wcfg.UpdateRatio = *updateRatio
+			gen := workload.NewGenerator(wcfg)
+			rng := rand.New(rand.NewSource(*seed + int64(w)*104729))
+			for remaining.Add(-1) >= 0 {
+				class := pickClass(rng, *getRatio, *queryRatio, *scanRatio)
+				t0 := time.Now()
+				err := issue(client, gen, rng, class, *batch)
+				lat := time.Since(t0)
+				s := &samples[w][class]
+				s.lats = append(s.lats, lat)
+				if err != nil {
+					s.errs++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("target              %s\n", *addr)
+	fmt.Printf("operations          %d (batch %d, %d conns, %d workers)\n", *ops, *batch, *conns, *workers)
+	fmt.Printf("wall time           %s\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput          %.0f ops/s", float64(*ops)/elapsed.Seconds())
+	if *batch > 1 {
+		fmt.Printf(" (writes count batches; records/s is higher)")
+	}
+	fmt.Println()
+	for class := opClass(0); class < numClasses; class++ {
+		var all []time.Duration
+		errs := 0
+		for w := range samples {
+			all = append(all, samples[w][class].lats...)
+			errs += samples[w][class].errs
+		}
+		if len(all) == 0 {
+			continue
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		fmt.Printf("%-7s latency     n=%-8d p50=%-10s p90=%-10s p99=%-10s max=%s",
+			classNames[class], len(all),
+			pct(all, 50), pct(all, 90), pct(all, 99), all[len(all)-1].Round(time.Microsecond))
+		if errs > 0 {
+			fmt.Printf("  errors=%d", errs)
+		}
+		fmt.Println()
+	}
+	st, err := client.Stats()
+	if err != nil {
+		return fmt.Errorf("server stats: %w", err)
+	}
+	fmt.Printf("server              ingested=%d ignored=%d components=%d shards=%d disk-bytes=%d\n",
+		st.Ingested, st.Ignored, st.PrimaryComponents, st.Shards, st.DiskBytesWritten)
+	return nil
+}
+
+// pickClass rolls the op mix; the remainder after gets, queries and scans
+// is writes.
+func pickClass(rng *rand.Rand, get, query, scan float64) opClass {
+	r := rng.Float64()
+	switch {
+	case r < get:
+		return classGet
+	case r < get+query:
+		return classQuery
+	case r < get+query+scan:
+		return classScan
+	}
+	return classWrite
+}
+
+// issue performs one closed-loop operation of the class.
+func issue(client *lsmclient.Client, gen *workload.Generator, rng *rand.Rand, class opClass, batch int) error {
+	switch class {
+	case classGet:
+		op := gen.Next() // an existing-ish key from the same distribution
+		_, _, err := client.Get(op.Tweet.PK())
+		return err
+	case classQuery:
+		lo := uint32(rng.Intn(1000))
+		_, err := client.SecondaryQuery("user", workload.UserKey(lo), workload.UserKey(lo+20),
+			lsmstore.QueryOptions{Validation: lsmstore.TimestampValidation, Limit: 100})
+		return err
+	case classScan:
+		lo := int64(rng.Intn(1 << 20))
+		_, err := client.FilterScan(lo, lo+(1<<14), 100)
+		return err
+	}
+	if batch == 1 {
+		op := gen.Next()
+		return client.Upsert(op.Tweet.PK(), op.Tweet.Encode())
+	}
+	b := client.NewBatch()
+	for i := 0; i < batch; i++ {
+		op := gen.Next()
+		b.Upsert(op.Tweet.PK(), op.Tweet.Encode())
+	}
+	_, err := b.Apply()
+	return err
+}
+
+// pct returns the p-th percentile (nearest-rank) of sorted latencies.
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p+99)/100 - 1 // ceil(n*p/100), 1-indexed rank
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Round(time.Microsecond)
+}

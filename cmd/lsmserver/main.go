@@ -1,0 +1,131 @@
+// Command lsmserver serves an lsmstore over TCP with the repository's wire
+// protocol, turning the embedded engine into a networked system. It opens
+// (or reopens) a store on the chosen backend, declares the tweet-workload
+// schema — a "user" secondary index and a creation-time range filter, the
+// same schema lsmingest and lsmquery use — and serves GET, UPSERT, INSERT,
+// DELETE, APPLY_BATCH, SECONDARY_QUERY, FILTER_SCAN, STATS, FLUSH and PING
+// with pipelined, out-of-order responses. Concurrent single writes are
+// coalesced into per-shard batches.
+//
+// Usage:
+//
+//	lsmserver -addr 127.0.0.1:4150 -http 127.0.0.1:9650 -shards 4 -maint-workers 2
+//	lsmserver -backend=disk -dir /data/store    # durable, reopenable
+//
+// SIGINT/SIGTERM drain gracefully: in-flight requests finish, then the
+// store closes (on the disk backend: final manifests persist and the WAL
+// compacts).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/cmd/internal/backendflag"
+	"repro/internal/server"
+	"repro/internal/workload"
+	"repro/lsmstore"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lsmserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:4150", "TCP listen address for the wire protocol")
+	httpAddr := flag.String("http", "127.0.0.1:9650", "HTTP sidecar address for /healthz and /stats (empty disables)")
+	backend := flag.String("backend", "sim", "storage backend: sim | disk")
+	dir := flag.String("dir", "", "data directory for -backend=disk (default: a temp dir, removed on exit)")
+	strategy := flag.String("strategy", "validation", "eager | validation | mutable-bitmap | deleted-key")
+	shards := flag.Int("shards", 1, "hash partitions")
+	maintWorkers := flag.Int("maint-workers", 2, "background maintenance workers (0 = synchronous)")
+	memBudget := flag.Int("memory-budget", 4<<20, "per-partition memory component budget in bytes")
+	cacheBytes := flag.Int64("cache", 64<<20, "buffer cache bytes (split across shards)")
+	maxInFlight := flag.Int("max-inflight", 128, "max in-flight requests per connection before backpressure")
+	maxBatch := flag.Int("max-batch", 256, "max writes the coalescer folds into one engine batch")
+	noCoalesce := flag.Bool("no-coalesce", false, "apply single writes individually instead of coalescing")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before connections are cut")
+	seed := flag.Int64("seed", 42, "engine seed")
+	flag.Parse()
+
+	opts := lsmstore.Options{
+		Secondaries:        []lsmstore.SecondaryIndex{{Name: "user", Extract: workload.UserIDOf}},
+		FilterExtract:      workload.CreationOf,
+		MemoryBudget:       *memBudget,
+		CacheBytes:         *cacheBytes,
+		Shards:             *shards,
+		MaintenanceWorkers: *maintWorkers,
+		Seed:               *seed,
+	}
+	switch strings.ToLower(*strategy) {
+	case "eager":
+		opts.Strategy = lsmstore.Eager
+	case "validation":
+		opts.Strategy = lsmstore.Validation
+	case "mutable-bitmap":
+		opts.Strategy = lsmstore.MutableBitmap
+	case "deleted-key":
+		opts.Strategy = lsmstore.DeletedKey
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	be, resolvedDir, cleanup, err := backendflag.Resolve(*backend, *dir)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	opts.Backend = be
+	opts.Dir = resolvedDir
+
+	db, err := lsmstore.Open(opts)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	srv, err := server.New(server.Config{
+		DB:                db,
+		Addr:              *addr,
+		HTTPAddr:          *httpAddr,
+		MaxInFlight:       *maxInFlight,
+		MaxBatch:          *maxBatch,
+		DisableCoalescing: *noCoalesce,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("lsmserver: serving %s backend (strategy %s, %d shard(s)) on %s\n",
+		opts.Backend, strings.ToLower(*strategy), *shards, srv.Addr())
+	if a := srv.HTTPAddr(); a != nil {
+		fmt.Printf("lsmserver: /healthz and /stats on http://%s\n", a)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("lsmserver: %s — draining (budget %s)\n", got, *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "lsmserver: drain incomplete: %v\n", err)
+	}
+	// The deferred Close is only the error-path cleanup; a failed final
+	// sync must fail the run, so close explicitly (Close is idempotent).
+	if err := db.Close(); err != nil {
+		return err
+	}
+	fmt.Println("lsmserver: closed cleanly")
+	return nil
+}

@@ -191,6 +191,40 @@ func (c *Counters) Reset() {
 	c.WriteStallNanos.Store(0)
 }
 
+// ServerCounters aggregates network-service events for the lsmserver
+// front-end: connections, requests, failures, and write-coalescer
+// efficiency. All fields are safe for concurrent use.
+type ServerCounters struct {
+	Connections      atomic.Int64 // connections accepted since start
+	ActiveConns      atomic.Int64 // connections currently open
+	Requests         atomic.Int64 // requests decoded and dispatched
+	Errors           atomic.Int64 // requests answered with an error frame
+	CoalescedBatches atomic.Int64 // ApplyBatch calls issued by the write coalescer
+	CoalescedWrites  atomic.Int64 // single writes absorbed into those batches
+}
+
+// ServerSnapshot is an immutable copy of the server counter values.
+type ServerSnapshot struct {
+	Connections      int64
+	ActiveConns      int64
+	Requests         int64
+	Errors           int64
+	CoalescedBatches int64
+	CoalescedWrites  int64
+}
+
+// Snapshot captures the current server counter values.
+func (c *ServerCounters) Snapshot() ServerSnapshot {
+	return ServerSnapshot{
+		Connections:      c.Connections.Load(),
+		ActiveConns:      c.ActiveConns.Load(),
+		Requests:         c.Requests.Load(),
+		Errors:           c.Errors.Load(),
+		CoalescedBatches: c.CoalescedBatches.Load(),
+		CoalescedWrites:  c.CoalescedWrites.Load(),
+	}
+}
+
 // Env bundles the clock, cost model and counters that thread through the
 // whole engine. A zero-cost Env (NopEnv) disables accounting for tests that
 // only care about functional behaviour.

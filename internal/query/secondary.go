@@ -31,6 +31,13 @@ const (
 	DeletedKeyCheck
 )
 
+// Valid reports whether v names a defined validation method. Boundary
+// layers (the network server) use it so the accepted range cannot drift
+// from this enum.
+func (v ValidationMethod) Valid() bool {
+	return v >= NoValidation && v <= DeletedKeyCheck
+}
+
 // String implements fmt.Stringer.
 func (v ValidationMethod) String() string {
 	switch v {

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"repro/internal/metrics"
+	"repro/lsmstore"
+)
+
+// batchApplier is the slice of the DB the coalescer needs; tests substitute
+// a controllable fake.
+type batchApplier interface {
+	ApplyBatchResults(muts []lsmstore.Mutation) ([]bool, error)
+}
+
+// coalescer folds concurrent single writes into ApplyBatch calls. A lone
+// goroutine drains a queue: it takes whatever writes accumulated while the
+// previous batch was applying — from any connection — and applies them as
+// one batch, which the engine then groups per shard and applies with
+// per-shard concurrency. Under light load batches are size 1 (no added
+// latency beyond a channel hop); under concurrency the batch size grows
+// exactly as fast as writes arrive.
+type coalescer struct {
+	db       batchApplier
+	counters *metrics.ServerCounters
+	maxBatch int
+	ch       chan coalReq
+	done     chan struct{}
+}
+
+type coalReq struct {
+	mut lsmstore.Mutation
+	res chan coalRes
+}
+
+type coalRes struct {
+	applied bool
+	err     error
+}
+
+func newCoalescer(db batchApplier, counters *metrics.ServerCounters, maxBatch int) *coalescer {
+	queue := 4 * maxBatch // deeper than a batch, so the queue absorbs bursts
+	if queue < 64 {
+		queue = 64
+	}
+	c := &coalescer{
+		db:       db,
+		counters: counters,
+		maxBatch: maxBatch,
+		ch:       make(chan coalReq, queue),
+		done:     make(chan struct{}),
+	}
+	return c
+}
+
+// start launches the apply goroutine. The server calls it from Start, not
+// New, so an unstarted or failed-to-start server leaks nothing.
+func (c *coalescer) start() { go c.run() }
+
+// apply submits one mutation and blocks until its batch lands, reporting
+// whether the mutation took effect.
+func (c *coalescer) apply(m lsmstore.Mutation) (bool, error) {
+	res := make(chan coalRes, 1)
+	c.ch <- coalReq{mut: m, res: res}
+	r := <-res
+	return r.applied, r.err
+}
+
+// stop closes the queue and waits for the final batch. The caller must
+// guarantee no apply is in flight (the server stops it only after every
+// connection handler has exited).
+func (c *coalescer) stop() {
+	close(c.ch)
+	<-c.done
+}
+
+func (c *coalescer) run() {
+	defer close(c.done)
+	reqs := make([]coalReq, 0, c.maxBatch)
+	muts := make([]lsmstore.Mutation, 0, c.maxBatch)
+	for first := range c.ch {
+		reqs = append(reqs[:0], first)
+		for len(reqs) < c.maxBatch {
+			select {
+			case r, ok := <-c.ch:
+				if !ok {
+					break
+				}
+				reqs = append(reqs, r)
+				continue
+			default:
+			}
+			break
+		}
+		muts = muts[:0]
+		for _, r := range reqs {
+			muts = append(muts, r.mut)
+		}
+		applied, err := c.db.ApplyBatchResults(muts)
+		if c.counters != nil {
+			c.counters.CoalescedBatches.Add(1)
+			c.counters.CoalescedWrites.Add(int64(len(reqs)))
+		}
+		for i, r := range reqs {
+			ok := i < len(applied) && applied[i]
+			res := coalRes{applied: ok, err: err}
+			// A batch error is per shard, and shards are independent: a
+			// mutation the engine reports applied landed durably even
+			// though another shard's mutation failed, so its writer gets
+			// success, not a stranger's error. (An applied=false entry in
+			// an errored batch stays conservative: it may have failed, been
+			// skipped, or merely been an ignored duplicate — the error is
+			// returned and the client may retry safely.)
+			if ok {
+				res.err = nil
+			}
+			r.res <- res
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/lsmstore"
+)
+
+// blockingApplier lets a test observe each batch as it starts (entered)
+// and hold it inside ApplyBatchResults (gate), so writes submitted
+// meanwhile must land in a following batch together.
+type blockingApplier struct {
+	mu      sync.Mutex
+	batches [][]lsmstore.Mutation
+	entered chan int      // receives len(muts) as each batch begins
+	gate    chan struct{} // each receive releases one batch
+	err     error
+	// partialOK, with err set, mimics a sharded partial failure: entries
+	// whose PK's first byte is even report applied=true alongside the
+	// error (their shard applied them before another shard failed).
+	partialOK bool
+}
+
+func (a *blockingApplier) ApplyBatchResults(muts []lsmstore.Mutation) ([]bool, error) {
+	if a.entered != nil {
+		a.entered <- len(muts)
+	}
+	if a.gate != nil {
+		<-a.gate
+	}
+	a.mu.Lock()
+	a.batches = append(a.batches, append([]lsmstore.Mutation(nil), muts...))
+	a.mu.Unlock()
+	if a.err != nil {
+		if !a.partialOK {
+			return nil, a.err
+		}
+		applied := make([]bool, len(muts))
+		for i, m := range muts {
+			applied[i] = len(m.PK) > 0 && m.PK[0]%2 == 0
+		}
+		return applied, a.err
+	}
+	applied := make([]bool, len(muts))
+	for i, m := range muts {
+		applied[i] = m.Op != lsmstore.OpDelete // deletes "miss" in this fake
+	}
+	return applied, nil
+}
+
+func (a *blockingApplier) batchSizes() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sizes := make([]int, len(a.batches))
+	for i, b := range a.batches {
+		sizes[i] = len(b)
+	}
+	return sizes
+}
+
+// waitQueued blocks until n writes sit in the coalescer's queue.
+func waitQueued(t *testing.T, c *coalescer, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for len(c.ch) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d writes queued", len(c.ch), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCoalescerGroupsConcurrentWrites pins the grouping contract: writes
+// arriving while a batch is applying are folded into one following batch,
+// and each write still gets its own applied result.
+func TestCoalescerGroupsConcurrentWrites(t *testing.T) {
+	applier := &blockingApplier{entered: make(chan int), gate: make(chan struct{})}
+	counters := &metrics.ServerCounters{}
+	c := newCoalescer(applier, counters, 256)
+	c.start()
+
+	// The leader write occupies the apply goroutine inside its batch.
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte("leader")})
+		leaderDone <- err
+	}()
+	if n := <-applier.entered; n != 1 {
+		t.Fatalf("leader batch size = %d, want 1", n)
+	}
+
+	// Five writes pile up while the leader batch is held open.
+	const followers = 5
+	var wg sync.WaitGroup
+	results := make([]bool, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			op := lsmstore.OpUpsert
+			if i == 0 {
+				op = lsmstore.OpDelete // must come back applied=false
+			}
+			ok, err := c.apply(lsmstore.Mutation{Op: op, PK: []byte{byte(i)}})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = ok
+		}(i)
+	}
+	waitQueued(t, c, followers)
+	applier.gate <- struct{}{} // release the leader batch
+	if n := <-applier.entered; n != followers {
+		t.Fatalf("follower batch size = %d, want %d", n, followers)
+	}
+	applier.gate <- struct{}{} // release the follower batch
+	if err := <-leaderDone; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	sizes := applier.batchSizes()
+	if len(sizes) != 2 || sizes[0] != 1 || sizes[1] != followers {
+		t.Fatalf("batch sizes = %v, want [1 %d]", sizes, followers)
+	}
+	if results[0] {
+		t.Fatal("delete in batch reported applied=true")
+	}
+	for i := 1; i < followers; i++ {
+		if !results[i] {
+			t.Fatalf("upsert %d in batch reported applied=false", i)
+		}
+	}
+	if got := counters.CoalescedBatches.Load(); got != 2 {
+		t.Fatalf("CoalescedBatches = %d, want 2", got)
+	}
+	if got := counters.CoalescedWrites.Load(); got != 1+followers {
+		t.Fatalf("CoalescedWrites = %d, want %d", got, 1+followers)
+	}
+	c.stop()
+}
+
+// TestCoalescerPropagatesErrors: a failed batch fails every write in it.
+func TestCoalescerPropagatesErrors(t *testing.T) {
+	boom := errors.New("disk on fire")
+	applier := &blockingApplier{err: boom}
+	c := newCoalescer(applier, nil, 16)
+	c.start()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte{byte(i)}}); !errors.Is(err, boom) {
+				t.Errorf("write %d: err = %v, want the batch error", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	c.stop()
+}
+
+// TestCoalescerPartialFailureKeepsAppliedWrites: shards fail
+// independently, so a write the engine reports applied must come back as
+// success even when a stranger's mutation in the same coalesced batch
+// failed on another shard.
+func TestCoalescerPartialFailureKeepsAppliedWrites(t *testing.T) {
+	boom := errors.New("shard 1 disk on fire")
+	applier := &blockingApplier{err: boom, partialOK: true}
+	c := newCoalescer(applier, nil, 16)
+	c.start()
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ok, err := c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte{byte(i)}})
+			if i%2 == 0 { // the fake applies even first-bytes durably
+				if err != nil || !ok {
+					t.Errorf("applied write %d: ok=%v err=%v, want success", i, ok, err)
+				}
+			} else if !errors.Is(err, boom) {
+				t.Errorf("failed write %d: err = %v, want the batch error", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	c.stop()
+}
+
+// TestCoalescerRespectsMaxBatch: six writes queued behind a held batch
+// drain in cap-sized groups, never exceeding MaxBatch.
+func TestCoalescerRespectsMaxBatch(t *testing.T) {
+	applier := &blockingApplier{entered: make(chan int), gate: make(chan struct{})}
+	c := newCoalescer(applier, nil, 2)
+	c.start()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte("leader")})
+	}()
+	if n := <-applier.entered; n != 1 {
+		t.Fatalf("leader batch size = %d, want 1", n)
+	}
+	const queued = 6
+	for i := 0; i < queued; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte{byte(i)}})
+		}(i)
+	}
+	waitQueued(t, c, queued)
+	applier.gate <- struct{}{} // leader out; the rest drain capped
+	for drained := 0; drained < queued; {
+		n := <-applier.entered
+		if n > 2 {
+			t.Fatalf("batch of %d exceeds MaxBatch=2", n)
+		}
+		drained += n
+		applier.gate <- struct{}{}
+	}
+	wg.Wait()
+	c.stop()
+}

@@ -1,0 +1,42 @@
+// Package server turns an embedded lsmstore.DB into a served system: a
+// TCP listener speaking the internal/wire protocol, built for pipelining.
+//
+// # Connection model
+//
+// Each connection gets a reader goroutine and a writer goroutine. The
+// reader decodes frames and dispatches every request to its own handler
+// goroutine, so requests on one connection execute concurrently and
+// responses return in completion order, correlated by request ID — a
+// client that pipelines N requests pays one round trip, not N. In-flight
+// requests per connection are bounded (Config.MaxInFlight): past the
+// bound the reader stops reading, and TCP flow control pushes back on the
+// client.
+//
+// # Write coalescing
+//
+// Single writes (upsert, insert, delete) from all connections funnel
+// through a coalescer: whatever writes arrive while the previous batch is
+// applying are folded into one DB.ApplyBatchResults call, which the
+// engine groups per shard and applies with per-shard concurrency. Under
+// light load batches are size 1; under concurrency, batch size grows with
+// the arrival rate, converting many small write calls into the engine's
+// efficient batched path while still answering each client individually
+// (including per-mutation Insert/Delete applied results).
+//
+// # Lifecycle
+//
+// Shutdown drains gracefully: accepting stops, readers stop, in-flight
+// requests finish and their responses flush, then connections close. Kill
+// stops abruptly — connections drop, in-flight responses are lost — and
+// leaves the DB untouched, so a killed server's data directory is exactly
+// a crashed process image for recovery testing. Neither closes the DB;
+// the caller owns its lifecycle, and post-Close requests surface as typed
+// CodeClosed error frames.
+//
+// # Observability
+//
+// An optional HTTP sidecar (Config.HTTPAddr) serves GET /healthz for
+// liveness and GET /stats: the lsmstore.Stats engine snapshot plus the
+// server's own counters (connections, requests, errors, coalescer
+// efficiency).
+package server

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/lsmstore"
+)
+
+// StatsPayload is the GET /stats response body: the engine snapshot from
+// lsmstore.Stats plus the network service's own counters.
+type StatsPayload struct {
+	Engine lsmstore.Stats
+	Server metrics.ServerSnapshot
+}
+
+// httpSidecar is the observability endpoint riding alongside the wire
+// listener: GET /healthz for liveness probes, GET /stats for dashboards.
+type httpSidecar struct {
+	mu  sync.Mutex
+	ln  net.Listener
+	srv *http.Server
+}
+
+func (h *httpSidecar) start(addrStr string, s *Server) error {
+	ln, err := net.Listen("tcp", addrStr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		payload := StatsPayload{
+			Engine: s.db.Stats(),
+			Server: s.counters.Snapshot(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(payload)
+	})
+	srv := &http.Server{Handler: mux}
+	h.mu.Lock()
+	h.ln, h.srv = ln, srv
+	h.mu.Unlock()
+	go srv.Serve(ln)
+	return nil
+}
+
+func (h *httpSidecar) addr() net.Addr {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ln == nil {
+		return nil
+	}
+	return h.ln.Addr()
+}
+
+func (h *httpSidecar) stop() {
+	h.mu.Lock()
+	srv := h.srv
+	h.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+}

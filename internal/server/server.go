@@ -1,0 +1,508 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/wire"
+	"repro/lsmstore"
+)
+
+// Config configures a Server.
+type Config struct {
+	// DB is the store to serve. The server does not Open or Close it; the
+	// caller owns its lifecycle.
+	DB *lsmstore.DB
+	// Addr is the TCP listen address (e.g. "127.0.0.1:4150"; required).
+	Addr string
+	// HTTPAddr is the observability sidecar's listen address, serving
+	// GET /healthz and GET /stats. Empty disables the sidecar.
+	HTTPAddr string
+	// MaxInFlight bounds the requests a single connection may have
+	// executing at once. When a client pipelines past it, the server
+	// stops reading that connection until responses drain — backpressure
+	// by TCP flow control. 0 means the default of 128.
+	MaxInFlight int
+	// MaxFrame caps accepted request frames (0 = wire.MaxFrame).
+	MaxFrame int
+	// MaxBatch caps how many concurrent single writes the coalescer
+	// folds into one ApplyBatch call (0 = 256).
+	MaxBatch int
+	// DisableCoalescing applies every single write individually instead
+	// of grouping concurrent ones into batches.
+	DisableCoalescing bool
+}
+
+const (
+	defaultMaxInFlight = 128
+	defaultMaxBatch    = 256
+)
+
+// Server serves a DB over the wire protocol: one TCP listener, a
+// reader/writer goroutine pair per connection, pipelined out-of-order
+// responses, and an optional HTTP sidecar.
+type Server struct {
+	cfg      Config
+	db       *lsmstore.DB
+	counters *metrics.ServerCounters
+	coal     *coalescer
+
+	ln       net.Listener
+	acceptWg sync.WaitGroup
+	connWg   sync.WaitGroup
+
+	mu       sync.Mutex
+	conns    map[*conn]struct{}
+	started  bool
+	stopping bool
+	stopped  chan struct{} // closed when a stop (Shutdown or Kill) completes
+
+	http httpSidecar
+}
+
+// New builds a server for the config. Call Start to begin serving.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	if cfg.Addr == "" {
+		return nil, errors.New("server: Config.Addr is required")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = defaultMaxInFlight
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = wire.MaxFrame
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = defaultMaxBatch
+	}
+	s := &Server{
+		cfg:      cfg,
+		db:       cfg.DB,
+		counters: &metrics.ServerCounters{},
+		conns:    make(map[*conn]struct{}),
+		stopped:  make(chan struct{}),
+	}
+	if !cfg.DisableCoalescing {
+		s.coal = newCoalescer(cfg.DB, s.counters, cfg.MaxBatch)
+	}
+	return s, nil
+}
+
+// Counters exposes the server's event counters (also served by /stats).
+func (s *Server) Counters() *metrics.ServerCounters { return s.counters }
+
+// Start binds the listeners and begins serving in the background.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("server: already started")
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	if s.cfg.HTTPAddr != "" {
+		if err := s.http.start(s.cfg.HTTPAddr, s); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	s.ln = ln
+	s.started = true
+	if s.coal != nil {
+		s.coal.start()
+	}
+	s.acceptWg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the TCP listener address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// HTTPAddr returns the sidecar's listener address (nil when disabled or
+// before Start).
+func (s *Server) HTTPAddr() net.Addr { return s.http.addr() }
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.acceptWg.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown/Kill
+		}
+		c := &conn{
+			srv: s,
+			nc:  nc,
+			out: make(chan []byte, s.cfg.MaxInFlight),
+			sem: make(chan struct{}, s.cfg.MaxInFlight),
+		}
+		s.mu.Lock()
+		if s.stopping {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.counters.Connections.Add(1)
+		s.counters.ActiveConns.Add(1)
+		s.connWg.Add(1)
+		go c.serve()
+	}
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.counters.ActiveConns.Add(-1)
+}
+
+func (s *Server) draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopping
+}
+
+// beginStop flips the server into stopping state. It reports false — and
+// waits for the in-progress stop — when another stop already ran.
+func (s *Server) beginStop() bool {
+	s.mu.Lock()
+	if !s.started || s.stopping {
+		stopped := s.stopped
+		started := s.started
+		s.mu.Unlock()
+		if started {
+			<-stopped
+		}
+		return false
+	}
+	s.stopping = true
+	s.mu.Unlock()
+	return true
+}
+
+// Shutdown gracefully drains the server: it stops accepting connections
+// and reading new requests, waits for every in-flight request to finish
+// and its response to flush, then closes the connections, the listeners,
+// and the write coalescer. If ctx expires first, remaining connections
+// are closed abruptly; Shutdown still waits for their handlers before
+// returning ctx's error. The DB is left open — the caller owns it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.beginStop() {
+		return nil
+	}
+	defer close(s.stopped)
+	s.ln.Close()
+	s.http.stop()
+	// Unblock every reader: the deadline fails the blocking ReadFrame,
+	// and the drain flag stops readers that raced past it.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.acceptWg.Wait()
+		s.connWg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	if s.coal != nil {
+		s.coal.stop()
+	}
+	return err
+}
+
+// Kill stops the server abruptly: listeners and connections close
+// immediately, responses in flight are dropped, nothing drains. The DB is
+// left untouched, so tests can treat a killed server's directory exactly
+// like a crashed process image. Handlers already executing finish against
+// the live DB before Kill returns.
+func (s *Server) Kill() {
+	if !s.beginStop() {
+		return
+	}
+	defer close(s.stopped)
+	s.ln.Close()
+	s.http.stop()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.nc.Close()
+	}
+	s.mu.Unlock()
+	s.acceptWg.Wait()
+	s.connWg.Wait()
+	if s.coal != nil {
+		s.coal.stop()
+	}
+}
+
+// conn is one client connection: a reader goroutine decoding and
+// dispatching requests, per-request handler goroutines (bounded by sem),
+// and a writer goroutine serializing response frames.
+type conn struct {
+	srv   *Server
+	nc    net.Conn
+	out   chan []byte   // encoded response frames
+	sem   chan struct{} // in-flight request tokens
+	reqWg sync.WaitGroup
+}
+
+func (c *conn) serve() {
+	defer c.srv.connWg.Done()
+	defer c.srv.removeConn(c)
+	writerDone := make(chan struct{})
+	go c.writeLoop(writerDone)
+	c.readLoop()
+	// All accepted requests finish and enqueue their responses before the
+	// writer is told to flush out and exit.
+	c.reqWg.Wait()
+	close(c.out)
+	<-writerDone
+	c.nc.Close()
+}
+
+func (c *conn) readLoop() {
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	var buf []byte
+	for {
+		if c.srv.draining() {
+			return
+		}
+		frame, err := wire.ReadFrame(br, buf, c.srv.cfg.MaxFrame)
+		if err != nil {
+			return // EOF, peer reset, shutdown deadline, oversized frame
+		}
+		buf = frame[:cap(frame)]
+		c.srv.counters.Requests.Add(1)
+		req, err := wire.DecodeRequest(frame)
+		if err != nil {
+			// The stream is unframed garbage from here on; answer with a
+			// zero-ID error so the client can log it, then hang up.
+			c.srv.counters.Errors.Add(1)
+			c.send(wire.ErrorResponse(0, wire.CodeBadRequest, err.Error()))
+			return
+		}
+		// Backpressure: past MaxInFlight outstanding requests this blocks,
+		// which stops reading the socket and lets TCP flow control push
+		// back on the client.
+		c.sem <- struct{}{}
+		c.reqWg.Add(1)
+		go func(req wire.Request) {
+			defer c.reqWg.Done()
+			defer func() { <-c.sem }()
+			resp := c.srv.handle(req)
+			if resp.Kind == wire.KindError {
+				c.srv.counters.Errors.Add(1)
+			}
+			c.send(resp)
+		}(req)
+	}
+}
+
+func (c *conn) send(resp wire.Response) {
+	c.out <- wire.AppendResponse(nil, resp)
+}
+
+func (c *conn) writeLoop(done chan struct{}) {
+	defer close(done)
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	failed := false
+	// A write failure poisons the whole response stream (the peer cannot
+	// resynchronize frames), so close the socket immediately: the reader
+	// stops accepting requests and the client observes the break instead
+	// of waiting on responses that will never come. The loop keeps
+	// draining so handlers never block on a dead connection.
+	fail := func() {
+		failed = true
+		c.nc.Close()
+	}
+	for frame := range c.out {
+		if failed {
+			continue
+		}
+		if err := wire.WriteFrame(bw, frame); err != nil {
+			fail()
+			continue
+		}
+		// Flush only when no more responses are queued: consecutive
+		// pipelined responses share flushes.
+		if len(c.out) == 0 {
+			if err := bw.Flush(); err != nil {
+				fail()
+			}
+		}
+	}
+	if !failed {
+		bw.Flush()
+	}
+}
+
+// handle executes one request against the DB and builds its response.
+func (s *Server) handle(req wire.Request) wire.Response {
+	switch req.Op {
+	case wire.OpPing:
+		return wire.Response{ID: req.ID, Kind: wire.KindOK}
+
+	case wire.OpGet:
+		val, found, err := s.db.Get(req.Key)
+		if err != nil {
+			return s.errorResponse(req.ID, err)
+		}
+		return wire.Response{ID: req.ID, Kind: wire.KindValue, Found: found, Value: val}
+
+	case wire.OpUpsert:
+		if _, err := s.write(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: req.Key, Record: req.Value}); err != nil {
+			return s.errorResponse(req.ID, err)
+		}
+		return wire.Response{ID: req.ID, Kind: wire.KindOK}
+
+	case wire.OpInsert:
+		applied, err := s.write(lsmstore.Mutation{Op: lsmstore.OpInsert, PK: req.Key, Record: req.Value})
+		if err != nil {
+			return s.errorResponse(req.ID, err)
+		}
+		return wire.Response{ID: req.ID, Kind: wire.KindApplied, Applied: applied}
+
+	case wire.OpDelete:
+		applied, err := s.write(lsmstore.Mutation{Op: lsmstore.OpDelete, PK: req.Key})
+		if err != nil {
+			return s.errorResponse(req.ID, err)
+		}
+		return wire.Response{ID: req.ID, Kind: wire.KindApplied, Applied: applied}
+
+	case wire.OpApplyBatch:
+		muts := make([]lsmstore.Mutation, len(req.Muts))
+		for i, m := range req.Muts {
+			var op lsmstore.Op
+			switch m.Op {
+			case wire.MutUpsert:
+				op = lsmstore.OpUpsert
+			case wire.MutInsert:
+				op = lsmstore.OpInsert
+			case wire.MutDelete:
+				op = lsmstore.OpDelete
+			default:
+				return wire.ErrorResponse(req.ID, wire.CodeBadRequest,
+					fmt.Sprintf("unknown mutation op %d", m.Op))
+			}
+			muts[i] = lsmstore.Mutation{Op: op, PK: m.PK, Record: m.Record}
+		}
+		applied, err := s.db.ApplyBatchResults(muts)
+		if err != nil {
+			return s.errorResponse(req.ID, err)
+		}
+		return wire.Response{ID: req.ID, Kind: wire.KindBatch, AppliedBatch: applied}
+
+	case wire.OpSecondaryQuery:
+		validation := lsmstore.ValidationMethod(req.Validation)
+		if !validation.Valid() {
+			return wire.ErrorResponse(req.ID, wire.CodeBadRequest,
+				fmt.Sprintf("validation method %d out of range", req.Validation))
+		}
+		if req.Limit < 0 {
+			return wire.ErrorResponse(req.ID, wire.CodeBadRequest, "negative limit")
+		}
+		res, err := s.db.SecondaryQuery(req.Index, req.Lo, req.Hi, lsmstore.QueryOptions{
+			Validation: validation,
+			IndexOnly:  req.IndexOnly,
+			Limit:      int(req.Limit),
+		})
+		if err != nil {
+			return s.errorResponse(req.ID, err)
+		}
+		resp := wire.Response{ID: req.ID, Kind: wire.KindQuery, Keys: res.Keys}
+		for _, r := range res.Records {
+			resp.Records = append(resp.Records, wire.Record{PK: r.PK, Value: r.Value})
+		}
+		return resp
+
+	case wire.OpFilterScan:
+		if req.Limit < 0 {
+			return wire.ErrorResponse(req.ID, wire.CodeBadRequest, "negative limit")
+		}
+		var records []wire.Record
+		err := s.db.FilterScan(req.FilterLo, req.FilterHi, func(pk, record []byte) {
+			if req.Limit > 0 && int64(len(records)) >= req.Limit {
+				return
+			}
+			records = append(records, wire.Record{
+				PK:    append([]byte(nil), pk...),
+				Value: append([]byte(nil), record...),
+			})
+		})
+		if err != nil {
+			return s.errorResponse(req.ID, err)
+		}
+		return wire.Response{ID: req.ID, Kind: wire.KindScan, Records: records}
+
+	case wire.OpStats:
+		blob, err := json.Marshal(s.db.Stats())
+		if err != nil {
+			return s.errorResponse(req.ID, err)
+		}
+		return wire.Response{ID: req.ID, Kind: wire.KindStats, Stats: blob}
+
+	case wire.OpFlush:
+		if err := s.db.Flush(); err != nil {
+			return s.errorResponse(req.ID, err)
+		}
+		return wire.Response{ID: req.ID, Kind: wire.KindOK}
+	}
+	return wire.ErrorResponse(req.ID, wire.CodeBadRequest, fmt.Sprintf("unknown op %d", req.Op))
+}
+
+// write applies one mutation, through the coalescer when enabled.
+func (s *Server) write(m lsmstore.Mutation) (bool, error) {
+	if s.coal != nil {
+		return s.coal.apply(m)
+	}
+	applied, err := s.db.ApplyBatchResults([]lsmstore.Mutation{m})
+	if err != nil {
+		return false, err
+	}
+	return applied[0], nil
+}
+
+// errorResponse maps engine errors onto typed wire error codes.
+func (s *Server) errorResponse(id uint64, err error) wire.Response {
+	code := wire.CodeInternal
+	switch {
+	case errors.Is(err, lsmstore.ErrClosed):
+		code = wire.CodeClosed
+	case errors.Is(err, lsmstore.ErrUnknownIndex):
+		code = wire.CodeUnknownIndex
+	}
+	return wire.ErrorResponse(id, code, err.Error())
+}

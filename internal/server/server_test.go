@@ -1,0 +1,617 @@
+package server_test
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/workload"
+	"repro/lsmclient"
+	"repro/lsmstore"
+)
+
+// storeOptions is the small test store: validation strategy, a "user"
+// secondary index and a creation-time filter (the tweet-workload schema).
+func storeOptions() lsmstore.Options {
+	return lsmstore.Options{
+		Strategy: lsmstore.Validation,
+		Secondaries: []lsmstore.SecondaryIndex{
+			{Name: "user", Extract: workload.UserIDOf},
+		},
+		FilterExtract: workload.CreationOf,
+		MemoryBudget:  64 << 10,
+		CacheBytes:    2 << 20,
+		PageSize:      4 << 10,
+		Seed:          5,
+	}
+}
+
+// startServer opens a store, serves it on an ephemeral port, and returns
+// the pieces. Cleanup shuts the server down and closes the DB.
+func startServer(t *testing.T, opts lsmstore.Options, mod func(*server.Config)) (*server.Server, *lsmstore.DB) {
+	t.Helper()
+	db, err := lsmstore.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := server.Config{DB: db, Addr: "127.0.0.1:0"}
+	if mod != nil {
+		mod(&cfg)
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		db.Close()
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		db.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		db.Close()
+	})
+	return srv, db
+}
+
+func dial(t *testing.T, srv *server.Server, conns int) *lsmclient.Client {
+	t.Helper()
+	c, err := lsmclient.DialOptions(lsmclient.Options{
+		Addr:           srv.Addr().String(),
+		Conns:          conns,
+		RequestTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// tweet builds a deterministic record: PK from id, user id%32, creation=id.
+func tweet(id uint64) (pk, rec []byte) {
+	tw := workload.Tweet{ID: id, UserID: uint32(id % 32), Creation: int64(id), Message: []byte("m")}
+	return tw.PK(), tw.Encode()
+}
+
+func TestServeBasicOps(t *testing.T) {
+	srv, _ := startServer(t, storeOptions(), nil)
+	c := dial(t, srv, 1)
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	pk, rec := tweet(7)
+	if err := c.Upsert(pk, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := c.Get(pk)
+	if err != nil || !found {
+		t.Fatalf("get: found=%v err=%v", found, err)
+	}
+	if string(got) != string(rec) {
+		t.Fatalf("get = %x, want %x", got, rec)
+	}
+	if _, found, _ := c.Get([]byte("absent-key")); found {
+		t.Fatal("absent key reported found")
+	}
+
+	if applied, err := c.Insert(pk, rec); err != nil || applied {
+		t.Fatalf("duplicate insert: applied=%v err=%v", applied, err)
+	}
+	pk2, rec2 := tweet(8)
+	if applied, err := c.Insert(pk2, rec2); err != nil || !applied {
+		t.Fatalf("fresh insert: applied=%v err=%v", applied, err)
+	}
+	if applied, err := c.Delete(pk2); err != nil || !applied {
+		t.Fatalf("delete: applied=%v err=%v", applied, err)
+	}
+	if _, found, err := c.Get(pk2); err != nil || found {
+		t.Fatalf("deleted key still served (found=%v err=%v)", found, err)
+	}
+
+	b := c.NewBatch()
+	for id := uint64(100); id < 110; id++ {
+		pk, rec := tweet(id)
+		b.Upsert(pk, rec)
+	}
+	b.Insert(pk, rec) // duplicate: must come back applied=false
+	applied, err := b.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 11 || !applied[0] || applied[10] {
+		t.Fatalf("batch applied = %v", applied)
+	}
+
+	res, err := c.SecondaryQuery("user", workload.UserKey(0), workload.UserKey(31),
+		lsmstore.QueryOptions{Validation: lsmstore.TimestampValidation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 11 { // ids 7, 100..109
+		t.Fatalf("secondary query returned %d records, want 11", len(res.Records))
+	}
+	if _, err := c.SecondaryQuery("nope", nil, nil, lsmstore.QueryOptions{}); !errors.Is(err, lsmstore.ErrUnknownIndex) {
+		t.Fatalf("unknown index: err = %v, want ErrUnknownIndex", err)
+	}
+
+	recs, err := c.FilterScan(100, 104, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("filter scan returned %d records, want 5", len(recs))
+	}
+	if recs, _ := c.FilterScan(0, 1<<40, 3); len(recs) != 3 {
+		t.Fatalf("limited scan returned %d records, want 3", len(recs))
+	}
+
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ingested == 0 || st.Shards != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPipelinedConcurrentClients(t *testing.T) {
+	opts := storeOptions()
+	opts.Shards = 2
+	srv, db := startServer(t, opts, nil)
+	c := dial(t, srv, 4)
+
+	const workers, perWorker = 8, 150
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := uint64(w*perWorker + i)
+				pk, rec := tweet(id)
+				if err := c.Upsert(pk, rec); err != nil {
+					errs[w] = err
+					return
+				}
+				if i%10 == 0 {
+					if _, _, err := c.Get(pk); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+				if i%50 == 0 {
+					if _, err := c.SecondaryQuery("user", workload.UserKey(0), workload.UserKey(31),
+						lsmstore.QueryOptions{Validation: lsmstore.TimestampValidation, Limit: 10}); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	// Every write must be visible both through the client and the DB.
+	for id := uint64(0); id < workers*perWorker; id += 97 {
+		pk, rec := tweet(id)
+		got, found, err := c.Get(pk)
+		if err != nil || !found || string(got) != string(rec) {
+			t.Fatalf("id %d: found=%v err=%v", id, found, err)
+		}
+	}
+	if got := db.Stats().Ingested; got != workers*perWorker {
+		t.Fatalf("ingested = %d, want %d", got, workers*perWorker)
+	}
+	if b := srv.Counters().CoalescedBatches.Load(); b == 0 {
+		t.Fatal("no coalescer batches recorded")
+	}
+}
+
+func TestBackpressureBoundsInFlight(t *testing.T) {
+	srv, _ := startServer(t, storeOptions(), func(cfg *server.Config) {
+		cfg.MaxInFlight = 2
+	})
+	c := dial(t, srv, 1)
+	var wg sync.WaitGroup
+	var fails atomic.Int64
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pk, rec := tweet(uint64(i))
+			if err := c.Upsert(pk, rec); err != nil {
+				fails.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := fails.Load(); n != 0 {
+		t.Fatalf("%d writes failed under backpressure", n)
+	}
+	for i := 0; i < 64; i++ {
+		pk, _ := tweet(uint64(i))
+		if _, found, err := c.Get(pk); err != nil || !found {
+			t.Fatalf("key %d missing after backpressured writes (err=%v)", i, err)
+		}
+	}
+}
+
+func TestHTTPSidecar(t *testing.T) {
+	srv, _ := startServer(t, storeOptions(), func(cfg *server.Config) {
+		cfg.HTTPAddr = "127.0.0.1:0"
+	})
+	c := dial(t, srv, 1)
+	pk, rec := tweet(1)
+	if err := c.Upsert(pk, rec); err != nil {
+		t.Fatal(err)
+	}
+
+	base := "http://" + srv.HTTPAddr().String()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload server.StatsPayload
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Engine.Ingested != 1 {
+		t.Fatalf("/stats engine ingested = %d, want 1", payload.Engine.Ingested)
+	}
+	if payload.Server.Requests == 0 || payload.Server.Connections == 0 {
+		t.Fatalf("/stats server counters empty: %+v", payload.Server)
+	}
+}
+
+func TestClosedStoreSurfacesTypedError(t *testing.T) {
+	srv, db := startServer(t, storeOptions(), nil)
+	c := dial(t, srv, 1)
+	pk, rec := tweet(1)
+	if err := c.Upsert(pk, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Upsert(pk, rec); !errors.Is(err, lsmstore.ErrClosed) {
+		t.Fatalf("write on closed store: err = %v, want ErrClosed", err)
+	}
+	if _, _, err := c.Get(pk); !errors.Is(err, lsmstore.ErrClosed) {
+		t.Fatalf("read on closed store: err = %v, want ErrClosed", err)
+	}
+	// The server itself must survive: ping has no DB dependency.
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGracefulShutdownUnderLoad drains the server while writers hammer it:
+// every write must either succeed or fail with a connection/shutdown
+// error, and every acknowledged write must be in the store afterwards.
+func TestGracefulShutdownUnderLoad(t *testing.T) {
+	db, err := lsmstore.Open(storeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv, err := server.New(server.Config{DB: db, Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := lsmclient.DialOptions(lsmclient.Options{
+		Addr: srv.Addr().String(), Conns: 4, RequestTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const workers = 8
+	var (
+		wg    sync.WaitGroup
+		ackMu sync.Mutex
+		acked []uint64
+		stop  atomic.Bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				id := uint64(w)<<32 | uint64(i)
+				pk, rec := tweet(id)
+				if err := c.Upsert(pk, rec); err != nil {
+					return // the drain cut us off; acknowledged writes stand
+				}
+				ackMu.Lock()
+				acked = append(acked, id)
+				ackMu.Unlock()
+			}
+		}(w)
+	}
+	time.Sleep(100 * time.Millisecond) // let load build
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if len(acked) == 0 {
+		t.Fatal("no writes were acknowledged before the drain")
+	}
+	for _, id := range acked {
+		pk, rec := tweet(id)
+		got, found, err := db.Get(pk)
+		if err != nil || !found || string(got) != string(rec) {
+			t.Fatalf("acknowledged write %d lost (found=%v err=%v)", id, found, err)
+		}
+	}
+	// Shutdown is idempotent and Kill after Shutdown is a no-op.
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	srv.Kill()
+}
+
+// TestServerKillAndReopen is the end-to-end acceptance test: a server on
+// the file backend, four pipelined client connections driving upserts,
+// secondary queries and filter scans; the server is killed mid-load; the
+// directory is reopened (via a crash-image snapshot, since the abandoned
+// store still holds the flock) and every acknowledged write must be
+// served.
+func TestServerKillAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	opts := storeOptions()
+	opts.Backend = lsmstore.FileBackend
+	opts.Dir = dir
+	db, err := lsmstore.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never Close: the kill must leave a crash image. The flock dies with
+	// the test process.
+	srv, err := server.New(server.Config{DB: db, Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	const conns = 4
+	clients := make([]*lsmclient.Client, conns)
+	for i := range clients {
+		cl, err := lsmclient.DialOptions(lsmclient.Options{
+			Addr: srv.Addr().String(), Conns: 1, RequestTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		clients[i] = cl
+	}
+
+	var (
+		wg    sync.WaitGroup
+		ackMu sync.Mutex
+		acked []uint64
+		stop  atomic.Bool
+	)
+	// Two pipelined workers per connection: writers mixing single upserts
+	// and batches with periodic secondary queries and filter scans.
+	for ci, cl := range clients {
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(ci, g int, cl *lsmclient.Client) {
+				defer wg.Done()
+				worker := ci*2 + g
+				for i := 0; !stop.Load(); i++ {
+					id := uint64(worker)<<32 | uint64(i)
+					pk, rec := tweet(id)
+					if i%20 == 19 { // a batch write
+						b := cl.NewBatch()
+						b.Upsert(pk, rec)
+						pk2, rec2 := tweet(id | 1<<31)
+						b.Upsert(pk2, rec2)
+						if _, err := b.Apply(); err != nil {
+							return
+						}
+						ackMu.Lock()
+						acked = append(acked, id, id|1<<31)
+						ackMu.Unlock()
+					} else {
+						if err := cl.Upsert(pk, rec); err != nil {
+							return
+						}
+						ackMu.Lock()
+						acked = append(acked, id)
+						ackMu.Unlock()
+					}
+					if i%25 == 7 {
+						if _, err := cl.SecondaryQuery("user", workload.UserKey(0), workload.UserKey(31),
+							lsmstore.QueryOptions{Validation: lsmstore.TimestampValidation, Limit: 20}); err != nil {
+							return
+						}
+					}
+					if i%25 == 13 {
+						if _, err := cl.FilterScan(0, 1<<40, 20); err != nil {
+							return
+						}
+					}
+				}
+			}(ci, g, cl)
+		}
+	}
+
+	// Let the load run until real work has been acknowledged, then kill.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ackMu.Lock()
+		n := len(acked)
+		ackMu.Unlock()
+		if n >= 500 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	srv.Kill()
+	stop.Store(true)
+	wg.Wait()
+	ackMu.Lock()
+	ackedFinal := append([]uint64(nil), acked...)
+	ackMu.Unlock()
+	if len(ackedFinal) == 0 {
+		t.Fatal("no writes acknowledged before the kill")
+	}
+
+	// The abandoned DB still holds the directory flock; reopen a crash
+	// image, exactly like a restarted machine would see the disk.
+	snap := t.TempDir()
+	if err := snapshotStoreDir(dir, snap); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := lsmstore.Open(func() lsmstore.Options {
+		o := storeOptions()
+		o.Backend = lsmstore.FileBackend
+		o.Dir = snap
+		return o
+	}())
+	if err != nil {
+		t.Fatalf("reopen after kill: %v", err)
+	}
+	defer reopened.Close()
+
+	users := map[uint32][]uint64{}
+	for _, id := range ackedFinal {
+		pk, rec := tweet(id)
+		got, found, err := reopened.Get(pk)
+		if err != nil || !found || string(got) != string(rec) {
+			t.Fatalf("acknowledged write %d lost after kill+reopen (found=%v err=%v)", id, found, err)
+		}
+		users[uint32(id%32)] = append(users[uint32(id%32)], id)
+	}
+	// The secondary index must serve the recovered writes too.
+	res, err := reopened.SecondaryQuery("user", workload.UserKey(0), workload.UserKey(31),
+		lsmstore.QueryOptions{Validation: lsmstore.TimestampValidation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for _, r := range res.Records {
+		seen[binary.BigEndian.Uint64(r.PK)] = true
+	}
+	for _, id := range ackedFinal {
+		if !seen[id] {
+			t.Fatalf("acknowledged write %d missing from the secondary index after reopen", id)
+		}
+	}
+}
+
+// snapshotStoreDir copies a store directory as a crash would freeze it:
+// per shard, manifest and WAL first, then the immutable component files
+// (the same order lsmstore's own durability battery uses).
+func snapshotStoreDir(src, dst string) error {
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		sp, dp := filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())
+		if !e.IsDir() {
+			if err := copyFile(sp, dp); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := os.MkdirAll(dp, 0o755); err != nil {
+			return err
+		}
+		shardFiles, err := os.ReadDir(sp)
+		if err != nil {
+			return err
+		}
+		for _, name := range []string{"MANIFEST", "wal.log"} {
+			if err := copyFile(filepath.Join(sp, name), filepath.Join(dp, name)); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+		for _, f := range shardFiles {
+			if f.IsDir() || f.Name() == "MANIFEST" || f.Name() == "wal.log" {
+				continue
+			}
+			if err := copyFile(filepath.Join(sp, f.Name()), filepath.Join(dp, f.Name())); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+func TestServerRejectsBadConfig(t *testing.T) {
+	if _, err := server.New(server.Config{Addr: "x"}); err == nil {
+		t.Fatal("nil DB accepted")
+	}
+	db, err := lsmstore.Open(storeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := server.New(server.Config{DB: db}); err == nil {
+		t.Fatal("empty addr accepted")
+	}
+}

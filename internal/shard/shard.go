@@ -114,10 +114,28 @@ type Mutation struct {
 // error in a shard stops that shard's remaining mutations; all shard
 // errors are joined.
 func (r *Router) ApplyBatch(muts []Mutation) error {
+	_, err := r.applyBatch(muts, nil)
+	return err
+}
+
+// ApplyBatchResults is ApplyBatch plus a per-mutation report: applied[i]
+// tells whether mutation i took effect (upserts always do; duplicate
+// inserts and deletes of missing keys report false, matching the ignored
+// counting of Insert and Delete). Entries past a shard's first error are
+// left false.
+func (r *Router) ApplyBatchResults(muts []Mutation) ([]bool, error) {
+	return r.applyBatch(muts, make([]bool, len(muts)))
+}
+
+func (r *Router) applyBatch(muts []Mutation, applied []bool) ([]bool, error) {
 	if len(muts) == 0 {
-		return nil
+		return applied, nil
 	}
 	groups := make([][]Mutation, len(r.parts))
+	var indexes [][]int // original positions per shard, for result scatter
+	if applied != nil {
+		indexes = make([][]int, len(r.parts))
+	}
 	if len(r.parts) == 1 {
 		groups[0] = muts
 	} else {
@@ -133,35 +151,69 @@ func (r *Router) ApplyBatch(muts []Mutation) error {
 		for s, n := range counts {
 			if n > 0 {
 				groups[s] = make([]Mutation, 0, n)
+				if applied != nil {
+					indexes[s] = make([]int, 0, n)
+				}
 			}
 		}
 		for i := range muts {
 			groups[owners[i]] = append(groups[owners[i]], muts[i])
+			if applied != nil {
+				indexes[owners[i]] = append(indexes[owners[i]], i)
+			}
 		}
 	}
-	return r.fanOut(func(s int, p *Partition) error {
-		return ApplyMutations(p.DS, groups[s])
+	err := r.fanOut(func(s int, p *Partition) error {
+		if applied == nil {
+			return ApplyMutationsResults(p.DS, groups[s], nil)
+		}
+		if len(r.parts) == 1 {
+			return ApplyMutationsResults(p.DS, groups[s], applied)
+		}
+		got := make([]bool, len(groups[s]))
+		err := ApplyMutationsResults(p.DS, groups[s], got)
+		// Shards write disjoint index sets, so the scatter is race-free.
+		for j, ok := range got {
+			applied[indexes[s][j]] = ok
+		}
+		return err
 	})
+	return applied, err
 }
 
 // ApplyMutations applies the mutations to one dataset sequentially, in
 // order, stopping at the first error. It is the per-shard (and unsharded)
 // half of ApplyBatch.
 func ApplyMutations(ds *core.Dataset, muts []Mutation) error {
-	for _, m := range muts {
-		var err error
+	return ApplyMutationsResults(ds, muts, nil)
+}
+
+// ApplyMutationsResults applies the mutations sequentially and, when
+// applied is non-nil (it must then be at least len(muts) long), records
+// whether each mutation took effect: upserts always do, duplicate inserts
+// and deletes of missing keys do not. It stops at the first error, leaving
+// later entries false.
+func ApplyMutationsResults(ds *core.Dataset, muts []Mutation, applied []bool) error {
+	for i, m := range muts {
+		var (
+			ok  = true
+			err error
+		)
 		switch m.Op {
 		case OpUpsert:
 			err = ds.Upsert(m.PK, m.Record)
 		case OpInsert:
-			_, err = ds.Insert(m.PK, m.Record)
+			ok, err = ds.Insert(m.PK, m.Record)
 		case OpDelete:
-			_, err = ds.Delete(m.PK)
+			ok, err = ds.Delete(m.PK)
 		default:
 			err = fmt.Errorf("shard: unknown mutation op %d", m.Op)
 		}
 		if err != nil {
 			return err
+		}
+		if applied != nil {
+			applied[i] = ok
 		}
 	}
 	return nil

@@ -1,0 +1,33 @@
+// Package wire defines the binary protocol between lsmserver and its
+// clients: length-prefixed frames carrying request/response messages with
+// explicit request IDs, so a single TCP connection can pipeline many
+// requests and receive their responses out of order.
+//
+// # Framing
+//
+// Every message travels in a frame: a 4-byte big-endian payload length
+// followed by the payload. WriteFrame and ReadFrame implement the frame
+// layer; ReadFrame caps the accepted payload (MaxFrame by default) so a
+// corrupt or hostile peer cannot force an unbounded allocation.
+//
+// # Messages
+//
+// A Request is an operation (Op) plus its arguments; a Response is a
+// result shape (Kind) plus its payload. Both carry the request ID that
+// correlates them. Field values use uvarint/varint integers and
+// uvarint-length-prefixed byte strings; every field is encoded
+// unconditionally, so any message round-trips bit-exactly regardless of
+// which union fields its op actually reads.
+//
+// Failures are typed: a KindError response carries an ErrCode (unknown
+// index, store closed, shutting down, bad request, internal) and a
+// message, letting clients map server-side failures back onto the
+// lsmstore sentinel errors.
+//
+// # Robustness
+//
+// DecodeRequest and DecodeResponse never panic on corrupt input. Every
+// decoding failure — truncation, bad varint, out-of-range enum, trailing
+// garbage, list counts exceeding the frame — wraps ErrCorruptFrame, which
+// the fuzzers in this package enforce.
+package wire

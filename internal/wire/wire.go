@@ -1,0 +1,600 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame is the default cap on a frame payload, shared by server and
+// client. It bounds the allocation a single peer message can force.
+const MaxFrame = 64 << 20
+
+// frameHeaderLen is the byte length of the frame length prefix.
+const frameHeaderLen = 4
+
+// ErrCorruptFrame reports a frame payload that does not decode as a valid
+// message. Every decoding error wraps it, so transports can distinguish a
+// broken peer from an I/O failure.
+var ErrCorruptFrame = errors.New("wire: corrupt frame")
+
+// ErrFrameTooLarge reports a frame whose declared length exceeds the
+// reader's cap. It wraps ErrCorruptFrame: an oversized declaration is
+// indistinguishable from garbage in the length prefix.
+var ErrFrameTooLarge = fmt.Errorf("%w: frame too large", ErrCorruptFrame)
+
+// Op identifies a request operation.
+type Op uint8
+
+// Request operations.
+const (
+	OpPing Op = 1 + iota
+	OpGet
+	OpUpsert
+	OpInsert
+	OpDelete
+	OpApplyBatch
+	OpSecondaryQuery
+	OpFilterScan
+	OpStats
+	OpFlush
+	opMax // sentinel: first invalid op
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpGet:
+		return "get"
+	case OpUpsert:
+		return "upsert"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpApplyBatch:
+		return "apply-batch"
+	case OpSecondaryQuery:
+		return "secondary-query"
+	case OpFilterScan:
+		return "filter-scan"
+	case OpStats:
+		return "stats"
+	case OpFlush:
+		return "flush"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Kind identifies a response shape.
+type Kind uint8
+
+// Response kinds.
+const (
+	// KindOK acknowledges an operation with no payload (ping, upsert,
+	// flush).
+	KindOK Kind = 1 + iota
+	// KindValue answers a Get: Found and, when found, Value.
+	KindValue
+	// KindApplied answers an Insert or Delete: Applied tells whether the
+	// mutation took effect.
+	KindApplied
+	// KindBatch answers an ApplyBatch: AppliedBatch holds one flag per
+	// mutation, in request order.
+	KindBatch
+	// KindQuery answers a SecondaryQuery: Records, or Keys when the
+	// request was index-only.
+	KindQuery
+	// KindScan answers a FilterScan: Records in primary-key order.
+	KindScan
+	// KindStats answers a Stats request: Stats holds the JSON-encoded
+	// lsmstore.Stats snapshot.
+	KindStats
+	// KindError reports a typed failure: Code and Msg.
+	KindError
+	kindMax // sentinel: first invalid kind
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindOK:
+		return "ok"
+	case KindValue:
+		return "value"
+	case KindApplied:
+		return "applied"
+	case KindBatch:
+		return "batch"
+	case KindQuery:
+		return "query"
+	case KindScan:
+		return "scan"
+	case KindStats:
+		return "stats"
+	case KindError:
+		return "error"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ErrCode classifies a KindError response.
+type ErrCode uint16
+
+// Error codes.
+const (
+	// CodeInternal is an unclassified server-side failure.
+	CodeInternal ErrCode = iota
+	// CodeBadRequest reports a request the server refused to execute
+	// (unknown op, out-of-range validation method).
+	CodeBadRequest
+	// CodeUnknownIndex reports a query against an undeclared secondary
+	// index.
+	CodeUnknownIndex
+	// CodeClosed reports an operation on a store that has been closed.
+	CodeClosed
+	// CodeShuttingDown reports a request received while the server drains.
+	CodeShuttingDown
+)
+
+// String implements fmt.Stringer.
+func (c ErrCode) String() string {
+	switch c {
+	case CodeInternal:
+		return "internal"
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeUnknownIndex:
+		return "unknown-index"
+	case CodeClosed:
+		return "closed"
+	case CodeShuttingDown:
+		return "shutting-down"
+	}
+	return fmt.Sprintf("code(%d)", uint16(c))
+}
+
+// MutOp is a batched mutation's operation, mirroring the engine's batch
+// ops (shard.OpUpsert and friends) without importing them.
+type MutOp uint8
+
+// Batched operations.
+const (
+	MutUpsert MutOp = iota
+	MutInsert
+	MutDelete
+	mutMax // sentinel: first invalid mutation op
+)
+
+// Mutation is one write inside an ApplyBatch request.
+type Mutation struct {
+	Op     MutOp
+	PK     []byte
+	Record []byte // unused by MutDelete
+}
+
+// Record is one (primary key, record) pair in a query or scan response.
+type Record struct {
+	PK    []byte
+	Value []byte
+}
+
+// Request is one client request. ID correlates the response on a
+// pipelined connection: responses may return in any order. The value
+// fields form a union — each op reads only its own — but every field is
+// encoded unconditionally so any Request round-trips bit-exactly.
+type Request struct {
+	ID uint64
+	Op Op
+
+	Key   []byte // Get, Upsert, Insert, Delete: the primary key
+	Value []byte // Upsert, Insert: the record
+
+	Index  string // SecondaryQuery: index name
+	Lo, Hi []byte // SecondaryQuery: inclusive secondary-key bounds
+
+	FilterLo, FilterHi int64 // FilterScan: inclusive filter-key bounds
+
+	Validation uint8 // SecondaryQuery: lsmstore validation method ordinal
+	IndexOnly  bool  // SecondaryQuery: keys only, no record fetch
+	Limit      int64 // SecondaryQuery, FilterScan: result cap (0 = all)
+
+	Muts []Mutation // ApplyBatch
+}
+
+// Response is one server response. Like Request, the payload fields are a
+// union keyed by Kind but all encode unconditionally.
+type Response struct {
+	ID   uint64
+	Kind Kind
+
+	Found   bool   // KindValue
+	Value   []byte // KindValue
+	Applied bool   // KindApplied
+
+	Records      []Record // KindQuery, KindScan
+	Keys         [][]byte // KindQuery (index-only)
+	AppliedBatch []bool   // KindBatch
+
+	Stats []byte // KindStats: JSON-encoded lsmstore.Stats
+
+	Code ErrCode // KindError
+	Msg  string  // KindError
+}
+
+// ErrorResponse builds a KindError response for a request ID.
+func ErrorResponse(id uint64, code ErrCode, msg string) Response {
+	return Response{ID: id, Kind: KindError, Code: code, Msg: msg}
+}
+
+// Err converts a KindError response into an error (nil for other kinds).
+func (r *Response) Err() error {
+	if r.Kind != KindError {
+		return nil
+	}
+	return fmt.Errorf("wire: server error %s: %s", r.Code, r.Msg)
+}
+
+// WriteFrame writes one frame: a 4-byte big-endian payload length followed
+// by the payload. It refuses payloads beyond MaxFrame so a server bug
+// cannot emit a frame no client will accept.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame payload, reusing buf when it is large enough.
+// max caps the accepted payload length (<= 0 means MaxFrame). A clean EOF
+// on the length prefix returns io.EOF; EOF mid-frame returns
+// io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, buf []byte, max int) ([]byte, error) {
+	if max <= 0 {
+		max = MaxFrame
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > max {
+		return nil, ErrFrameTooLarge
+	}
+	if n > cap(buf) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// --- field encoding primitives -----------------------------------------
+//
+// Fields use uvarint/varint integers and uvarint-length-prefixed byte
+// strings. Zero-length byte fields decode as nil (the same normalization
+// as the WAL encoding), so encode(decode(x)) is byte-stable.
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+func appendVarint(b []byte, v int64) []byte   { return binary.AppendVarint(b, v) }
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendBytes(b, v []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(v)))
+	return append(b, v...)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func takeUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad uvarint", ErrCorruptFrame)
+	}
+	return v, b[n:], nil
+}
+
+func takeVarint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad varint", ErrCorruptFrame)
+	}
+	return v, b[n:], nil
+}
+
+func takeBool(b []byte) (bool, []byte, error) {
+	if len(b) < 1 {
+		return false, nil, fmt.Errorf("%w: missing bool", ErrCorruptFrame)
+	}
+	switch b[0] {
+	case 0:
+		return false, b[1:], nil
+	case 1:
+		return true, b[1:], nil
+	}
+	return false, nil, fmt.Errorf("%w: bool byte %d", ErrCorruptFrame, b[0])
+}
+
+func takeByte(b []byte) (byte, []byte, error) {
+	if len(b) < 1 {
+		return 0, nil, fmt.Errorf("%w: missing byte", ErrCorruptFrame)
+	}
+	return b[0], b[1:], nil
+}
+
+func takeBytes(b []byte) ([]byte, []byte, error) {
+	n, rest, err := takeUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("%w: byte string of %d bytes with %d remaining", ErrCorruptFrame, n, len(rest))
+	}
+	if n == 0 {
+		return nil, rest, nil
+	}
+	out := make([]byte, n)
+	copy(out, rest[:n])
+	return out, rest[n:], nil
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	v, rest, err := takeBytes(b)
+	return string(v), rest, err
+}
+
+// takeCount reads a list length and sanity-checks it against the bytes
+// remaining: every element of any list costs at least one byte, so a count
+// above the remainder is corruption, not a huge allocation.
+func takeCount(b []byte) (int, []byte, error) {
+	n, rest, err := takeUvarint(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return 0, nil, fmt.Errorf("%w: list of %d elements with %d bytes remaining", ErrCorruptFrame, n, len(rest))
+	}
+	return int(n), rest, nil
+}
+
+// --- request encoding ---------------------------------------------------
+
+// AppendRequest appends the encoding of r to buf and returns the result.
+// The encoding is a frame payload: pair it with WriteFrame.
+func AppendRequest(buf []byte, r Request) []byte {
+	buf = appendUvarint(buf, r.ID)
+	buf = append(buf, byte(r.Op))
+	buf = appendBytes(buf, r.Key)
+	buf = appendBytes(buf, r.Value)
+	buf = appendString(buf, r.Index)
+	buf = appendBytes(buf, r.Lo)
+	buf = appendBytes(buf, r.Hi)
+	buf = appendVarint(buf, r.FilterLo)
+	buf = appendVarint(buf, r.FilterHi)
+	buf = append(buf, r.Validation)
+	buf = appendBool(buf, r.IndexOnly)
+	buf = appendVarint(buf, r.Limit)
+	buf = appendUvarint(buf, uint64(len(r.Muts)))
+	for _, m := range r.Muts {
+		buf = append(buf, byte(m.Op))
+		buf = appendBytes(buf, m.PK)
+		buf = appendBytes(buf, m.Record)
+	}
+	return buf
+}
+
+// DecodeRequest decodes a frame payload produced by AppendRequest. It
+// never panics on corrupt input: every failure wraps ErrCorruptFrame,
+// including trailing garbage after a well-formed request.
+func DecodeRequest(frame []byte) (Request, error) {
+	var (
+		r   Request
+		err error
+		b   = frame
+		op  byte
+	)
+	if r.ID, b, err = takeUvarint(b); err != nil {
+		return Request{}, err
+	}
+	if op, b, err = takeByte(b); err != nil {
+		return Request{}, err
+	}
+	r.Op = Op(op)
+	if r.Op == 0 || r.Op >= opMax {
+		return Request{}, fmt.Errorf("%w: unknown op %d", ErrCorruptFrame, op)
+	}
+	if r.Key, b, err = takeBytes(b); err != nil {
+		return Request{}, err
+	}
+	if r.Value, b, err = takeBytes(b); err != nil {
+		return Request{}, err
+	}
+	if r.Index, b, err = takeString(b); err != nil {
+		return Request{}, err
+	}
+	if r.Lo, b, err = takeBytes(b); err != nil {
+		return Request{}, err
+	}
+	if r.Hi, b, err = takeBytes(b); err != nil {
+		return Request{}, err
+	}
+	if r.FilterLo, b, err = takeVarint(b); err != nil {
+		return Request{}, err
+	}
+	if r.FilterHi, b, err = takeVarint(b); err != nil {
+		return Request{}, err
+	}
+	if r.Validation, b, err = takeByte(b); err != nil {
+		return Request{}, err
+	}
+	if r.IndexOnly, b, err = takeBool(b); err != nil {
+		return Request{}, err
+	}
+	if r.Limit, b, err = takeVarint(b); err != nil {
+		return Request{}, err
+	}
+	var n int
+	if n, b, err = takeCount(b); err != nil {
+		return Request{}, err
+	}
+	if n > 0 {
+		r.Muts = make([]Mutation, n)
+		for i := range r.Muts {
+			var mo byte
+			if mo, b, err = takeByte(b); err != nil {
+				return Request{}, err
+			}
+			if MutOp(mo) >= mutMax {
+				return Request{}, fmt.Errorf("%w: unknown mutation op %d", ErrCorruptFrame, mo)
+			}
+			r.Muts[i].Op = MutOp(mo)
+			if r.Muts[i].PK, b, err = takeBytes(b); err != nil {
+				return Request{}, err
+			}
+			if r.Muts[i].Record, b, err = takeBytes(b); err != nil {
+				return Request{}, err
+			}
+		}
+	}
+	if len(b) != 0 {
+		return Request{}, fmt.Errorf("%w: %d trailing bytes", ErrCorruptFrame, len(b))
+	}
+	return r, nil
+}
+
+// --- response encoding --------------------------------------------------
+
+// AppendResponse appends the encoding of r to buf and returns the result.
+func AppendResponse(buf []byte, r Response) []byte {
+	buf = appendUvarint(buf, r.ID)
+	buf = append(buf, byte(r.Kind))
+	buf = appendBool(buf, r.Found)
+	buf = appendBytes(buf, r.Value)
+	buf = appendBool(buf, r.Applied)
+	buf = appendUvarint(buf, uint64(len(r.Records)))
+	for _, rec := range r.Records {
+		buf = appendBytes(buf, rec.PK)
+		buf = appendBytes(buf, rec.Value)
+	}
+	buf = appendUvarint(buf, uint64(len(r.Keys)))
+	for _, k := range r.Keys {
+		buf = appendBytes(buf, k)
+	}
+	buf = appendUvarint(buf, uint64(len(r.AppliedBatch)))
+	for _, ok := range r.AppliedBatch {
+		buf = appendBool(buf, ok)
+	}
+	buf = appendBytes(buf, r.Stats)
+	buf = appendUvarint(buf, uint64(r.Code))
+	buf = appendString(buf, r.Msg)
+	return buf
+}
+
+// DecodeResponse decodes a frame payload produced by AppendResponse. Like
+// DecodeRequest it never panics and wraps every failure in
+// ErrCorruptFrame.
+func DecodeResponse(frame []byte) (Response, error) {
+	var (
+		r    Response
+		err  error
+		b    = frame
+		kind byte
+	)
+	if r.ID, b, err = takeUvarint(b); err != nil {
+		return Response{}, err
+	}
+	if kind, b, err = takeByte(b); err != nil {
+		return Response{}, err
+	}
+	r.Kind = Kind(kind)
+	if r.Kind == 0 || r.Kind >= kindMax {
+		return Response{}, fmt.Errorf("%w: unknown kind %d", ErrCorruptFrame, kind)
+	}
+	if r.Found, b, err = takeBool(b); err != nil {
+		return Response{}, err
+	}
+	if r.Value, b, err = takeBytes(b); err != nil {
+		return Response{}, err
+	}
+	if r.Applied, b, err = takeBool(b); err != nil {
+		return Response{}, err
+	}
+	var n int
+	if n, b, err = takeCount(b); err != nil {
+		return Response{}, err
+	}
+	if n > 0 {
+		r.Records = make([]Record, n)
+		for i := range r.Records {
+			if r.Records[i].PK, b, err = takeBytes(b); err != nil {
+				return Response{}, err
+			}
+			if r.Records[i].Value, b, err = takeBytes(b); err != nil {
+				return Response{}, err
+			}
+		}
+	}
+	if n, b, err = takeCount(b); err != nil {
+		return Response{}, err
+	}
+	if n > 0 {
+		r.Keys = make([][]byte, n)
+		for i := range r.Keys {
+			if r.Keys[i], b, err = takeBytes(b); err != nil {
+				return Response{}, err
+			}
+		}
+	}
+	if n, b, err = takeCount(b); err != nil {
+		return Response{}, err
+	}
+	if n > 0 {
+		r.AppliedBatch = make([]bool, n)
+		for i := range r.AppliedBatch {
+			if r.AppliedBatch[i], b, err = takeBool(b); err != nil {
+				return Response{}, err
+			}
+		}
+	}
+	if r.Stats, b, err = takeBytes(b); err != nil {
+		return Response{}, err
+	}
+	var code uint64
+	if code, b, err = takeUvarint(b); err != nil {
+		return Response{}, err
+	}
+	if code > 0xffff {
+		return Response{}, fmt.Errorf("%w: error code %d out of range", ErrCorruptFrame, code)
+	}
+	r.Code = ErrCode(code)
+	if r.Msg, b, err = takeString(b); err != nil {
+		return Response{}, err
+	}
+	if len(b) != 0 {
+		return Response{}, fmt.Errorf("%w: %d trailing bytes", ErrCorruptFrame, len(b))
+	}
+	return r, nil
+}

@@ -1,0 +1,132 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{ID: 1, Op: OpPing},
+		{ID: 2, Op: OpGet, Key: []byte("pk-7")},
+		{ID: 3, Op: OpUpsert, Key: []byte("pk"), Value: []byte("record")},
+		{ID: 4, Op: OpInsert, Key: []byte{0, 1, 2}, Value: []byte{0xff}},
+		{ID: 5, Op: OpDelete, Key: []byte("gone")},
+		{ID: 6, Op: OpApplyBatch, Muts: []Mutation{
+			{Op: MutUpsert, PK: []byte("a"), Record: []byte("ra")},
+			{Op: MutInsert, PK: []byte("b"), Record: []byte("rb")},
+			{Op: MutDelete, PK: []byte("c")},
+		}},
+		{ID: 7, Op: OpSecondaryQuery, Index: "user", Lo: []byte("l"), Hi: []byte("h"),
+			Validation: 2, IndexOnly: true, Limit: 100},
+		{ID: 8, Op: OpFilterScan, FilterLo: -5, FilterHi: 1 << 60, Limit: 7},
+		{ID: 9, Op: OpStats},
+		{ID: 10, Op: OpFlush},
+	}
+	for _, want := range reqs {
+		enc := AppendRequest(nil, want)
+		got, err := DecodeRequest(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", want.Op, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s round trip:\n got  %+v\n want %+v", want.Op, got, want)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []Response{
+		{ID: 1, Kind: KindOK},
+		{ID: 2, Kind: KindValue, Found: true, Value: []byte("rec")},
+		{ID: 3, Kind: KindValue, Found: false},
+		{ID: 4, Kind: KindApplied, Applied: true},
+		{ID: 5, Kind: KindBatch, AppliedBatch: []bool{true, false, true}},
+		{ID: 6, Kind: KindQuery, Records: []Record{{PK: []byte("p"), Value: []byte("v")}}},
+		{ID: 7, Kind: KindQuery, Keys: [][]byte{[]byte("k1"), []byte("k2")}},
+		{ID: 8, Kind: KindScan, Records: []Record{{PK: []byte("p")}}},
+		{ID: 9, Kind: KindStats, Stats: []byte(`{"Shards":1}`)},
+		ErrorResponse(10, CodeUnknownIndex, `unknown secondary index "nope"`),
+	}
+	for _, want := range resps {
+		enc := AppendResponse(nil, want)
+		got, err := DecodeResponse(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", want.Kind, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s round trip:\n got  %+v\n want %+v", want.Kind, got, want)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	enc := AppendRequest(nil, Request{ID: 1, Op: OpPing})
+	if _, err := DecodeRequest(append(enc, 0xAB)); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("trailing byte: err = %v, want ErrCorruptFrame", err)
+	}
+	encR := AppendResponse(nil, Response{ID: 1, Kind: KindOK})
+	if _, err := DecodeResponse(append(encR, 0)); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("trailing byte: err = %v, want ErrCorruptFrame", err)
+	}
+}
+
+func TestDecodeRejectsBadEnums(t *testing.T) {
+	enc := AppendRequest(nil, Request{ID: 1, Op: OpPing})
+	bad := append([]byte(nil), enc...)
+	bad[1] = byte(opMax) // the op byte follows the single-byte ID uvarint
+	if _, err := DecodeRequest(bad); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("bad op: err = %v, want ErrCorruptFrame", err)
+	}
+	if _, err := DecodeRequest(nil); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("empty payload: err = %v, want ErrCorruptFrame", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte{7}, 1000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf, scratch, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame = %q, want %q", got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf, nil, 0); err != io.EOF {
+		t.Fatalf("exhausted stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf, nil, 10); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: err = %v, want ErrFrameTooLarge", err)
+	}
+	if !errors.Is(ErrFrameTooLarge, ErrCorruptFrame) {
+		t.Fatal("ErrFrameTooLarge must wrap ErrCorruptFrame")
+	}
+	// A frame truncated mid-payload is an unexpected EOF, not a clean end.
+	buf.Reset()
+	if err := WriteFrame(&buf, []byte("full payload")); err != nil {
+		t.Fatal(err)
+	}
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()-3])
+	if _, err := ReadFrame(trunc, nil, 0); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated frame: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}

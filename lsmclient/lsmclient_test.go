@@ -1,0 +1,151 @@
+package lsmclient
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// silentServer accepts connections and reads frames but never responds —
+// the worst-behaved peer a client timeout must survive.
+type silentServer struct {
+	ln    net.Listener
+	wg    sync.WaitGroup
+	conns chan net.Conn
+}
+
+func newSilentServer(t *testing.T) *silentServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &silentServer{ln: ln, conns: make(chan net.Conn, 16)}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.conns <- nc
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				var buf []byte
+				for {
+					frame, err := wire.ReadFrame(nc, buf, 0)
+					if err != nil {
+						return
+					}
+					buf = frame[:cap(frame)]
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		close(s.conns)
+		for nc := range s.conns {
+			nc.Close()
+		}
+		s.wg.Wait()
+	})
+	return s
+}
+
+func TestRequestTimeout(t *testing.T) {
+	srv := newSilentServer(t)
+	c, err := DialOptions(Options{
+		Addr:           srv.ln.Addr().String(),
+		RequestTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if err := c.Ping(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("ping against a silent server: err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %s", elapsed)
+	}
+	// The connection is still usable for new requests (the stale response
+	// slot was abandoned); a second timed-out ping must not mis-deliver.
+	if err := c.Ping(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("second ping: err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := DialOptions(Options{Addr: "127.0.0.1:1", DialTimeout: 200 * time.Millisecond}); err == nil {
+		t.Fatal("dial of a dead port succeeded")
+	}
+	if _, err := DialOptions(Options{}); err == nil {
+		t.Fatal("empty addr accepted")
+	}
+}
+
+func TestBrokenConnectionFailsPendingAndRedials(t *testing.T) {
+	srv := newSilentServer(t)
+	c, err := DialOptions(Options{
+		Addr:           srv.ln.Addr().String(),
+		RequestTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	nc := <-srv.conns // the pool's one connection, server side
+
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Ping()
+	}()
+	time.Sleep(20 * time.Millisecond) // let the request get written
+	nc.Close()                        // server drops the connection
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("ping on a dropped connection succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending request not failed by the broken connection")
+	}
+
+	// The next use redials transparently (and then times out silently,
+	// proving it reached the fresh connection rather than the dead one).
+	redialed := make(chan error, 1)
+	go func() {
+		redialed <- c.Ping()
+	}()
+	select {
+	case <-srv.conns: // a fresh server-side connection appears
+	case <-time.After(5 * time.Second):
+		t.Fatal("client did not redial after the connection broke")
+	}
+	<-redialed // silent server: the ping times out eventually; don't leak it
+}
+
+func TestUseAfterClose(t *testing.T) {
+	srv := newSilentServer(t)
+	c, err := DialOptions(Options{Addr: srv.ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if err := c.Ping(); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("ping after Close: err = %v, want ErrClientClosed", err)
+	}
+}

@@ -1,0 +1,116 @@
+package lsmstore_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/lsmstore"
+)
+
+// The Close lifecycle contract: Close is idempotent under concurrency
+// (shutdown runs exactly once), and afterwards every public operation
+// fails with ErrClosed instead of touching a torn-down store. The network
+// server's shutdown path leans on exactly this.
+
+func TestCloseConcurrent(t *testing.T) {
+	opts := tinyOptions(lsmstore.Validation)
+	opts.Shards = 2
+	opts.MaintenanceWorkers = 2
+	db, err := lsmstore.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := mixedWorkload(t, db, 300, 11)
+
+	const closers, writers = 4, 4
+	var wg sync.WaitGroup
+	for i := 0; i < closers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := db.Close(); err != nil {
+				t.Errorf("concurrent Close: %v", err)
+			}
+		}()
+	}
+	// Operations racing the close must either succeed (they beat it) or
+	// fail with ErrClosed — never panic, double-shutdown, or hit a closed
+	// device.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				pk := tweetPK(uint64(1_000_000 + w*100 + i))
+				err := db.Upsert(pk, make([]byte, 20))
+				if err != nil && !errors.Is(err, lsmstore.ErrClosed) {
+					t.Errorf("racing upsert: %v", err)
+					return
+				}
+				if _, _, err := db.Get(tweetPK(ids[i%len(ids)])); err != nil && !errors.Is(err, lsmstore.ErrClosed) {
+					t.Errorf("racing get: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := db.Close(); err != nil {
+		t.Fatalf("repeat Close: %v", err)
+	}
+}
+
+func TestOperationsAfterCloseReturnErrClosed(t *testing.T) {
+	db, err := lsmstore.Open(tinyOptions(lsmstore.Validation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixedWorkload(t, db, 100, 7)
+	wantStats := db.Stats()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pk := tweetPK(1)
+	if err := db.Upsert(pk, []byte("x")); !errors.Is(err, lsmstore.ErrClosed) {
+		t.Fatalf("Upsert after Close: %v", err)
+	}
+	if _, err := db.Insert(pk, []byte("x")); !errors.Is(err, lsmstore.ErrClosed) {
+		t.Fatalf("Insert after Close: %v", err)
+	}
+	if _, err := db.Delete(pk); !errors.Is(err, lsmstore.ErrClosed) {
+		t.Fatalf("Delete after Close: %v", err)
+	}
+	if _, _, err := db.Get(pk); !errors.Is(err, lsmstore.ErrClosed) {
+		t.Fatalf("Get after Close: %v", err)
+	}
+	if err := db.ApplyBatch([]lsmstore.Mutation{{Op: lsmstore.OpUpsert, PK: pk, Record: []byte("x")}}); !errors.Is(err, lsmstore.ErrClosed) {
+		t.Fatalf("ApplyBatch after Close: %v", err)
+	}
+	if _, err := db.ApplyBatchResults([]lsmstore.Mutation{{Op: lsmstore.OpUpsert, PK: pk, Record: []byte("x")}}); !errors.Is(err, lsmstore.ErrClosed) {
+		t.Fatalf("ApplyBatchResults after Close: %v", err)
+	}
+	if _, err := db.SecondaryQuery("user", nil, nil, lsmstore.QueryOptions{}); !errors.Is(err, lsmstore.ErrClosed) {
+		t.Fatalf("SecondaryQuery after Close: %v", err)
+	}
+	if err := db.FilterScan(0, 1, func(pk, rec []byte) {}); !errors.Is(err, lsmstore.ErrClosed) {
+		t.Fatalf("FilterScan after Close: %v", err)
+	}
+	if err := db.Flush(); !errors.Is(err, lsmstore.ErrClosed) {
+		t.Fatalf("Flush after Close: %v", err)
+	}
+	if err := db.Recover(); !errors.Is(err, lsmstore.ErrClosed) {
+		t.Fatalf("Recover after Close: %v", err)
+	}
+	if err := db.RepairSecondaryIndexes(); !errors.Is(err, lsmstore.ErrClosed) {
+		t.Fatalf("RepairSecondaryIndexes after Close: %v", err)
+	}
+	db.Crash() // must be a no-op, not a panic
+
+	// Stats still answers, serving the final pre-Close snapshot.
+	got := db.Stats()
+	if got.Ingested != wantStats.Ingested || got.Shards != wantStats.Shards {
+		t.Fatalf("Stats after Close = %+v, want the final snapshot %+v", got, wantStats)
+	}
+}

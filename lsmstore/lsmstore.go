@@ -43,6 +43,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/advisor"
@@ -216,6 +217,9 @@ type Options struct {
 	MaxUnmergedComponents int
 }
 
+// ErrClosed reports an operation on a DB after Close.
+var ErrClosed = errors.New("lsmstore: store is closed")
+
 // DB is one dataset partition or, with Options.Shards > 1, a hash-
 // partitioned group of them behind a router.
 type DB struct {
@@ -224,8 +228,27 @@ type DB struct {
 	env    *metrics.Env
 	shards *shard.Router // non-nil only when Options.Shards > 1
 	pool   *maint.Pool   // non-nil only when Options.MaintenanceWorkers > 0
-	closed bool
+
+	// mu guards the lifecycle: public operations hold it shared, Close
+	// holds it exclusively, so Close waits for in-flight operations to
+	// drain and later operations observe closed and fail with ErrClosed.
+	mu         sync.RWMutex
+	closed     bool
+	finalStats Stats // snapshot taken by Close, served by Stats afterwards
 }
+
+// acquire takes the shared lifecycle lock, failing after Close. Every
+// public operation pairs it with release.
+func (db *DB) acquire() error {
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		return ErrClosed
+	}
+	return nil
+}
+
+func (db *DB) release() { db.mu.RUnlock() }
 
 // Open creates an empty DB or, with Options.Backend = FileBackend and an
 // existing Options.Dir, reopens a previously written store: component
@@ -395,16 +418,38 @@ func (db *DB) dsFor(pk []byte) *core.Dataset {
 }
 
 // Insert adds a record; it reports false when the key already exists.
-func (db *DB) Insert(pk, record []byte) (bool, error) { return db.dsFor(pk).Insert(pk, record) }
+func (db *DB) Insert(pk, record []byte) (bool, error) {
+	if err := db.acquire(); err != nil {
+		return false, err
+	}
+	defer db.release()
+	return db.dsFor(pk).Insert(pk, record)
+}
 
 // Upsert inserts or replaces the record under pk.
-func (db *DB) Upsert(pk, record []byte) error { return db.dsFor(pk).Upsert(pk, record) }
+func (db *DB) Upsert(pk, record []byte) error {
+	if err := db.acquire(); err != nil {
+		return err
+	}
+	defer db.release()
+	return db.dsFor(pk).Upsert(pk, record)
+}
 
 // Delete removes the record under pk; it reports false when absent.
-func (db *DB) Delete(pk []byte) (bool, error) { return db.dsFor(pk).Delete(pk) }
+func (db *DB) Delete(pk []byte) (bool, error) {
+	if err := db.acquire(); err != nil {
+		return false, err
+	}
+	defer db.release()
+	return db.dsFor(pk).Delete(pk)
+}
 
 // Get returns the current record under pk.
 func (db *DB) Get(pk []byte) ([]byte, bool, error) {
+	if err := db.acquire(); err != nil {
+		return nil, false, err
+	}
+	defer db.release()
 	e, found, err := db.dsFor(pk).Primary().Get(pk)
 	if err != nil || !found {
 		return nil, false, err
@@ -432,10 +477,33 @@ const (
 // store the batch applies sequentially in order. Duplicate inserts and
 // deletes of missing keys are counted as ignored, as in Insert and Delete.
 func (db *DB) ApplyBatch(muts []Mutation) error {
+	if err := db.acquire(); err != nil {
+		return err
+	}
+	defer db.release()
 	if db.shards != nil {
 		return db.shards.ApplyBatch(muts)
 	}
 	return shard.ApplyMutations(db.ds, muts)
+}
+
+// ApplyBatchResults is ApplyBatch plus a per-mutation report: applied[i]
+// tells whether mutation i took effect — upserts always do, duplicate
+// inserts and deletes of missing keys do not (they are the batch's ignored
+// writes). Entries after a shard's first error are left false. The network
+// server's write coalescer uses this to answer each coalesced Insert and
+// Delete individually.
+func (db *DB) ApplyBatchResults(muts []Mutation) ([]bool, error) {
+	if err := db.acquire(); err != nil {
+		return nil, err
+	}
+	defer db.release()
+	if db.shards != nil {
+		return db.shards.ApplyBatchResults(muts)
+	}
+	applied := make([]bool, len(muts))
+	err := shard.ApplyMutationsResults(db.ds, muts, applied)
+	return applied, err
 }
 
 // NumShards returns the number of hash partitions (1 when unsharded).
@@ -489,6 +557,10 @@ var ErrUnknownIndex = errors.New("lsmstore: unknown secondary index")
 // SecondaryQuery runs a range query lo <= secondary key <= hi on the named
 // index.
 func (db *DB) SecondaryQuery(index string, lo, hi []byte, opts QueryOptions) (*QueryResult, error) {
+	if err := db.acquire(); err != nil {
+		return nil, err
+	}
+	defer db.release()
 	lookup := query.DefaultLookupConfig()
 	if opts.Lookup != nil {
 		lookup = *opts.Lookup
@@ -549,6 +621,10 @@ func (db *DB) SecondaryQuery(index string, lo, hi []byte, opts QueryOptions) (*Q
 // every shard scans concurrently and the union is emitted in primary-key
 // order from the caller's goroutine.
 func (db *DB) FilterScan(lo, hi int64, fn func(pk, record []byte)) error {
+	if err := db.acquire(); err != nil {
+		return err
+	}
+	defer db.release()
 	if db.shards != nil {
 		return db.shards.FilterScan(lo, hi, func(e kv.Entry) { fn(e.Key, e.Value) })
 	}
@@ -559,6 +635,10 @@ func (db *DB) FilterScan(lo, hi int64, fn func(pk, record []byte)) error {
 // shard. With background maintenance enabled it also drains every pending
 // build and merge, so the store is fully quiesced when it returns.
 func (db *DB) Flush() error {
+	if err := db.acquire(); err != nil {
+		return err
+	}
+	defer db.release()
 	if db.shards != nil {
 		return db.shards.FlushAll()
 	}
@@ -570,14 +650,22 @@ func (db *DB) Flush() error {
 // backend — persists the final manifests and releases the devices. It does
 // not flush live memory components: their committed writes sit in the
 // on-disk write-ahead log and are replayed at the next Open (call Flush
-// first for a replay-free shutdown image). Close is idempotent; after it,
-// writes on a store with background maintenance fail, and on the file
-// backend all I/O fails. On a synchronous simulated store Close is a
-// no-op.
+// first for a replay-free shutdown image).
+//
+// Close is idempotent and safe for concurrent use: it waits for in-flight
+// operations to finish, runs shutdown exactly once, and concurrent or
+// repeated closers return nil once that shutdown completes. Afterwards
+// every public operation fails with ErrClosed (Stats keeps returning the
+// final pre-Close snapshot, and Crash is a no-op).
 func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.closed {
 		return nil
 	}
+	// Capture the last observable state before tearing the devices down;
+	// Stats serves it after Close.
+	db.finalStats = db.stats()
 	db.closed = true
 	var errs []error
 	drain := func(ds *core.Dataset) error { return ds.DrainMaintenance() }
@@ -614,8 +702,12 @@ func (db *DB) Close() error {
 
 // Crash simulates a failure: all memory components are lost; disk
 // components survive (no-steal/no-force, Section 2.2 of the paper). On a
-// sharded store every shard fails.
+// sharded store every shard fails. Crash on a closed store is a no-op.
 func (db *DB) Crash() {
+	if err := db.acquire(); err != nil {
+		return
+	}
+	defer db.release()
 	if db.shards != nil {
 		db.shards.Crash()
 		return
@@ -626,6 +718,10 @@ func (db *DB) Crash() {
 // Recover replays committed write-ahead-log records lost in a Crash, on
 // every shard.
 func (db *DB) Recover() error {
+	if err := db.acquire(); err != nil {
+		return err
+	}
+	defer db.release()
 	if db.shards != nil {
 		return db.shards.Recover()
 	}
@@ -635,6 +731,10 @@ func (db *DB) Recover() error {
 // RepairSecondaryIndexes runs a standalone repair over every component of
 // every secondary index (Validation strategy housekeeping), on every shard.
 func (db *DB) RepairSecondaryIndexes() error {
+	if err := db.acquire(); err != nil {
+		return err
+	}
+	defer db.release()
 	if db.shards != nil {
 		return db.shards.ForEach(repairSecondaries)
 	}
@@ -689,8 +789,19 @@ type Stats struct {
 	PerShard []Stats
 }
 
-// Stats reports current statistics.
+// Stats reports current statistics. After Close it returns the final
+// snapshot Close captured.
 func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return db.finalStats
+	}
+	return db.stats()
+}
+
+// stats computes the snapshot; the caller holds the lifecycle lock.
+func (db *DB) stats() Stats {
 	if db.shards != nil {
 		per := db.shards.StatsPerShard()
 		agg := shard.Aggregate(per)
