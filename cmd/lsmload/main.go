@@ -11,18 +11,33 @@
 //
 //	lsmload -addr 127.0.0.1:4150 -ops 100000 -conns 4 -workers 16
 //	lsmload -addr 127.0.0.1:4150 -ops 50000 -batch 32 -query-ratio 0.05
+//
+// With -group-commit=on|off the tool is self-contained: it opens a
+// disk-backend store itself (in -dir, or a temp directory), serves it
+// in-process on a loopback port with the chosen commit discipline, and
+// drives the load against it — so the group-commit win reproduces in one
+// command:
+//
+//	lsmload -group-commit=off -ops 20000 -conns 8 -workers 32
+//	lsmload -group-commit=on  -ops 20000 -conns 8 -workers 32
+//
+// Alongside latency percentiles the report includes the server's WAL
+// fsync rate and the mean commit-group size over the run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/server"
 	"repro/internal/workload"
 	"repro/lsmclient"
 	"repro/lsmstore"
@@ -65,13 +80,31 @@ func run() error {
 	updateRatio := flag.Float64("update-ratio", 0.1, "fraction of upserts hitting past keys")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	seed := flag.Int64("seed", 42, "workload seed")
+	groupCommit := flag.String("group-commit", "", "self-serve mode: open a disk-backend store in-process with group commit on|off and load it over loopback")
+	dir := flag.String("dir", "", "data directory for -group-commit self-serve mode (default: a temp dir, removed on exit)")
+	shards := flag.Int("shards", 1, "hash partitions for the self-served store")
 	flag.Parse()
 	if *workers < 1 || *conns < 1 || *batch < 1 {
 		return fmt.Errorf("-workers, -conns and -batch must be >= 1")
 	}
 
+	target := *addr
+	if *groupCommit != "" {
+		addrSet := false
+		flag.Visit(func(f *flag.Flag) { addrSet = addrSet || f.Name == "addr" })
+		if addrSet {
+			return fmt.Errorf("-group-commit self-serves its own store; it cannot be combined with -addr")
+		}
+		selfAddr, stop, err := selfServe(*groupCommit, *dir, *shards, *seed)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		target = selfAddr
+	}
+
 	client, err := lsmclient.DialOptions(lsmclient.Options{
-		Addr:           *addr,
+		Addr:           target,
 		Conns:          *conns,
 		RequestTimeout: *timeout,
 	})
@@ -80,7 +113,11 @@ func run() error {
 	}
 	defer client.Close()
 	if err := client.Ping(); err != nil {
-		return fmt.Errorf("ping %s: %w", *addr, err)
+		return fmt.Errorf("ping %s: %w", target, err)
+	}
+	before, err := client.Stats()
+	if err != nil {
+		return fmt.Errorf("server stats: %w", err)
 	}
 
 	var (
@@ -114,7 +151,7 @@ func run() error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	fmt.Printf("target              %s\n", *addr)
+	fmt.Printf("target              %s\n", target)
 	fmt.Printf("operations          %d (batch %d, %d conns, %d workers)\n", *ops, *batch, *conns, *workers)
 	fmt.Printf("wall time           %s\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput          %.0f ops/s", float64(*ops)/elapsed.Seconds())
@@ -147,7 +184,69 @@ func run() error {
 	}
 	fmt.Printf("server              ingested=%d ignored=%d components=%d shards=%d disk-bytes=%d\n",
 		st.Ingested, st.Ignored, st.PrimaryComponents, st.Shards, st.DiskBytesWritten)
+	d := st.Counters.Sub(before.Counters)
+	fmt.Printf("wal fsyncs          %d (%.0f/s)", d.WALFsyncs, float64(d.WALFsyncs)/elapsed.Seconds())
+	if d.GroupCommitBatches > 0 {
+		fmt.Printf("  group-commit batches=%d mean-group-size=%.1f",
+			d.GroupCommitBatches, float64(d.GroupCommitWaiters)/float64(d.GroupCommitBatches))
+	}
+	fmt.Println()
 	return nil
+}
+
+// selfServe opens a disk-backend store with the requested commit
+// discipline, serves it in-process on a loopback port (with the same
+// tweet-workload schema lsmserver declares), and returns the address plus
+// a stop function that drains the server and closes the store.
+func selfServe(mode, dir string, shards int, seed int64) (addr string, stop func(), err error) {
+	opts := lsmstore.Options{
+		Strategy:           lsmstore.Validation,
+		Secondaries:        []lsmstore.SecondaryIndex{{Name: "user", Extract: workload.UserIDOf}},
+		FilterExtract:      workload.CreationOf,
+		Backend:            lsmstore.FileBackend,
+		Shards:             shards,
+		MaintenanceWorkers: 2,
+		Seed:               seed,
+	}
+	switch strings.ToLower(mode) {
+	case "on":
+		opts.GroupCommit = lsmstore.GroupCommitOn
+	case "off":
+		opts.GroupCommit = lsmstore.GroupCommitOff
+	default:
+		return "", nil, fmt.Errorf("unknown -group-commit %q (want on or off)", mode)
+	}
+	cleanup := func() {}
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "lsmload-*")
+		if err != nil {
+			return "", nil, err
+		}
+		dir, cleanup = tmp, func() { os.RemoveAll(tmp) }
+	}
+	opts.Dir = dir
+	db, err := lsmstore.Open(opts)
+	if err != nil {
+		cleanup()
+		return "", nil, err
+	}
+	srv, err := server.New(server.Config{DB: db, Addr: "127.0.0.1:0"})
+	if err == nil {
+		err = srv.Start()
+	}
+	if err != nil {
+		db.Close()
+		cleanup()
+		return "", nil, err
+	}
+	fmt.Printf("self-serve          disk backend in %s, group commit %s\n", dir, strings.ToLower(mode))
+	return srv.Addr().String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		db.Close()
+		cleanup()
+	}, nil
 }
 
 // pickClass rolls the op mix; the remainder after gets, queries and scans

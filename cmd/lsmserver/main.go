@@ -52,7 +52,10 @@ func run() error {
 	cacheBytes := flag.Int64("cache", 64<<20, "buffer cache bytes (split across shards)")
 	maxInFlight := flag.Int("max-inflight", 128, "max in-flight requests per connection before backpressure")
 	maxBatch := flag.Int("max-batch", 256, "max writes the coalescer folds into one engine batch")
+	coalescers := flag.Int("coalescers", 4, "concurrent coalescer drainers (overlap commit fsyncs with engine work)")
 	noCoalesce := flag.Bool("no-coalesce", false, "apply single writes individually instead of coalescing")
+	groupCommit := flag.String("group-commit", "auto", "commit fsync coalescing on the disk backend: auto | on | off")
+	maxSyncDelay := flag.Duration("max-sync-delay", 0, "group-commit window for announced stragglers (0 = 2ms default; negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before connections are cut")
 	seed := flag.Int64("seed", 42, "engine seed")
 	flag.Parse()
@@ -78,6 +81,17 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
+	switch strings.ToLower(*groupCommit) {
+	case "auto":
+		opts.GroupCommit = lsmstore.GroupCommitAuto
+	case "on":
+		opts.GroupCommit = lsmstore.GroupCommitOn
+	case "off":
+		opts.GroupCommit = lsmstore.GroupCommitOff
+	default:
+		return fmt.Errorf("unknown -group-commit %q (want auto, on or off)", *groupCommit)
+	}
+	opts.MaxSyncDelay = *maxSyncDelay
 	be, resolvedDir, cleanup, err := backendflag.Resolve(*backend, *dir)
 	if err != nil {
 		return err
@@ -98,6 +112,7 @@ func run() error {
 		HTTPAddr:          *httpAddr,
 		MaxInFlight:       *maxInFlight,
 		MaxBatch:          *maxBatch,
+		Coalescers:        *coalescers,
 		DisableCoalescing: *noCoalesce,
 	})
 	if err != nil {

@@ -145,6 +145,12 @@ type Config struct {
 	// DisableWAL turns off write-ahead logging (benchmarks that measure
 	// pure ingestion I/O).
 	DisableWAL bool
+	// GroupCommit, when non-nil on a durable device, coalesces commit
+	// fsyncs across concurrent writers: commit records append unsynced and
+	// committers park on a shared commit group whose leader issues one
+	// covering fsync (see wal.GroupCommitter / filedev.GroupSyncer). Nil
+	// keeps the per-commit fsync. Ignored on non-durable devices.
+	GroupCommit wal.GroupCommitter
 	// Seed makes memtable shapes deterministic.
 	Seed int64
 	// Maintenance, when non-nil, moves flushes and policy-picked merges off

@@ -48,6 +48,15 @@ func (d *Dataset) withWriteLocks(pk []byte, fn func(ts int64) error) error {
 // point lookup against the primary key index when available, else the
 // primary index.
 func (d *Dataset) Insert(pk, record []byte) (bool, error) {
+	return d.InsertBatched(pk, record, nil)
+}
+
+// InsertBatched is Insert with deferred commit durability: with a non-nil
+// batch the commit record is appended unsynced and registered in b, and
+// the write may only be acknowledged after WaitCommitBatch(b) succeeds.
+// A nil batch keeps Insert's own durability (the commit is durable on
+// return).
+func (d *Dataset) InsertBatched(pk, record []byte, b *wal.Batch) (bool, error) {
 	inserted := false
 	err := d.withWriteLocks(pk, func(ts int64) error {
 		exists, err := d.keyExists(pk)
@@ -58,7 +67,7 @@ func (d *Dataset) Insert(pk, record []byte) (bool, error) {
 			d.ignored.Add(1)
 			return nil
 		}
-		if err := d.logOp(wal.RecInsert, pk, record, ts, false); err != nil {
+		if err := d.logOp(wal.RecInsert, pk, record, ts, false, b); err != nil {
 			return err
 		}
 		d.putAllIndexes(pk, record, ts)
@@ -79,9 +88,15 @@ func (d *Dataset) Insert(pk, record []byte) (bool, error) {
 // Delete removes the record under pk, if any. It returns false when the key
 // does not exist.
 func (d *Dataset) Delete(pk []byte) (bool, error) {
+	return d.DeleteBatched(pk, nil)
+}
+
+// DeleteBatched is Delete with deferred commit durability (see
+// InsertBatched).
+func (d *Dataset) DeleteBatched(pk []byte, b *wal.Batch) (bool, error) {
 	deleted := false
 	err := d.withWriteLocks(pk, func(ts int64) error {
-		ok, err := d.deleteLocked(pk, ts)
+		ok, err := d.deleteLocked(pk, ts, b)
 		deleted = ok
 		return err
 	})
@@ -94,7 +109,7 @@ func (d *Dataset) Delete(pk []byte) (bool, error) {
 	return true, d.maybeFlush()
 }
 
-func (d *Dataset) deleteLocked(pk []byte, ts int64) (bool, error) {
+func (d *Dataset) deleteLocked(pk []byte, ts int64, b *wal.Batch) (bool, error) {
 	switch d.cfg.Strategy {
 	case Eager:
 		// Point lookup fetches the old record so anti-matter can be
@@ -107,7 +122,7 @@ func (d *Dataset) deleteLocked(pk []byte, ts int64) (bool, error) {
 			d.ignored.Add(1)
 			return false, nil
 		}
-		if err := d.logOp(wal.RecDelete, pk, nil, ts, false); err != nil {
+		if err := d.logOp(wal.RecDelete, pk, nil, ts, false, b); err != nil {
 			return false, err
 		}
 		d.putAnti(pk, ts)
@@ -121,7 +136,7 @@ func (d *Dataset) deleteLocked(pk []byte, ts int64) (bool, error) {
 	case Validation:
 		// Anti-matter goes to the primary and primary key indexes only
 		// (Section 4.2); obsolete secondary entries are repaired later.
-		if err := d.logOp(wal.RecDelete, pk, nil, ts, false); err != nil {
+		if err := d.logOp(wal.RecDelete, pk, nil, ts, false, b); err != nil {
 			return false, err
 		}
 		d.cleanSecondariesFromMem(pk, ts)
@@ -139,7 +154,7 @@ func (d *Dataset) deleteLocked(pk []byte, ts int64) (bool, error) {
 		// An anti-matter key is still added (Section 5.2): the bitmap is
 		// an auxiliary structure and must not change LSM semantics, and
 		// it keeps Validation-maintained secondaries repairable.
-		if err := d.logOp(wal.RecDelete, pk, nil, ts, updateBit); err != nil {
+		if err := d.logOp(wal.RecDelete, pk, nil, ts, updateBit, b); err != nil {
 			// The append failed, so the delete never durably happened:
 			// revert the bitmap flip before reporting failure.
 			if undo != nil {
@@ -154,7 +169,7 @@ func (d *Dataset) deleteLocked(pk []byte, ts int64) (bool, error) {
 		d.putAnti(pk, ts)
 
 	case DeletedKey:
-		if err := d.logOp(wal.RecDelete, pk, nil, ts, false); err != nil {
+		if err := d.logOp(wal.RecDelete, pk, nil, ts, false, b); err != nil {
 			return false, err
 		}
 		d.putAnti(pk, ts)
@@ -169,15 +184,21 @@ func (d *Dataset) deleteLocked(pk []byte, ts int64) (bool, error) {
 // Upsert inserts record under pk, replacing any existing record. This is
 // the operation where the strategies differ most (Sections 3.1, 4.2, 5.2).
 func (d *Dataset) Upsert(pk, record []byte) error {
+	return d.UpsertBatched(pk, record, nil)
+}
+
+// UpsertBatched is Upsert with deferred commit durability (see
+// InsertBatched).
+func (d *Dataset) UpsertBatched(pk, record []byte, b *wal.Batch) error {
 	if err := d.withWriteLocks(pk, func(ts int64) error {
-		return d.upsertLocked(pk, record, ts)
+		return d.upsertLocked(pk, record, ts, b)
 	}); err != nil {
 		return err
 	}
 	return d.maybeFlush()
 }
 
-func (d *Dataset) upsertLocked(pk, record []byte, ts int64) error {
+func (d *Dataset) upsertLocked(pk, record []byte, ts int64, b *wal.Batch) error {
 	switch d.cfg.Strategy {
 	case Eager:
 		// Point lookup to fetch the old record; anti-matter entries clean
@@ -187,7 +208,7 @@ func (d *Dataset) upsertLocked(pk, record []byte, ts int64) error {
 		if err != nil {
 			return err
 		}
-		if err := d.logOp(wal.RecUpsert, pk, record, ts, false); err != nil {
+		if err := d.logOp(wal.RecUpsert, pk, record, ts, false, b); err != nil {
 			return err
 		}
 		for _, si := range d.secondaries {
@@ -218,7 +239,7 @@ func (d *Dataset) upsertLocked(pk, record []byte, ts int64) error {
 	case Validation:
 		// Blind insert into every index (Figure 4); filters maintained
 		// with the new record only.
-		if err := d.logOp(wal.RecUpsert, pk, record, ts, false); err != nil {
+		if err := d.logOp(wal.RecUpsert, pk, record, ts, false, b); err != nil {
 			return err
 		}
 		d.cleanSecondariesFromMem(pk, ts)
@@ -233,7 +254,7 @@ func (d *Dataset) upsertLocked(pk, record []byte, ts int64) error {
 		if err != nil {
 			return err
 		}
-		if err := d.logOp(wal.RecUpsert, pk, record, ts, updateBit); err != nil {
+		if err := d.logOp(wal.RecUpsert, pk, record, ts, updateBit, b); err != nil {
 			// The append failed, so the upsert never durably happened:
 			// revert the bitmap flip before reporting failure.
 			if undo != nil {
@@ -249,7 +270,7 @@ func (d *Dataset) upsertLocked(pk, record []byte, ts int64) error {
 		d.widenFilterFor(record)
 
 	case DeletedKey:
-		if err := d.logOp(wal.RecUpsert, pk, record, ts, false); err != nil {
+		if err := d.logOp(wal.RecUpsert, pk, record, ts, false, b); err != nil {
 			return err
 		}
 		d.putAllIndexes(pk, record, ts)
@@ -466,12 +487,20 @@ func (d *Dataset) forwardDelete(comp *lsm.Component, pk []byte) {
 }
 
 // logOp appends one logical log record and its commit record. On a durable
-// device the commit record is fsynced through the log's sink; a failure of
-// THIS operation's appends means the write is not durably committed and is
-// surfaced as the operation's error (a concurrent writer's failure wedges
-// the dataset via the sticky-error precheck instead, without mislabeling
-// writes that did commit).
-func (d *Dataset) logOp(t wal.RecordType, pk, record []byte, ts int64, updateBit bool) error {
+// device the commit becomes durable through the log's sink — a per-record
+// fsync, or (in group-commit mode) one fsync shared with every concurrent
+// committer. A failure of THIS operation's appends or covering fsync means
+// the write is not durably committed and is surfaced as the operation's
+// error (a concurrent writer's failure wedges the dataset via the
+// sticky-error precheck instead, without mislabeling writes that did
+// commit).
+//
+// With a non-nil batch the commit record is appended unsynced and its
+// durability deferred to the caller's WaitCommitBatch — one covering fsync
+// per engine batch instead of one per mutation. Until that wait succeeds
+// the write is visible in the memory components but NOT acknowledged;
+// callers must not report success before the wait returns.
+func (d *Dataset) logOp(t wal.RecordType, pk, record []byte, ts int64, updateBit bool, b *wal.Batch) error {
 	if d.log == nil {
 		return nil
 	}
@@ -487,6 +516,45 @@ func (d *Dataset) logOp(t wal.RecordType, pk, record []byte, ts int64, updateBit
 	}); err != nil {
 		return err
 	}
-	_, err := d.log.CommitChecked(id)
+	if b != nil {
+		_, err := d.log.CommitBatched(id, b)
+		return err
+	}
+	_, err := d.log.CommitDurable(id)
 	return err
+}
+
+// BeginCommitBatch returns a deferred-durability handle when the log runs
+// in group-commit mode, nil otherwise (writes then carry their own commit
+// durability, byte-for-byte the non-grouped behavior). Pair every non-nil
+// handle with exactly one WaitCommitBatch before acknowledging any of the
+// batch's writes.
+//
+// The Mutable-bitmap strategy never defers: its writes flip disk-component
+// bitmaps and forward deletes into in-flight builds around the WAL append,
+// and that undo/commit pair is only race-free while the writer still holds
+// its exclusive key lock — which a batch-end durability wait no longer
+// does. Its mutations commit one by one through CommitDurable instead
+// (still coalesced with concurrent committers by the group window), so a
+// failed covering fsync can always revert the flip under the lock.
+func (d *Dataset) BeginCommitBatch() *wal.Batch {
+	if d.cfg.Strategy == MutableBitmap {
+		return nil
+	}
+	return d.log.NewBatch()
+}
+
+// WaitCommitBatch blocks until every commit deferred into b is covered by
+// a WAL fsync. On failure none of the batch's writes may be acknowledged:
+// their commit records are dropped from the log's memory image, the log
+// is wedged (the dataset turns read-only), and an in-session
+// Crash/Recover will not replay them. The writes still sit in the memory
+// components — and any of them a mid-batch flush already installed in a
+// durable component stays durable — so "failed" means "not guaranteed,
+// retry safely", not "certainly absent".
+func (d *Dataset) WaitCommitBatch(b *wal.Batch) error {
+	if b == nil {
+		return nil
+	}
+	return d.log.WaitBatch(b)
 }

@@ -181,6 +181,9 @@ func (d *Dataset) setupDurability() error {
 		return err
 	}
 	log, consumed := wal.OpenPersisted(d.env, image, walSink{wd})
+	if d.cfg.GroupCommit != nil {
+		log.AttachGroupCommitter(d.cfg.GroupCommit)
+	}
 	d.log = log
 	// Seed the transaction-ID allocator past every recovered ID: replay
 	// matches commits to data records by ID, so a recycled ID could marry

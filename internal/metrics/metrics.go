@@ -103,6 +103,12 @@ type Counters struct {
 	EntriesScanned  atomic.Int64 // entries pulled through iterators
 	WriteStalls     atomic.Int64 // writes stalled by maintenance backpressure
 	WriteStallNanos atomic.Int64 // total wall-clock time writes spent stalled
+
+	// Group-commit durability path (file backend; zero on the simulated
+	// device, whose log appends carry no fsync).
+	WALFsyncs          atomic.Int64 // fsyncs issued against the WAL area
+	GroupCommitBatches atomic.Int64 // commit groups closed by one covering fsync
+	GroupCommitWaiters atomic.Int64 // committed writes covered by those groups (mean group size = waiters/batches)
 }
 
 // Snapshot is an immutable copy of the counter values.
@@ -119,6 +125,10 @@ type Snapshot struct {
 	EntriesScanned  int64
 	WriteStalls     int64
 	WriteStallNanos int64
+
+	WALFsyncs          int64
+	GroupCommitBatches int64
+	GroupCommitWaiters int64
 }
 
 // Snapshot captures the current counter values.
@@ -136,6 +146,10 @@ func (c *Counters) Snapshot() Snapshot {
 		EntriesScanned:  c.EntriesScanned.Load(),
 		WriteStalls:     c.WriteStalls.Load(),
 		WriteStallNanos: c.WriteStallNanos.Load(),
+
+		WALFsyncs:          c.WALFsyncs.Load(),
+		GroupCommitBatches: c.GroupCommitBatches.Load(),
+		GroupCommitWaiters: c.GroupCommitWaiters.Load(),
 	}
 }
 
@@ -154,6 +168,10 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		EntriesScanned:  s.EntriesScanned + o.EntriesScanned,
 		WriteStalls:     s.WriteStalls + o.WriteStalls,
 		WriteStallNanos: s.WriteStallNanos + o.WriteStallNanos,
+
+		WALFsyncs:          s.WALFsyncs + o.WALFsyncs,
+		GroupCommitBatches: s.GroupCommitBatches + o.GroupCommitBatches,
+		GroupCommitWaiters: s.GroupCommitWaiters + o.GroupCommitWaiters,
 	}
 }
 
@@ -172,6 +190,10 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		EntriesScanned:  s.EntriesScanned - o.EntriesScanned,
 		WriteStalls:     s.WriteStalls - o.WriteStalls,
 		WriteStallNanos: s.WriteStallNanos - o.WriteStallNanos,
+
+		WALFsyncs:          s.WALFsyncs - o.WALFsyncs,
+		GroupCommitBatches: s.GroupCommitBatches - o.GroupCommitBatches,
+		GroupCommitWaiters: s.GroupCommitWaiters - o.GroupCommitWaiters,
 	}
 }
 
@@ -189,6 +211,9 @@ func (c *Counters) Reset() {
 	c.EntriesScanned.Store(0)
 	c.WriteStalls.Store(0)
 	c.WriteStallNanos.Store(0)
+	c.WALFsyncs.Store(0)
+	c.GroupCommitBatches.Store(0)
+	c.GroupCommitWaiters.Store(0)
 }
 
 // ServerCounters aggregates network-service events for the lsmserver

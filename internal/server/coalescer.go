@@ -1,6 +1,8 @@
 package server
 
 import (
+	"sync"
+
 	"repro/internal/metrics"
 	"repro/lsmstore"
 )
@@ -11,19 +13,28 @@ type batchApplier interface {
 	ApplyBatchResults(muts []lsmstore.Mutation) ([]bool, error)
 }
 
-// coalescer folds concurrent single writes into ApplyBatch calls. A lone
-// goroutine drains a queue: it takes whatever writes accumulated while the
-// previous batch was applying — from any connection — and applies them as
-// one batch, which the engine then groups per shard and applies with
-// per-shard concurrency. Under light load batches are size 1 (no added
-// latency beyond a channel hop); under concurrency the batch size grows
-// exactly as fast as writes arrive.
+// coalescer folds concurrent single writes into ApplyBatch calls. Drain
+// goroutines pull from a shared queue: each takes whatever writes
+// accumulated while it was applying the previous batch — from any
+// connection — and applies them as one batch, which the engine then groups
+// per shard and applies with per-shard concurrency. Under light load
+// batches are size 1 (no added latency beyond a channel hop); under
+// concurrency the batch size grows exactly as fast as writes arrive.
+//
+// Several drainers run so that a batch parked on its commit-group fsync
+// (group-commit WAL on the disk backend) does not stall the whole write
+// path: while one batch's covering fsync is in flight, the others keep
+// applying, and the WAL layer folds their commits into the next group.
+// Concurrent batches introduce no new ordering hazards — each request is
+// already handled on its own goroutine, so concurrent single writes never
+// had cross-request ordering guarantees.
 type coalescer struct {
 	db       batchApplier
 	counters *metrics.ServerCounters
 	maxBatch int
+	workers  int
 	ch       chan coalReq
-	done     chan struct{}
+	wg       sync.WaitGroup
 }
 
 type coalReq struct {
@@ -36,24 +47,32 @@ type coalRes struct {
 	err     error
 }
 
-func newCoalescer(db batchApplier, counters *metrics.ServerCounters, maxBatch int) *coalescer {
+func newCoalescer(db batchApplier, counters *metrics.ServerCounters, maxBatch, workers int) *coalescer {
 	queue := 4 * maxBatch // deeper than a batch, so the queue absorbs bursts
 	if queue < 64 {
 		queue = 64
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	c := &coalescer{
 		db:       db,
 		counters: counters,
 		maxBatch: maxBatch,
+		workers:  workers,
 		ch:       make(chan coalReq, queue),
-		done:     make(chan struct{}),
 	}
 	return c
 }
 
-// start launches the apply goroutine. The server calls it from Start, not
+// start launches the apply goroutines. The server calls it from Start, not
 // New, so an unstarted or failed-to-start server leaks nothing.
-func (c *coalescer) start() { go c.run() }
+func (c *coalescer) start() {
+	c.wg.Add(c.workers)
+	for i := 0; i < c.workers; i++ {
+		go c.run()
+	}
+}
 
 // apply submits one mutation and blocks until its batch lands, reporting
 // whether the mutation took effect.
@@ -64,16 +83,16 @@ func (c *coalescer) apply(m lsmstore.Mutation) (bool, error) {
 	return r.applied, r.err
 }
 
-// stop closes the queue and waits for the final batch. The caller must
+// stop closes the queue and waits for the final batches. The caller must
 // guarantee no apply is in flight (the server stops it only after every
 // connection handler has exited).
 func (c *coalescer) stop() {
 	close(c.ch)
-	<-c.done
+	c.wg.Wait()
 }
 
 func (c *coalescer) run() {
-	defer close(c.done)
+	defer c.wg.Done()
 	reqs := make([]coalReq, 0, c.maxBatch)
 	muts := make([]lsmstore.Mutation, 0, c.maxBatch)
 	for first := range c.ch {

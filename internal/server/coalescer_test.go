@@ -74,13 +74,47 @@ func waitQueued(t *testing.T, c *coalescer, n int) {
 	}
 }
 
-// TestCoalescerGroupsConcurrentWrites pins the grouping contract: writes
-// arriving while a batch is applying are folded into one following batch,
-// and each write still gets its own applied result.
+// TestCoalescerOverlapsBatches: with more than one drainer, a batch held
+// inside the engine (e.g. parked on its commit-group fsync) must not stall
+// the write path — a second batch enters the applier while the first is
+// still in flight.
+func TestCoalescerOverlapsBatches(t *testing.T) {
+	applier := &blockingApplier{entered: make(chan int), gate: make(chan struct{})}
+	c := newCoalescer(applier, nil, 16, 2)
+	c.start()
+	results := make(chan error, 2)
+	submit := func(i int) {
+		go func() {
+			_, err := c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte{byte(i)}})
+			results <- err
+		}()
+	}
+	// Submit the second write only after the first batch is already held
+	// inside the applier, so it cannot be folded into that batch — it must
+	// enter on the second drainer WHILE the first batch is still in flight,
+	// which is exactly the overlap being pinned.
+	submit(0)
+	<-applier.entered
+	submit(1)
+	<-applier.entered
+	applier.gate <- struct{}{}
+	applier.gate <- struct{}{}
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.stop()
+}
+
+// TestCoalescerGroupsConcurrentWrites pins the grouping contract (with a
+// single drainer, so batch formation is deterministic): writes arriving
+// while a batch is applying are folded into one following batch, and each
+// write still gets its own applied result.
 func TestCoalescerGroupsConcurrentWrites(t *testing.T) {
 	applier := &blockingApplier{entered: make(chan int), gate: make(chan struct{})}
 	counters := &metrics.ServerCounters{}
-	c := newCoalescer(applier, counters, 256)
+	c := newCoalescer(applier, counters, 256, 1)
 	c.start()
 
 	// The leader write occupies the apply goroutine inside its batch.
@@ -148,7 +182,7 @@ func TestCoalescerGroupsConcurrentWrites(t *testing.T) {
 func TestCoalescerPropagatesErrors(t *testing.T) {
 	boom := errors.New("disk on fire")
 	applier := &blockingApplier{err: boom}
-	c := newCoalescer(applier, nil, 16)
+	c := newCoalescer(applier, nil, 16, 1)
 	c.start()
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
@@ -171,7 +205,7 @@ func TestCoalescerPropagatesErrors(t *testing.T) {
 func TestCoalescerPartialFailureKeepsAppliedWrites(t *testing.T) {
 	boom := errors.New("shard 1 disk on fire")
 	applier := &blockingApplier{err: boom, partialOK: true}
-	c := newCoalescer(applier, nil, 16)
+	c := newCoalescer(applier, nil, 16, 1)
 	c.start()
 	var wg sync.WaitGroup
 	for i := 0; i < 6; i++ {
@@ -196,7 +230,7 @@ func TestCoalescerPartialFailureKeepsAppliedWrites(t *testing.T) {
 // drain in cap-sized groups, never exceeding MaxBatch.
 func TestCoalescerRespectsMaxBatch(t *testing.T) {
 	applier := &blockingApplier{entered: make(chan int), gate: make(chan struct{})}
-	c := newCoalescer(applier, nil, 2)
+	c := newCoalescer(applier, nil, 2, 1)
 	c.start()
 	var wg sync.WaitGroup
 	wg.Add(1)

@@ -35,6 +35,10 @@ type Config struct {
 	// MaxBatch caps how many concurrent single writes the coalescer
 	// folds into one ApplyBatch call (0 = 256).
 	MaxBatch int
+	// Coalescers is the number of concurrent batch-apply drainers
+	// (0 = 4). More than one lets a batch parked on its commit-group
+	// fsync overlap with the next batch's engine work.
+	Coalescers int
 	// DisableCoalescing applies every single write individually instead
 	// of grouping concurrent ones into batches.
 	DisableCoalescing bool
@@ -43,6 +47,7 @@ type Config struct {
 const (
 	defaultMaxInFlight = 128
 	defaultMaxBatch    = 256
+	defaultCoalescers  = 4
 )
 
 // Server serves a DB over the wire protocol: one TCP listener, a
@@ -84,6 +89,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = defaultMaxBatch
 	}
+	if cfg.Coalescers <= 0 {
+		cfg.Coalescers = defaultCoalescers
+	}
 	s := &Server{
 		cfg:      cfg,
 		db:       cfg.DB,
@@ -92,7 +100,7 @@ func New(cfg Config) (*Server, error) {
 		stopped:  make(chan struct{}),
 	}
 	if !cfg.DisableCoalescing {
-		s.coal = newCoalescer(cfg.DB, s.counters, cfg.MaxBatch)
+		s.coal = newCoalescer(cfg.DB, s.counters, cfg.MaxBatch, cfg.Coalescers)
 	}
 	return s, nil
 }
@@ -151,7 +159,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		c := &conn{
 			srv: s,
 			nc:  nc,
-			out: make(chan []byte, s.cfg.MaxInFlight),
+			out: make(chan *[]byte, s.cfg.MaxInFlight),
 			sem: make(chan struct{}, s.cfg.MaxInFlight),
 		}
 		s.mu.Lock()
@@ -268,13 +276,23 @@ func (s *Server) Kill() {
 	}
 }
 
+// frameBufPool recycles response frame encode buffers: a frame lives from
+// the handler's send to the writer's flush, after which the buffer goes
+// back to the pool instead of the garbage collector — the per-response
+// allocation was measurable on the pipelined hot path. Buffers grown past
+// maxPooledFrame by one big query/scan response are dropped rather than
+// pinned for every small response that follows.
+const maxPooledFrame = 64 << 10
+
+var frameBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
 // conn is one client connection: a reader goroutine decoding and
 // dispatching requests, per-request handler goroutines (bounded by sem),
 // and a writer goroutine serializing response frames.
 type conn struct {
 	srv   *Server
 	nc    net.Conn
-	out   chan []byte   // encoded response frames
+	out   chan *[]byte  // pooled encoded response frames
 	sem   chan struct{} // in-flight request tokens
 	reqWg sync.WaitGroup
 }
@@ -332,7 +350,9 @@ func (c *conn) readLoop() {
 }
 
 func (c *conn) send(resp wire.Response) {
-	c.out <- wire.AppendResponse(nil, resp)
+	bp := frameBufPool.Get().(*[]byte)
+	*bp = wire.AppendResponse((*bp)[:0], resp)
+	c.out <- bp
 }
 
 func (c *conn) writeLoop(done chan struct{}) {
@@ -348,20 +368,20 @@ func (c *conn) writeLoop(done chan struct{}) {
 		failed = true
 		c.nc.Close()
 	}
-	for frame := range c.out {
-		if failed {
-			continue
-		}
-		if err := wire.WriteFrame(bw, frame); err != nil {
-			fail()
-			continue
-		}
-		// Flush only when no more responses are queued: consecutive
-		// pipelined responses share flushes.
-		if len(c.out) == 0 {
-			if err := bw.Flush(); err != nil {
+	for bp := range c.out {
+		if !failed {
+			if err := wire.WriteFrame(bw, *bp); err != nil {
 				fail()
+			} else if len(c.out) == 0 {
+				// Flush only when no more responses are queued: consecutive
+				// pipelined responses share flushes.
+				if err := bw.Flush(); err != nil {
+					fail()
+				}
 			}
+		}
+		if cap(*bp) <= maxPooledFrame {
+			frameBufPool.Put(bp) // WriteFrame copied the bytes into bw
 		}
 	}
 	if !failed {

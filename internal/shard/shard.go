@@ -193,7 +193,21 @@ func ApplyMutations(ds *core.Dataset, muts []Mutation) error {
 // whether each mutation took effect: upserts always do, duplicate inserts
 // and deletes of missing keys do not. It stops at the first error, leaving
 // later entries false.
+//
+// On a group-commit store the batch defers every mutation's commit fsync
+// into one covering group fsync at the end — one fsync per batch, not per
+// mutation. If that covering fsync fails, no write in the batch is
+// GUARANTEED durable: every applied entry is reset to false and the fsync
+// error is returned, so no caller acknowledges a write the disk may not
+// have accepted. The report is conservative, not exact — a mid-batch
+// flush can have installed some of the batch's writes in durable
+// components before the WAL fsync failed, so an applied=false entry in an
+// errored batch means "retry safely", never "certainly absent" (the same
+// contract the server's write coalescer documents for partial batch
+// errors).
 func ApplyMutationsResults(ds *core.Dataset, muts []Mutation, applied []bool) error {
+	b := ds.BeginCommitBatch()
+	var firstErr error
 	for i, m := range muts {
 		var (
 			ok  = true
@@ -201,22 +215,37 @@ func ApplyMutationsResults(ds *core.Dataset, muts []Mutation, applied []bool) er
 		)
 		switch m.Op {
 		case OpUpsert:
-			err = ds.Upsert(m.PK, m.Record)
+			err = ds.UpsertBatched(m.PK, m.Record, b)
 		case OpInsert:
-			ok, err = ds.Insert(m.PK, m.Record)
+			ok, err = ds.InsertBatched(m.PK, m.Record, b)
 		case OpDelete:
-			ok, err = ds.Delete(m.PK)
+			ok, err = ds.DeleteBatched(m.PK, b)
 		default:
 			err = fmt.Errorf("shard: unknown mutation op %d", m.Op)
 		}
 		if err != nil {
-			return err
+			firstErr = err
+			break
 		}
 		if applied != nil {
 			applied[i] = ok
 		}
 	}
-	return nil
+	// The covering fsync must run even after a mid-batch error: the
+	// mutations before the failure were reported applied and still need
+	// their durability.
+	if err := ds.WaitCommitBatch(b); err != nil {
+		if applied != nil {
+			for i := range applied {
+				applied[i] = false
+			}
+		}
+		if firstErr == nil {
+			return err
+		}
+		return errors.Join(firstErr, err)
+	}
+	return firstErr
 }
 
 // fanOut runs fn once per partition on up to r.workers goroutines and

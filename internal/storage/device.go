@@ -70,6 +70,18 @@ type ManifestDevice interface {
 	LoadManifest() ([]byte, error)
 }
 
+// WALSyncDevice is implemented by WAL devices that can make the log area
+// durable independently of an append — the primitive group commit is built
+// on: committers append their records unsynced and a leader issues one
+// SyncWAL covering all of them.
+type WALSyncDevice interface {
+	WALDevice
+	// SyncWAL fsyncs the WAL area, covering every append that completed
+	// before the call. A failure poisons the log area (the durable suffix
+	// is indeterminate) and is returned to the caller.
+	SyncWAL() error
+}
+
 // WALDevice is implemented by devices with a durable write-ahead-log area.
 // The log is a raw byte stream owned by the wal package; the device only
 // appends and reads it.

@@ -22,6 +22,20 @@
 //     manifest so a store can be reopened after a clean shutdown or a
 //     crash. See that package's documentation for the layout.
 //
+// # WAL durability and group commit
+//
+// Devices with a durable log area implement WALDevice (append, load,
+// atomic reset). WALSyncDevice adds SyncWAL — an fsync of the log area
+// decoupled from any append — which is the primitive group commit builds
+// on: concurrent committers append their commit records unsynced, park on
+// a shared commit window (filedev.GroupSyncer), and a leader issues one
+// SyncWAL covering all of them. One fsync then acknowledges a whole group
+// of writes instead of one, which is the difference between
+// fsync-rate-bound and device-bound ingest on the file backend. A failed
+// SyncWAL poisons the log area: the durable suffix is indeterminate, so
+// the device refuses further log appends rather than risk silently
+// committing a write whose failure was already reported.
+//
 // # What the cost model does (and doesn't) measure on real disks
 //
 // The virtual clock and its Profile describe the *simulated* device only.

@@ -9,8 +9,10 @@
 //	                   offset p*(PageSize+4) and the page count of a file is
 //	                   size/(PageSize+4) — reopen needs no per-page index.
 //	wal.log            write-ahead log: raw record stream appended by the
-//	                   wal package, fsynced on commit. A torn tail from a
-//	                   crash mid-append is expected and tolerated.
+//	                   wal package, fsynced on commit — per record, or one
+//	                   covering fsync per commit group when group commit is
+//	                   on (see GroupSyncer). A torn tail from a crash
+//	                   mid-append is expected and tolerated.
 //	MANIFEST           component metadata blob written by the dataset layer.
 //	                   Replaced atomically (write temp + fsync + rename +
 //	                   dir fsync) after the data files are synced, so it is
@@ -72,6 +74,16 @@ type Device struct {
 	profile storage.Profile
 	slot    int64
 
+	// counters, when attached, feed the WAL-durability event counts
+	// (WALFsyncs); read-only after AttachCounters, which must precede
+	// traffic.
+	counters *metrics.Counters
+
+	// walSyncMu serializes standalone WAL fsyncs (SyncWAL) without holding
+	// the device mutex across the fsync, so appends for the NEXT commit
+	// group proceed while the current group's fsync is in flight.
+	walSyncMu sync.Mutex
+
 	mu           sync.Mutex
 	files        map[storage.FileID]*file
 	nextID       storage.FileID
@@ -85,6 +97,18 @@ type Device struct {
 	walBroken    bool
 	lock         *os.File
 	closed       bool
+	stage        []byte // reusable append write-through buffer
+	zero         []byte // slot-sized zero padding source
+}
+
+// AttachCounters wires the device's WAL-durability events (fsync counts)
+// into the partition's counters. Call before serving traffic.
+func (d *Device) AttachCounters(c *metrics.Counters) { d.counters = c }
+
+func (d *Device) countWALFsync() {
+	if d.counters != nil {
+		d.counters.WALFsyncs.Add(1)
+	}
 }
 
 // Open opens (creating if needed) the data directory and scans it for
@@ -210,7 +234,10 @@ func (d *Device) Delete(id storage.FileID) {
 	d.dirDirty = true
 }
 
-// writeThroughLocked writes the file's pending pages to the OS.
+// writeThroughLocked writes the file's pending pages to the OS. The
+// staging buffer is owned by the device and reused across batches (the
+// caller holds the device mutex), so a steady append stream stages without
+// allocating.
 func (d *Device) writeThroughLocked(id storage.FileID, f *file) error {
 	if len(f.pending) == 0 {
 		return nil
@@ -218,16 +245,29 @@ func (d *Device) writeThroughLocked(id storage.FileID, f *file) error {
 	if f.f == nil {
 		return fmt.Errorf("filedev: file %d was not created on disk", id)
 	}
-	buf := make([]byte, 0, int64(len(f.pending))*d.slot)
+	if need := int(int64(len(f.pending)) * d.slot); cap(d.stage) < need {
+		d.stage = make([]byte, 0, need)
+	}
+	if d.zero == nil {
+		d.zero = make([]byte, d.slot)
+	}
+	buf := d.stage[:0]
 	for _, p := range f.pending {
 		var hdr [slotHeader]byte
 		binary.BigEndian.PutUint32(hdr[:], uint32(len(p)))
 		buf = append(buf, hdr[:]...)
 		buf = append(buf, p...)
-		buf = append(buf, make([]byte, int(d.slot)-slotHeader-len(p))...)
+		buf = append(buf, d.zero[:int(d.slot)-slotHeader-len(p)]...)
 	}
 	if _, err := f.f.WriteAt(buf, int64(f.flushed)*d.slot); err != nil {
 		return err
+	}
+	// Same retention discipline as the pooled WAL/frame buffers: the batch
+	// is bounded at appendBatchPages slots by construction, so anything
+	// larger came from an outsized caller and must not stay pinned for the
+	// device's lifetime.
+	if int64(cap(buf)) > appendBatchPages*d.slot {
+		d.stage = nil
 	}
 	f.flushed += len(f.pending)
 	f.pending = nil
@@ -405,6 +445,7 @@ func (d *Device) syncLocked() error {
 			errs = append(errs, err)
 		} else {
 			d.walDirty = false
+			d.countWALFsync()
 		}
 	}
 	if d.dirDirty {
@@ -496,7 +537,49 @@ func (d *Device) AppendWAL(data []byte, sync bool) error {
 			return rollback(err)
 		}
 		d.walDirty = false
+		d.countWALFsync()
 	}
+	return nil
+}
+
+// SyncWAL fsyncs the WAL area alone, covering every append that completed
+// before the call — the durability point of a commit group. The device
+// mutex is NOT held across the fsync, so appends for the next group
+// proceed while this group's fsync is in flight; walSyncMu serializes the
+// fsyncs themselves. A failed fsync poisons the log area: unlike a failed
+// synchronous append there is nothing to truncate back to — records from
+// several writers (and possibly a next group) sit above the last known
+// durable offset, so the suffix is indeterminate and neither appends nor
+// background syncs may touch it again.
+func (d *Device) SyncWAL() error {
+	d.walSyncMu.Lock()
+	defer d.walSyncMu.Unlock()
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	if d.walBroken {
+		d.mu.Unlock()
+		return errWALBroken
+	}
+	if !d.walDirty || d.wal == nil {
+		d.mu.Unlock()
+		return nil
+	}
+	w := d.wal
+	// Cleared before the fsync: an append landing DURING the fsync may or
+	// may not be covered, so it must re-mark the area dirty for the next
+	// sync (conservative; AppendWAL sets walDirty on every write).
+	d.walDirty = false
+	d.mu.Unlock()
+	if err := w.Sync(); err != nil {
+		d.mu.Lock()
+		d.walBroken = true
+		d.mu.Unlock()
+		return err
+	}
+	d.countWALFsync()
 	return nil
 }
 
@@ -611,4 +694,5 @@ var (
 	_ storage.Device         = (*Device)(nil)
 	_ storage.ManifestDevice = (*Device)(nil)
 	_ storage.WALDevice      = (*Device)(nil)
+	_ storage.WALSyncDevice  = (*Device)(nil)
 )

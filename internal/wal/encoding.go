@@ -20,12 +20,16 @@ const (
 // ErrCorruptRecord reports a malformed binary record.
 var ErrCorruptRecord = errors.New("wal: corrupt record")
 
-// AppendRecord appends the binary encoding of r to dst.
+// AppendRecord appends the binary encoding of r to dst. The length prefix
+// is backfilled after the body is encoded in place, so encoding a record
+// costs no allocation beyond growing dst (the commit hot path reuses a
+// pooled dst).
 func AppendRecord(dst []byte, r Record) []byte {
-	body := make([]byte, 0, 64+len(r.Key)+len(r.Value)+len(r.PrevValue))
-	body = binary.AppendVarint(body, r.LSN)
-	body = binary.AppendVarint(body, r.TxnID)
-	body = append(body, byte(r.Type))
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // total length, backfilled below
+	dst = binary.AppendVarint(dst, r.LSN)
+	dst = binary.AppendVarint(dst, r.TxnID)
+	dst = append(dst, byte(r.Type))
 	var flags byte
 	if r.UpdateBit {
 		flags |= flagUpdateBit
@@ -33,19 +37,18 @@ func AppendRecord(dst []byte, r Record) []byte {
 	if r.HadPrev {
 		flags |= flagHadPrev
 	}
-	body = append(body, flags)
-	body = binary.AppendVarint(body, r.TS)
-	body = binary.AppendUvarint(body, uint64(len(r.Index)))
-	body = append(body, r.Index...)
-	body = binary.AppendUvarint(body, uint64(len(r.Key)))
-	body = append(body, r.Key...)
-	body = binary.AppendUvarint(body, uint64(len(r.Value)))
-	body = append(body, r.Value...)
-	body = binary.AppendUvarint(body, uint64(len(r.PrevValue)))
-	body = append(body, r.PrevValue...)
-
-	dst = binary.BigEndian.AppendUint32(dst, uint32(len(body)))
-	return append(dst, body...)
+	dst = append(dst, flags)
+	dst = binary.AppendVarint(dst, r.TS)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Index)))
+	dst = append(dst, r.Index...)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Key)))
+	dst = append(dst, r.Key...)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Value)))
+	dst = append(dst, r.Value...)
+	dst = binary.AppendUvarint(dst, uint64(len(r.PrevValue)))
+	dst = append(dst, r.PrevValue...)
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
 }
 
 // DecodeRecord decodes one record from buf, returning it and the remaining

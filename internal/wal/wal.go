@@ -5,6 +5,25 @@
 // maximum component LSN. Each delete/upsert record carries the update bit
 // of Section 5.2, telling recovery whether the operation flipped a mutable
 // bitmap bit in a disk component.
+//
+// # Durability
+//
+// On a durable device the log streams every record to a Sink. Two commit
+// disciplines exist:
+//
+//   - Per-record: CommitChecked appends the commit record with sync set,
+//     and the sink fsyncs before returning. Simple, but every committer
+//     pays a full fsync.
+//   - Group commit: with a GroupCommitter attached, CommitDurable appends
+//     the commit record unsynced and parks on the open commit group; one
+//     member issues a single fsync covering everyone parked and wakes the
+//     group. Batch/CommitBatched/WaitBatch extend this to engine batches —
+//     one fsync per batch, not per mutation.
+//
+// Either way a write is acknowledged only after the fsync that covers its
+// commit record returns, and a failed fsync fails exactly the writers that
+// fsync was meant to cover (per-waiter error delivery) while wedging the
+// log for everyone after.
 package wal
 
 import (
@@ -47,10 +66,32 @@ type Record struct {
 
 // Sink receives the binary encoding of every appended record, letting a
 // durable device persist the log as it grows. Append with sync set marks a
-// group-commit point: the sink must make everything appended so far durable
-// before returning (fsync on a file-backed device).
+// commit point: the sink must make everything appended so far durable
+// before returning (fsync on a file-backed device). The sink must not
+// retain encoded past the call — the log reuses encode buffers.
 type Sink interface {
 	Append(encoded []byte, sync bool) error
+}
+
+// GroupCommitter coalesces commit durability across concurrent writers.
+// A committer announces intent, appends its commit record to the sink
+// without sync, and then Waits: the waiter joins the open commit group, one
+// member becomes the leader and issues a single covering fsync, and every
+// member of the group receives that fsync's result. Announce/Retract bound
+// the window a leader may hold the group open for stragglers that have
+// declared intent but not yet appended (see filedev.GroupSyncer).
+type GroupCommitter interface {
+	// Announce declares that a commit append is about to happen; every
+	// Announce is balanced by exactly one Wait or Retract.
+	Announce()
+	// Retract withdraws an announced commit whose append failed.
+	Retract()
+	// Wait joins the open commit group and blocks until a covering fsync
+	// completes, returning its result. The caller's commit records must be
+	// fully appended to the sink before Wait is called; commits says how
+	// many of them this waiter carries (1 for a single write, the batch
+	// size for a deferred batch — group-size accounting only).
+	Wait(commits int64) error
 }
 
 // Log is an append-only logical log. The paper's configuration dedicates a
@@ -59,8 +100,9 @@ type Sink interface {
 // record is additionally streamed to the sink in its binary encoding and
 // commit/abort records are synced (real write-ahead durability).
 type Log struct {
-	env  *metrics.Env
-	sink Sink
+	env   *metrics.Env
+	sink  Sink
+	group GroupCommitter // non-nil only in group-commit mode
 
 	mu      sync.Mutex
 	records []Record
@@ -107,6 +149,26 @@ func OpenPersisted(env *metrics.Env, image []byte, sink Sink) (*Log, int) {
 	return l, consumed
 }
 
+// AttachGroupCommitter switches the log into group-commit mode: commit
+// records are appended to the sink WITHOUT a per-record fsync, and
+// CommitDurable/WaitBatch block on gc until one covering fsync lands.
+// Attach before the first append; the log does not synchronize the switch
+// against in-flight writers.
+func (l *Log) AttachGroupCommitter(gc GroupCommitter) { l.group = gc }
+
+// GroupCommitEnabled reports whether a group committer is attached (and a
+// sink exists for it to cover).
+func (l *Log) GroupCommitEnabled() bool { return l.group != nil && l.sink != nil }
+
+// encBufPool recycles sink encode buffers: the sink contract forbids
+// retaining the slice, so one buffer serves each append and goes back.
+// Pointers avoid boxing the slice header on every Put; buffers grown past
+// maxPooledEncBuf by an outsized record are dropped instead of pinning
+// megabytes in the pool.
+const maxPooledEncBuf = 64 << 10
+
+var encBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
 // Append adds a record, assigning and returning its LSN. Callers that
 // need this call's own durability result use AppendChecked.
 func (l *Log) Append(r Record) int64 {
@@ -121,6 +183,11 @@ func (l *Log) Append(r Record) int64 {
 // matches the device's rolled-back state (an in-session Crash/Recover must
 // not replay a write whose durable append was reported as failed).
 func (l *Log) AppendChecked(r Record) (int64, error) {
+	sync := r.Type == RecCommit || r.Type == RecAbort
+	return l.appendChecked(r, sync)
+}
+
+func (l *Log) appendChecked(r Record, sync bool) (int64, error) {
 	l.mu.Lock()
 	r.LSN = l.nextLSN
 	l.nextLSN++
@@ -129,25 +196,47 @@ func (l *Log) AppendChecked(r Record) (int64, error) {
 	l.mu.Unlock()
 	var sinkErr error
 	if sink != nil {
-		sync := r.Type == RecCommit || r.Type == RecAbort
-		if sinkErr = sink.Append(AppendRecord(nil, r), sync); sinkErr != nil {
-			l.mu.Lock()
-			if l.sinkErr == nil {
-				l.sinkErr = sinkErr
-			}
-			for i := len(l.records) - 1; i >= 0; i-- {
-				if l.records[i].LSN == r.LSN {
-					l.records = append(l.records[:i], l.records[i+1:]...)
-					break
-				}
-			}
-			l.mu.Unlock()
+		bp := encBufPool.Get().(*[]byte)
+		enc := AppendRecord((*bp)[:0], r)
+		sinkErr = sink.Append(enc, sync)
+		if cap(enc) <= maxPooledEncBuf {
+			*bp = enc
+			encBufPool.Put(bp)
+		}
+		if sinkErr != nil {
+			l.poisonAndDrop(sinkErr, r.LSN)
 		}
 	}
 	if l.env != nil {
 		l.env.ChargeLogAppend()
 	}
 	return r.LSN, sinkErr
+}
+
+// dropRecordLocked removes the record with the given LSN from the memory
+// image (rollback of an append whose durability failed).
+func (l *Log) dropRecordLocked(lsn int64) {
+	for i := len(l.records) - 1; i >= 0; i-- {
+		if l.records[i].LSN == lsn {
+			l.records = append(l.records[:i], l.records[i+1:]...)
+			return
+		}
+	}
+}
+
+// poisonAndDrop records a durability failure: the sticky sink error wedges
+// the log (the next logged write surfaces it) and every listed commit LSN
+// is removed from the memory image, so an in-session Crash/Recover can
+// never replay a write whose covering fsync was reported as failed.
+func (l *Log) poisonAndDrop(err error, lsns ...int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sinkErr == nil {
+		l.sinkErr = err
+	}
+	for _, lsn := range lsns {
+		l.dropRecordLocked(lsn)
+	}
 }
 
 // SinkErr returns the first sink (durability) failure, if any.
@@ -218,6 +307,83 @@ func (l *Log) Commit(txnID int64) int64 {
 // durability result (the commit fsync on a durable device).
 func (l *Log) CommitChecked(txnID int64) (int64, error) {
 	return l.AppendChecked(Record{TxnID: txnID, Type: RecCommit})
+}
+
+// CommitDurable appends txn's commit record and blocks until it is durable.
+// Without a group committer this is CommitChecked (a per-record fsync
+// through the sink). With one, the record is appended unsynced and the call
+// parks on the open commit group: one leader fsyncs for everyone parked,
+// so concurrent committers share a single fsync. The returned error is THIS
+// commit's own durability result — a group member only ever fails with the
+// error of the fsync that was meant to cover it, never a stranger's. On
+// failure the commit record is removed from the memory image and the log
+// is wedged (sticky sink error), because the device's log area is no longer
+// trustworthy.
+func (l *Log) CommitDurable(txnID int64) (int64, error) {
+	if !l.GroupCommitEnabled() {
+		return l.CommitChecked(txnID)
+	}
+	gc := l.group
+	gc.Announce()
+	lsn, err := l.appendChecked(Record{TxnID: txnID, Type: RecCommit}, false)
+	if err != nil {
+		gc.Retract()
+		return lsn, err
+	}
+	if err := gc.Wait(1); err != nil {
+		l.poisonAndDrop(err, lsn)
+		return lsn, err
+	}
+	return lsn, nil
+}
+
+// Batch defers commit durability across a run of writes: each commit
+// record is appended unsynced and registered here, and one WaitBatch at
+// the end parks on the commit group once, so an engine batch pays a single
+// fsync instead of one per mutation. Only meaningful in group-commit mode;
+// a Batch is not safe for concurrent use.
+type Batch struct {
+	lsns []int64
+}
+
+// NewBatch returns a deferred-durability handle, or nil when the log is
+// not in group-commit mode (callers then fall back to per-commit
+// durability, preserving the non-grouped semantics exactly).
+func (l *Log) NewBatch() *Batch {
+	if l == nil || !l.GroupCommitEnabled() {
+		return nil
+	}
+	return &Batch{}
+}
+
+// CommitBatched appends txn's commit record unsynced and registers it with
+// b; the commit becomes durable — and may be acknowledged — only after a
+// successful WaitBatch.
+func (l *Log) CommitBatched(txnID int64, b *Batch) (int64, error) {
+	lsn, err := l.appendChecked(Record{TxnID: txnID, Type: RecCommit}, false)
+	if err != nil {
+		return lsn, err
+	}
+	b.lsns = append(b.lsns, lsn)
+	return lsn, nil
+}
+
+// WaitBatch blocks until every commit registered in b is covered by a WAL
+// fsync. On failure every registered commit is removed from the memory
+// image and the log is wedged — none of the batch's writes may be
+// acknowledged, and an in-session Crash/Recover will not replay them.
+func (l *Log) WaitBatch(b *Batch) error {
+	if b == nil || len(b.lsns) == 0 {
+		return nil
+	}
+	gc := l.group
+	gc.Announce()
+	if err := gc.Wait(int64(len(b.lsns))); err != nil {
+		l.poisonAndDrop(err, b.lsns...)
+		return err
+	}
+	b.lsns = b.lsns[:0]
+	return nil
 }
 
 // Abort appends an abort record for txn.

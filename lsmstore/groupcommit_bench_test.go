@@ -1,0 +1,175 @@
+package lsmstore_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/lsmstore"
+)
+
+// Allocation regression guards for the disk-backend write path: the WAL
+// encode buffers, the filedev staging buffer and the commit path are
+// pooled, so per-write allocations must stay flat. Run with:
+//
+//	go test -bench 'BenchmarkDisk' -benchtime=1000x ./lsmstore
+//
+// The group-commit on/off pairing also makes fsync amortization visible in
+// ns/op on a single-writer stream (identical) vs the batched path (one
+// fsync per batch).
+
+func benchDiskDB(b *testing.B, mode lsmstore.GroupCommitMode) *lsmstore.DB {
+	b.Helper()
+	opts := diskOptions(lsmstore.Validation, b.TempDir())
+	opts.GroupCommit = mode
+	db, err := lsmstore.Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	return db
+}
+
+// BenchmarkDiskSingleWrite measures one committed upsert on the file
+// backend — fsync included — with allocation reporting.
+func BenchmarkDiskSingleWrite(b *testing.B) {
+	for _, mode := range []lsmstore.GroupCommitMode{lsmstore.GroupCommitOff, lsmstore.GroupCommitOn} {
+		b.Run("group-commit="+mode.String(), func(b *testing.B) {
+			db := benchDiskDB(b, mode)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := uint64(i)
+				if err := db.Upsert(tweetPK(id), tweetRec(id, uint32(id%40), int64(id%1000))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDiskApplyBatch measures a 64-write ApplyBatch on the file
+// backend: with group commit one covering fsync per batch, without it one
+// per mutation.
+func BenchmarkDiskApplyBatch(b *testing.B) {
+	const batch = 64
+	for _, mode := range []lsmstore.GroupCommitMode{lsmstore.GroupCommitOff, lsmstore.GroupCommitOn} {
+		b.Run("group-commit="+mode.String(), func(b *testing.B) {
+			db := benchDiskDB(b, mode)
+			muts := make([]lsmstore.Mutation, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range muts {
+					id := uint64(i)*batch + uint64(j)
+					muts[j] = lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: tweetPK(id), Record: tweetRec(id, uint32(id%40), int64(id%1000))}
+				}
+				if err := db.ApplyBatch(muts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestDiskWriteAllocGuard is the allocation regression gate for the
+// pooled write path (WAL record encode buffers, filedev staging buffer,
+// commit path): per-write allocations on the file backend must stay an
+// order of magnitude below an unpooled implementation. The ceilings carry
+// ~3x headroom over the measured values (~21 allocs per single write,
+// ~41 per batched mutation including shard grouping), so they catch gross
+// regressions — a lost pool, a per-write buffer — not single-alloc noise.
+// Skipped unless LSMSTORE_BENCH_SMOKE=1.
+func TestDiskWriteAllocGuard(t *testing.T) {
+	if os.Getenv("LSMSTORE_BENCH_SMOKE") == "" {
+		t.Skip("set LSMSTORE_BENCH_SMOKE=1 to run the allocation gate")
+	}
+	opts := diskOptions(lsmstore.Validation, t.TempDir())
+	opts.GroupCommit = lsmstore.GroupCommitOn
+	db, err := lsmstore.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var seq uint64
+	single := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			seq++
+			if err := db.Upsert(tweetPK(seq), tweetRec(seq, uint32(seq%40), int64(seq%1000))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if got := single.AllocsPerOp(); got > 64 {
+		t.Errorf("single disk write allocates %d objects/op, ceiling 64 — a pooled buffer regressed", got)
+	}
+	const batch = 64
+	muts := make([]lsmstore.Mutation, batch)
+	batched := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := range muts {
+				seq++
+				muts[j] = lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: tweetPK(seq), Record: tweetRec(seq, uint32(seq%40), int64(seq%1000))}
+			}
+			if err := db.ApplyBatch(muts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if got := batched.AllocsPerOp() / batch; got > 128 {
+		t.Errorf("batched disk write allocates %d objects/mutation, ceiling 128", got)
+	}
+	t.Logf("disk write allocations: single %d/op, batched %d/mutation",
+		single.AllocsPerOp(), batched.AllocsPerOp()/batch)
+}
+
+// TestGroupCommitSpeedupSmoke is the CI bench-smoke gate: with concurrent
+// committers on the disk backend, group commit ON must beat OFF in
+// ops/s — if coalescing ever regresses below the per-commit-fsync
+// baseline, the optimization is broken and the job fails. Skipped unless
+// LSMSTORE_BENCH_SMOKE=1 (it burns a few seconds of real fsyncs).
+func TestGroupCommitSpeedupSmoke(t *testing.T) {
+	if os.Getenv("LSMSTORE_BENCH_SMOKE") == "" {
+		t.Skip("set LSMSTORE_BENCH_SMOKE=1 to run the group-commit speed gate")
+	}
+	const (
+		writers = 8
+		perW    = 400
+	)
+	measure := func(mode lsmstore.GroupCommitMode) (opsPerSec float64) {
+		opts := diskOptions(lsmstore.Validation, t.TempDir())
+		opts.GroupCommit = mode
+		db, err := lsmstore.Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perW; i++ {
+					id := uint64(w)<<32 | uint64(i)
+					if err := db.Upsert(tweetPK(id), tweetRec(id, uint32(w), int64(i))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		return float64(writers*perW) / time.Since(start).Seconds()
+	}
+	off := measure(lsmstore.GroupCommitOff)
+	on := measure(lsmstore.GroupCommitOn)
+	t.Logf("disk backend, %d concurrent writers: group-commit off %.0f ops/s, on %.0f ops/s (%.2fx)",
+		writers, off, on, on/off)
+	if on <= off {
+		t.Fatalf("group commit is not faster: on %.0f <= off %.0f ops/s", on, off)
+	}
+	fmt.Fprintf(os.Stderr, "group-commit smoke: %.2fx speedup (%.0f -> %.0f ops/s)\n", on/off, off, on)
+}

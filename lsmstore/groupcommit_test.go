@@ -1,0 +1,267 @@
+package lsmstore_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/lsmstore"
+)
+
+// The group-commit battery: coalescing commit fsyncs must change
+// throughput, never semantics — the store's visible contents are identical
+// with group commit on and off, an acknowledged write survives a kill even
+// when its fsync covered a whole group, and a lone writer is never
+// stranded waiting for followers that are not coming.
+
+// TestGroupCommitOnOffEquivalence drives the identical deterministic
+// workload with group commit on and off — for every strategy, live and
+// after a reopen — and demands identical images from every read path.
+func TestGroupCommitOnOffEquivalence(t *testing.T) {
+	for _, strategy := range []lsmstore.Strategy{lsmstore.Eager, lsmstore.Validation, lsmstore.MutableBitmap, lsmstore.DeletedKey} {
+		t.Run(strategy.String(), func(t *testing.T) {
+			type run struct{ live, reopened string }
+			images := map[lsmstore.GroupCommitMode]run{}
+			for _, mode := range []lsmstore.GroupCommitMode{lsmstore.GroupCommitOn, lsmstore.GroupCommitOff} {
+				dir := t.TempDir()
+				opts := diskOptions(strategy, dir)
+				opts.GroupCommit = mode
+				db, err := lsmstore.Open(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids := mixedWorkload(t, db, 700, 37)
+				live := storeImage(t, db, ids, validationFor(strategy))
+				if err := db.Close(); err != nil {
+					t.Fatal(err)
+				}
+				re, err := lsmstore.Open(opts)
+				if err != nil {
+					t.Fatalf("reopen (%v): %v", mode, err)
+				}
+				reopened := storeImage(t, re, ids, validationFor(strategy))
+				if err := re.Close(); err != nil {
+					t.Fatal(err)
+				}
+				images[mode] = run{live: live, reopened: reopened}
+			}
+			on, off := images[lsmstore.GroupCommitOn], images[lsmstore.GroupCommitOff]
+			if on.live != off.live {
+				t.Fatalf("live images diverge:\n on  %s\n off %s", on.live, off.live)
+			}
+			if on.reopened != off.reopened {
+				t.Fatalf("reopened images diverge:\n on  %s\n off %s", on.reopened, off.reopened)
+			}
+		})
+	}
+}
+
+// TestGroupCommitKillMidGroupCommit is the acceptance crash test:
+// concurrent writers commit through shared group fsyncs while a crash
+// image of the directory is captured mid-flight. Every write acknowledged
+// BEFORE the snapshot began must be served — with its exact value — by a
+// reopen of that image; writes in flight during the snapshot may land or
+// not, but must never corrupt the store.
+func TestGroupCommitKillMidGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	opts := diskOptions(lsmstore.Validation, dir)
+	opts.GroupCommit = lsmstore.GroupCommitOn
+	opts.MaintenanceWorkers = 2
+	opts.MemoryBudget = 32 << 10 // flushes and WAL compaction race the writers
+	db, err := lsmstore.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 8
+	var (
+		mu    sync.Mutex
+		acked = map[uint64][]byte{}
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for seq := uint64(0); ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := uint64(w)<<32 | seq // unique per write: Get checks the exact value
+				rec := tweetRec(id, uint32(w%40), int64(seq%1000))
+				if err := db.Upsert(tweetPK(id), rec); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				acked[id] = rec
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	// Let commit groups form, then freeze the acknowledged set and copy
+	// the directory while writers keep committing — the image catches
+	// groups mid-fsync, exactly what a kill leaves.
+	time.Sleep(300 * time.Millisecond)
+	mu.Lock()
+	survivors := make(map[uint64][]byte, len(acked))
+	for id, rec := range acked {
+		survivors[id] = rec
+	}
+	mu.Unlock()
+	snap := t.TempDir()
+	if err := snapshotStoreDir(dir, snap); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	st := db.Stats()
+	if st.Counters.GroupCommitBatches == 0 {
+		t.Fatal("group commit never engaged — the test exercised nothing")
+	}
+	if st.Counters.GroupCommitWaiters <= st.Counters.GroupCommitBatches {
+		t.Logf("warning: mean group size %.2f — little concurrency reached the commit window",
+			float64(st.Counters.GroupCommitWaiters)/float64(st.Counters.GroupCommitBatches))
+	}
+	// The original process "dies" here: no Close, no final manifest.
+
+	reOpts := diskOptions(lsmstore.Validation, snap)
+	re, err := lsmstore.Open(reOpts)
+	if err != nil {
+		t.Fatalf("reopen of mid-group-commit crash image: %v", err)
+	}
+	defer re.Close()
+	if len(survivors) == 0 {
+		t.Fatal("no writes acknowledged before the snapshot — nothing proven")
+	}
+	for id, want := range survivors {
+		got, found, err := re.Get(tweetPK(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("acknowledged write %x lost in the crash image", id)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("acknowledged write %x corrupted: got %x want %x", id, got, want)
+		}
+	}
+}
+
+// TestGroupCommitLoneWriterDurableImmediately: a single committer with no
+// concurrent writers must not pay any part of MaxSyncDelay — the leader
+// only holds the window for announced peers, and there are none.
+func TestGroupCommitLoneWriterDurableImmediately(t *testing.T) {
+	opts := diskOptions(lsmstore.Validation, t.TempDir())
+	opts.GroupCommit = lsmstore.GroupCommitOn
+	opts.MaxSyncDelay = 10 * time.Second // would be unmissable if ever paid
+	db, err := lsmstore.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if err := db.Upsert(tweetPK(uint64(i)), tweetRec(uint64(i), 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("lone write %d took %s — the leader waited for followers that never come", i, elapsed)
+		}
+	}
+	st := db.Stats()
+	if st.Counters.WALFsyncs == 0 || st.Counters.GroupCommitBatches == 0 {
+		t.Fatalf("lone writes were not group-committed durably: fsyncs=%d batches=%d",
+			st.Counters.WALFsyncs, st.Counters.GroupCommitBatches)
+	}
+}
+
+// TestGroupCommitBatchOneFsync: an ApplyBatch on the group-commit store
+// pays one covering WAL fsync for the whole batch, not one per mutation.
+func TestGroupCommitBatchOneFsync(t *testing.T) {
+	opts := diskOptions(lsmstore.Validation, t.TempDir())
+	opts.GroupCommit = lsmstore.GroupCommitOn
+	db, err := lsmstore.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const n = 64
+	muts := make([]lsmstore.Mutation, n)
+	for i := range muts {
+		id := uint64(i)
+		muts[i] = lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: tweetPK(id), Record: tweetRec(id, 1, 1)}
+	}
+	before := db.Stats().Counters
+	if err := db.ApplyBatch(muts); err != nil {
+		t.Fatal(err)
+	}
+	d := db.Stats().Counters.Sub(before)
+	if d.WALFsyncs != 1 {
+		t.Fatalf("batch of %d mutations cost %d WAL fsyncs, want exactly 1", n, d.WALFsyncs)
+	}
+	if d.GroupCommitWaiters != n {
+		t.Fatalf("group covered %d commits, want %d", d.GroupCommitWaiters, n)
+	}
+	for i := 0; i < n; i++ {
+		if _, found, err := db.Get(tweetPK(uint64(i))); err != nil || !found {
+			t.Fatalf("batched write %d missing after one-fsync commit (found=%v err=%v)", i, found, err)
+		}
+	}
+}
+
+// TestGroupCommitMutableBitmapBatchDoesNotDefer: the Mutable-bitmap
+// strategy flips disk-component bitmaps around its WAL append, and the
+// flip's undo/commit pair is only race-free under the writer's key lock —
+// so its batches must NOT defer commit durability to a batch-end wait.
+// Each mutation commits durably on its own (a sequential batch is a lone
+// committer per write: one fsync each, never one for the whole batch).
+func TestGroupCommitMutableBitmapBatchDoesNotDefer(t *testing.T) {
+	opts := diskOptions(lsmstore.MutableBitmap, t.TempDir())
+	opts.GroupCommit = lsmstore.GroupCommitOn
+	db, err := lsmstore.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const n = 16
+	muts := make([]lsmstore.Mutation, n)
+	for i := range muts {
+		id := uint64(i)
+		muts[i] = lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: tweetPK(id), Record: tweetRec(id, 1, 1)}
+	}
+	before := db.Stats().Counters
+	if err := db.ApplyBatch(muts); err != nil {
+		t.Fatal(err)
+	}
+	d := db.Stats().Counters.Sub(before)
+	if d.WALFsyncs < n {
+		t.Fatalf("mutable-bitmap batch of %d mutations cost %d WAL fsyncs — commit durability was deferred past the key lock", n, d.WALFsyncs)
+	}
+	for i := 0; i < n; i++ {
+		if _, found, err := db.Get(tweetPK(uint64(i))); err != nil || !found {
+			t.Fatalf("batched write %d missing (found=%v err=%v)", i, found, err)
+		}
+	}
+}
+
+// TestGroupCommitModeString pins the flag-facing names.
+func TestGroupCommitModeString(t *testing.T) {
+	for mode, want := range map[lsmstore.GroupCommitMode]string{
+		lsmstore.GroupCommitAuto: "auto",
+		lsmstore.GroupCommitOn:   "on",
+		lsmstore.GroupCommitOff:  "off",
+	} {
+		if got := fmt.Sprint(mode); got != want {
+			t.Errorf("mode %d prints %q, want %q", int(mode), got, want)
+		}
+	}
+}

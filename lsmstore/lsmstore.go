@@ -127,6 +127,34 @@ func (b Backend) String() string {
 	return fmt.Sprintf("backend(%d)", int(b))
 }
 
+// GroupCommitMode selects commit-fsync coalescing on the file backend.
+type GroupCommitMode int
+
+// Group-commit modes.
+const (
+	// GroupCommitAuto (the default) turns group commit on for the file
+	// backend. The simulated backend has no commit fsync to coalesce, so
+	// the mode is meaningless there.
+	GroupCommitAuto GroupCommitMode = iota
+	// GroupCommitOn forces group commit on the file backend.
+	GroupCommitOn
+	// GroupCommitOff keeps one fsync per committed write.
+	GroupCommitOff
+)
+
+// String implements fmt.Stringer.
+func (m GroupCommitMode) String() string {
+	switch m {
+	case GroupCommitAuto:
+		return "auto"
+	case GroupCommitOn:
+		return "on"
+	case GroupCommitOff:
+		return "off"
+	}
+	return fmt.Sprintf("group-commit(%d)", int(m))
+}
+
 // SecondaryIndex declares one secondary index.
 type SecondaryIndex struct {
 	// Name identifies the index in SecondaryQuery calls.
@@ -185,6 +213,21 @@ type Options struct {
 	BlockedBloom bool
 	// DisableWAL turns off write-ahead logging.
 	DisableWAL bool
+	// GroupCommit selects commit-fsync coalescing on the file backend
+	// (default GroupCommitAuto = on): concurrent committers append their
+	// WAL records and park on a shared commit window; a leader issues one
+	// fsync covering every parked commit, and ApplyBatch pays one fsync
+	// per batch instead of one per mutation. Acknowledgment semantics are
+	// unchanged — a write is never acknowledged before the fsync covering
+	// its commit record returns. Ignored on the simulated backend.
+	GroupCommit GroupCommitMode
+	// MaxSyncDelay bounds how long a group-commit leader holds the commit
+	// window open for committers that have announced intent but not yet
+	// appended (they are mid-append and join within microseconds). A lone
+	// committer never waits: with no announced peers the fsync is issued
+	// immediately. 0 means the 2ms default; negative disables the window
+	// entirely (the leader syncs as soon as any in-flight fsync finishes).
+	MaxSyncDelay time.Duration
 	// Seed fixes all pseudo-random choices.
 	Seed int64
 	// Shards selects the number of hash partitions (default 1, the
@@ -338,6 +381,24 @@ func resolveCacheBytes(opts Options) int64 {
 	return 64 << 20
 }
 
+// defaultMaxSyncDelay is how long a group-commit leader will hold the
+// commit window open for announced stragglers when Options.MaxSyncDelay
+// is zero. It bounds worst-case added commit latency; with no announced
+// peers it is never paid at all.
+const defaultMaxSyncDelay = 2 * time.Millisecond
+
+// resolveMaxSyncDelay applies the MaxSyncDelay default (0 → 2ms,
+// negative → no window).
+func resolveMaxSyncDelay(opts Options) time.Duration {
+	switch {
+	case opts.MaxSyncDelay < 0:
+		return 0
+	case opts.MaxSyncDelay == 0:
+		return defaultMaxSyncDelay
+	}
+	return opts.MaxSyncDelay
+}
+
 // resolvePageSize returns the effective device page size for the options.
 func resolvePageSize(opts Options) int {
 	if opts.PageSize > 0 {
@@ -365,10 +426,15 @@ func openPartition(opts Options, pool *maint.Pool, idx int) (*shard.Partition, e
 		}
 	}
 	var dev storage.Device
+	var groupCommit *filedev.GroupSyncer
 	if opts.Backend == FileBackend {
 		fd, err := filedev.Open(shardDir(opts.Dir, idx), profile)
 		if err != nil {
 			return nil, err
+		}
+		fd.AttachCounters(env.Counters)
+		if opts.GroupCommit != GroupCommitOff {
+			groupCommit = filedev.NewGroupSyncer(fd, resolveMaxSyncDelay(opts), env.Counters)
 		}
 		dev = fd
 	} else {
@@ -396,6 +462,11 @@ func openPartition(opts Options, pool *maint.Pool, idx int) (*shard.Partition, e
 	}
 	if !opts.DisableMerges {
 		cfg.Policy = lsm.NewTiering(opts.MaxMergeableBytes)
+	}
+	if groupCommit != nil {
+		// Assigned only when non-nil: a typed nil pointer inside the
+		// interface would read as "group committer attached" to the log.
+		cfg.GroupCommit = groupCommit
 	}
 	for _, s := range opts.Secondaries {
 		cfg.Secondaries = append(cfg.Secondaries, core.SecondarySpec(s))
