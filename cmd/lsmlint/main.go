@@ -1,0 +1,38 @@
+// Command lsmlint is the repo's invariant-enforcing static analyzer
+// suite. It bundles four checkers for the engine's concurrency and
+// durability contracts:
+//
+//	lockio      no blocking I/O while an engine mutex is held
+//	erraudit    no silently discarded errors in durability packages
+//	poolleak    sync.Pool buffers must not escape their request
+//	clocksource simulation code must use the virtual metrics.Clock
+//
+// It speaks the `go vet -vettool` protocol, so the usual invocation is
+//
+//	go build -o /tmp/lsmlint ./cmd/lsmlint
+//	go vet -vettool=/tmp/lsmlint ./...
+//
+// and it also runs standalone on package patterns:
+//
+//	lsmlint ./internal/...
+//
+// See internal/analysis/doc.go for the invariants and the //lsm:
+// annotation protocol for justified exceptions.
+package main
+
+import (
+	"repro/internal/analysis/clocksource"
+	"repro/internal/analysis/erraudit"
+	"repro/internal/analysis/lockio"
+	"repro/internal/analysis/poolleak"
+	"repro/internal/analysis/unit"
+)
+
+func main() {
+	unit.Main(
+		lockio.Analyzer,
+		erraudit.Analyzer,
+		poolleak.Analyzer,
+		clocksource.Analyzer,
+	)
+}

@@ -1,0 +1,166 @@
+// Package analysistest runs an analyzer over checked-in testdata packages
+// and compares its diagnostics against `// want` expectations, following
+// the convention of golang.org/x/tools/go/analysis/analysistest:
+//
+//	f.Sync() // want `fsync .* is held`
+//
+// Each want comment carries one or more regexps (quoted with " or `);
+// every diagnostic on that line must match one pending expectation on the
+// same line, every expectation must be consumed, and a line with no want
+// comment must produce no diagnostics. Testdata lives under the
+// analyzer's testdata/src/<pkg> directories; the go tool never matches
+// testdata in wildcards, so the packages are loaded by explicit relative
+// path (which works) and never leak into ./... builds.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// Run loads the packages named by patterns (relative to dir) and applies
+// the analyzer, reporting any mismatch with // want comments as test
+// errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	res, err := load.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", patterns, err)
+	}
+	for _, p := range res.Pkgs {
+		runPkg(t, res.Fset, a, p)
+	}
+}
+
+// RunExpectNone loads the packages and asserts the analyzer reports
+// nothing at all, ignoring any // want comments — the form for scope-gate
+// tests that reuse a violation-rich fixture with the analyzer pointed
+// elsewhere.
+func RunExpectNone(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	res, err := load.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", patterns, err)
+	}
+	for _, p := range res.Pkgs {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      res.Fset,
+			Files:     p.Files,
+			Pkg:       p.Pkg,
+			TypesInfo: p.Info,
+			Report: func(d analysis.Diagnostic) {
+				t.Errorf("%s: unexpected diagnostic: %s", res.Fset.Position(d.Pos), d.Message)
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s: analyzer failed: %v", p.ImportPath, err)
+		}
+	}
+}
+
+type key struct {
+	file string
+	line int
+}
+
+func runPkg(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, p *load.Package) {
+	t.Helper()
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range p.Files {
+		collectWants(t, fset, f, wants)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     p.Files,
+		Pkg:       p.Pkg,
+		TypesInfo: p.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer failed: %v", p.ImportPath, err)
+	}
+
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		k := key{posn.Filename, posn.Line}
+		if i := matchWant(wants[k], d.Message); i >= 0 {
+			wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: no diagnostic matched expectation %q", k.file, k.line, re)
+		}
+	}
+}
+
+// collectWants indexes the `// want "re"...` comments of one file by line.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File, wants map[key][]*regexp.Regexp) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			posn := fset.Position(c.Pos())
+			k := key{posn.Filename, posn.Line}
+			for _, lit := range splitQuoted(t, posn, text) {
+				re, err := regexp.Compile(lit)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", posn, lit, err)
+				}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+}
+
+// splitQuoted parses the sequence of quoted regexps after `// want`.
+func splitQuoted(t *testing.T, posn token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		if s[0] != '"' && s[0] != '`' {
+			t.Fatalf("%s: malformed want comment at %q (expected quoted regexp)", posn, s)
+		}
+		end := strings.IndexByte(s[1:], s[0])
+		if end < 0 {
+			t.Fatalf("%s: unterminated quote in want comment %q", posn, s)
+		}
+		lit, err := strconv.Unquote(s[:end+2])
+		if err != nil {
+			t.Fatalf("%s: bad quoted regexp %q: %v", posn, s[:end+2], err)
+		}
+		out = append(out, lit)
+		s = s[end+2:]
+	}
+}
+
+// matchWant returns the index of the first pending expectation the message
+// satisfies, or -1.
+func matchWant(res []*regexp.Regexp, msg string) int {
+	for i, re := range res {
+		if re.MatchString(msg) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,35 @@
+// Package a is the clocksource analyzer's test fixture. The test points
+// the packages flag at this package.
+package a
+
+import "time"
+
+// Duration arithmetic and constants never touch the wall clock: allowed.
+const tick = 10 * time.Millisecond
+
+func scale(d time.Duration) time.Duration { return d * 2 }
+
+func bad() time.Time {
+	time.Sleep(tick)  // want `time\.Sleep reads the wall clock in simulation code`
+	return time.Now() // want `time\.Now reads the wall clock in simulation code`
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock in simulation code`
+}
+
+func badTimer() *time.Timer {
+	return time.NewTimer(tick) // want `time\.NewTimer reads the wall clock in simulation code`
+}
+
+// justified measures real scheduler behavior on purpose.
+func justified() time.Time {
+	//lsm:clocksource-ok test fixture: real wall-time measurement by design
+	return time.Now()
+}
+
+// emptyReason shows an annotation without a justification: it does not
+// suppress, and the directive itself is flagged.
+func emptyReason() time.Time {
+	return time.Now() /*lsm:clocksource-ok*/ // want `directive needs a justification` `time\.Now reads the wall clock`
+}

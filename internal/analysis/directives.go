@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectivePrefix introduces an lsmlint control comment: //lsm:<name> <why>.
+// The space-free prefix follows the //go: convention, so gofmt leaves the
+// comments alone and they read as machine directives, not prose.
+const DirectivePrefix = "lsm:"
+
+// A Directive is one parsed //lsm: comment.
+type Directive struct {
+	Name   string // e.g. "lockio-ok"
+	Reason string // justification text after the name; required
+	Pos    token.Pos
+	Line   int
+}
+
+// parseDirective extracts a directive from one comment, if present. Both
+// comment forms work: //lsm:name why, and /*lsm:name why*/ for when the
+// line needs another comment after the directive (the analyzer testdata
+// pairs a directive with a // want expectation this way).
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	text := c.Text
+	if t, ok := strings.CutPrefix(text, "/*"+DirectivePrefix); ok {
+		text = "//" + DirectivePrefix + strings.TrimSuffix(t, "*/")
+	}
+	if !strings.HasPrefix(text, "//"+DirectivePrefix) {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(text, "//"+DirectivePrefix)
+	name, reason, _ := strings.Cut(rest, " ")
+	if name == "" {
+		return Directive{}, false
+	}
+	return Directive{Name: name, Reason: strings.TrimSpace(reason), Pos: c.Pos()}, true
+}
+
+// fileDirectives indexes every //lsm: comment of a file by line.
+func (p *Pass) fileDirectives(f *ast.File) map[int][]Directive {
+	if p.directives == nil {
+		p.directives = make(map[*ast.File]map[int][]Directive)
+	}
+	if m, ok := p.directives[f]; ok {
+		return m
+	}
+	m := make(map[int][]Directive)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d, ok := parseDirective(c)
+			if !ok {
+				continue
+			}
+			d.Line = p.Fset.Position(c.Pos()).Line
+			m[d.Line] = append(m[d.Line], d)
+		}
+	}
+	p.directives[f] = m
+	return m
+}
+
+// fileOf returns the *ast.File containing pos.
+func (p *Pass) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// Suppressed reports whether a diagnostic at pos is waived by an
+// //lsm:<name> directive with a non-empty justification. A directive
+// counts when it sits on the flagged line, on the line directly above it,
+// or in the doc comment of the function declaration enclosing pos — one
+// annotated declaration covers a whole intentionally-exempt function.
+// Directives with an empty reason never suppress; CheckDirectives flags
+// them so an exemption cannot land without its written justification.
+func (p *Pass) Suppressed(name string, pos token.Pos) bool {
+	f := p.fileOf(pos)
+	if f == nil {
+		return false
+	}
+	dirs := p.fileDirectives(f)
+	line := p.Fset.Position(pos).Line
+	for _, d := range append(dirs[line], dirs[line-1]...) {
+		if d.Name == name && d.Reason != "" {
+			return true
+		}
+	}
+	// Enclosing function's doc comment.
+	path, _ := PathEnclosingPos(f, pos)
+	for _, n := range path {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			if d, ok := parseDirective(c); ok && d.Name == name && d.Reason != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CheckDirectives reports every //lsm:<name> directive that carries no
+// justification: the escape hatches are only valid with a written reason.
+func (p *Pass) CheckDirectives(name string) {
+	for _, f := range p.Files {
+		for _, perLine := range p.fileDirectives(f) {
+			for _, d := range perLine {
+				if d.Name == name && d.Reason == "" {
+					p.Reportf(d.Pos, "//lsm:%s directive needs a justification: //lsm:%s <why this exemption is sound>", name, name)
+				}
+			}
+		}
+	}
+}
+
+// PathEnclosingPos returns the AST path from the file down to the
+// innermost node whose extent contains pos (outermost first), like
+// astutil.PathEnclosingInterval but for a single position.
+func PathEnclosingPos(f *ast.File, pos token.Pos) ([]ast.Node, bool) {
+	var path []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() <= pos && pos < n.End() {
+			path = append(path, n)
+			return true
+		}
+		return false
+	})
+	return path, len(path) > 0
+}

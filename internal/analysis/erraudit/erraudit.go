@@ -1,0 +1,156 @@
+// Package erraudit implements the lsmlint analyzer that forbids silently
+// discarded errors in the engine's durability-critical packages.
+//
+// PR 3's durability bugs came from exactly one shape: an error from a sink
+// (fsync, manifest write, WAL append) dropped on the floor, leaving the
+// in-memory image claiming durability the device never delivered. erraudit
+// rejects every discarded error in the audited packages — stricter than
+// errcheck, with no default exclusion list:
+//
+//   - a call whose result set includes an error, used as a statement
+//     (including deferred calls: `defer f.Close()` discards too);
+//   - an error assigned to the blank identifier, in any position
+//     (`_ = f()`, `x, _ := g()` where the second result is the error).
+//
+// Intentional discards carry //lsm:allow-discard <reason> on the line, the
+// line above, or the enclosing function's doc comment. The audited package
+// list is configurable; entries cover the package and its subpackages.
+package erraudit
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+const directive = "allow-discard"
+
+// Analyzer is the erraudit pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "erraudit",
+	Doc:  "report discarded errors (bare calls, assignments to _) in the audited durability-critical packages",
+	Run:  run,
+}
+
+var packageList string
+
+func init() {
+	Analyzer.Flags.StringVar(&packageList, "packages",
+		"repro/internal/wal,repro/internal/storage,repro/internal/core,repro/internal/server",
+		"comma-separated package paths to audit (each covers its subpackages)")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.PathMatches(pass.Pkg.Path(), packageList, true) {
+		return nil, nil
+	}
+	pass.CheckDirectives(directive)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkBareCall(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkBareCall(pass, n.Call, "deferred ")
+			case *ast.GoStmt:
+				checkBareCall(pass, n.Call, "goroutine ")
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkBareCall reports a statement-position call that returns an error
+// nobody looks at.
+func checkBareCall(pass *analysis.Pass, call *ast.CallExpr, kind string) {
+	if !returnsError(pass, call) {
+		return
+	}
+	if pass.Suppressed(directive, call.Pos()) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%scall discards its error result%s; handle it or annotate //lsm:allow-discard <why>",
+		kind, callName(call))
+}
+
+// checkBlankAssign reports error values assigned to the blank identifier.
+func checkBlankAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	// Multi-value form: x, _ := f() — result types come from the call.
+	if len(as.Lhs) > 1 && len(as.Rhs) == 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tuple, ok := pass.TypesInfo.TypeOf(call).(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && i < tuple.Len() && isErrorType(tuple.At(i).Type()) {
+				if !pass.Suppressed(directive, as.Pos()) {
+					pass.Reportf(as.Pos(), "error result of %s assigned to _; handle it or annotate //lsm:allow-discard <why>",
+						strings.TrimPrefix(callName(call), " in "))
+				}
+			}
+		}
+		return
+	}
+	// Parallel form: _ = expr (possibly several).
+	for i, lhs := range as.Lhs {
+		if !isBlank(lhs) || i >= len(as.Rhs) {
+			continue
+		}
+		t := pass.TypesInfo.TypeOf(as.Rhs[i])
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		if !pass.Suppressed(directive, as.Pos()) {
+			pass.Reportf(as.Pos(), "error value assigned to _; handle it or annotate //lsm:allow-discard <why>")
+		}
+	}
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// callName renders a short " in f" suffix for diagnostics.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return " in " + fun.Name
+	case *ast.SelectorExpr:
+		return " in " + fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,45 @@
+// Package a is the erraudit analyzer's test fixture. The test points the
+// packages flag at this package.
+package a
+
+import "errors"
+
+func mayFail() error          { return errors.New("boom") }
+func twoVals() (int, error)   { return 0, nil }
+func value() int              { return 1 }
+func cleanup()                {}
+
+func bad() {
+	mayFail()         // want `call discards its error result in mayFail`
+	defer mayFail()   // want `deferred call discards its error result in mayFail`
+	go mayFail()      // want `goroutine call discards its error result in mayFail`
+	_ = mayFail()     // want `error value assigned to _`
+	n, _ := twoVals() // want `error result of twoVals assigned to _`
+	_ = n
+}
+
+// good handles or legitimately ignores everything: no diagnostics.
+func good() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	value()        // no error result
+	defer cleanup() // no error result
+	n, err := twoVals()
+	if err != nil {
+		return err
+	}
+	_ = n // not an error value
+	return nil
+}
+
+func justified() {
+	//lsm:allow-discard test fixture: error cannot occur after the guard above
+	_ = mayFail()
+}
+
+// emptyReason shows an annotation without a justification: it does not
+// suppress, and the directive itself is flagged.
+func emptyReason() {
+	_ = mayFail() /*lsm:allow-discard*/ // want `directive needs a justification` `error value assigned to _`
+}

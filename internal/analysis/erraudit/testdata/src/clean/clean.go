@@ -1,0 +1,13 @@
+// Package clean is erraudit's out-of-scope fixture: it discards errors
+// freely, and the scope-gate test checks that no diagnostics appear when
+// the package is not on the audited list.
+package clean
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func unaudited() {
+	mayFail()
+	_ = mayFail()
+}

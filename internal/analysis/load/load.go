@@ -1,0 +1,141 @@
+// Package load turns `go list` package patterns into parsed, type-checked
+// packages for the lsmlint analyzers, using only the standard library and
+// the go toolchain itself.
+//
+// It shells out once to `go list -export -deps -json`, which compiles (or
+// reuses from the build cache) gc export data for every dependency, then
+// parses the target packages from source and type-checks them against that
+// export data via go/importer's lookup mode. This is the same shape as the
+// x/tools go/packages LoadAllSyntax path, minus the dependency.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+}
+
+// Package is one parsed and type-checked target package.
+type Package struct {
+	ImportPath string
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// Result holds the loaded target packages and their shared FileSet.
+type Result struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// Load resolves patterns (as `go list` understands them, relative to dir)
+// and returns every matched package parsed and type-checked. Dependencies
+// are consumed as export data, never re-parsed.
+func Load(dir string, patterns ...string) (*Result, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Name,GoFiles,Export,DepOnly,Standard",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && p.Name != "" && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	// One shared importer: common dependencies resolve to one *types.Package
+	// across all targets, exactly like a build.
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	res := &Result{Fset: fset}
+	for _, t := range targets {
+		pkg, err := typecheck(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		res.Pkgs = append(res.Pkgs, pkg)
+	}
+	return res, nil
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, lp listPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	pkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{ImportPath: lp.ImportPath, Files: files, Pkg: pkg, Info: info}, nil
+}

@@ -1,0 +1,29 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockio"
+)
+
+const fixture = "repro/internal/analysis/lockio/testdata/src/a"
+
+func TestLockio(t *testing.T) {
+	defer setFlag(t, "mutexes", fixture+".Guarded.mu")()
+	defer setFlag(t, "blocking", fixture+".Sink.Append")()
+	analysistest.Run(t, "testdata", lockio.Analyzer, "./src/a")
+}
+
+func setFlag(t *testing.T, name, value string) (restore func()) {
+	t.Helper()
+	f := lockio.Analyzer.Flags.Lookup(name)
+	if f == nil {
+		t.Fatalf("no flag %q", name)
+	}
+	old := f.Value.String()
+	if err := f.Value.Set(value); err != nil {
+		t.Fatal(err)
+	}
+	return func() { f.Value.Set(old) }
+}

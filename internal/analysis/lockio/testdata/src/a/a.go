@@ -1,0 +1,105 @@
+// Package a is the lockio analyzer's test fixture. The test points the
+// mutexes flag at Guarded.mu and the blocking flag at Sink.Append.
+package a
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type Guarded struct {
+	mu sync.Mutex
+	f  *os.File
+	ch chan int
+}
+
+type Sink interface {
+	Append(p []byte) error
+}
+
+func (g *Guarded) SyncUnderLock() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.f.Sync() // want `fsync via \(\*os\.File\)\.Sync while .*\.Guarded\.mu is held`
+}
+
+func (g *Guarded) SleepUnderLock() {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while .*\.Guarded\.mu is held`
+	g.mu.Unlock()
+}
+
+func (g *Guarded) SendUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ch <- 1 // want `channel send while .*\.Guarded\.mu is held`
+}
+
+func (g *Guarded) RecvUnderLock() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch // want `channel receive while .*\.Guarded\.mu is held`
+}
+
+func (g *Guarded) ExtraBlocking(s Sink, p []byte) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return s.Append(p) // want `Sink\.Append while .*\.Guarded\.mu is held`
+}
+
+func (g *Guarded) syncAll() error { return g.f.Sync() }
+
+func (g *Guarded) TransitiveUnderLock() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.syncAll() // want `fsync via \(\*os\.File\)\.Sync \(via syncAll\) while`
+}
+
+// ReleasedBeforeSync drops the mutex before the fsync — the pattern the
+// invariant demands — and must produce no diagnostic.
+func (g *Guarded) ReleasedBeforeSync() error {
+	g.mu.Lock()
+	dirty := g.f != nil
+	g.mu.Unlock()
+	if dirty {
+		return g.f.Sync()
+	}
+	return nil
+}
+
+// BranchUnlock releases only on the early-return arm; the fallthrough
+// path still holds the mutex at the fsync.
+func (g *Guarded) BranchUnlock(early bool) error {
+	g.mu.Lock()
+	if early {
+		g.mu.Unlock()
+		return nil
+	}
+	err := g.f.Sync() // want `fsync via \(\*os\.File\)\.Sync while`
+	g.mu.Unlock()
+	return err
+}
+
+// SpawnUnderLock starts a goroutine while holding the mutex; the spawned
+// body runs outside this critical section, so no diagnostic.
+func (g *Guarded) SpawnUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() { g.ch <- 1 }()
+}
+
+func (g *Guarded) JustifiedSync() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	//lsm:lockio-ok test fixture: single-writer close path, latency irrelevant
+	return g.f.Sync()
+}
+
+// EmptyReason carries a directive with no justification: it fails to
+// suppress the finding and is itself flagged.
+func (g *Guarded) EmptyReason() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.f.Sync() /*lsm:lockio-ok*/ // want `directive needs a justification` `fsync via \(\*os\.File\)\.Sync while`
+}

@@ -1,0 +1,306 @@
+// Package poolleak implements the lsmlint analyzer that enforces the
+// pooled-buffer discipline PR 5 introduced on the hot write path.
+//
+// A buffer taken from a sync.Pool serves exactly one request and goes
+// back: if it escapes — stored into a struct field or package variable,
+// returned to a caller, sent on a channel, or captured by a goroutine —
+// it either leaks (never Put) or, worse, is Put while an alias is still
+// live and the next Get scribbles over in-flight data. poolleak taints
+// every sync.Pool Get result (through simple aliases: y := x, *x, x[:n])
+// and reports:
+//
+//   - escapes of a tainted value out of the function, and
+//   - Get results that are never Put, never escape, and are never handed
+//     to another function — a straight leak of the pooled buffer.
+//
+// Writing through the pooled pointer (*bp = ...) is not an escape; that
+// is the buffer doing its job. Deliberate ownership handoffs (the server
+// response path hands frames to the connection's writer goroutine, which
+// Puts them after the flush) carry //lsm:poolleak-ok <reason>.
+package poolleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+const directive = "poolleak-ok"
+
+// Analyzer is the poolleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolleak",
+	Doc:  "report sync.Pool buffers that escape their request (field/global stores, returns, channel sends, goroutine captures) or are never returned to the pool",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pass.CheckDirectives(directive)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	taint   map[types.Object]token.Pos // tainted var -> Get position
+	put     map[types.Object]bool      // tainted var passed to Pool.Put
+	escaped map[types.Object]bool      // tainted var reported (or suppressed) as escaping
+	calls   map[types.Object]bool      // tainted var passed as a plain call argument
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	c := &checker{
+		pass:    pass,
+		taint:   make(map[types.Object]token.Pos),
+		put:     make(map[types.Object]bool),
+		escaped: make(map[types.Object]bool),
+		calls:   make(map[types.Object]bool),
+	}
+	// Seed: every `x := pool.Get()` (possibly type-asserted).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		if !c.isPoolGet(as.Rhs[0]) {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if obj := c.objOf(lhs); obj != nil {
+				c.taint[obj] = as.Pos()
+			}
+		}
+		return true
+	})
+	if len(c.taint) == 0 {
+		return
+	}
+	// Propagate through simple aliases (y := x, y := (*x)[:0], ...) until
+	// no new variables taint.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i := range as.Rhs {
+				root := c.aliasRoot(as.Rhs[i])
+				if root == nil || !c.tainted(root) {
+					continue
+				}
+				if obj := c.objOf(as.Lhs[i]); obj != nil {
+					if _, ok := c.taint[obj]; !ok {
+						c.taint[obj] = c.taint[c.objOf(root)]
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	c.scan(fd.Body)
+	// A Get whose buffer provably stays inside the function and is never
+	// Put leaks pool capacity: the pool exists to be refilled. Aliases of
+	// one Get share its position, so the disposition of any alias (a Put,
+	// an escape, a handoff) settles the whole family.
+	handled := make(map[token.Pos]bool)
+	name := make(map[token.Pos]string)
+	for obj, pos := range c.taint {
+		if c.put[obj] || c.escaped[obj] || c.calls[obj] {
+			handled[pos] = true
+		}
+		if name[pos] == "" || obj.Pos() == pos {
+			name[pos] = obj.Name()
+		}
+	}
+	reported := make(map[token.Pos]bool)
+	for _, pos := range c.taint {
+		if handled[pos] || reported[pos] || c.pass.Suppressed(directive, pos) {
+			continue
+		}
+		reported[pos] = true
+		c.pass.Reportf(pos, "sync.Pool buffer %s is never returned with Put and never leaves the function; Put it back (or annotate //lsm:poolleak-ok <why>)", name[pos])
+	}
+}
+
+// scan walks the body reporting escapes of tainted values.
+func (c *checker) scan(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if root := c.aliasRoot(r); root != nil && c.tainted(root) {
+					c.escape(root, n.Pos(), "returned to the caller")
+				}
+			}
+		case *ast.SendStmt:
+			if root := c.aliasRoot(n.Value); root != nil && c.tainted(root) {
+				c.escape(root, n.Pos(), "sent on a channel")
+			}
+		case *ast.GoStmt:
+			ast.Inspect(n.Call, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && c.tainted(id) {
+					c.escape(id, n.Pos(), "captured by a goroutine")
+					return false
+				}
+				return true
+			})
+			return false
+		case *ast.AssignStmt:
+			c.scanAssign(n)
+		case *ast.CallExpr:
+			c.scanCall(n)
+		}
+		return true
+	})
+}
+
+// scanAssign reports stores of tainted values into locations that outlive
+// the request: struct fields, indexed containers, package-level variables.
+func (c *checker) scanAssign(as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		root := c.aliasRoot(as.Rhs[i])
+		if root == nil || !c.tainted(root) {
+			continue
+		}
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			// x.field = tainted: escapes unless x itself is the pooled
+			// value (writing into the pooled object is its purpose).
+			if base := c.aliasRoot(l.X); base == nil || !c.tainted(base) {
+				c.escape(root, as.Pos(), "stored into a struct field")
+			}
+		case *ast.IndexExpr:
+			if base := c.aliasRoot(l.X); base == nil || !c.tainted(base) {
+				c.escape(root, as.Pos(), "stored into a container")
+			}
+		case *ast.Ident:
+			if obj := c.objOf(l); obj != nil && obj.Parent() == c.pass.Pkg.Scope() {
+				c.escape(root, as.Pos(), "stored into a package-level variable")
+			}
+		}
+	}
+}
+
+// scanCall records Pool.Put calls and plain argument handoffs.
+func (c *checker) scanCall(call *ast.CallExpr) {
+	isPut := false
+	if se, ok := call.Fun.(*ast.SelectorExpr); ok && se.Sel.Name == "Put" && c.isPoolExpr(se.X) {
+		isPut = true
+	}
+	for _, a := range call.Args {
+		root := c.aliasRoot(a)
+		if root == nil || !c.tainted(root) {
+			continue
+		}
+		obj := c.objOf(root)
+		if isPut {
+			c.put[obj] = true
+		} else {
+			c.calls[obj] = true
+		}
+	}
+}
+
+func (c *checker) escape(root *ast.Ident, pos token.Pos, how string) {
+	obj := c.objOf(root)
+	c.escaped[obj] = true
+	if c.pass.Suppressed(directive, pos) {
+		return
+	}
+	c.pass.Reportf(pos, "sync.Pool buffer %s escapes its request: %s; the pooled-frame discipline requires Get/Put within one request (or annotate //lsm:poolleak-ok <why>)",
+		root.Name, how)
+}
+
+// aliasRoot unwraps an expression to the identifier it aliases, through
+// parens, dereference, address-of, slicing and type assertion — the
+// no-copy transformations a pooled buffer flows through.
+func (c *checker) aliasRoot(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (c *checker) tainted(id *ast.Ident) bool {
+	obj := c.objOf(id)
+	if obj == nil {
+		return false
+	}
+	_, ok := c.taint[obj]
+	return ok
+}
+
+func (c *checker) objOf(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return c.pass.TypesInfo.Uses[id]
+}
+
+// isPoolGet matches pool.Get() calls, optionally wrapped in a type
+// assertion: x := pool.Get().(*[]byte).
+func (c *checker) isPoolGet(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ta.X
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	se, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || se.Sel.Name != "Get" {
+		return false
+	}
+	return c.isPoolExpr(se.X)
+}
+
+// isPoolExpr reports whether e has type sync.Pool or *sync.Pool.
+func (c *checker) isPoolExpr(e ast.Expr) bool {
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Pool"
+}

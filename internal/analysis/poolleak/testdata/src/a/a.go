@@ -1,0 +1,77 @@
+// Package a is the poolleak analyzer's test fixture.
+package a
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+type holder struct{ buf *[]byte }
+
+var global *[]byte
+
+func fill(p *[]byte) {}
+
+// roundTrip is the blessed pattern — Get, use, Put — and must produce no
+// diagnostic.
+func roundTrip() {
+	bp := pool.Get().(*[]byte)
+	*bp = append((*bp)[:0], 1, 2, 3)
+	pool.Put(bp)
+}
+
+func escapesReturn() *[]byte {
+	bp := pool.Get().(*[]byte)
+	return bp // want `escapes its request: returned to the caller`
+}
+
+func escapesChannel(ch chan *[]byte) {
+	bp := pool.Get().(*[]byte)
+	ch <- bp // want `escapes its request: sent on a channel`
+}
+
+func escapesField(h *holder) {
+	bp := pool.Get().(*[]byte)
+	h.buf = bp // want `escapes its request: stored into a struct field`
+}
+
+func escapesGlobal() {
+	bp := pool.Get().(*[]byte)
+	global = bp // want `escapes its request: stored into a package-level variable`
+}
+
+func escapesGoroutine() {
+	bp := pool.Get().(*[]byte)
+	go func() { pool.Put(bp) }() // want `escapes its request: captured by a goroutine`
+}
+
+func aliasEscape() []byte {
+	bp := pool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	return buf // want `escapes its request: returned to the caller`
+}
+
+func leaks() {
+	bp := pool.Get().(*[]byte) // want `never returned with Put`
+	*bp = (*bp)[:0]
+}
+
+// handedOff passes the buffer to a callee, which may Put it: out of this
+// analysis's intraprocedural scope, so no diagnostic.
+func handedOff() {
+	bp := pool.Get().(*[]byte)
+	fill(bp)
+}
+
+// justified hands the buffer to a consumer goroutine by design — the
+// server's writer-goroutine pattern.
+func justified(ch chan *[]byte) {
+	bp := pool.Get().(*[]byte)
+	ch <- bp //lsm:poolleak-ok test fixture: consumer Puts after the flush
+}
+
+// emptyReason shows an annotation without a justification: it does not
+// suppress, and the directive itself is flagged.
+func emptyReason(ch chan *[]byte) {
+	bp := pool.Get().(*[]byte)
+	ch <- bp /*lsm:poolleak-ok*/ // want `directive needs a justification` `escapes its request: sent on a channel`
+}

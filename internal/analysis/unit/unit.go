@@ -1,0 +1,382 @@
+// Package unit is the driver half of lsmlint: it speaks the command-line
+// protocol `go vet -vettool` expects from an analysis tool, and doubles as
+// a standalone multichecker over `go list` patterns.
+//
+// The vet protocol (reimplemented here from the x/tools unitchecker,
+// against the standard library only) is:
+//
+//	-V=full    print the executable's identity for build caching, exit 0
+//	-flags     print the tool's flags as JSON, exit 0
+//	foo.cfg    analyze the single compilation unit the JSON config
+//	           describes: parse its GoFiles, type-check them against the
+//	           export data files the go command already compiled
+//	           (Config.PackageFile), run every analyzer, print findings
+//
+// Each -vettool invocation analyzes exactly one package; the go command
+// fans the tool out over the build graph and caches results. Dependency
+// packages arrive with VetxOnly set — they are analyzed only for facts,
+// and since lsmlint's analyzers are fact-free those runs are no-ops.
+//
+// In standalone mode (any non-.cfg arguments) the tool loads the named
+// packages itself through internal/analysis/load and prints findings for
+// all of them, which is the convenient form for local runs:
+//
+//	lsmlint ./...
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// Config mirrors the JSON compilation-unit description `go vet` writes for
+// a vettool (x/tools unitchecker.Config). Field names are the contract.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the driver and exits the process. analyzers must be valid per
+// analysis.Validate.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := os.Args[0]
+	log.SetFlags(0)
+	log.SetPrefix("lsmlint: ")
+	if err := analysis.Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	jsonOut := flag.Bool("json", false, "emit JSON output")
+	flag.Int("c", -1, "display offending line with this many lines of context (ignored)")
+	flag.Var(versionFlag{}, "V", "print version and exit")
+	enabled := make(map[*analysis.Analyzer]*triState)
+	for _, a := range analyzers {
+		ts := new(triState)
+		flag.Var(ts, a.Name, "enable "+a.Name+" analysis")
+		enabled[a] = ts
+		prefix := a.Name + "."
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			flag.Var(f.Value, prefix+f.Name, f.Usage)
+		})
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] <unit.cfg | packages...>\n", progname)
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	flag.Parse()
+
+	if *printflags {
+		printFlags()
+		os.Exit(0)
+	}
+
+	// -NAME=true selects a subset; -NAME=false removes from the full set.
+	var keep []*analysis.Analyzer
+	anyTrue := false
+	for _, ts := range enabled {
+		anyTrue = anyTrue || *ts == setTrue
+	}
+	for _, a := range analyzers {
+		if anyTrue && *enabled[a] != setTrue {
+			continue
+		}
+		if *enabled[a] == setFalse {
+			continue
+		}
+		keep = append(keep, a)
+	}
+	analyzers = keep
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnit(args[0], analyzers, *jsonOut)
+		return
+	}
+	runStandalone(args, analyzers, *jsonOut)
+}
+
+// runUnit analyzes the single compilation unit described by cfgFile and
+// exits: 0 when clean, 1 when diagnostics were reported (plain mode).
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+
+	// The go command consumes the "vetx" facts file of every run and feeds
+	// it to dependents. lsmlint's analyzers exchange no facts, so the file
+	// is always empty — but it must exist for the protocol's caching.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependencies are analyzed only for facts; we have none to offer.
+		writeVetx()
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	pkg, info, files, err := typecheckUnit(fset, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+
+	diags := runAnalyzers(analyzers, fset, files, pkg, info)
+	writeVetx()
+	report(map[string][]analysis.Diagnostic{cfg.ID: diags}, fset, jsonOut)
+}
+
+// typecheckUnit parses cfg.GoFiles and type-checks them against the export
+// data the build already produced for every import.
+func typecheckUnit(fset *token.FileSet, cfg *Config) (*types.Package, *types.Info, []*ast.File, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return pkg, info, files, nil
+}
+
+// runStandalone loads packages from source and analyzes them all.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bool) {
+	res, err := load.Load(".", patterns...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byPkg := make(map[string][]analysis.Diagnostic)
+	for _, p := range res.Pkgs {
+		diags := runAnalyzers(analyzers, res.Fset, p.Files, p.Pkg, p.Info)
+		if len(diags) > 0 {
+			byPkg[p.ImportPath] = diags
+		}
+	}
+	report(byPkg, res.Fset, jsonOut)
+}
+
+func runAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			log.Fatalf("%s: %v", a.Name, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+// report prints diagnostics and exits with the protocol's status code:
+// plain mode exits 1 when anything was reported, JSON mode always exits 0
+// (the caller inspects the structure, as `go vet -json` does).
+func report(byPkg map[string][]analysis.Diagnostic, fset *token.FileSet, jsonOut bool) {
+	if jsonOut {
+		tree := make(map[string]map[string][]jsonDiagnostic)
+		for id, diags := range byPkg {
+			byAnalyzer := make(map[string][]jsonDiagnostic)
+			for _, d := range diags {
+				byAnalyzer[d.Category] = append(byAnalyzer[d.Category], jsonDiagnostic{
+					Posn:    fset.Position(d.Pos).String(),
+					Message: d.Message,
+				})
+			}
+			tree[id] = byAnalyzer
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(tree); err != nil {
+			log.Fatal(err)
+		}
+		os.Exit(0)
+	}
+	exit := 0
+	var ids []string
+	for id := range byPkg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		for _, d := range byPkg[id] {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// printFlags describes the tool's flags as JSON, the form `go vet` queries
+// to validate pass-through flags.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// versionFlag implements the -V=full protocol: the go command hashes the
+// tool binary's self-reported identity into its build cache keys, so the
+// output must change whenever the binary does — hence the content hash.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) Get() any         { return nil }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel buildID=%02x\n", exe, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}
+
+// triState distinguishes an unset enable-flag from an explicit true/false,
+// so `-lockio` selects a subset while plain runs keep every analyzer.
+type triState int
+
+const (
+	unset triState = iota
+	setTrue
+	setFalse
+)
+
+func (ts *triState) IsBoolFlag() bool { return true }
+func (ts *triState) Get() any         { return *ts == setTrue }
+func (ts *triState) String() string {
+	if ts != nil && *ts == setFalse {
+		return "false"
+	}
+	return "true"
+}
+func (ts *triState) Set(s string) error {
+	switch strings.ToLower(s) {
+	case "", "true", "t", "1":
+		*ts = setTrue
+	case "false", "f", "0":
+		*ts = setFalse
+	default:
+		return fmt.Errorf("invalid boolean %q", s)
+	}
+	return nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
