@@ -109,7 +109,7 @@ type state struct {
 	mutexes []string
 	extra   map[string]bool
 	decls   map[*types.Func]*ast.FuncDecl
-	direct  map[*types.Func]*site     // first direct blocking site per function
+	direct  map[*types.Func]*site // first direct blocking site per function
 	calls   map[*types.Func][]*types.Func
 	summary map[*types.Func]*site // transitive: how this function blocks
 }

@@ -80,6 +80,18 @@ func mustUpsert(t *testing.T, d *Dataset, id uint64, loc string, year int64) {
 	}
 }
 
+// mustGet reads a key from the primary, failing the test on a device
+// error: a dropped read error would let an I/O failure masquerade as a
+// clean "not found".
+func mustGet(t *testing.T, d *Dataset, id uint64) (kv.Entry, bool) {
+	t.Helper()
+	e, found, err := d.Primary().Get(pkOf(id))
+	if err != nil {
+		t.Fatalf("Get(%d): %v", id, err)
+	}
+	return e, found
+}
+
 func scanSecondaryRaw(t *testing.T, si *SecondaryIndex) []string {
 	t.Helper()
 	it, err := si.Tree.NewMergedIterator(lsm.IterOptions{
@@ -208,7 +220,7 @@ func TestMutableBitmapUpsertExample(t *testing.T) {
 		t.Errorf("memory filter = [%d,%d] ok=%v, want [2017,2018]", min, max, ok)
 	}
 	// Get still resolves to the new version.
-	e, found, _ := d.Primary().Get(pkOf(101))
+	e, found := mustGet(t, d, 101)
 	if !found {
 		t.Fatal("record 101 lost")
 	}
@@ -244,7 +256,11 @@ func TestInsertUniqueness(t *testing.T) {
 			if err := d.FlushAll(); err != nil {
 				t.Fatal(err)
 			}
-			if ok, _ := d.Insert(pkOf(1), testRecord("UT", 2017)); ok {
+			ok, err = d.Insert(pkOf(1), testRecord("UT", 2017))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
 				t.Error("duplicate insert after flush must be ignored")
 			}
 		})
@@ -268,18 +284,26 @@ func TestDeleteSemantics(t *testing.T) {
 			if err != nil || !ok {
 				t.Fatal(err, ok)
 			}
-			if _, found, _ := d.Primary().Get(pkOf(10)); found {
+			if _, found := mustGet(t, d, 10); found {
 				t.Error("deleted record still visible")
 			}
 			// Deleting a missing key reports false under strategies that
 			// perform existence checks (Eager, MutableBitmap).
 			if strat == Eager || strat == MutableBitmap {
-				if ok, _ := d.Delete(pkOf(999)); ok {
+				ok, err := d.Delete(pkOf(999))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
 					t.Error("delete of missing key must be ignored")
 				}
 			}
 			// Re-insert works after delete.
-			if ok, _ := d.Insert(pkOf(10), testRecord("UT", 2019)); !ok {
+			ok, err = d.Insert(pkOf(10), testRecord("UT", 2019))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
 				t.Error("re-insert after delete failed")
 			}
 		})
@@ -317,7 +341,7 @@ func TestMergePolicyRuns(t *testing.T) {
 	}
 	// Everything still readable.
 	for i := 0; i < 1000; i++ {
-		if _, found, _ := d.Primary().Get(pkOf(uint64(i))); !found {
+		if _, found := mustGet(t, d, uint64(i)); !found {
 			t.Fatalf("key %d lost after merges", i)
 		}
 	}
@@ -429,7 +453,9 @@ func TestDeletedKeyStrategyAttachesTrees(t *testing.T) {
 func TestWALRecordsAppendsAndCommits(t *testing.T) {
 	d := newTestDataset(t, nil)
 	mustUpsert(t, d, 1, "CA", 2015)
-	d.Delete(pkOf(1))
+	if _, err := d.Delete(pkOf(1)); err != nil {
+		t.Fatal(err)
+	}
 	if d.Log() == nil {
 		t.Fatal("WAL disabled by default config?")
 	}
@@ -452,7 +478,7 @@ func TestEagerSkipsUnchangedSecondaryKey(t *testing.T) {
 		t.Errorf("secondary contents = %v", got)
 	}
 	// primary still updated
-	e, _, _ := d.Primary().Get(pkOf(1))
+	e, _ := mustGet(t, d, 1)
 	if y, _ := recYear(e.Value); y != 2016 {
 		t.Errorf("year = %d", y)
 	}

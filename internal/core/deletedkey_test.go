@@ -86,11 +86,18 @@ func TestGetWithLocation(t *testing.T) {
 		t.Fatalf("value %s", loc)
 	}
 	// Key 2 is memory-only: restricted search misses it.
-	if _, _, _, found, _ := d.Primary().GetWithLocation(pkOf(2), comps); found {
+	_, _, _, found, err = d.Primary().GetWithLocation(pkOf(2), comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
 		t.Fatal("memory-only key found in component-restricted search")
 	}
 	// Unrestricted get finds it with a nil component.
-	e2, comp2, _, found2, _ := d.Primary().GetWithLocation(pkOf(2), nil)
+	e2, comp2, _, found2, err := d.Primary().GetWithLocation(pkOf(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !found2 || comp2 != nil {
 		t.Fatalf("mem search: found=%v comp=%v", found2, comp2)
 	}
@@ -132,7 +139,7 @@ func TestMergeEpochRangeSkipsSingletons(t *testing.T) {
 		t.Fatal("secondary singleton was disturbed")
 	}
 	// Data still readable, newest version wins.
-	e, found, _ := d.Primary().Get(pkOf(1))
+	e, found := mustGet(t, d, 1)
 	if !found {
 		t.Fatal("key 1 lost")
 	}

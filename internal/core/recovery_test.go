@@ -81,16 +81,16 @@ func TestCrashLosesUnrecoveredState(t *testing.T) {
 	}
 	mustUpsert(t, d, 2, "NY", 2016) // memory only
 	d.Crash()
-	if _, found, _ := d.Primary().Get(pkOf(2)); found {
+	if _, found := mustGet(t, d, 2); found {
 		t.Fatal("memory-only record survived the crash without recovery")
 	}
-	if _, found, _ := d.Primary().Get(pkOf(1)); !found {
+	if _, found := mustGet(t, d, 1); !found {
 		t.Fatal("flushed record lost")
 	}
 	if err := d.Recover(); err != nil {
 		t.Fatal(err)
 	}
-	if _, found, _ := d.Primary().Get(pkOf(2)); !found {
+	if _, found := mustGet(t, d, 2); !found {
 		t.Fatal("record not recovered from the log")
 	}
 }
@@ -125,7 +125,7 @@ func TestRecoveryIdempotentForBitmaps(t *testing.T) {
 	if comp.Valid.Count() != 1 {
 		t.Fatalf("bitmap corrupted by replay: %d bits", comp.Valid.Count())
 	}
-	e, found, _ := d.Primary().Get(pkOf(10))
+	e, found := mustGet(t, d, 10)
 	if !found {
 		t.Fatal("record lost")
 	}
@@ -148,7 +148,7 @@ func TestRecoveryPreservesTimestampOrder(t *testing.T) {
 	if d.CurrentTS() <= tsBefore {
 		t.Fatal("clock did not advance past replayed timestamps")
 	}
-	e, _, _ := d.Primary().Get(pkOf(5))
+	e, _ := mustGet(t, d, 5)
 	if loc, _ := recLocation(e.Value); string(loc) != "UT" {
 		t.Fatalf("latest write lost: %s", loc)
 	}

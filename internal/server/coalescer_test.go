@@ -236,7 +236,9 @@ func TestCoalescerRespectsMaxBatch(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte("leader")})
+		if _, err := c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte("leader")}); err != nil {
+			t.Errorf("leader apply: %v", err)
+		}
 	}()
 	if n := <-applier.entered; n != 1 {
 		t.Fatalf("leader batch size = %d, want 1", n)
@@ -246,7 +248,9 @@ func TestCoalescerRespectsMaxBatch(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte{byte(i)}})
+			if _, err := c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte{byte(i)}}); err != nil {
+				t.Errorf("apply %d: %v", i, err)
+			}
 		}(i)
 	}
 	waitQueued(t, c, queued)

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"net"
 	"net/http"
 	"sync"
@@ -49,7 +50,13 @@ func (h *httpSidecar) start(addrStr string, s *Server) error {
 	h.mu.Lock()
 	h.ln, h.srv = ln, srv
 	h.mu.Unlock()
-	go srv.Serve(ln)
+	go func() {
+		// Serve returns ErrServerClosed on every clean stop; anything else
+		// is a real accept-loop failure worth surfacing on /stats.
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.counters.Errors.Add(1)
+		}
+	}()
 	return nil
 }
 

@@ -385,7 +385,12 @@ func (c *conn) writeLoop(done chan struct{}) {
 		}
 	}
 	if !failed {
-		bw.Flush()
+		// The connection is closing right after this flush, but a failure
+		// still means the peer lost responses mid-frame: poison the socket
+		// so the client observes a break, not a clean shutdown.
+		if err := bw.Flush(); err != nil {
+			fail()
+		}
 	}
 }
 

@@ -152,14 +152,11 @@ func Open(dir string, profile storage.Profile) (*Device, error) {
 		id := storage.FileID(n)
 		f, err := os.OpenFile(filepath.Join(dir, name), os.O_RDWR, 0o644)
 		if err != nil {
-			d.closeAllLocked()
-			return nil, err
+			return nil, errors.Join(err, d.closeAllLocked())
 		}
 		st, err := f.Stat()
 		if err != nil {
-			f.Close()
-			d.closeAllLocked()
-			return nil, err
+			return nil, errors.Join(err, f.Close(), d.closeAllLocked())
 		}
 		// A torn tail slot (crash mid-write-through) is dropped: the slot
 		// was never part of a synced install, so nothing durable refers to
@@ -172,13 +169,11 @@ func Open(dir string, profile storage.Profile) (*Device, error) {
 	}
 	d.wal, err = os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
-		d.closeAllLocked()
-		return nil, err
+		return nil, errors.Join(err, d.closeAllLocked())
 	}
 	st, err := d.wal.Stat()
 	if err != nil {
-		d.closeAllLocked()
-		return nil, err
+		return nil, errors.Join(err, d.closeAllLocked())
 	}
 	d.walSize = st.Size()
 	return d, nil
@@ -475,26 +470,34 @@ func (d *Device) Close() error {
 	if d.closed {
 		return nil
 	}
-	err := d.syncLocked()
-	d.closeAllLocked()
+	err := errors.Join(d.syncLocked(), d.closeAllLocked())
 	d.closed = true
 	return err
 }
 
-func (d *Device) closeAllLocked() {
+func (d *Device) closeAllLocked() error {
+	var errs []error
 	for _, f := range d.files {
 		if f.f != nil {
-			f.f.Close()
+			if err := f.f.Close(); err != nil {
+				errs = append(errs, err)
+			}
 		}
 	}
 	if d.wal != nil {
-		d.wal.Close()
+		if err := d.wal.Close(); err != nil {
+			errs = append(errs, err)
+		}
 		d.wal = nil
 	}
 	if d.lock != nil {
-		d.lock.Close() // releases the directory lock
+		// Releases the directory lock.
+		if err := d.lock.Close(); err != nil {
+			errs = append(errs, err)
+		}
 		d.lock = nil
 	}
+	return errors.Join(errs...)
 }
 
 // errWALBroken poisons the log area after a failed append could not be
@@ -658,8 +661,7 @@ func syncDir(dir string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return f.Sync()
+	return errors.Join(f.Sync(), f.Close())
 }
 
 // AtomicWriteFile durably replaces dir/name: temp file + fsync + rename +
@@ -674,12 +676,10 @@ func AtomicWriteFile(dir, name string, data []byte) error {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	if err := f.Close(); err != nil {
 		return err

@@ -10,6 +10,22 @@ import (
 	"repro/internal/storage"
 )
 
+// mustClose fails the test on a Close error: Close runs the final sync,
+// so a dropped error here can hide a failed durability point.
+func mustClose(t *testing.T, d *Device) {
+	t.Helper()
+	if err := d.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func mustReadPageEnv(t *testing.T, d *Device, env *metrics.Env, id storage.FileID, page int, seq bool) {
+	t.Helper()
+	if _, err := d.ReadPageEnv(env, id, page, seq); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func openTestDev(t *testing.T, dir string) *Device {
 	t.Helper()
 	d, err := Open(dir, storage.ScaledHDD(512))
@@ -41,8 +57,8 @@ func TestAppendReadReopen(t *testing.T) {
 			t.Fatalf("ReadPage(%d) mismatch: %v", i, err)
 		}
 	}
-	if np, _ := d.NumPages(id); np != len(pages) {
-		t.Fatalf("NumPages = %d, want %d", np, len(pages))
+	if np, err := d.NumPages(id); err != nil || np != len(pages) {
+		t.Fatalf("NumPages = %d, %v, want %d", np, err, len(pages))
 	}
 	if err := d.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
@@ -50,7 +66,7 @@ func TestAppendReadReopen(t *testing.T) {
 
 	// Reopen: every page must read back identically.
 	d2 := openTestDev(t, dir)
-	defer d2.Close()
+	defer mustClose(t, d2)
 	if np, err := d2.NumPages(id); err != nil || np != len(pages) {
 		t.Fatalf("reopened NumPages = %d, %v", np, err)
 	}
@@ -84,12 +100,13 @@ func TestUnsyncedTailDroppedAtReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.mu.Lock()
-	d.closeAllLocked()
+	//lsm:allow-discard simulated crash: the device is abandoned mid-flight, close errors are part of the scenario
+	_ = d.closeAllLocked()
 	d.closed = true
 	d.mu.Unlock()
 
 	d2 := openTestDev(t, dir)
-	defer d2.Close()
+	defer mustClose(t, d2)
 	np, err := d2.NumPages(id)
 	if err != nil || np != 1 {
 		t.Fatalf("NumPages after crash = %d, %v, want 1", np, err)
@@ -104,7 +121,7 @@ func TestDeleteAndList(t *testing.T) {
 	dir := t.TempDir()
 	env := metrics.NewEnv()
 	d := openTestDev(t, dir)
-	defer d.Close()
+	defer mustClose(t, d)
 	a, b := d.Create(), d.Create()
 	if _, err := d.AppendPageEnv(env, a, []byte{1}); err != nil {
 		t.Fatal(err)
@@ -134,14 +151,16 @@ func TestManifestAtomicReplace(t *testing.T) {
 	if err := d.SaveManifest([]byte("v2")); err != nil {
 		t.Fatal(err)
 	}
-	if m, _ := d.LoadManifest(); string(m) != "v2" {
-		t.Fatalf("LoadManifest = %q, want v2", m)
+	if m, err := d.LoadManifest(); err != nil || string(m) != "v2" {
+		t.Fatalf("LoadManifest = %q, %v, want v2", m, err)
 	}
-	d.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
 	d2 := openTestDev(t, dir)
-	defer d2.Close()
-	if m, _ := d2.LoadManifest(); string(m) != "v2" {
-		t.Fatalf("reopened LoadManifest = %q, want v2", m)
+	defer mustClose(t, d2)
+	if m, err := d2.LoadManifest(); err != nil || string(m) != "v2" {
+		t.Fatalf("reopened LoadManifest = %q, %v, want v2", m, err)
 	}
 }
 
@@ -157,9 +176,11 @@ func TestWALAppendLoad(t *testing.T) {
 	if err := d.AppendWAL([]byte("rec2"), true); err != nil {
 		t.Fatal(err)
 	}
-	d.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
 	d2 := openTestDev(t, dir)
-	defer d2.Close()
+	defer mustClose(t, d2)
 	w, err := d2.LoadWAL()
 	if err != nil || string(w) != "rec1rec2" {
 		t.Fatalf("LoadWAL = %q, %v", w, err)
@@ -167,14 +188,14 @@ func TestWALAppendLoad(t *testing.T) {
 	if err := d2.AppendWAL([]byte("rec3"), true); err != nil {
 		t.Fatal(err)
 	}
-	if w, _ := d2.LoadWAL(); string(w) != "rec1rec2rec3" {
-		t.Fatalf("LoadWAL after reopen-append = %q", w)
+	if w, err := d2.LoadWAL(); err != nil || string(w) != "rec1rec2rec3" {
+		t.Fatalf("LoadWAL after reopen-append = %q, %v", w, err)
 	}
 }
 
 func TestPageOverflowRejected(t *testing.T) {
 	d := openTestDev(t, t.TempDir())
-	defer d.Close()
+	defer mustClose(t, d)
 	id := d.Create()
 	if _, err := d.AppendPageEnv(metrics.NewEnv(), id, make([]byte, d.PageSize()+1)); err == nil {
 		t.Fatal("oversized page accepted")
@@ -184,7 +205,7 @@ func TestPageOverflowRejected(t *testing.T) {
 func TestCountersClassifyLikeSim(t *testing.T) {
 	env := metrics.NewEnv()
 	d := openTestDev(t, t.TempDir())
-	defer d.Close()
+	defer mustClose(t, d)
 	id := d.Create()
 	for i := 0; i < 10; i++ {
 		if _, err := d.AppendPageEnv(env, id, []byte{byte(i)}); err != nil {
@@ -192,11 +213,11 @@ func TestCountersClassifyLikeSim(t *testing.T) {
 		}
 	}
 	env.Counters.Reset()
-	d.ReadPageEnv(env, id, 0, true)
+	mustReadPageEnv(t, d, env, id, 0, true)
 	for i := 1; i < 5; i++ {
-		d.ReadPageEnv(env, id, i, true)
+		mustReadPageEnv(t, d, env, id, i, true)
 	}
-	d.ReadPageEnv(env, id, 9, true)
+	mustReadPageEnv(t, d, env, id, 9, true)
 	s := env.Counters.Snapshot()
 	if s.RandomReads != 2 || s.SequentialReads != 4 {
 		t.Fatalf("random=%d sequential=%d, want 2/4", s.RandomReads, s.SequentialReads)

@@ -3,6 +3,7 @@
 package filedev
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"syscall"
@@ -18,8 +19,7 @@ func acquireDirLock(path string) (*os.File, error) {
 		return nil, err
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("filedev: %s is held by another live store: %w", path, err)
+		return nil, errors.Join(fmt.Errorf("filedev: %s is held by another live store: %w", path, err), f.Close())
 	}
 	return f, nil
 }

@@ -198,7 +198,7 @@ func TestDeviceSyncWALCountsFsyncs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer d.Close()
+	defer mustClose(t, d)
 	c := &metrics.Counters{}
 	d.AttachCounters(c)
 	if err := d.SyncWAL(); err != nil { // clean area: no fsync

@@ -13,6 +13,31 @@ func newHDDDisk() (*Disk, *metrics.Env) {
 	return NewDisk(HDD(), env), env
 }
 
+// pageDev is the device surface the must-helpers drive; both Disk and
+// Store satisfy it. The helpers keep accounting-focused tests honest: a
+// dropped device error would let a failing append or read pass as a
+// counter mismatch (or worse, not at all).
+type pageDev interface {
+	AppendPage(FileID, []byte) (int, error)
+	ReadPage(FileID, int, bool) ([]byte, error)
+}
+
+func mustAppendPage(t *testing.T, d pageDev, f FileID, data []byte) {
+	t.Helper()
+	if _, err := d.AppendPage(f, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustReadPage(t *testing.T, d pageDev, f FileID, page int, seq bool) []byte {
+	t.Helper()
+	data, err := d.ReadPage(f, page, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
 func TestCreateAppendRead(t *testing.T) {
 	d, _ := newHDDDisk()
 	f := d.Create()
@@ -28,15 +53,15 @@ func TestCreateAppendRead(t *testing.T) {
 	if _, err := d.ReadPage(f, 1, false); err != ErrNoSuchPage {
 		t.Fatalf("out-of-range read error = %v", err)
 	}
-	if np, _ := d.NumPages(f); np != 1 {
-		t.Fatalf("NumPages = %d", np)
+	if np, err := d.NumPages(f); err != nil || np != 1 {
+		t.Fatalf("NumPages = %d, %v", np, err)
 	}
 }
 
 func TestDeleteFile(t *testing.T) {
 	d, _ := newHDDDisk()
 	f := d.Create()
-	d.AppendPage(f, []byte{1})
+	mustAppendPage(t, d, f, []byte{1})
 	d.Delete(f)
 	if _, err := d.ReadPage(f, 0, false); err != ErrNoSuchFile {
 		t.Fatalf("read after delete = %v", err)
@@ -58,17 +83,17 @@ func TestSequentialVsRandomAccounting(t *testing.T) {
 	d, env := newHDDDisk()
 	f := d.Create()
 	for i := 0; i < 10; i++ {
-		d.AppendPage(f, []byte{byte(i)})
+		mustAppendPage(t, d, f, []byte{byte(i)})
 	}
 	env.Counters.Reset()
 	// First read: random (head parked elsewhere).
-	d.ReadPage(f, 0, true)
+	mustReadPage(t, d, f, 0, true)
 	// Next reads in order: sequential.
 	for i := 1; i < 5; i++ {
-		d.ReadPage(f, i, true)
+		mustReadPage(t, d, f, i, true)
 	}
 	// Jump: random again.
-	d.ReadPage(f, 9, true)
+	mustReadPage(t, d, f, 9, true)
 	s := env.Counters.Snapshot()
 	if s.RandomReads != 2 || s.SequentialReads != 4 {
 		t.Fatalf("random=%d sequential=%d, want 2/4", s.RandomReads, s.SequentialReads)
@@ -82,13 +107,13 @@ func TestCrossFileInterleavingBreaksSequentiality(t *testing.T) {
 	d, env := newHDDDisk()
 	f1, f2 := d.Create(), d.Create()
 	for i := 0; i < 5; i++ {
-		d.AppendPage(f1, []byte{1})
-		d.AppendPage(f2, []byte{2})
+		mustAppendPage(t, d, f1, []byte{1})
+		mustAppendPage(t, d, f2, []byte{2})
 	}
 	env.Counters.Reset()
 	for i := 0; i < 5; i++ {
-		d.ReadPage(f1, i, true)
-		d.ReadPage(f2, i, true)
+		mustReadPage(t, d, f1, i, true)
+		mustReadPage(t, d, f2, i, true)
 	}
 	s := env.Counters.Snapshot()
 	if s.SequentialReads != 0 || s.RandomReads != 10 {
@@ -99,12 +124,12 @@ func TestCrossFileInterleavingBreaksSequentiality(t *testing.T) {
 func TestClockChargesSeekAndTransfer(t *testing.T) {
 	d, env := newHDDDisk()
 	f := d.Create()
-	d.AppendPage(f, []byte{1})
-	d.AppendPage(f, []byte{2})
+	mustAppendPage(t, d, f, []byte{1})
+	mustAppendPage(t, d, f, []byte{2})
 	before := env.Clock.Now()
-	d.ReadPage(f, 0, false) // random: seek + transfer
+	mustReadPage(t, d, f, 0, false) // random: seek + transfer
 	afterRandom := env.Clock.Now()
-	d.ReadPage(f, 1, false) // adjacent: transfer only
+	mustReadPage(t, d, f, 1, false) // adjacent: transfer only
 	afterSeq := env.Clock.Now()
 
 	p := d.Profile()
@@ -120,7 +145,7 @@ func TestWritesChargedSequentially(t *testing.T) {
 	d, env := newHDDDisk()
 	f := d.Create()
 	before := env.Clock.Now()
-	d.AppendPage(f, make([]byte, 100))
+	mustAppendPage(t, d, f, make([]byte, 100))
 	if got := env.Clock.Now() - before; got != d.Profile().TransferPerPage {
 		t.Errorf("write charged %v, want transfer %v", got, d.Profile().TransferPerPage)
 	}
@@ -151,11 +176,11 @@ func TestStoreCachingAndReadAhead(t *testing.T) {
 	store := NewStore(d, 1<<20, env)
 	f := store.Create()
 	for i := 0; i < 16; i++ {
-		store.AppendPage(f, []byte{byte(i)})
+		mustAppendPage(t, store, f, []byte{byte(i)})
 	}
 	// Scan access with read-ahead: first miss prefetches the window.
 	env.Counters.Reset()
-	store.ReadPage(f, 0, true)
+	mustReadPage(t, store, f, 0, true)
 	s := env.Counters.Snapshot()
 	if s.RandomReads+s.SequentialReads != 4 {
 		t.Fatalf("read-ahead fetched %d pages, want 4", s.RandomReads+s.SequentialReads)
@@ -163,7 +188,7 @@ func TestStoreCachingAndReadAhead(t *testing.T) {
 	// The next 3 pages are cache hits.
 	env.Counters.Reset()
 	for i := 1; i < 4; i++ {
-		store.ReadPage(f, i, true)
+		mustReadPage(t, store, f, i, true)
 	}
 	s = env.Counters.Snapshot()
 	if s.CacheHits != 3 || s.RandomReads+s.SequentialReads != 0 {
@@ -171,7 +196,7 @@ func TestStoreCachingAndReadAhead(t *testing.T) {
 	}
 	// Point reads (no hint) do not prefetch.
 	env.Counters.Reset()
-	store.ReadPage(f, 10, false)
+	mustReadPage(t, store, f, 10, false)
 	s = env.Counters.Snapshot()
 	if s.RandomReads != 1 || s.CacheMisses != 1 {
 		t.Fatalf("point read: random=%d misses=%d", s.RandomReads, s.CacheMisses)
@@ -183,8 +208,8 @@ func TestStoreDeleteInvalidatesCache(t *testing.T) {
 	d := NewDisk(ScaledHDD(512), env)
 	store := NewStore(d, 1<<20, env)
 	f := store.Create()
-	store.AppendPage(f, []byte{1})
-	store.ReadPage(f, 0, false) // cached
+	mustAppendPage(t, store, f, []byte{1})
+	mustReadPage(t, store, f, 0, false) // cached
 	store.Delete(f)
 	if _, err := store.ReadPage(f, 0, false); err == nil {
 		t.Fatal("read of deleted file served from cache")
@@ -196,10 +221,10 @@ func TestCacheHitCostCheaperThanDisk(t *testing.T) {
 	d := NewDisk(HDD(), env)
 	store := NewStore(d, 1<<30, env)
 	f := store.Create()
-	store.AppendPage(f, []byte{1})
-	store.ReadPage(f, 0, false)
+	mustAppendPage(t, store, f, []byte{1})
+	mustReadPage(t, store, f, 0, false)
 	before := env.Clock.Now()
-	store.ReadPage(f, 0, false) // hit
+	mustReadPage(t, store, f, 0, false) // hit
 	hitCost := env.Clock.Now() - before
 	if hitCost <= 0 || hitCost >= time.Millisecond {
 		t.Errorf("cache hit cost = %v, want small positive", hitCost)

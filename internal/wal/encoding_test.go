@@ -92,10 +92,12 @@ func TestLogMarshalUnmarshal(t *testing.T) {
 	// Replay equivalence.
 	collect := func(lg *Log) []string {
 		var out []string
-		lg.Replay(0, func(r Record) error {
+		if err := lg.Replay(0, func(r Record) error {
 			out = append(out, string(r.Key))
 			return nil
-		})
+		}); err != nil {
+			t.Fatal(err)
+		}
 		return out
 	}
 	a, b := collect(l), collect(l2)
