@@ -381,6 +381,7 @@ func (d *Dataset) mergeDeletedKeyRange(si *SecondaryIndex, lo, hi int) error {
 					continue
 				}
 			}
+			//lsm:allow-discard a failed deleted-key probe reads as "not deleted", the conservative answer: the entry is kept, never wrongly dropped
 			if _, _, found, _ := dkReaders[i].Get(pk); found {
 				return true
 			}

@@ -121,6 +121,7 @@ func (s *Server) Start() error {
 	}
 	if s.cfg.HTTPAddr != "" {
 		if err := s.http.start(s.cfg.HTTPAddr, s); err != nil {
+			//lsm:allow-discard unwinding a failed startup; the sidecar error is the one worth returning
 			ln.Close()
 			return err
 		}
@@ -165,6 +166,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		s.mu.Lock()
 		if s.stopping {
 			s.mu.Unlock()
+			//lsm:allow-discard refusing a connection that raced the shutdown; its close error is of no use
 			nc.Close()
 			return
 		}
@@ -219,12 +221,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	defer close(s.stopped)
+	//lsm:allow-discard teardown: the listener is being discarded either way
 	s.ln.Close()
 	s.http.stop()
 	// Unblock every reader: the deadline fails the blocking ReadFrame,
 	// and the drain flag stops readers that raced past it.
 	s.mu.Lock()
 	for c := range s.conns {
+		//lsm:allow-discard the deadline is a wake-up signal; it can only fail on a conn that is already dead, which is the goal
 		c.nc.SetReadDeadline(time.Now())
 	}
 	s.mu.Unlock()
@@ -241,6 +245,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = ctx.Err()
 		s.mu.Lock()
 		for c := range s.conns {
+			//lsm:allow-discard drain budget expired; connections are cut, their close errors are noise
 			c.nc.Close()
 		}
 		s.mu.Unlock()
@@ -262,10 +267,12 @@ func (s *Server) Kill() {
 		return
 	}
 	defer close(s.stopped)
+	//lsm:allow-discard Kill is the ungraceful path; everything is discarded
 	s.ln.Close()
 	s.http.stop()
 	s.mu.Lock()
 	for c := range s.conns {
+		//lsm:allow-discard Kill is the ungraceful path; everything is discarded
 		c.nc.Close()
 	}
 	s.mu.Unlock()
@@ -308,6 +315,7 @@ func (c *conn) serve() {
 	c.reqWg.Wait()
 	close(c.out)
 	<-writerDone
+	//lsm:allow-discard the conn is done; writeLoop already surfaced any write failure by failing the stream
 	c.nc.Close()
 }
 
@@ -352,7 +360,7 @@ func (c *conn) readLoop() {
 func (c *conn) send(resp wire.Response) {
 	bp := frameBufPool.Get().(*[]byte)
 	*bp = wire.AppendResponse((*bp)[:0], resp)
-	c.out <- bp
+	c.out <- bp //lsm:poolleak-ok ownership of the frame moves to writeLoop, which returns it with Put after writing
 }
 
 func (c *conn) writeLoop(done chan struct{}) {
@@ -366,6 +374,7 @@ func (c *conn) writeLoop(done chan struct{}) {
 	// draining so handlers never block on a dead connection.
 	fail := func() {
 		failed = true
+		//lsm:allow-discard the close IS the error report: it breaks the stream so the peer observes the failure
 		c.nc.Close()
 	}
 	for bp := range c.out {

@@ -223,8 +223,10 @@ func (d *Device) Delete(id storage.FileID) {
 	}
 	delete(d.files, id)
 	if f.f != nil {
+		//lsm:allow-discard Delete is infallible by the storage.Device contract; a close failure here leaks nothing the process exit won't reclaim
 		f.f.Close()
 	}
+	//lsm:allow-discard a component file that survives a failed remove is garbage-collected on the next Open; Delete stays infallible
 	os.Remove(d.compPath(id))
 	d.dirDirty = true
 }
@@ -460,6 +462,7 @@ func (d *Device) Sync() error {
 	if d.closed {
 		return ErrClosed
 	}
+	//lsm:lockio-ok Sync's contract is a barrier: mu must exclude appends from reordering around the durability point; commit-latency-critical callers use SyncWAL, which fsyncs outside the lock
 	return d.syncLocked()
 }
 
@@ -470,6 +473,7 @@ func (d *Device) Close() error {
 	if d.closed {
 		return nil
 	}
+	//lsm:lockio-ok final teardown; mu stays held so no append races the closing handles
 	err := errors.Join(d.syncLocked(), d.closeAllLocked())
 	d.closed = true
 	return err
@@ -536,6 +540,7 @@ func (d *Device) AppendWAL(data []byte, sync bool) error {
 	}
 	d.walDirty = true
 	if sync {
+		//lsm:lockio-ok the per-record commit fsync must sit inside mu for rollback atomicity (truncate-on-failure); group commit (SyncWAL) is the hot path and fsyncs outside the lock
 		if err := d.wal.Sync(); err != nil {
 			return rollback(err)
 		}
@@ -595,9 +600,11 @@ func (d *Device) ResetWAL(data []byte) error {
 	if d.closed {
 		return ErrClosed
 	}
+	//lsm:lockio-ok WAL replacement must be atomic against concurrent appends; this is the checkpoint/maintenance path, not the commit hot path
 	if err := AtomicWriteFile(d.dir, walName, data); err != nil {
 		return err
 	}
+	//lsm:allow-discard the old append handle points at a file the rename just orphaned; closing it is best-effort
 	d.wal.Close()
 	var err error
 	if d.wal, err = os.OpenFile(filepath.Join(d.dir, walName), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644); err != nil {
@@ -641,9 +648,11 @@ func (d *Device) SaveManifest(data []byte) error {
 	if d.closed {
 		return ErrClosed
 	}
+	//lsm:lockio-ok component install: data pages must be durable before the manifest that references them, with no appends interleaving; maintenance path, not the commit path
 	if err := d.syncLocked(); err != nil {
 		return err
 	}
+	//lsm:lockio-ok see above: the manifest write is the second half of the same install barrier
 	return AtomicWriteFile(d.dir, manifestName, data)
 }
 

@@ -172,6 +172,7 @@ var encBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &
 // Append adds a record, assigning and returning its LSN. Callers that
 // need this call's own durability result use AppendChecked.
 func (l *Log) Append(r Record) int64 {
+	//lsm:allow-discard Append is the documented fire-and-forget form; AppendChecked carries this call's durability result
 	lsn, _ := l.AppendChecked(r)
 	return lsn
 }
