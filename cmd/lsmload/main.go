@@ -27,6 +27,8 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -83,6 +85,8 @@ func run() error {
 	groupCommit := flag.String("group-commit", "", "self-serve mode: open a disk-backend store in-process with group commit on|off and load it over loopback")
 	dir := flag.String("dir", "", "data directory for -group-commit self-serve mode (default: a temp dir, removed on exit)")
 	shards := flag.Int("shards", 1, "hash partitions for the self-served store")
+	benchJSON := flag.String("bench-json", "", "append a machine-readable snapshot of this run to <path> (file created if missing)")
+	benchLabel := flag.String("bench-label", "", "label for the -bench-json snapshot (default: derived from backend and op mix)")
 	flag.Parse()
 	if *workers < 1 || *conns < 1 || *batch < 1 {
 		return fmt.Errorf("-workers, -conns and -batch must be >= 1")
@@ -159,6 +163,7 @@ func run() error {
 		fmt.Printf(" (writes count batches; records/s is higher)")
 	}
 	fmt.Println()
+	classes := make(map[string]benchClass)
 	for class := opClass(0); class < numClasses; class++ {
 		var all []time.Duration
 		errs := 0
@@ -177,6 +182,14 @@ func run() error {
 			fmt.Printf("  errors=%d", errs)
 		}
 		fmt.Println()
+		classes[classNames[class]] = benchClass{
+			N:         len(all),
+			Errors:    errs,
+			P50Micros: pct(all, 50).Microseconds(),
+			P90Micros: pct(all, 90).Microseconds(),
+			P99Micros: pct(all, 99).Microseconds(),
+			MaxMicros: all[len(all)-1].Microseconds(),
+		}
 	}
 	st, err := client.Stats()
 	if err != nil {
@@ -191,7 +204,122 @@ func run() error {
 			d.GroupCommitBatches, float64(d.GroupCommitWaiters)/float64(d.GroupCommitBatches))
 	}
 	fmt.Println()
+
+	if *benchJSON != "" {
+		backend := "remote" // pointed at an external server; its backend is unknown here
+		gc := ""
+		if *groupCommit != "" {
+			backend = "disk"
+			gc = strings.ToLower(*groupCommit)
+		}
+		label := *benchLabel
+		if label == "" {
+			label = fmt.Sprintf("%s get=%.2f query=%.2f scan=%.2f batch=%d", backend, *getRatio, *queryRatio, *scanRatio, *batch)
+			if gc != "" {
+				label += " gc=" + gc
+			}
+		}
+		run := benchRun{
+			Label:       label,
+			Timestamp:   time.Now().UTC().Format(time.RFC3339),
+			Backend:     backend,
+			GroupCommit: gc,
+			Ops:         *ops,
+			Batch:       *batch,
+			Conns:       *conns,
+			Workers:     *workers,
+			Shards:      int(st.Shards),
+			OpMix: benchMix{
+				GetRatio:    *getRatio,
+				QueryRatio:  *queryRatio,
+				ScanRatio:   *scanRatio,
+				UpdateRatio: *updateRatio,
+			},
+			WallSeconds:        elapsed.Seconds(),
+			OpsPerSec:          float64(*ops) / elapsed.Seconds(),
+			Classes:            classes,
+			WALFsyncs:          d.WALFsyncs,
+			FsyncsPerSec:       float64(d.WALFsyncs) / elapsed.Seconds(),
+			GroupCommitBatches: d.GroupCommitBatches,
+			Ingested:           st.Ingested,
+			DiskBytesWritten:   st.DiskBytesWritten,
+		}
+		if d.GroupCommitBatches > 0 {
+			run.MeanGroupSize = float64(d.GroupCommitWaiters) / float64(d.GroupCommitBatches)
+		}
+		if err := appendBenchJSON(*benchJSON, run); err != nil {
+			return err
+		}
+		fmt.Printf("bench-json          appended %q to %s\n", run.Label, *benchJSON)
+	}
 	return nil
+}
+
+// benchRun is one lsmload invocation in machine-readable form, the unit
+// appended to a -bench-json file. Field names are the stable interface:
+// the ROADMAP perf trajectory compares them across commits, so additions
+// are fine but renames are not.
+type benchRun struct {
+	Label              string                `json:"label"`
+	Timestamp          string                `json:"timestamp"`
+	Backend            string                `json:"backend"`
+	GroupCommit        string                `json:"group_commit,omitempty"`
+	Ops                int                   `json:"ops"`
+	Batch              int                   `json:"batch"`
+	Conns              int                   `json:"conns"`
+	Workers            int                   `json:"workers"`
+	Shards             int                   `json:"shards"`
+	OpMix              benchMix              `json:"op_mix"`
+	WallSeconds        float64               `json:"wall_seconds"`
+	OpsPerSec          float64               `json:"ops_per_sec"`
+	Classes            map[string]benchClass `json:"classes"`
+	WALFsyncs          int64                 `json:"wal_fsyncs"`
+	FsyncsPerSec       float64               `json:"fsyncs_per_sec"`
+	GroupCommitBatches int64                 `json:"group_commit_batches,omitempty"`
+	MeanGroupSize      float64               `json:"mean_group_size,omitempty"`
+	Ingested           int64                 `json:"ingested"`
+	DiskBytesWritten   int64                 `json:"disk_bytes_written"`
+}
+
+type benchMix struct {
+	GetRatio    float64 `json:"get_ratio"`
+	QueryRatio  float64 `json:"query_ratio"`
+	ScanRatio   float64 `json:"scan_ratio"`
+	UpdateRatio float64 `json:"update_ratio"`
+}
+
+type benchClass struct {
+	N         int   `json:"n"`
+	Errors    int   `json:"errors"`
+	P50Micros int64 `json:"p50_us"`
+	P90Micros int64 `json:"p90_us"`
+	P99Micros int64 `json:"p99_us"`
+	MaxMicros int64 `json:"max_us"`
+}
+
+type benchFile struct {
+	Benchmark string     `json:"benchmark"`
+	Runs      []benchRun `json:"runs"`
+}
+
+// appendBenchJSON adds run to the bench file at path, creating it when
+// missing, so one file accumulates a backend × op-mix matrix across
+// several lsmload invocations.
+func appendBenchJSON(path string, run benchRun) error {
+	bf := benchFile{Benchmark: "lsmload"}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &bf); err != nil {
+			return fmt.Errorf("-bench-json: %s exists but is not a bench file: %w", path, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	bf.Runs = append(bf.Runs, run)
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // selfServe opens a disk-backend store with the requested commit
