@@ -34,7 +34,7 @@ var packageList string
 
 func init() {
 	Analyzer.Flags.StringVar(&packageList, "packages",
-		"repro/internal/storage,repro/internal/experiments",
+		"repro/internal/storage,repro/internal/experiments,repro/internal/dst",
 		"comma-separated packages that must use the virtual clock (exact; suffix /... covers subpackages)")
 }
 

@@ -168,7 +168,8 @@ func (d *Dataset) stallForBackpressure() error {
 		maxFrozen = 4
 	}
 	maxComps := d.cfg.MaxUnmergedComponents
-	var start time.Time
+	sl := d.env.Clock.Sleeper()
+	var start time.Duration
 	stalled := false
 	m.mu.Lock()
 	for m.err == nil {
@@ -182,7 +183,7 @@ func (d *Dataset) stallForBackpressure() error {
 		}
 		if !stalled {
 			stalled = true
-			start = time.Now()
+			start = sl.Monotonic()
 		}
 		m.cond.Wait()
 	}
@@ -190,7 +191,7 @@ func (d *Dataset) stallForBackpressure() error {
 	m.mu.Unlock()
 	if stalled {
 		d.env.Counters.WriteStalls.Add(1)
-		d.env.Counters.WriteStallNanos.Add(time.Since(start).Nanoseconds())
+		d.env.Counters.WriteStallNanos.Add((sl.Monotonic() - start).Nanoseconds())
 		// Lane synchronization: a stalled writer waited for background
 		// maintenance, so the ingest lane's virtual clock catches up to
 		// the maintenance lane.

@@ -168,6 +168,11 @@ type Config struct {
 	// holds at least this many disk components and a merge is pending or
 	// running (asynchronous mode only). 0 disables this threshold.
 	MaxUnmergedComponents int
+	// Yield, when non-nil, is the deterministic-simulation scheduling hook:
+	// it is invoked at the instrumented points in the WAL group-commit path
+	// (see wal.Log.SetYield) with a label naming the point. Nil (the
+	// default) leaves scheduling to the runtime.
+	Yield func(point string)
 }
 
 // SecondaryIndex is one secondary index of a dataset.
@@ -282,6 +287,7 @@ func Open(cfg Config) (*Dataset, error) {
 	}
 	if !cfg.DisableWAL {
 		d.log = wal.New(env)
+		d.log.SetYield(cfg.Yield)
 	}
 	mutable := cfg.Strategy == MutableBitmap
 	d.primary = lsm.New(lsm.Options{

@@ -181,6 +181,7 @@ func (d *Dataset) setupDurability() error {
 		return err
 	}
 	log, consumed := wal.OpenPersisted(d.env, image, walSink{wd})
+	log.SetYield(d.cfg.Yield)
 	if d.cfg.GroupCommit != nil {
 		log.AttachGroupCommitter(d.cfg.GroupCommit)
 	}

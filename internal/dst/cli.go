@@ -1,0 +1,64 @@
+package dst
+
+import (
+	"fmt"
+	"io"
+)
+
+// FormatRepro renders the one-line lsmdst invocation that reproduces a
+// run. Failure output leads with it so a CI log is one copy-paste away
+// from a local repro.
+func FormatRepro(cfg Config) string {
+	s := fmt.Sprintf("go run ./cmd/lsmdst -seed %d -ops %d -fault-rate %g -profile %s",
+		cfg.Seed, cfg.Ops, cfg.FaultRate, cfg.Profile)
+	if cfg.KillAfter > 0 {
+		s += fmt.Sprintf(" -kill-after %d", cfg.KillAfter)
+	}
+	if cfg.Bug != "" {
+		s += " -bug " + cfg.Bug
+	}
+	return s
+}
+
+// RunSeed executes one configured run, prints its outcome to out, and
+// returns the report. On failure the output leads with the repro line,
+// then the minimized fault schedule (when minimize is set) and the tail
+// of the op trace.
+func RunSeed(cfg Config, out io.Writer, minimize bool, scratch string) (*Report, error) {
+	rep, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Failed {
+		fmt.Fprintf(out, "seed %d ok: ops=%d sessions=%d kills=%d faults=%d trace=%d/%016x [%s]\n",
+			rep.Seed, rep.Ops, rep.Sessions, rep.Kills, len(ActiveFaults(rep)),
+			rep.TraceLen, rep.TraceHash, rep.Setup)
+		return rep, nil
+	}
+	fmt.Fprintf(out, "FAIL: %s\n", FormatRepro(cfg))
+	fmt.Fprintf(out, "seed %d [%s]: %s\n", rep.Seed, rep.Setup, rep.Verdict)
+	if minimize {
+		min, merr := Minimize(cfg, rep, scratch)
+		if merr != nil {
+			return nil, merr
+		}
+		rep = min
+		fmt.Fprintf(out, "minimized verdict: %s\n", rep.Verdict)
+	}
+	faults := ActiveFaults(rep)
+	fmt.Fprintf(out, "fault schedule (%d):\n", len(faults))
+	for _, f := range faults {
+		fmt.Fprintf(out, "  %s\n", f)
+	}
+	if n := len(rep.Trace); n > 0 {
+		start := n - 25
+		if start < 0 {
+			start = 0
+		}
+		fmt.Fprintf(out, "trace tail (%d of %d events):\n", n-start, n)
+		for _, ev := range rep.Trace[start:] {
+			fmt.Fprintf(out, "  %s\n", ev)
+		}
+	}
+	return rep, nil
+}

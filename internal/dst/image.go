@@ -1,0 +1,72 @@
+package dst
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// snapshotCrashImage copies the store directory src into dst as the
+// directory an OS-level crash would have left behind:
+//
+//   - Every regular file is copied as the filesystem holds it. Pages the
+//     process still buffers in memory are naturally absent — exactly what
+//     dies with the process — while SaveManifest's install barrier
+//     guarantees every file a surviving manifest references was synced.
+//   - The manifest itself is installed by atomic rename, so the copy holds
+//     either the old or the new one, never a mix.
+//   - Each shard's WAL file is truncated to its fsync-covered prefix plus
+//     a seeded fraction of the unsynced tail: write()n-but-unsynced bytes
+//     survive an OS crash only as far as the kernel happened to flush
+//     them. Cutting mid-record produces the torn tail the WAL decoder
+//     must stop at.
+//   - The LOCK file is skipped; a lock never survives its process.
+func snapshotCrashImage(src, dst string, c *Control, r *rng) error {
+	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, rerr := filepath.Rel(src, path)
+		if rerr != nil {
+			return rerr
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		base := filepath.Base(path)
+		if base == "LOCK" {
+			return nil
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		if base == "wal.log" {
+			shard := shardOfDir(filepath.Dir(rel))
+			length, durable := c.WALState(shard)
+			unsynced := length - durable
+			keep := durable
+			if unsynced > 0 {
+				keep += int64(r.float() * float64(unsynced+1))
+			}
+			if keep < int64(len(data)) {
+				data = data[:keep]
+			}
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+}
+
+// shardOfDir extracts the shard index from a "shard-NNNN" path element.
+func shardOfDir(dir string) int {
+	base := filepath.Base(dir)
+	if n, ok := strings.CutPrefix(base, "shard-"); ok {
+		var idx int
+		if _, err := fmt.Sscanf(n, "%d", &idx); err == nil {
+			return idx
+		}
+	}
+	return 0
+}

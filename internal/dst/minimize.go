@@ -1,0 +1,70 @@
+package dst
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Minimize greedily shrinks a failing run's fault schedule: one fired
+// fault at a time, it re-runs the seed with that fault suppressed and
+// keeps the suppression whenever the run still fails. The result is a
+// locally-minimal schedule — every remaining fault is necessary for the
+// failure (removing any single one makes the run pass).
+//
+// Minimization is best-effort: decisions are keyed by per-operation
+// ordinals, so suppressing a fault usually leaves the rest of the
+// schedule intact, but a suppression that changes the op stream can shift
+// later decisions. The greedy loop only ever keeps suppressions that
+// preserve the failure, so the returned report always reproduces it.
+//
+// scratch is a directory for the trial runs' store generations; each
+// trial uses its own subdirectory.
+func Minimize(cfg Config, rep *Report, scratch string) (*Report, error) {
+	if !rep.Failed {
+		return rep, nil
+	}
+	suppress := map[int64]bool{}
+	for k := range cfg.Suppress {
+		suppress[k] = true
+	}
+	best := rep
+	trial := 0
+	for _, f := range rep.Faults {
+		if f.Suppressed || suppress[f.Index] {
+			continue
+		}
+		trial++
+		candidate := map[int64]bool{f.Index: true}
+		for k := range suppress {
+			candidate[k] = true
+		}
+		tcfg := cfg
+		tcfg.Suppress = candidate
+		tcfg.Dir = filepath.Join(scratch, fmt.Sprintf("min%03d", trial))
+		if err := os.MkdirAll(tcfg.Dir, 0o755); err != nil {
+			return nil, err
+		}
+		trep, err := Run(tcfg)
+		if err != nil {
+			return nil, err
+		}
+		if trep.Failed {
+			suppress = candidate
+			best = trep
+		}
+	}
+	return best, nil
+}
+
+// ActiveFaults returns the faults of a report that actually applied
+// (fired and not suppressed) — the minimized schedule to print.
+func ActiveFaults(rep *Report) []FiredFault {
+	var out []FiredFault
+	for _, f := range rep.Faults {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}

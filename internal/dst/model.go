@@ -1,0 +1,214 @@
+package dst
+
+import (
+	"fmt"
+	"sort"
+)
+
+// valState is one possible state of a key: present with a value, or absent.
+type valState struct {
+	present bool
+	val     string
+}
+
+func (v valState) String() string {
+	if !v.present {
+		return "<absent>"
+	}
+	return fmt.Sprintf("%x", v.val)
+}
+
+func (v valState) equal(o valState) bool {
+	return v.present == o.present && (!v.present || v.val == o.val)
+}
+
+// maybeWrite is a write that was issued but not acknowledged: the engine
+// reported failure, so the store promised only "not guaranteed, retriable,
+// not certainly absent". inMem marks writes the live session still holds
+// in its memory components (failed batched commits stay applied); those
+// may surface after an in-process crash-recover (a flush may have made
+// them durable), while non-inMem failures may only ever resurface from the
+// on-disk WAL after a process kill.
+type maybeWrite struct {
+	s     valState
+	inMem bool
+}
+
+type keyEntry struct {
+	certain valState
+	maybes  []maybeWrite
+}
+
+// Model is the in-memory mirror the simulated store is checked against: a
+// plain map of key states plus, per key, the set of unacknowledged writes
+// whose fate is still open. Three check regimes follow from the engine's
+// durability contract:
+//
+//   - In-session, the visible state of a key is exact: the last
+//     memory-applied write in order, i.e. the newest inMem maybe, else the
+//     acknowledged state.
+//   - After an in-process crash-recover (DB.Crash + DB.Recover), failed
+//     commits must have been dropped from the replayed log image, so a key
+//     may only show its acknowledged state or an inMem maybe that a flush
+//     made durable. A non-inMem maybe appearing here is exactly the
+//     historical keep-commit-on-failed-fsync bug.
+//   - After a process kill and reopen from a crash image, any maybe may
+//     have reached the disk WAL; the observed state resolves the
+//     indeterminacy and is folded back into the model.
+//
+// The model is not goroutine-safe; the harness drives it from the single
+// workload goroutine.
+type Model struct {
+	keys      map[uint64]*keyEntry
+	uncertain int // keys with a non-empty maybe set
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{keys: map[uint64]*keyEntry{}} }
+
+func (m *Model) entry(id uint64) *keyEntry {
+	e := m.keys[id]
+	if e == nil {
+		e = &keyEntry{}
+		m.keys[id] = e
+	}
+	return e
+}
+
+func (m *Model) clearMaybes(e *keyEntry) {
+	if len(e.maybes) > 0 {
+		e.maybes = nil
+		m.uncertain--
+	}
+}
+
+// AckWrite records an acknowledged upsert/insert of val. The durable,
+// acknowledged record supersedes every earlier unacknowledged write in WAL
+// order, so the maybe set collapses.
+func (m *Model) AckWrite(id uint64, val []byte) {
+	e := m.entry(id)
+	e.certain = valState{present: true, val: string(val)}
+	m.clearMaybes(e)
+}
+
+// AckDelete records an acknowledged delete.
+func (m *Model) AckDelete(id uint64) {
+	e := m.entry(id)
+	e.certain = valState{}
+	m.clearMaybes(e)
+}
+
+// FailedWrite records an unacknowledged upsert/insert of val.
+func (m *Model) FailedWrite(id uint64, val []byte, inMem bool) {
+	e := m.entry(id)
+	if len(e.maybes) == 0 {
+		m.uncertain++
+	}
+	e.maybes = append(e.maybes, maybeWrite{s: valState{present: true, val: string(val)}, inMem: inMem})
+}
+
+// FailedDelete records an unacknowledged delete.
+func (m *Model) FailedDelete(id uint64, inMem bool) {
+	e := m.entry(id)
+	if len(e.maybes) == 0 {
+		m.uncertain++
+	}
+	e.maybes = append(e.maybes, maybeWrite{inMem: inMem})
+}
+
+// Visible returns the state the live session must show for id: the newest
+// memory-applied write.
+func (m *Model) Visible(id uint64) valState {
+	e := m.keys[id]
+	if e == nil {
+		return valState{}
+	}
+	for i := len(e.maybes) - 1; i >= 0; i-- {
+		if e.maybes[i].inMem {
+			return e.maybes[i].s
+		}
+	}
+	return e.certain
+}
+
+// CheckSoft reports whether observed is a legal state for id after an
+// in-process crash-recover: the acknowledged state, or an inMem maybe that
+// a flush may have made durable. The model is not mutated — the on-disk
+// WAL keeps its own indeterminacy until a kill resolves it.
+func (m *Model) CheckSoft(id uint64, observed valState) bool {
+	e := m.keys[id]
+	if e == nil {
+		return !observed.present
+	}
+	if observed.equal(e.certain) {
+		return true
+	}
+	for _, mw := range e.maybes {
+		if mw.inMem && observed.equal(mw.s) {
+			return true
+		}
+	}
+	return false
+}
+
+// ResolveHard checks observed against the legal post-kill states of id —
+// the acknowledged state or any unacknowledged write — and, when legal,
+// folds it back in: the crash image is concrete now, so observed becomes
+// the key's certain state and the maybe set collapses.
+func (m *Model) ResolveHard(id uint64, observed valState) bool {
+	e := m.entry(id)
+	legal := observed.equal(e.certain)
+	for _, mw := range e.maybes {
+		if legal {
+			break
+		}
+		legal = observed.equal(mw.s)
+	}
+	if !legal {
+		return false
+	}
+	e.certain = observed
+	m.clearMaybes(e)
+	return true
+}
+
+// AllCertain reports whether no key has pending unacknowledged writes —
+// the precondition of the strict full-image checks.
+func (m *Model) AllCertain() bool { return m.uncertain == 0 }
+
+// Keys returns every key the model has ever seen, sorted (map iteration
+// order must never reach a determinism-checked code path).
+func (m *Model) Keys() []uint64 {
+	ids := make([]uint64, 0, len(m.keys))
+	for id := range m.keys {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Certain returns the acknowledged state of id.
+func (m *Model) Certain(id uint64) valState {
+	e := m.keys[id]
+	if e == nil {
+		return valState{}
+	}
+	return e.certain
+}
+
+// Describe renders the key's model state for failure messages.
+func (m *Model) Describe(id uint64) string {
+	e := m.keys[id]
+	if e == nil {
+		return "untouched"
+	}
+	s := "certain=" + e.certain.String()
+	for _, mw := range e.maybes {
+		tag := "wal-only"
+		if mw.inMem {
+			tag = "in-mem"
+		}
+		s += fmt.Sprintf(" maybe[%s]=%s", tag, mw.s)
+	}
+	return s
+}

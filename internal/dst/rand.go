@@ -1,0 +1,76 @@
+package dst
+
+// Deterministic pseudo-randomness for the simulation harness. The harness
+// cannot use math/rand's global state (shared, lockstep-breaking) and must
+// stay bit-stable across Go releases, so it carries its own splitmix64
+// stream — the same generator used to seed xoshiro in the reference
+// implementations, with full 64-bit period and no shared state.
+
+// rng is a seeded splitmix64 stream. Not safe for concurrent use; fork
+// independent streams per goroutine or per purpose instead.
+type rng struct{ state uint64 }
+
+// newRNG returns a stream seeded with seed.
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+// next returns the next 64 pseudo-random bits.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a pseudo-random int in [0, n). n must be positive.
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("dst: intn on non-positive n")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// float returns a pseudo-random float64 in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// chance reports true with probability p.
+func (r *rng) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.float() < p
+}
+
+// fork derives an independent stream keyed by label, so adding draws to
+// one purpose never shifts the stream of another.
+func (r *rng) fork(label string) *rng {
+	h := fnvMix(r.next(), label)
+	return newRNG(h)
+}
+
+// fnvMix folds label into h with FNV-1a.
+func fnvMix(h uint64, label string) uint64 {
+	const prime = 1099511628211
+	if h == 0 {
+		h = 14695981039346656037
+	}
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime
+	}
+	return h
+}
+
+// mix64 is a stateless splitmix64 finalizer, for hashing a counter value
+// into well-distributed bits without carrying a stream.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,110 @@
+package dst
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// SimSleeper is the virtual real-time source of a simulated run: a
+// metrics.Sleeper whose monotonic reading only moves when the harness
+// advances it, and whose timers fire as part of that advance instead of on
+// the runtime's wall-clock wheel. Installing it (lsmstore.Options.Sleeper)
+// pulls the group-commit hold-open window and the backpressure stall
+// accounting onto the simulated timeline, so "2ms of leader patience" is a
+// seeded schedule decision, not a race against the host machine.
+type SimSleeper struct {
+	mu     sync.Mutex
+	now    time.Duration
+	seq    int64
+	timers []*simTimer
+}
+
+type simTimer struct {
+	at    time.Duration
+	seq   int64 // arrival order breaks deadline ties deterministically
+	fn    func()
+	fired bool
+}
+
+// NewSimSleeper returns a sleeper at virtual time zero.
+func NewSimSleeper() *SimSleeper { return &SimSleeper{} }
+
+var _ metrics.Sleeper = (*SimSleeper)(nil)
+
+// Monotonic returns the current virtual reading.
+func (s *SimSleeper) Monotonic() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// AfterFunc schedules fn to run once virtual time reaches now+d. Like
+// time.AfterFunc, fn runs on its own goroutine. The returned stop reports
+// false when fn already ran.
+func (s *SimSleeper) AfterFunc(d time.Duration, fn func()) func() bool {
+	s.mu.Lock()
+	t := &simTimer{at: s.now + d, seq: s.seq, fn: fn}
+	s.seq++
+	s.timers = append(s.timers, t)
+	s.mu.Unlock()
+	if d <= 0 {
+		s.Advance(0) // already due; fire on the usual path
+	}
+	return func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if t.fired {
+			return false
+		}
+		t.fired = true // cancelled; Advance will skip it
+		return true
+	}
+}
+
+// Advance moves virtual time forward by d, firing every timer whose
+// deadline is reached in deadline-then-arrival order.
+func (s *SimSleeper) Advance(d time.Duration) {
+	s.mu.Lock()
+	target := s.now + d
+	for {
+		idx := -1
+		for i, t := range s.timers {
+			if t.fired {
+				continue
+			}
+			if t.at > target {
+				continue
+			}
+			if idx == -1 || t.at < s.timers[idx].at ||
+				(t.at == s.timers[idx].at && t.seq < s.timers[idx].seq) {
+				idx = i
+			}
+		}
+		if idx == -1 {
+			break
+		}
+		t := s.timers[idx]
+		t.fired = true
+		if t.at > s.now {
+			s.now = t.at
+		}
+		fn := t.fn
+		s.mu.Unlock()
+		go fn()
+		s.mu.Lock()
+	}
+	if target > s.now {
+		s.now = target
+	}
+	// Compact: drop fired timers so long runs don't accumulate them.
+	live := s.timers[:0]
+	for _, t := range s.timers {
+		if !t.fired {
+			live = append(live, t)
+		}
+	}
+	s.timers = live
+	s.mu.Unlock()
+}

@@ -1,0 +1,64 @@
+package dst
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Trace accumulates the run's observable schedule — every mutating or
+// durability-relevant device operation, every injected fault, every
+// harness-level event — as an ordered event stream. Determinism is
+// asserted over it: the same seed must produce the same event sequence,
+// so the trace keeps a running FNV-1a hash and an event count, and
+// optionally the full event list (bounded runs only; sweeps keep just the
+// hash).
+type Trace struct {
+	mu   sync.Mutex
+	hash uint64
+	n    int
+	keep bool
+	full []string
+}
+
+// NewTrace returns an empty trace; keep retains the full event list.
+func NewTrace(keep bool) *Trace {
+	return &Trace{hash: 14695981039346656037, keep: keep}
+}
+
+// Add appends one event.
+func (t *Trace) Add(ev string) {
+	t.mu.Lock()
+	t.hash = fnvMix(t.hash, ev)
+	t.hash = fnvMix(t.hash, "\n")
+	t.n++
+	if t.keep {
+		t.full = append(t.full, ev)
+	}
+	t.mu.Unlock()
+}
+
+// Addf is Add with formatting.
+func (t *Trace) Addf(format string, args ...any) {
+	t.Add(fmt.Sprintf(format, args...))
+}
+
+// Hash returns the running FNV-1a hash of the event stream.
+func (t *Trace) Hash() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hash
+}
+
+// Len returns the number of events recorded.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Events returns a copy of the full event list (nil unless keep was set).
+func (t *Trace) Events() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.full...)
+}

@@ -13,6 +13,7 @@ type Pool struct {
 	spawned int // workers currently alive
 	active  int // jobs currently executing
 	closed  bool
+	yield   func(point string) // scheduling hook around jobs (nil = off)
 }
 
 // NewPool creates a pool with the given worker bound. workers < 1 is treated
@@ -24,6 +25,17 @@ func NewPool(workers int) *Pool {
 	p := &Pool{workers: workers}
 	p.cond = sync.NewCond(&p.mu)
 	return p
+}
+
+// SetYield installs a scheduling hook invoked by each worker immediately
+// before and after it runs a job, with a label naming the point. The
+// deterministic simulation harness uses it to perturb how maintenance work
+// interleaves with foreground writers. Call it before the pool sees
+// traffic; a nil hook disables the points.
+func (p *Pool) SetYield(fn func(point string)) {
+	p.mu.Lock()
+	p.yield = fn
+	p.mu.Unlock()
 }
 
 // Workers returns the pool's worker bound.
@@ -68,9 +80,16 @@ func (p *Pool) worker() {
 		job := p.queue[0]
 		p.queue = p.queue[1:]
 		p.active++
+		yield := p.yield
 		p.mu.Unlock()
 
+		if yield != nil {
+			yield("maint.job.start")
+		}
 		job()
+		if yield != nil {
+			yield("maint.job.done")
+		}
 
 		p.mu.Lock()
 		p.active--

@@ -31,6 +31,7 @@ type GroupSyncer struct {
 	syncFn   func() error
 	maxDelay time.Duration
 	counters *metrics.Counters
+	sleeper  metrics.Sleeper
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -56,12 +57,36 @@ func NewGroupSyncer(dev *Device, maxDelay time.Duration, counters *metrics.Count
 	return newGroupSyncer(dev.SyncWAL, maxDelay, counters)
 }
 
+// walSyncer is the slice of the device surface a group syncer needs. It
+// matches storage.WALSyncDevice's SyncWAL without importing it, so any
+// wrapper that preserves WAL sync semantics (the deterministic-simulation
+// fault injector wraps the file device this way) can stand in for *Device.
+type walSyncer interface{ SyncWAL() error }
+
+// NewGroupSyncerOver is NewGroupSyncer over any WAL-syncing device,
+// wrapped or raw.
+func NewGroupSyncerOver(dev walSyncer, maxDelay time.Duration, counters *metrics.Counters) *GroupSyncer {
+	return newGroupSyncer(dev.SyncWAL, maxDelay, counters)
+}
+
 // newGroupSyncer is the testable constructor over an arbitrary sync
 // function.
 func newGroupSyncer(syncFn func() error, maxDelay time.Duration, counters *metrics.Counters) *GroupSyncer {
-	g := &GroupSyncer{syncFn: syncFn, maxDelay: maxDelay, counters: counters}
+	g := &GroupSyncer{syncFn: syncFn, maxDelay: maxDelay, counters: counters, sleeper: metrics.WallSleeper()}
 	g.cond = sync.NewCond(&g.mu)
 	return g
+}
+
+// SetSleeper replaces the time source behind the hold-open window (real
+// time by default). Deterministic simulation calls this before the syncer
+// sees traffic; a nil Sleeper restores the default.
+func (g *GroupSyncer) SetSleeper(s metrics.Sleeper) {
+	if s == nil {
+		s = metrics.WallSleeper()
+	}
+	g.mu.Lock()
+	g.sleeper = s
+	g.mu.Unlock()
 }
 
 // Announce declares an imminent commit append. Every Announce must be
@@ -111,16 +136,17 @@ func (g *GroupSyncer) Wait(commits int64) error {
 		// the window open for them trades a bounded sliver of latency for
 		// a fatter group. With no announced peers (the lone-writer case)
 		// this branch never runs and the fsync is immediate.
-		deadline := time.Now().Add(g.maxDelay)
-		timer := time.AfterFunc(g.maxDelay, func() {
+		sl := g.sleeper
+		deadline := sl.Monotonic() + g.maxDelay
+		stop := sl.AfterFunc(g.maxDelay, func() {
 			g.mu.Lock()
 			g.cond.Broadcast()
 			g.mu.Unlock()
 		})
-		for g.announced > 0 && time.Now().Before(deadline) {
+		for g.announced > 0 && sl.Monotonic() < deadline {
 			g.cond.Wait()
 		}
-		timer.Stop()
+		stop()
 	}
 	g.cur = nil // joiners from here on open the next group
 	g.syncing = true

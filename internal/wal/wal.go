@@ -112,6 +112,12 @@ type Log struct {
 	// sinkErr is the first sink failure; once set the log is considered
 	// wedged for durability purposes and the next logged write surfaces it.
 	sinkErr error
+	// yield is the deterministic-simulation scheduling hook, invoked at the
+	// instrumented points in the group-commit path (nil = off).
+	yield func(point string)
+	// keepCommitOnFailedFsync reintroduces a historical bug for simulation
+	// validation; see SetUnsafeKeepCommitOnFailedFsync.
+	keepCommitOnFailedFsync bool
 }
 
 // New creates an empty log.
@@ -299,6 +305,42 @@ func (l *Log) MaxTxnID() int64 {
 	return maxID
 }
 
+// SetYield installs a scheduling hook invoked at the instrumented points
+// in the group-commit path (after a commit record is appended unsynced,
+// before the committer parks on its group). The deterministic simulation
+// harness uses it to perturb how committers interleave with group leaders.
+// A nil hook disables the points.
+func (l *Log) SetYield(fn func(point string)) {
+	l.mu.Lock()
+	l.yield = fn
+	l.mu.Unlock()
+}
+
+func (l *Log) yieldHook() func(string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.yield
+}
+
+// SetUnsafeKeepCommitOnFailedFsync reintroduces, on purpose, the historical
+// bug this package once shipped: a commit whose covering fsync failed was
+// left in the memory image instead of being dropped and the log wedged, so
+// an in-session Crash/Recover would replay — and a later flush would make
+// durable — a write that was never acknowledged. It exists solely so the
+// deterministic simulation corpus can prove it still catches that bug
+// (internal/dst); nothing else may call it.
+func (l *Log) SetUnsafeKeepCommitOnFailedFsync(keep bool) {
+	l.mu.Lock()
+	l.keepCommitOnFailedFsync = keep
+	l.mu.Unlock()
+}
+
+func (l *Log) dropCommitOnFailedFsync() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return !l.keepCommitOnFailedFsync
+}
+
 // Commit appends a commit record for txn.
 func (l *Log) Commit(txnID int64) int64 {
 	return l.Append(Record{TxnID: txnID, Type: RecCommit})
@@ -331,8 +373,13 @@ func (l *Log) CommitDurable(txnID int64) (int64, error) {
 		gc.Retract()
 		return lsn, err
 	}
+	if yield := l.yieldHook(); yield != nil {
+		yield("wal.commit.appended")
+	}
 	if err := gc.Wait(1); err != nil {
-		l.poisonAndDrop(err, lsn)
+		if l.dropCommitOnFailedFsync() {
+			l.poisonAndDrop(err, lsn)
+		}
 		return lsn, err
 	}
 	return lsn, nil
@@ -379,8 +426,13 @@ func (l *Log) WaitBatch(b *Batch) error {
 	}
 	gc := l.group
 	gc.Announce()
+	if yield := l.yieldHook(); yield != nil {
+		yield("wal.batch.announced")
+	}
 	if err := gc.Wait(int64(len(b.lsns))); err != nil {
-		l.poisonAndDrop(err, b.lsns...)
+		if l.dropCommitOnFailedFsync() {
+			l.poisonAndDrop(err, b.lsns...)
+		}
 		return err
 	}
 	b.lsns = b.lsns[:0]

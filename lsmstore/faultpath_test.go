@@ -1,0 +1,224 @@
+package lsmstore_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dst"
+	"repro/lsmstore"
+)
+
+// The fault-path battery: single scripted storage faults placed exactly on
+// the operation under study, via the internal/dst device wrapper over the
+// real file backend. Where the dst sweeps explore seeded schedules, these
+// tests pin the two failure shapes PR 7 called out as uncovered — a failed
+// manifest sync during component install, and a torn WAL tail on a
+// group-commit window boundary — plus the Close-persist regression.
+
+// faultStore opens a disk store in dir wrapped with a scripted injector.
+// The open itself runs quiet (no injection: Open probes a different
+// contract); the returned control is live for everything after.
+func faultStore(t *testing.T, dir string, opts lsmstore.Options, script dst.Script) (*lsmstore.DB, *dst.Control) {
+	t.Helper()
+	control := dst.NewControl(dst.NewTrace(false), script, nil)
+	control.SetQuiet(true)
+	opts.WrapDevice = control.Wrap
+	db, err := lsmstore.Open(opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	control.SetQuiet(false)
+	return db, control
+}
+
+// requireFired fails the test unless at least one scripted fault of the
+// given kind actually fired — the guard against a script aimed at an
+// operation ordinal that no longer exists.
+func requireFired(t *testing.T, control *dst.Control, kind string) {
+	t.Helper()
+	for _, f := range control.Fired() {
+		if f.Fault.Kind == kind && !f.Suppressed {
+			return
+		}
+	}
+	t.Fatalf("no %s fault fired; the script missed its target (fired: %v)", kind, control.Fired())
+}
+
+// TestFailedManifestInstall fails the manifest sync of every component
+// install: the flush must surface the error, the half-install (component
+// files exist, manifest does not reference them) must stay invisible, and
+// a reopen of the post-failure directory must serve exactly the same image
+// as a reopen from right before the flush.
+func TestFailedManifestInstall(t *testing.T) {
+	for _, strategy := range []lsmstore.Strategy{lsmstore.Eager, lsmstore.Validation, lsmstore.MutableBitmap, lsmstore.DeletedKey} {
+		t.Run(strategy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			db, control := faultStore(t, dir, diskOptions(strategy, dir), dst.Script{
+				{Shard: 0, Op: dst.OpSaveManifest, Ord: -1, Fault: dst.Fault{Kind: dst.KindManifest}},
+			})
+
+			var ids []uint64
+			for id := uint64(1); id <= 40; id++ {
+				if err := db.Upsert(tweetPK(id), tweetRec(id, uint32(id%7), int64(id))); err != nil {
+					t.Fatalf("upsert %d: %v", id, err)
+				}
+				ids = append(ids, id)
+			}
+
+			before := t.TempDir()
+			if err := snapshotStoreDir(dir, before); err != nil {
+				t.Fatal(err)
+			}
+
+			err := db.Flush()
+			if err == nil {
+				t.Fatal("flush succeeded although every manifest install fails")
+			}
+			if !strings.Contains(err.Error(), "manifest") {
+				t.Fatalf("flush error does not trace to the manifest fault: %v", err)
+			}
+			requireFired(t, control, dst.KindManifest)
+
+			after := t.TempDir()
+			if err := snapshotStoreDir(dir, after); err != nil {
+				t.Fatal(err)
+			}
+			control.Detach()
+			_ = db.Close()
+
+			validation := validationFor(strategy)
+			wantDB, err := lsmstore.Open(diskOptions(strategy, before))
+			if err != nil {
+				t.Fatalf("reopen pre-flush image: %v", err)
+			}
+			want := storeImage(t, wantDB, ids, validation)
+			if err := wantDB.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			gotDB, err := lsmstore.Open(diskOptions(strategy, after))
+			if err != nil {
+				t.Fatalf("reopen post-failure image: %v", err)
+			}
+			got := storeImage(t, gotDB, ids, validation)
+			if err := gotDB.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("failed install leaked into the reopened image:\n got %s\nwant %s", got, want)
+			}
+		})
+	}
+}
+
+// TestTornWALTailAtGroupCommitBoundary tears the WAL append that starts a
+// new group-commit window — the tail of the on-disk log lands exactly on
+// the durable boundary of the previous covering fsync. Every write the
+// previous windows acknowledged must survive a reopen of the crash image;
+// the torn write must not. Both tear points are pinned: the record append
+// and the commit append (record intact, commit torn).
+func TestTornWALTailAtGroupCommitBoundary(t *testing.T) {
+	// Per acknowledged upsert under group commit: one record append, one
+	// commit append (both unsynced), one covering group fsync.
+	const acked = 5
+	for name, tornOrd := range map[string]int64{"record-append": 2 * acked, "commit-append": 2*acked + 1} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			opts := diskOptions(lsmstore.Eager, dir)
+			opts.GroupCommit = lsmstore.GroupCommitOn
+			opts.MemoryBudget = 1 << 20 // no flush: the WAL tail is the store
+			db, control := faultStore(t, dir, opts, dst.Script{
+				{Shard: 0, Op: dst.OpAppendWAL, Ord: tornOrd, Fault: dst.Fault{Kind: dst.KindTornAppend, Frac: 0.5}},
+			})
+
+			for id := uint64(1); id <= acked; id++ {
+				if err := db.Upsert(tweetPK(id), tweetRec(id, uint32(id), int64(id))); err != nil {
+					t.Fatalf("acked upsert %d: %v", id, err)
+				}
+			}
+			err := db.Upsert(tweetPK(acked+1), tweetRec(acked+1, 9, 99))
+			if !errors.Is(err, dst.ErrKilled) {
+				t.Fatalf("torn append did not kill the device: err=%v", err)
+			}
+			requireFired(t, control, dst.KindTornAppend)
+
+			// Freeze the crash image while the device is dead, then abandon
+			// the killed store.
+			image := t.TempDir()
+			if err := snapshotStoreDir(dir, image); err != nil {
+				t.Fatal(err)
+			}
+			control.Detach()
+			_ = db.Close()
+
+			re, err := lsmstore.Open(diskOptions(lsmstore.Eager, image))
+			if err != nil {
+				t.Fatalf("reopen of torn-tail image: %v", err)
+			}
+			defer func() {
+				if err := re.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}()
+			for id := uint64(1); id <= acked; id++ {
+				got, found, err := re.Get(tweetPK(id))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !found || string(got) != string(tweetRec(id, uint32(id), int64(id))) {
+					t.Fatalf("acknowledged write %d lost or corrupted after torn tail (found=%v)", id, found)
+				}
+			}
+			if _, found, err := re.Get(tweetPK(acked + 1)); err != nil {
+				t.Fatal(err)
+			} else if found {
+				t.Fatal("torn, unacknowledged write replayed from the torn tail")
+			}
+		})
+	}
+}
+
+// TestClosePersistFailureKeepsWAL is the regression test for the Close
+// path: when Close's final persist fails (manifest install error), Close
+// must NOT compact the WAL — the log is the only durable copy of the
+// memtable it just failed to persist. A reopen of the same directory must
+// replay every acknowledged write.
+func TestClosePersistFailureKeepsWAL(t *testing.T) {
+	dir := t.TempDir()
+	opts := diskOptions(lsmstore.Validation, dir)
+	opts.MemoryBudget = 1 << 20 // keep everything in the memtable until Close
+	db, control := faultStore(t, dir, opts, dst.Script{
+		{Shard: 0, Op: dst.OpSaveManifest, Ord: -1, Fault: dst.Fault{Kind: dst.KindManifest}},
+	})
+
+	const n = 10
+	for id := uint64(1); id <= n; id++ {
+		if err := db.Upsert(tweetPK(id), tweetRec(id, 3, int64(id))); err != nil {
+			t.Fatalf("upsert %d: %v", id, err)
+		}
+	}
+	err := db.Close()
+	if err == nil {
+		t.Fatal("close succeeded although its persist cannot install a manifest")
+	}
+	requireFired(t, control, dst.KindManifest)
+	control.Detach()
+
+	re, err := lsmstore.Open(diskOptions(lsmstore.Validation, dir))
+	if err != nil {
+		t.Fatalf("reopen after failed close persist: %v", err)
+	}
+	for id := uint64(1); id <= n; id++ {
+		got, found, err := re.Get(tweetPK(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found || string(got) != string(tweetRec(id, 3, int64(id))) {
+			t.Fatalf("acknowledged write %d lost after failed close persist (found=%v)", id, found)
+		}
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,13 +1,13 @@
 package lsmstore_test
 
 import (
-	"bytes"
 	"fmt"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/lsmstore"
+	"repro/lsmstore/internal/storetest"
 )
 
 // The group-commit battery: coalescing commit fsyncs must change
@@ -76,10 +76,7 @@ func TestGroupCommitKillMidGroupCommit(t *testing.T) {
 	}
 
 	const writers = 8
-	var (
-		mu    sync.Mutex
-		acked = map[uint64][]byte{}
-	)
+	ledger := storetest.NewLedger()
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {
@@ -98,9 +95,7 @@ func TestGroupCommitKillMidGroupCommit(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				mu.Lock()
-				acked[id] = rec
-				mu.Unlock()
+				ledger.Ack(id, rec)
 			}
 		}(w)
 	}
@@ -109,16 +104,9 @@ func TestGroupCommitKillMidGroupCommit(t *testing.T) {
 	// the directory while writers keep committing — the image catches
 	// groups mid-fsync, exactly what a kill leaves.
 	time.Sleep(300 * time.Millisecond)
-	mu.Lock()
-	survivors := make(map[uint64][]byte, len(acked))
-	for id, rec := range acked {
-		survivors[id] = rec
-	}
-	mu.Unlock()
-	snap := t.TempDir()
-	if err := snapshotStoreDir(dir, snap); err != nil {
-		t.Fatal(err)
-	}
+	survivors := ledger.Snapshot()
+	re, _ := storetest.KillAndReopen(t, dir, diskOptions(lsmstore.Validation, ""))
+	defer re.Close()
 	close(stop)
 	wg.Wait()
 
@@ -130,29 +118,12 @@ func TestGroupCommitKillMidGroupCommit(t *testing.T) {
 		t.Logf("warning: mean group size %.2f — little concurrency reached the commit window",
 			float64(st.Counters.GroupCommitWaiters)/float64(st.Counters.GroupCommitBatches))
 	}
-	// The original process "dies" here: no Close, no final manifest.
-
-	reOpts := diskOptions(lsmstore.Validation, snap)
-	re, err := lsmstore.Open(reOpts)
-	if err != nil {
-		t.Fatalf("reopen of mid-group-commit crash image: %v", err)
-	}
-	defer re.Close()
+	// The original process "died" at the snapshot: no Close, no final
+	// manifest. Every write acknowledged before it must be in the image.
 	if len(survivors) == 0 {
 		t.Fatal("no writes acknowledged before the snapshot — nothing proven")
 	}
-	for id, want := range survivors {
-		got, found, err := re.Get(tweetPK(id))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !found {
-			t.Fatalf("acknowledged write %x lost in the crash image", id)
-		}
-		if !bytes.Equal(got, want) {
-			t.Fatalf("acknowledged write %x corrupted: got %x want %x", id, got, want)
-		}
-	}
+	storetest.VerifyAll(t, re, survivors)
 }
 
 // TestGroupCommitLoneWriterDurableImmediately: a single committer with no

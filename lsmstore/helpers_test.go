@@ -1,0 +1,48 @@
+package lsmstore_test
+
+import (
+	"testing"
+
+	"repro/lsmstore"
+	"repro/lsmstore/internal/storetest"
+)
+
+// The battery fixtures live in lsmstore/internal/storetest; these thin
+// names keep the test files readable and apply the per-run backend
+// override (LSMSTORE_TEST_BACKEND) where it belongs.
+
+// tinyOptions is the small store every functional test uses, routed
+// through the test-run backend override.
+func tinyOptions(strategy lsmstore.Strategy) lsmstore.Options {
+	return applyTestBackend(storetest.BaseOptions(strategy))
+}
+
+// diskOptions pins tinyOptions to the file backend in dir (no override:
+// disk tests are disk tests on every run).
+func diskOptions(strategy lsmstore.Strategy, dir string) lsmstore.Options {
+	return storetest.DiskOptions(strategy, dir)
+}
+
+func tweetPK(id uint64) []byte { return storetest.TweetPK(id) }
+
+func tweetRec(id uint64, user uint32, creation int64) []byte {
+	return storetest.TweetRec(id, user, creation)
+}
+
+func validationFor(s lsmstore.Strategy) lsmstore.ValidationMethod {
+	return storetest.ValidationFor(s)
+}
+
+func storeImage(t *testing.T, db *lsmstore.DB, ids []uint64, validation lsmstore.ValidationMethod) string {
+	t.Helper()
+	return storetest.StoreImage(t, db, ids, validation)
+}
+
+func mixedWorkload(t *testing.T, db *lsmstore.DB, n int, seed int64) []uint64 {
+	t.Helper()
+	return storetest.MixedWorkload(t, db, n, seed)
+}
+
+func snapshotStoreDir(src, dst string) error { return storetest.SnapshotStoreDir(src, dst) }
+
+func copyFile(src, dst string) error { return storetest.CopyFile(src, dst) }

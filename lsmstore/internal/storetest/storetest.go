@@ -1,0 +1,271 @@
+// Package storetest holds the shared test fixtures of the lsmstore crash
+// and durability batteries: deterministic workloads, full-read-path store
+// images, crash-image directory snapshots, and an acknowledged-write
+// ledger. The persistence battery (persist_test.go), the group-commit
+// battery (groupcommit_test.go) and the fault-path battery all run through
+// these helpers, so "what counts as a crash image" and "what counts as the
+// store's visible state" are defined in exactly one place.
+package storetest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+	"repro/lsmstore"
+)
+
+// TweetPK returns the primary key of tweet id.
+func TweetPK(id uint64) []byte { return binary.BigEndian.AppendUint64(nil, id) }
+
+// TweetRec returns an encoded tweet record.
+func TweetRec(id uint64, user uint32, creation int64) []byte {
+	return workload.Tweet{ID: id, UserID: user, Creation: creation, Message: []byte("m")}.Encode()
+}
+
+// BaseOptions returns the batteries' small store configuration: a "user"
+// secondary index, a creation-time filter, and budgets tiny enough that
+// every test exercises flushes and merges. The backend is left at the
+// zero value (SimBackend); disk tests go through DiskOptions.
+func BaseOptions(strategy lsmstore.Strategy) lsmstore.Options {
+	return lsmstore.Options{
+		Strategy: strategy,
+		Secondaries: []lsmstore.SecondaryIndex{
+			{Name: "user", Extract: workload.UserIDOf},
+		},
+		FilterExtract: workload.CreationOf,
+		MemoryBudget:  64 << 10,
+		CacheBytes:    2 << 20,
+		PageSize:      4 << 10,
+		Seed:          5,
+	}
+}
+
+// DiskOptions returns BaseOptions pinned to the file backend in dir.
+func DiskOptions(strategy lsmstore.Strategy, dir string) lsmstore.Options {
+	opts := BaseOptions(strategy)
+	opts.Backend = lsmstore.FileBackend
+	opts.Dir = dir
+	return opts
+}
+
+// ValidationFor returns the query validation method a strategy needs for
+// correct secondary reads. DeletedKey must validate directly: its
+// secondary entries carry no usable timestamps, so Timestamp validation
+// can let records whose secondary key changed leak into range answers.
+func ValidationFor(s lsmstore.Strategy) lsmstore.ValidationMethod {
+	switch s {
+	case lsmstore.Eager:
+		return lsmstore.NoValidation
+	case lsmstore.DeletedKey:
+		return lsmstore.DirectValidation
+	default:
+		return lsmstore.TimestampValidation
+	}
+}
+
+// StoreImage reads every observable of the store through all read paths —
+// point gets for ids, a secondary range query, and a filter scan — into
+// one comparable string.
+func StoreImage(t testing.TB, db *lsmstore.DB, ids []uint64, validation lsmstore.ValidationMethod) string {
+	t.Helper()
+	var sb []string
+	for _, id := range ids {
+		rec, found, err := db.Get(TweetPK(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb = append(sb, fmt.Sprintf("get:%d:%v:%x", id, found, rec))
+	}
+	q, err := db.SecondaryQuery("user", workload.UserKey(0), workload.UserKey(39),
+		lsmstore.QueryOptions{Validation: validation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var secs []string
+	for _, r := range q.Records {
+		secs = append(secs, fmt.Sprintf("%x=%x", r.PK, r.Value))
+	}
+	sort.Strings(secs)
+	sb = append(sb, "secondary:"+fmt.Sprint(secs))
+	var scans []string
+	if err := db.FilterScan(0, 1<<62, func(pk, rec []byte) {
+		scans = append(scans, fmt.Sprintf("%x=%x", pk, rec))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(scans)
+	sb = append(sb, "scan:"+fmt.Sprint(scans))
+	return fmt.Sprint(sb)
+}
+
+// MixedWorkload drives a deterministic insert/update/delete stream and
+// returns the touched ids, sorted.
+func MixedWorkload(t testing.TB, db *lsmstore.DB, n int, seed int64) []uint64 {
+	t.Helper()
+	cfg := workload.DefaultConfig(seed)
+	cfg.UserIDRange = 40
+	cfg.UpdateRatio = 0.4
+	cfg.ZipfUpdates = true
+	gen := workload.NewGenerator(cfg)
+	seen := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		op := gen.Next()
+		seen[op.Tweet.ID] = true
+		if i%17 == 13 {
+			if _, err := db.Delete(op.Tweet.PK()); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := db.Upsert(op.Tweet.PK(), op.Tweet.Encode()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := make([]uint64, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// SnapshotStoreDir copies a store directory as a crash would freeze it:
+// per shard, manifest and WAL first, then the immutable component files.
+// (A referenced component file never changes once a manifest references
+// it, so this order is exactly the crash-consistency contract.)
+func SnapshotStoreDir(src, dst string) error {
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		sp, dp := filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())
+		if !e.IsDir() {
+			if err := CopyFile(sp, dp); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := os.MkdirAll(dp, 0o755); err != nil {
+			return err
+		}
+		shardFiles, err := os.ReadDir(sp)
+		if err != nil {
+			return err
+		}
+		first := []string{"MANIFEST", "wal.log"}
+		for _, name := range first {
+			if err := CopyFile(filepath.Join(sp, name), filepath.Join(dp, name)); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+		for _, f := range shardFiles {
+			if f.IsDir() || f.Name() == "MANIFEST" || f.Name() == "wal.log" {
+				continue
+			}
+			if err := CopyFile(filepath.Join(sp, f.Name()), filepath.Join(dp, f.Name())); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CopyFile copies src to dst, truncating any existing dst.
+func CopyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// KillAndReopen simulates a process kill: it freezes a crash image of dir
+// into a fresh temp directory (the live store, still holding its flock and
+// its unflushed memory, is simply abandoned by the caller) and reopens the
+// image with opts. It returns the reopened store and the image directory.
+func KillAndReopen(t testing.TB, dir string, opts lsmstore.Options) (*lsmstore.DB, string) {
+	t.Helper()
+	snap := t.TempDir()
+	if err := SnapshotStoreDir(dir, snap); err != nil {
+		t.Fatal(err)
+	}
+	opts.Dir = snap
+	re, err := lsmstore.Open(opts)
+	if err != nil {
+		t.Fatalf("reopen of crash image: %v", err)
+	}
+	return re, snap
+}
+
+// Ledger records acknowledged writes under concurrency: writers Ack the
+// exact bytes the store acknowledged, a test Snapshots the set right
+// before freezing a crash image, and VerifyAll demands every snapshotted
+// write back — with its exact value — from the reopened store.
+type Ledger struct {
+	mu    sync.Mutex
+	acked map[uint64][]byte
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return &Ledger{acked: map[uint64][]byte{}} }
+
+// Ack records that the write of rec under id was acknowledged.
+func (l *Ledger) Ack(id uint64, rec []byte) {
+	l.mu.Lock()
+	l.acked[id] = rec
+	l.mu.Unlock()
+}
+
+// Len returns the number of acknowledged writes so far.
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.acked)
+}
+
+// Snapshot returns a copy of the acknowledged set, safe to read while
+// writers keep acking.
+func (l *Ledger) Snapshot() map[uint64][]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[uint64][]byte, len(l.acked))
+	for id, rec := range l.acked {
+		out[id] = rec
+	}
+	return out
+}
+
+// VerifyAll checks that db serves every write in survivors exactly.
+func VerifyAll(t testing.TB, db *lsmstore.DB, survivors map[uint64][]byte) {
+	t.Helper()
+	for id, want := range survivors {
+		got, found, err := db.Get(TweetPK(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("acknowledged write %x lost in the crash image", id)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("acknowledged write %x corrupted: got %x want %x", id, got, want)
+		}
+	}
+}

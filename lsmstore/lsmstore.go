@@ -258,6 +258,26 @@ type Options struct {
 	// pending. 0 disables the threshold. Only meaningful with
 	// MaintenanceWorkers > 0.
 	MaxUnmergedComponents int
+
+	// The remaining fields are simulation hooks for deterministic
+	// simulation testing (internal/dst). Production callers leave them nil.
+
+	// WrapDevice, when set, wraps each partition's storage device before
+	// the store and WAL are built. It receives the shard index and the
+	// opened device; the returned device is used in its place. The wrapper
+	// must preserve the durability interfaces the inner device implements
+	// (storage.ManifestDevice, storage.WALDevice, storage.WALSyncDevice),
+	// or the partition silently loses persistence.
+	WrapDevice func(shard int, dev storage.Device) storage.Device
+	// Sleeper, when set, replaces the real-time source behind the
+	// group-commit hold-open window and backpressure stall accounting with
+	// a virtual one. Nil keeps wall time.
+	Sleeper metrics.Sleeper
+	// Yield, when set, is invoked at the instrumented scheduling points in
+	// the WAL group-commit path and the maintenance pool, letting the
+	// simulation harness perturb goroutine interleavings. Nil leaves
+	// scheduling to the runtime.
+	Yield func(point string)
 }
 
 // ErrClosed reports an operation on a DB after Close.
@@ -316,6 +336,7 @@ func Open(opts Options) (*DB, error) {
 	var pool *maint.Pool
 	if opts.MaintenanceWorkers > 0 {
 		pool = maint.NewPool(opts.MaintenanceWorkers)
+		pool.SetYield(opts.Yield)
 	}
 	closePoolOnErr := func(err error) error {
 		if pool != nil {
@@ -413,6 +434,9 @@ func resolvePageSize(opts Options) int {
 // openPartition opens one partition: the unsharded store, or shard idx.
 func openPartition(opts Options, pool *maint.Pool, idx int) (*shard.Partition, error) {
 	env := metrics.NewEnv()
+	if opts.Sleeper != nil {
+		env.Clock.SetSleeper(opts.Sleeper)
+	}
 	profile := storage.HDD()
 	if opts.Device == SSD {
 		profile = storage.SSD()
@@ -433,12 +457,23 @@ func openPartition(opts Options, pool *maint.Pool, idx int) (*shard.Partition, e
 			return nil, err
 		}
 		fd.AttachCounters(env.Counters)
-		if opts.GroupCommit != GroupCommitOff {
-			groupCommit = filedev.NewGroupSyncer(fd, resolveMaxSyncDelay(opts), env.Counters)
-		}
 		dev = fd
+		if opts.WrapDevice != nil {
+			dev = opts.WrapDevice(idx, dev)
+		}
+		if opts.GroupCommit != GroupCommitOff {
+			// The syncer runs over the (possibly wrapped) device, so an
+			// injected SyncWAL fault reaches the covering group fsync.
+			if sd, ok := dev.(storage.WALSyncDevice); ok {
+				groupCommit = filedev.NewGroupSyncerOver(sd, resolveMaxSyncDelay(opts), env.Counters)
+				groupCommit.SetSleeper(opts.Sleeper)
+			}
+		}
 	} else {
 		dev = storage.NewDisk(profile, env)
+		if opts.WrapDevice != nil {
+			dev = opts.WrapDevice(idx, dev)
+		}
 	}
 	store := storage.NewStore(dev, resolveCacheBytes(opts), env)
 
@@ -459,6 +494,7 @@ func openPartition(opts Options, pool *maint.Pool, idx int) (*shard.Partition, e
 		Maintenance:           pool,
 		MaxFrozenMemtables:    opts.MaxFrozenMemtables,
 		MaxUnmergedComponents: opts.MaxUnmergedComponents,
+		Yield:                 opts.Yield,
 	}
 	if !opts.DisableMerges {
 		cfg.Policy = lsm.NewTiering(opts.MaxMergeableBytes)
@@ -751,10 +787,15 @@ func (db *DB) Close() error {
 		db.pool.Close()
 	}
 	shutdown := func(p *shard.Partition) {
+		// WAL compaction drops records that durable components cover — per
+		// the IN-MEMORY component lists. Those lists only become durable
+		// when Persist lands the manifest, so after a failed Persist the
+		// compaction would discard the one copy of acknowledged writes the
+		// stale on-disk manifest still needs replayed. Keep the full log in
+		// that case; reopen replays it against whatever manifest survived.
 		if err := p.DS.Persist(); err != nil {
 			errs = append(errs, err)
-		}
-		if err := p.DS.CompactWAL(); err != nil {
+		} else if err := p.DS.CompactWAL(); err != nil {
 			errs = append(errs, err)
 		}
 		if err := p.Store.Device().Close(); err != nil {

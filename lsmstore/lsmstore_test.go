@@ -11,20 +11,6 @@ import (
 	"repro/lsmstore"
 )
 
-func tinyOptions(strategy lsmstore.Strategy) lsmstore.Options {
-	return applyTestBackend(lsmstore.Options{
-		Strategy: strategy,
-		Secondaries: []lsmstore.SecondaryIndex{
-			{Name: "user", Extract: workload.UserIDOf},
-		},
-		FilterExtract: workload.CreationOf,
-		MemoryBudget:  64 << 10,
-		CacheBytes:    2 << 20,
-		PageSize:      4 << 10,
-		Seed:          5,
-	})
-}
-
 func TestOpenRejectsBadConfigs(t *testing.T) {
 	_, err := lsmstore.Open(lsmstore.Options{
 		Strategy:       lsmstore.MutableBitmap,

@@ -1,16 +1,12 @@
 package lsmstore_test
 
 import (
-	"fmt"
-	"io"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 	"testing"
 
 	"repro/internal/wal"
-	"repro/internal/workload"
 	"repro/lsmstore"
 )
 
@@ -19,86 +15,9 @@ import (
 // after lsmstore.Open on the same directory, and the recovered store must
 // answer every read path exactly like a never-restarted one.
 
-// diskOptions returns tinyOptions pinned to the file backend in dir.
-func diskOptions(strategy lsmstore.Strategy, dir string) lsmstore.Options {
-	opts := tinyOptions(strategy)
-	opts.Backend = lsmstore.FileBackend
-	opts.Dir = dir
-	return opts
-}
-
-// storeImage reads every observable of the store through all read paths
-// into one comparable string (the same idea as the async battery's
-// snapshot, plus ingestion counts).
-func storeImage(t *testing.T, db *lsmstore.DB, ids []uint64, validation lsmstore.ValidationMethod) string {
-	t.Helper()
-	var sb []string
-	for _, id := range ids {
-		rec, found, err := db.Get(tweetPK(id))
-		if err != nil {
-			t.Fatal(err)
-		}
-		sb = append(sb, fmt.Sprintf("get:%d:%v:%x", id, found, rec))
-	}
-	q, err := db.SecondaryQuery("user", workload.UserKey(0), workload.UserKey(39),
-		lsmstore.QueryOptions{Validation: validation})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var secs []string
-	for _, r := range q.Records {
-		secs = append(secs, fmt.Sprintf("%x=%x", r.PK, r.Value))
-	}
-	sort.Strings(secs)
-	sb = append(sb, "secondary:"+fmt.Sprint(secs))
-	var scans []string
-	if err := db.FilterScan(0, 1<<62, func(pk, rec []byte) {
-		scans = append(scans, fmt.Sprintf("%x=%x", pk, rec))
-	}); err != nil {
-		t.Fatal(err)
-	}
-	sort.Strings(scans)
-	sb = append(sb, "scan:"+fmt.Sprint(scans))
-	return fmt.Sprint(sb)
-}
-
-// mixedWorkload drives a deterministic insert/update/delete stream and
-// returns the touched ids, sorted.
-func mixedWorkload(t *testing.T, db *lsmstore.DB, n int, seed int64) []uint64 {
-	t.Helper()
-	cfg := workload.DefaultConfig(seed)
-	cfg.UserIDRange = 40
-	cfg.UpdateRatio = 0.4
-	cfg.ZipfUpdates = true
-	gen := workload.NewGenerator(cfg)
-	seen := map[uint64]bool{}
-	for i := 0; i < n; i++ {
-		op := gen.Next()
-		seen[op.Tweet.ID] = true
-		if i%17 == 13 {
-			if _, err := db.Delete(op.Tweet.PK()); err != nil {
-				t.Fatal(err)
-			}
-			continue
-		}
-		if err := db.Upsert(op.Tweet.PK(), op.Tweet.Encode()); err != nil {
-			t.Fatal(err)
-		}
-	}
-	ids := make([]uint64, 0, len(seen))
-	for id := range seen {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
-}
-
-func validationFor(s lsmstore.Strategy) lsmstore.ValidationMethod {
-	if s == lsmstore.Eager {
-		return lsmstore.NoValidation
-	}
-	return lsmstore.TimestampValidation
-}
+// The shared fixtures — diskOptions, storeImage, mixedWorkload,
+// snapshotStoreDir, the acknowledged-write ledger — live in
+// lsmstore/internal/storetest (see helpers_test.go for the local names).
 
 // TestFileBackendReopenAfterClose writes, flushes, closes, reopens, and
 // demands an identical image from every read path — for every strategy,
@@ -362,63 +281,6 @@ func TestFileBackendKillMidMaintenance(t *testing.T) {
 	if got := storeImage(t, re, ids, lsmstore.TimestampValidation); got != want {
 		t.Fatalf("crash image lost acknowledged writes:\n got %s\nwant %s", got, want)
 	}
-}
-
-// snapshotStoreDir copies a store directory as a crash would freeze it:
-// per shard, manifest and WAL first, then the immutable component files.
-func snapshotStoreDir(src, dst string) error {
-	entries, err := os.ReadDir(src)
-	if err != nil {
-		return err
-	}
-	for _, e := range entries {
-		sp, dp := filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())
-		if !e.IsDir() {
-			if err := copyFile(sp, dp); err != nil {
-				return err
-			}
-			continue
-		}
-		if err := os.MkdirAll(dp, 0o755); err != nil {
-			return err
-		}
-		shardFiles, err := os.ReadDir(sp)
-		if err != nil {
-			return err
-		}
-		first := []string{"MANIFEST", "wal.log"}
-		for _, name := range first {
-			if err := copyFile(filepath.Join(sp, name), filepath.Join(dp, name)); err != nil && !os.IsNotExist(err) {
-				return err
-			}
-		}
-		for _, f := range shardFiles {
-			if f.IsDir() || f.Name() == "MANIFEST" || f.Name() == "wal.log" {
-				continue
-			}
-			if err := copyFile(filepath.Join(sp, f.Name()), filepath.Join(dp, f.Name())); err != nil && !os.IsNotExist(err) {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-func copyFile(src, dst string) error {
-	in, err := os.Open(src)
-	if err != nil {
-		return err
-	}
-	defer in.Close()
-	out, err := os.OpenFile(dst, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := io.Copy(out, in); err != nil {
-		out.Close()
-		return err
-	}
-	return out.Close()
 }
 
 // TestFileBackendTornWALTailThenMoreSessions is the regression test for a

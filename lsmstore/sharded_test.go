@@ -2,7 +2,6 @@ package lsmstore_test
 
 import (
 	"bytes"
-	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -18,12 +17,6 @@ func shardedOptions(strategy lsmstore.Strategy, shards int) lsmstore.Options {
 	opts := tinyOptions(strategy)
 	opts.Shards = shards
 	return opts
-}
-
-func tweetPK(id uint64) []byte { return binary.BigEndian.AppendUint64(nil, id) }
-
-func tweetRec(id uint64, user uint32, creation int64) []byte {
-	return workload.Tweet{ID: id, UserID: user, Creation: creation, Message: []byte("m")}.Encode()
 }
 
 // TestShardedEquivalence drives identical workloads into an unsharded store
