@@ -72,10 +72,12 @@ type sample struct {
 
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:4150", "lsmserver address")
+	mix := flag.String("mix", "", "op-mix preset: read-heavy (90% point gets over a Zipf-hot keyspace), write-heavy (single upserts), or batched (batch-32 upserts); explicitly set mix flags override the preset")
 	ops := flag.Int("ops", 100_000, "total operations to issue")
 	conns := flag.Int("conns", 4, "TCP connections in the client pool")
 	workers := flag.Int("workers", 16, "closed-loop workers sharing the pool")
 	batch := flag.Int("batch", 1, "upserts per write op (1 = single upserts, exercising the server-side coalescer)")
+	preload := flag.Int("preload", 0, "records to upsert (and flush) before the timed run; the workers' key distributions carry over, so measured gets hit the preloaded keyspace")
 	getRatio := flag.Float64("get-ratio", 0.2, "fraction of ops that are point gets")
 	queryRatio := flag.Float64("query-ratio", 0.02, "fraction of ops that are secondary-index queries")
 	scanRatio := flag.Float64("scan-ratio", 0.01, "fraction of ops that are filter scans")
@@ -85,11 +87,58 @@ func run() error {
 	groupCommit := flag.String("group-commit", "", "self-serve mode: open a disk-backend store in-process with group commit on|off and load it over loopback")
 	dir := flag.String("dir", "", "data directory for -group-commit self-serve mode (default: a temp dir, removed on exit)")
 	shards := flag.Int("shards", 1, "hash partitions for the self-served store")
+	readCache := flag.Int64("read-cache", 0, "self-serve mode: hot-entry read cache size in bytes (0 = off)")
+	memBudget := flag.Int("mem-budget", 0, "self-serve mode: memory-component budget in bytes (0 = engine default); small budgets push data into disk components so point reads pay real engine cost")
 	benchJSON := flag.String("bench-json", "", "append a machine-readable snapshot of this run to <path> (file created if missing)")
 	benchLabel := flag.String("bench-label", "", "label for the -bench-json snapshot (default: derived from backend and op mix)")
 	flag.Parse()
 	if *workers < 1 || *conns < 1 || *batch < 1 {
 		return fmt.Errorf("-workers, -conns and -batch must be >= 1")
+	}
+	zipfGets := false
+	if *mix != "" {
+		// A preset only fills in mix fields the caller did not set
+		// explicitly, so e.g. "-mix read-heavy -get-ratio 0.95" works.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		setF := func(name string, dst *float64, v float64) {
+			if !set[name] {
+				*dst = v
+			}
+		}
+		setI := func(name string, dst *int, v int) {
+			if !set[name] {
+				*dst = v
+			}
+		}
+		switch *mix {
+		case "read-heavy":
+			// 90/10 reads over a Zipf-hot keyspace: the mix the read
+			// cache and zero-copy GET path are built for.
+			setF("get-ratio", getRatio, 0.90)
+			setF("query-ratio", queryRatio, 0)
+			setF("scan-ratio", scanRatio, 0)
+			setF("update-ratio", updateRatio, 0.8)
+			setI("batch", batch, 1)
+			zipfGets = true
+		case "write-heavy":
+			setF("get-ratio", getRatio, 0.05)
+			setF("query-ratio", queryRatio, 0.02)
+			setF("scan-ratio", scanRatio, 0.01)
+			setF("update-ratio", updateRatio, 0.1)
+			setI("batch", batch, 1)
+		case "batched":
+			setF("get-ratio", getRatio, 0.05)
+			setF("query-ratio", queryRatio, 0.02)
+			setF("scan-ratio", scanRatio, 0.01)
+			setF("update-ratio", updateRatio, 0.1)
+			setI("batch", batch, 32)
+		default:
+			return fmt.Errorf("unknown -mix %q (want read-heavy, write-heavy or batched)", *mix)
+		}
+	}
+	if (*readCache != 0 || *memBudget != 0) && *groupCommit == "" {
+		return fmt.Errorf("-read-cache and -mem-budget configure the self-served store; they require -group-commit")
 	}
 
 	target := *addr
@@ -99,7 +148,7 @@ func run() error {
 		if addrSet {
 			return fmt.Errorf("-group-commit self-serves its own store; it cannot be combined with -addr")
 		}
-		selfAddr, stop, err := selfServe(*groupCommit, *dir, *shards, *seed)
+		selfAddr, stop, err := selfServe(*groupCommit, *dir, *shards, *seed, *readCache, *memBudget)
 		if err != nil {
 			return err
 		}
@@ -119,6 +168,22 @@ func run() error {
 	if err := client.Ping(); err != nil {
 		return fmt.Errorf("ping %s: %w", target, err)
 	}
+
+	// One generator per worker, shared between the preload and the timed
+	// run: the preload advances each worker's key distribution, so the
+	// measured gets land on keys the preload actually wrote.
+	gens := make([]*workload.Generator, *workers)
+	for w := range gens {
+		wcfg := workload.DefaultConfig(*seed + int64(w)*7919)
+		wcfg.UpdateRatio = *updateRatio
+		wcfg.ZipfUpdates = zipfGets
+		gens[w] = workload.NewGenerator(wcfg)
+	}
+	if *preload > 0 {
+		if err := preloadStore(client, gens, *preload); err != nil {
+			return err
+		}
+	}
 	before, err := client.Stats()
 	if err != nil {
 		return fmt.Errorf("server stats: %w", err)
@@ -135,9 +200,7 @@ func run() error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			wcfg := workload.DefaultConfig(*seed + int64(w)*7919)
-			wcfg.UpdateRatio = *updateRatio
-			gen := workload.NewGenerator(wcfg)
+			gen := gens[w]
 			rng := rand.New(rand.NewSource(*seed + int64(w)*104729))
 			for remaining.Add(-1) >= 0 {
 				class := pickClass(rng, *getRatio, *queryRatio, *scanRatio)
@@ -204,6 +267,12 @@ func run() error {
 			d.GroupCommitBatches, float64(d.GroupCommitWaiters)/float64(d.GroupCommitBatches))
 	}
 	fmt.Println()
+	if lookups := d.ReadCacheHits + d.ReadCacheNegHits + d.ReadCacheMisses; lookups > 0 {
+		fmt.Printf("read cache          hits=%d neg-hits=%d misses=%d hit-rate=%.1f%% invalidations=%d\n",
+			d.ReadCacheHits, d.ReadCacheNegHits, d.ReadCacheMisses,
+			100*float64(d.ReadCacheHits+d.ReadCacheNegHits)/float64(lookups),
+			d.ReadCacheInvalidations)
+	}
 
 	if *benchJSON != "" {
 		backend := "remote" // pointed at an external server; its backend is unknown here
@@ -215,8 +284,18 @@ func run() error {
 		label := *benchLabel
 		if label == "" {
 			label = fmt.Sprintf("%s get=%.2f query=%.2f scan=%.2f batch=%d", backend, *getRatio, *queryRatio, *scanRatio, *batch)
+			if *mix != "" {
+				label += " mix=" + *mix
+			}
 			if gc != "" {
 				label += " gc=" + gc
+			}
+			if *groupCommit != "" {
+				if *readCache > 0 {
+					label += " rc=on"
+				} else {
+					label += " rc=off"
+				}
 			}
 		}
 		run := benchRun{
@@ -224,6 +303,8 @@ func run() error {
 			Timestamp:   time.Now().UTC().Format(time.RFC3339),
 			Backend:     backend,
 			GroupCommit: gc,
+			Mix:         *mix,
+			Preload:     *preload,
 			Ops:         *ops,
 			Batch:       *batch,
 			Conns:       *conns,
@@ -243,6 +324,10 @@ func run() error {
 			GroupCommitBatches: d.GroupCommitBatches,
 			Ingested:           st.Ingested,
 			DiskBytesWritten:   st.DiskBytesWritten,
+			ReadCacheBytes:     *readCache,
+			ReadCacheHits:      d.ReadCacheHits,
+			ReadCacheNegHits:   d.ReadCacheNegHits,
+			ReadCacheMisses:    d.ReadCacheMisses,
 		}
 		if d.GroupCommitBatches > 0 {
 			run.MeanGroupSize = float64(d.GroupCommitWaiters) / float64(d.GroupCommitBatches)
@@ -264,6 +349,8 @@ type benchRun struct {
 	Timestamp          string                `json:"timestamp"`
 	Backend            string                `json:"backend"`
 	GroupCommit        string                `json:"group_commit,omitempty"`
+	Mix                string                `json:"mix,omitempty"`
+	Preload            int                   `json:"preload,omitempty"`
 	Ops                int                   `json:"ops"`
 	Batch              int                   `json:"batch"`
 	Conns              int                   `json:"conns"`
@@ -279,6 +366,10 @@ type benchRun struct {
 	MeanGroupSize      float64               `json:"mean_group_size,omitempty"`
 	Ingested           int64                 `json:"ingested"`
 	DiskBytesWritten   int64                 `json:"disk_bytes_written"`
+	ReadCacheBytes     int64                 `json:"read_cache_bytes,omitempty"`
+	ReadCacheHits      int64                 `json:"read_cache_hits,omitempty"`
+	ReadCacheNegHits   int64                 `json:"read_cache_neg_hits,omitempty"`
+	ReadCacheMisses    int64                 `json:"read_cache_misses,omitempty"`
 }
 
 type benchMix struct {
@@ -326,7 +417,7 @@ func appendBenchJSON(path string, run benchRun) error {
 // discipline, serves it in-process on a loopback port (with the same
 // tweet-workload schema lsmserver declares), and returns the address plus
 // a stop function that drains the server and closes the store.
-func selfServe(mode, dir string, shards int, seed int64) (addr string, stop func(), err error) {
+func selfServe(mode, dir string, shards int, seed, readCacheBytes int64, memBudget int) (addr string, stop func(), err error) {
 	opts := lsmstore.Options{
 		Strategy:           lsmstore.Validation,
 		Secondaries:        []lsmstore.SecondaryIndex{{Name: "user", Extract: workload.UserIDOf}},
@@ -335,6 +426,8 @@ func selfServe(mode, dir string, shards int, seed int64) (addr string, stop func
 		Shards:             shards,
 		MaintenanceWorkers: 2,
 		Seed:               seed,
+		MemoryBudget:       memBudget,
+		ReadCache:          lsmstore.ReadCacheOptions{Bytes: readCacheBytes},
 	}
 	switch strings.ToLower(mode) {
 	case "on":
@@ -367,7 +460,11 @@ func selfServe(mode, dir string, shards int, seed int64) (addr string, stop func
 		cleanup()
 		return "", nil, err
 	}
-	fmt.Printf("self-serve          disk backend in %s, group commit %s\n", dir, strings.ToLower(mode))
+	rc := "off"
+	if readCacheBytes > 0 {
+		rc = fmt.Sprintf("%d bytes", readCacheBytes)
+	}
+	fmt.Printf("self-serve          disk backend in %s, group commit %s, read cache %s\n", dir, strings.ToLower(mode), rc)
 	return srv.Addr().String(), func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
@@ -375,6 +472,62 @@ func selfServe(mode, dir string, shards int, seed int64) (addr string, stop func
 		db.Close()
 		cleanup()
 	}, nil
+}
+
+// preloadStore upserts n records through the workers' own generators
+// (batched for throughput, one goroutine per generator) and flushes the
+// store, so the timed run starts against a settled on-disk image instead
+// of racing its own memtable flushes and merges.
+func preloadStore(client *lsmclient.Client, gens []*workload.Generator, n int) error {
+	t0 := time.Now()
+	per := (n + len(gens) - 1) / len(gens)
+	errs := make(chan error, len(gens))
+	var wg sync.WaitGroup
+	for _, gen := range gens {
+		wg.Add(1)
+		go func(gen *workload.Generator) {
+			defer wg.Done()
+			for done := 0; done < per; {
+				b := client.NewBatch()
+				for i := 0; i < 64 && done < per; i++ {
+					op := gen.Next()
+					b.Upsert(op.Tweet.PK(), op.Tweet.Encode())
+					done++
+				}
+				if _, err := b.Apply(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(gen)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return fmt.Errorf("preload: %w", err)
+	}
+	if err := client.Flush(); err != nil {
+		return fmt.Errorf("preload flush: %w", err)
+	}
+	// Flush returns once the memory component is durable, but the merges it
+	// schedules run on background maintenance workers; wait for the
+	// component count to hold still so they don't bleed into the timed run.
+	last, stable := -1, 0
+	for deadline := time.Now().Add(30 * time.Second); stable < 8 && time.Now().Before(deadline); {
+		st, err := client.Stats()
+		if err != nil {
+			return fmt.Errorf("preload settle: %w", err)
+		}
+		if st.PrimaryComponents == last {
+			stable++
+		} else {
+			last, stable = st.PrimaryComponents, 0
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Printf("preload             %d records in %s, flushed and settled (%d disk components)\n",
+		n, time.Since(t0).Round(time.Millisecond), last)
+	return nil
 }
 
 // pickClass rolls the op mix; the remainder after gets, queries and scans

@@ -50,6 +50,7 @@ func run() error {
 	maintWorkers := flag.Int("maint-workers", 2, "background maintenance workers (0 = synchronous)")
 	memBudget := flag.Int("memory-budget", 4<<20, "per-partition memory component budget in bytes")
 	cacheBytes := flag.Int64("cache", 64<<20, "buffer cache bytes (split across shards)")
+	readCache := flag.Int64("read-cache", 0, "hot-entry read cache bytes in front of the engine (0 = off)")
 	maxInFlight := flag.Int("max-inflight", 128, "max in-flight requests per connection before backpressure")
 	maxBatch := flag.Int("max-batch", 256, "max writes the coalescer folds into one engine batch")
 	coalescers := flag.Int("coalescers", 4, "concurrent coalescer drainers (overlap commit fsyncs with engine work)")
@@ -65,6 +66,7 @@ func run() error {
 		FilterExtract:      workload.CreationOf,
 		MemoryBudget:       *memBudget,
 		CacheBytes:         *cacheBytes,
+		ReadCache:          lsmstore.ReadCacheOptions{Bytes: *readCache},
 		Shards:             *shards,
 		MaintenanceWorkers: *maintWorkers,
 		Seed:               *seed,

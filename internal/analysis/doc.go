@@ -17,6 +17,9 @@
 // lockio tracks Lock/Unlock of the configured mutexes through each
 // function linearly (branch-sensitive, defer-aware) and through
 // same-package call chains, and reports any reachable blocking operation.
+// PR 8 added readcache.segment.mu to the default mutex list: every point
+// read crosses a cache segment lock, so an I/O or channel wait under it
+// would serialize the read path the cache exists to speed up.
 //
 // erraudit — no silently discarded error in durability-critical packages.
 // Established by PR 3 (on-disk persistence): every durability bug found
@@ -26,7 +29,9 @@
 // call whose error result is unused (bare, deferred or goroutine calls)
 // and every error assigned to the blank identifier, in the audited
 // packages — stricter than errcheck, with no default exclusion list, and
-// test files are audited too.
+// test files are audited too. internal/readcache is audited as of PR 8:
+// the cache sits in front of the engine on every read, and a swallowed
+// error there would turn an engine failure into a silent stale serve.
 //
 // poolleak — pooled buffers must not escape their request.
 // Established by PR 5 (encode-buffer pooling on the WAL and wire paths):

@@ -11,7 +11,6 @@ package bloom
 
 import (
 	"encoding/binary"
-	"hash/fnv"
 	"math"
 )
 
@@ -25,19 +24,35 @@ type Filter interface {
 	NumBits() int
 }
 
+// FNV-1a 64-bit parameters (hash/fnv), inlined below so hash2 stays
+// allocation-free on the read hot path.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnv1a is hash/fnv's New64a().Write(b).Sum64() without the heap-allocated
+// digest. The values are bit-identical to the library implementation, which
+// keeps every previously built filter (and the simulator's deterministic
+// probe traces) unchanged.
+func fnv1a(seed uint64, b []byte) uint64 {
+	h := seed
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // hash2 derives the two independent 64-bit hashes used for double hashing
 // (g_i = h1 + i*h2), the standard construction for k hash functions.
 func hash2(key []byte) (uint64, uint64) {
-	h := fnv.New64a()
-	h.Write(key)
-	h1 := h.Sum64()
+	h1 := fnv1a(fnvOffset64, key)
 	// Second hash: re-hash h1 with a salt, cheap and independent enough.
 	var buf [9]byte
 	binary.LittleEndian.PutUint64(buf[:], h1)
 	buf[8] = 0x9e
-	h.Reset()
-	h.Write(buf[:])
-	h2 := h.Sum64() | 1 // force odd so strides cover the space
+	h2 := fnv1a(fnvOffset64, buf[:]) | 1 // force odd so strides cover the space
 	return h1, h2
 }
 

@@ -171,6 +171,7 @@ func BenchmarkStandardMayContain(b *testing.B) {
 	for _, k := range keys {
 		f.Add(k)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.MayContain(keys[i%len(keys)])
@@ -183,6 +184,7 @@ func BenchmarkBlockedMayContain(b *testing.B) {
 	for _, k := range keys {
 		f.Add(k)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.MayContain(keys[i%len(keys)])

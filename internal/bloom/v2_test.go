@@ -1,0 +1,223 @@
+package bloom
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"testing"
+)
+
+func TestV2NoFalseNegatives(t *testing.T) {
+	keys := keysFor(10000, 21)
+	f := NewV2FPR(len(keys), 0.01)
+	for _, k := range keys {
+		f.Add(k)
+	}
+	for i, k := range keys {
+		if ok, _ := f.MayContain(k); !ok {
+			t.Fatalf("false negative for key %d", i)
+		}
+	}
+}
+
+func TestV2FalsePositiveRate(t *testing.T) {
+	keys := keysFor(50000, 22)
+	f := NewV2FPR(len(keys), 0.01)
+	for _, k := range keys {
+		f.Add(k)
+	}
+	fpr := measureFPR(t, f, keysFor(50000, 97))
+	// The split-block layout with a fixed 8 probes lands comfortably under
+	// the 1% target at ~10.6 bits/key; 2% is the regression ceiling.
+	if fpr > 0.02 {
+		t.Errorf("v2 FPR %.4f exceeds 2%% (target 1%%)", fpr)
+	}
+}
+
+func TestV2SingleCacheLine(t *testing.T) {
+	keys := keysFor(1000, 23)
+	f := NewV2FPR(len(keys), 0.01)
+	for _, k := range keys {
+		f.Add(k)
+	}
+	for _, k := range keysFor(2000, 79) {
+		if _, lines := f.MayContain(k); lines != 1 {
+			t.Fatalf("v2 probe touched %d cache lines, want 1", lines)
+		}
+	}
+}
+
+func TestV2Tiny(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		f := NewV2FPR(n, 0.01)
+		k := []byte("only")
+		f.Add(k)
+		if ok, _ := f.MayContain(k); !ok {
+			t.Errorf("n=%d v2 lost its key", n)
+		}
+	}
+}
+
+func TestV2MarshalRoundTrip(t *testing.T) {
+	keys := keysFor(5000, 24)
+	f := NewV2FPR(len(keys), 0.01)
+	for _, k := range keys {
+		f.Add(k)
+	}
+	enc := f.Marshal()
+	g, err := UnmarshalV2(enc)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if g.blocks != f.blocks || len(g.words) != len(f.words) {
+		t.Fatalf("shape mismatch: %d/%d blocks, %d/%d words", g.blocks, f.blocks, len(g.words), len(f.words))
+	}
+	for i := range f.words {
+		if g.words[i] != f.words[i] {
+			t.Fatalf("word %d differs after round trip", i)
+		}
+	}
+	if !bytes.Equal(g.Marshal(), enc) {
+		t.Fatal("re-marshal is not byte-identical")
+	}
+}
+
+func TestV2UnmarshalRejectsCorrupt(t *testing.T) {
+	f := NewV2FPR(100, 0.01)
+	f.Add([]byte("k"))
+	enc := f.Marshal()
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       enc[:4],
+		"bad magic":   append([]byte("nope"), enc[4:]...),
+		"bad version": append(append([]byte{}, enc[:4]...), append([]byte{99}, enc[5:]...)...),
+		"truncated":   enc[:len(enc)-3],
+		"padded":      append(append([]byte{}, enc...), 0),
+		"zero blocks": func() []byte {
+			c := append([]byte{}, enc...)
+			binary.LittleEndian.PutUint64(c[5:], 0)
+			return c
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalV2(data); !errors.Is(err, ErrCorruptFilter) {
+			t.Errorf("%s: err=%v, want ErrCorruptFilter", name, err)
+		}
+	}
+}
+
+// TestHash2MatchesFNV pins the inlined FNV-1a in hash2 to the library
+// implementation: existing filters were built with hash/fnv, so the
+// allocation-free rewrite must be value-identical.
+func TestHash2MatchesFNV(t *testing.T) {
+	for _, k := range append(keysFor(200, 25), []byte{}, []byte("a"), bytes.Repeat([]byte{0xff}, 100)) {
+		h := fnv.New64a()
+		h.Write(k)
+		wantH1 := h.Sum64()
+		var buf [9]byte
+		binary.LittleEndian.PutUint64(buf[:], wantH1)
+		buf[8] = 0x9e
+		h.Reset()
+		h.Write(buf[:])
+		wantH2 := h.Sum64() | 1
+		gotH1, gotH2 := hash2(k)
+		if gotH1 != wantH1 || gotH2 != wantH2 {
+			t.Fatalf("hash2(%x) = %x,%x; fnv reference %x,%x", k, gotH1, gotH2, wantH1, wantH2)
+		}
+	}
+}
+
+// TestMayContainAllocFree guards the satellite fix: membership tests on all
+// three variants must not allocate.
+func TestMayContainAllocFree(t *testing.T) {
+	keys := keysFor(1000, 26)
+	std := NewStandardFPR(len(keys), 0.01)
+	blk := NewBlockedFPR(len(keys), 0.01)
+	v2 := NewV2FPR(len(keys), 0.01)
+	for _, k := range keys {
+		std.Add(k)
+		blk.Add(k)
+		v2.Add(k)
+	}
+	probe := keys[7]
+	for name, fn := range map[string]func(){
+		"standard": func() { std.MayContain(probe) },
+		"blocked":  func() { blk.MayContain(probe) },
+		"v2":       func() { v2.MayContain(probe) },
+	} {
+		if n := testing.AllocsPerRun(100, fn); n != 0 {
+			t.Errorf("%s MayContain allocates %.1f/op, want 0", name, n)
+		}
+	}
+}
+
+// FuzzBloomV2 is the house-style fuzzer (see internal/wire/fuzz_test.go):
+// split the input into keys, assert no false negatives against a map
+// oracle, and assert Marshal/UnmarshalV2 round-trips to an identical
+// filter. Raw fuzz bytes are also fed straight to UnmarshalV2, which must
+// reject corruption with ErrCorruptFilter and never panic.
+func FuzzBloomV2(f *testing.F) {
+	f.Add([]byte("alpha\x00beta\x00gamma"), uint8(9))
+	f.Add([]byte{}, uint8(0))
+	f.Add(bytes.Repeat([]byte{0xab}, 300), uint8(64))
+	f.Add(NewV2FPR(10, 0.01).Marshal(), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
+		// Corrupt-input leg: arbitrary bytes must decode or error, never panic.
+		if g, err := UnmarshalV2(data); err == nil {
+			if !bytes.Equal(g.Marshal(), data) {
+				t.Fatal("accepted encoding does not re-marshal identically")
+			}
+		} else if !errors.Is(err, ErrCorruptFilter) {
+			t.Fatalf("unmarshal error %v does not wrap ErrCorruptFilter", err)
+		}
+
+		// Oracle leg: derive keys from the input, check no false negatives.
+		size := int(chunk)%16 + 1
+		var keys [][]byte
+		oracle := map[string]bool{}
+		for i := 0; i+size <= len(data) && len(keys) < 256; i += size {
+			k := data[i : i+size]
+			keys = append(keys, k)
+			oracle[string(k)] = true
+		}
+		if len(keys) == 0 {
+			return
+		}
+		filter := NewV2FPR(len(keys), 0.01)
+		for _, k := range keys {
+			filter.Add(k)
+		}
+		for k := range oracle {
+			if ok, _ := filter.MayContain([]byte(k)); !ok {
+				t.Fatalf("false negative for inserted key %x", k)
+			}
+		}
+		enc := filter.Marshal()
+		again, err := UnmarshalV2(enc)
+		if err != nil {
+			t.Fatalf("round trip unmarshal: %v", err)
+		}
+		if !bytes.Equal(again.Marshal(), enc) {
+			t.Fatal("marshal round trip not identity")
+		}
+		for k := range oracle {
+			if ok, _ := again.MayContain([]byte(k)); !ok {
+				t.Fatalf("false negative after round trip for key %x", k)
+			}
+		}
+	})
+}
+
+func BenchmarkV2MayContain(b *testing.B) {
+	keys := keysFor(100000, 27)
+	f := NewV2FPR(len(keys), 0.01)
+	for _, k := range keys {
+		f.Add(k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(keys[i%len(keys)])
+	}
+}

@@ -142,6 +142,11 @@ type Config struct {
 	BloomFPR float64
 	// BlockedBloom selects blocked Bloom filters (Section 3.2).
 	BlockedBloom bool
+	// BloomV2 selects the runtime split-block filter (bloom.V2) for the
+	// primary and pk-index trees and persists it in the manifest so reopen
+	// skips the rebuild-by-scan. Takes precedence over BlockedBloom; the
+	// simulated cost-model experiments keep using the paper's variants.
+	BloomV2 bool
 	// DisableWAL turns off write-ahead logging (benchmarks that measure
 	// pure ingestion I/O).
 	DisableWAL bool
@@ -295,6 +300,7 @@ func Open(cfg Config) (*Dataset, error) {
 		Store:        cfg.Store,
 		BloomFPR:     cfg.BloomFPR,
 		BlockedBloom: cfg.BlockedBloom,
+		BloomV2:      cfg.BloomV2,
 		FilterExtract: func(e kv.Entry) (int64, bool) {
 			if cfg.FilterExtract == nil || e.Anti {
 				return 0, false
@@ -310,6 +316,7 @@ func Open(cfg Config) (*Dataset, error) {
 			Store:          cfg.Store,
 			BloomFPR:       cfg.BloomFPR,
 			BlockedBloom:   cfg.BlockedBloom,
+			BloomV2:        cfg.BloomV2,
 			MutableBitmaps: mutable,
 			Seed:           cfg.Seed + 2,
 		})

@@ -566,10 +566,14 @@ func (d *Dataset) MergePrimaryRange(pLo, pHi, kLo, kHi int) (*lsm.Component, err
 		for _, c := range primComps {
 			upper += c.NumEntries()
 		}
-		if d.cfg.BlockedBloom {
+		switch {
+		case d.cfg.BloomV2:
+			f := bloom.NewV2FPR(int(upper), d.cfg.BloomFPR)
+			pkBloom, addPK = f, f.Add
+		case d.cfg.BlockedBloom:
 			f := bloom.NewBlockedFPR(int(upper), d.cfg.BloomFPR)
 			pkBloom, addPK = f, f.Add
-		} else {
+		default:
 			f := bloom.NewStandardFPR(int(upper), d.cfg.BloomFPR)
 			pkBloom, addPK = f, f.Add
 		}

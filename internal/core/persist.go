@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/bitmap"
+	"repro/internal/bloom"
 	"repro/internal/lsm"
 	"repro/internal/storage"
 	"repro/internal/wal"
@@ -59,6 +60,11 @@ type componentManifest struct {
 	Valid           []byte `json:",omitempty"`
 	SharedValid     bool   `json:",omitempty"`
 	DeletedKeysFile uint64 `json:",omitempty"`
+	// Bloom is the component's marshalled bloom.V2 filter. Only the v2
+	// runtime filter persists; the paper's cost-model variants stay
+	// in-memory and are rebuilt by scan at reopen. Older manifests simply
+	// lack the field, which is the same fallback.
+	Bloom []byte `json:",omitempty"`
 }
 
 // Persist snapshots every tree's component list into the device manifest.
@@ -126,6 +132,11 @@ func (d *Dataset) treeManifest(name string, tr *lsm.Tree, sharedValid bool) tree
 		}
 		if c.DeletedKeys != nil {
 			cm.DeletedKeysFile = uint64(c.DeletedKeys.FileID())
+		}
+		// Filters are immutable once a component is installed, so the
+		// marshal below races with nothing.
+		if v2, ok := c.Bloom.(*bloom.V2); ok {
+			cm.Bloom = v2.Marshal()
 		}
 		tm.Components = append(tm.Components, cm)
 	}
@@ -339,6 +350,7 @@ func (d *Dataset) restoreTree(tr *lsm.Tree, tm treeManifest, referenced map[stor
 			Obsolete:        obsolete,
 			Valid:           valid,
 			DeletedKeysFile: storage.FileID(cm.DeletedKeysFile),
+			Bloom:           cm.Bloom,
 		}
 		referenced[storage.FileID(cm.File)] = true
 		if cm.DeletedKeysFile != 0 {

@@ -237,6 +237,7 @@ type harness struct {
 	shards     int
 	workers    int
 	keySpace   int
+	readCache  bool
 
 	creation    int64
 	dir         string
@@ -304,6 +305,11 @@ func Run(cfg Config) (*Report, error) {
 			h.shards = 2
 		}
 	}
+	// Drawn last so adding it did not reshuffle the existing corpus'
+	// configurations. The cache is deliberately tiny relative to the
+	// keyspace, so runs with it on cross eviction as well as
+	// fill/invalidate/crash paths while the model checks every read.
+	h.readCache = cfgRng.chance(0.5)
 
 	var inj Injector = NoFaults{}
 	if cfg.FaultRate > 0 {
@@ -323,13 +329,14 @@ func Run(cfg Config) (*Report, error) {
 	if err := os.MkdirAll(h.dir, 0o755); err != nil {
 		return nil, err
 	}
-	h.trace.Addf("run strategy=%v gc=%v shards=%d keyspace=%d", h.strategy, h.gc, h.shards, h.keySpace)
+	h.trace.Addf("run strategy=%v gc=%v shards=%d keyspace=%d readcache=%s",
+		h.strategy, h.gc, h.shards, h.keySpace, onOff(h.readCache))
 
 	report := &Report{
 		Seed:    cfg.Seed,
 		Profile: cfg.Profile,
-		Setup: fmt.Sprintf("strategy=%v gc=%v shards=%d workers=%d keyspace=%d",
-			h.strategy, h.gc, h.shards, h.workers, h.keySpace),
+		Setup: fmt.Sprintf("strategy=%v gc=%v shards=%d workers=%d keyspace=%d readcache=%s",
+			h.strategy, h.gc, h.shards, h.workers, h.keySpace, onOff(h.readCache)),
 		Verdict: "ok",
 	}
 	err := h.run()
@@ -406,9 +413,24 @@ func (h *harness) openSession() error {
 	return nil
 }
 
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
 func (h *harness) options() lsmstore.Options {
+	var rc lsmstore.ReadCacheOptions
+	if h.readCache {
+		// Small enough that a run's keyspace does not fit: eviction runs
+		// alongside invalidation, and a stale survivor would be caught by
+		// the model on the very next read of that key.
+		rc = lsmstore.ReadCacheOptions{Bytes: 8 << 10, Segments: 2}
+	}
 	return lsmstore.Options{
-		Strategy: h.strategy,
+		ReadCache: rc,
+		Strategy:  h.strategy,
 		Secondaries: []lsmstore.SecondaryIndex{
 			{Name: "user", Extract: workload.UserIDOf},
 		},

@@ -174,7 +174,12 @@ func (c *Component) MayContain(env *metrics.Env, key []byte) bool {
 	env.Clock.Advance(env.CPU.Hash)
 	ok, lines := c.Bloom.MayContain(key)
 	env.Clock.Advance(time.Duration(lines) * env.CPU.CacheLineMiss)
-	if b, isBlocked := c.Bloom.(*bloom.Blocked); isBlocked {
+	switch b := c.Bloom.(type) {
+	case *bloom.Blocked:
+		env.Clock.Advance(time.Duration(b.K()-1) * env.CPU.ProbeInBlock)
+	case *bloom.V2:
+		// Same single-cache-line shape as Blocked: the in-block word
+		// probes after the first are charged at register speed.
 		env.Clock.Advance(time.Duration(b.K()-1) * env.CPU.ProbeInBlock)
 	}
 	if !ok {

@@ -4,7 +4,6 @@ import (
 	"errors"
 
 	"repro/internal/bitmap"
-	"repro/internal/bloom"
 	"repro/internal/btree"
 	"repro/internal/kv"
 	"repro/internal/storage"
@@ -92,17 +91,7 @@ func (t *Tree) Merge(spec MergeSpec) (*MergeResult, error) {
 		buildStore = spec.Store
 	}
 	b := btree.NewBuilder(buildStore)
-	var filter bloom.Filter
-	var addToFilter func([]byte)
-	if t.opts.BloomFPR > 0 {
-		if t.opts.BlockedBloom {
-			f := bloom.NewBlockedFPR(int(upperBound), t.opts.BloomFPR)
-			filter, addToFilter = f, f.Add
-		} else {
-			f := bloom.NewStandardFPR(int(upperBound), t.opts.BloomFPR)
-			filter, addToFilter = f, f.Add
-		}
-	}
+	filter, addToFilter := newFilter(t.opts, int(upperBound))
 
 	it, err := t.NewMergedIterator(IterOptions{
 		Components:    inputs,

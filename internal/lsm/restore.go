@@ -31,6 +31,11 @@ type RestoredComponent struct {
 	// DeletedKeysFile is the component's deleted-key B+-tree file
 	// (DeletedKey strategy); zero when none.
 	DeletedKeysFile storage.FileID
+	// Bloom is the component's marshalled bloom.V2 filter (nil when the
+	// tree does not use v2 filters, or for manifests written before
+	// filters were persisted). A missing or corrupt encoding is not an
+	// error: Restore falls back to rebuilding the filter by scan.
+	Bloom []byte
 }
 
 // Restore rebuilds the tree's disk-component list from persisted images,
@@ -63,9 +68,21 @@ func (t *Tree) Restore(images []RestoredComponent) ([]*Component, error) {
 			c.Valid = bitmap.NewMutable(reader.NumEntries())
 		}
 		if t.opts.BloomFPR > 0 {
-			f, err := rebuildBloom(reader, t.opts.BloomFPR, t.opts.BlockedBloom)
-			if err != nil {
-				return nil, err
+			var f bloom.Filter
+			if t.opts.BloomV2 && len(im.Bloom) > 0 {
+				// Persisted v2 filter: decode instead of scanning. Corrupt
+				// bytes degrade to the rebuild path below (self-healing on
+				// the next manifest write).
+				if v2, err := bloom.UnmarshalV2(im.Bloom); err == nil {
+					f = v2
+				}
+			}
+			if f == nil {
+				rebuilt, err := rebuildBloom(reader, t.opts)
+				if err != nil {
+					return nil, err
+				}
+				f = rebuilt
 			}
 			c.Bloom = f
 		}
@@ -90,19 +107,13 @@ func (t *Tree) Restore(images []RestoredComponent) ([]*Component, error) {
 }
 
 // rebuildBloom scans every key of a restored component into a fresh Bloom
-// filter of the tree's configured flavor (the filters are in-memory only
-// and are not persisted — a reopen pays one sequential scan per component
-// instead).
-func rebuildBloom(r *btree.Reader, fpr float64, blocked bool) (bloom.Filter, error) {
-	n := int(r.NumEntries())
-	var filter bloom.Filter
-	var add func([]byte)
-	if blocked {
-		f := bloom.NewBlockedFPR(n, fpr)
-		filter, add = f, f.Add
-	} else {
-		f := bloom.NewStandardFPR(n, fpr)
-		filter, add = f, f.Add
+// filter of the tree's configured flavor. The cost-model variants live only
+// in memory, so this scan is their normal reopen price; v2 trees reach here
+// only when the manifest carries no (or a corrupt) persisted filter.
+func rebuildBloom(r *btree.Reader, opts Options) (bloom.Filter, error) {
+	filter, add := newFilter(opts, int(r.NumEntries()))
+	if filter == nil {
+		return nil, nil
 	}
 	if err := scanKeys(r, add); err != nil {
 		return nil, err

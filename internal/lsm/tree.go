@@ -24,6 +24,12 @@ type Options struct {
 	BloomFPR float64
 	// BlockedBloom selects the cache-friendly blocked variant (Section 3.2).
 	BlockedBloom bool
+	// BloomV2 selects the runtime split-block filter (bloom.V2) instead of
+	// the paper's cost-model variants. V2 filters marshal into the durable
+	// manifest (RestoredComponent.Bloom), so reopen skips the
+	// rebuild-by-scan the in-memory-only variants pay. Takes precedence
+	// over BlockedBloom.
+	BloomV2 bool
 	// FilterExtract extracts the range-filter key from an entry, or reports
 	// false when the entry carries none (anti-matter). Nil disables
 	// recomputing filters at merge time.
@@ -33,6 +39,26 @@ type Options struct {
 	MutableBitmaps bool
 	// Seed makes memtable shapes deterministic.
 	Seed int64
+}
+
+// newFilter builds the configured Bloom filter flavor sized for n keys,
+// returning the filter and its insert function (nil, nil when filters are
+// disabled). Every disk-component build path (memtable flush, merge, pk
+// sibling build, restore rebuild) goes through this single selector.
+func newFilter(opts Options, n int) (bloom.Filter, func([]byte)) {
+	switch {
+	case opts.BloomFPR <= 0:
+		return nil, nil
+	case opts.BloomV2:
+		f := bloom.NewV2FPR(n, opts.BloomFPR)
+		return f, f.Add
+	case opts.BlockedBloom:
+		f := bloom.NewBlockedFPR(n, opts.BloomFPR)
+		return f, f.Add
+	default:
+		f := bloom.NewStandardFPR(n, opts.BloomFPR)
+		return f, f.Add
+	}
 }
 
 // Tree is one LSM-tree index. All methods are safe for concurrent use.
@@ -351,17 +377,7 @@ func (t *Tree) buildFromMemtable(mem *memtable.Table, epoch uint64) (*Component,
 func (t *Tree) buildFromMemtableOn(store *storage.Store, mem *memtable.Table, epoch uint64) (*Component, error) {
 	n := mem.Len()
 	b := btree.NewBuilder(store)
-	var filter bloom.Filter
-	var addToFilter func([]byte)
-	if t.opts.BloomFPR > 0 {
-		if t.opts.BlockedBloom {
-			f := bloom.NewBlockedFPR(n, t.opts.BloomFPR)
-			filter, addToFilter = f, f.Add
-		} else {
-			f := bloom.NewStandardFPR(n, t.opts.BloomFPR)
-			filter, addToFilter = f, f.Add
-		}
-	}
+	filter, addToFilter := newFilter(t.opts, n)
 	it := mem.NewIterator(nil, nil)
 	var payload []byte
 	for {

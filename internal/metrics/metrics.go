@@ -114,6 +114,12 @@ type Counters struct {
 	WALFsyncs          atomic.Int64 // fsyncs issued against the WAL area
 	GroupCommitBatches atomic.Int64 // commit groups closed by one covering fsync
 	GroupCommitWaiters atomic.Int64 // committed writes covered by those groups (mean group size = waiters/batches)
+
+	// Read cache (internal/readcache; zero when Options.ReadCache is off).
+	ReadCacheHits          atomic.Int64 // GETs answered from a cached record
+	ReadCacheMisses        atomic.Int64 // GETs that fell through to the engine
+	ReadCacheNegHits       atomic.Int64 // GETs answered by a cached known-absent entry
+	ReadCacheInvalidations atomic.Int64 // write-path invalidations (per mutated key)
 }
 
 // Snapshot is an immutable copy of the counter values.
@@ -134,6 +140,11 @@ type Snapshot struct {
 	WALFsyncs          int64
 	GroupCommitBatches int64
 	GroupCommitWaiters int64
+
+	ReadCacheHits          int64
+	ReadCacheMisses        int64
+	ReadCacheNegHits       int64
+	ReadCacheInvalidations int64
 }
 
 // Snapshot captures the current counter values.
@@ -155,6 +166,11 @@ func (c *Counters) Snapshot() Snapshot {
 		WALFsyncs:          c.WALFsyncs.Load(),
 		GroupCommitBatches: c.GroupCommitBatches.Load(),
 		GroupCommitWaiters: c.GroupCommitWaiters.Load(),
+
+		ReadCacheHits:          c.ReadCacheHits.Load(),
+		ReadCacheMisses:        c.ReadCacheMisses.Load(),
+		ReadCacheNegHits:       c.ReadCacheNegHits.Load(),
+		ReadCacheInvalidations: c.ReadCacheInvalidations.Load(),
 	}
 }
 
@@ -177,6 +193,11 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		WALFsyncs:          s.WALFsyncs + o.WALFsyncs,
 		GroupCommitBatches: s.GroupCommitBatches + o.GroupCommitBatches,
 		GroupCommitWaiters: s.GroupCommitWaiters + o.GroupCommitWaiters,
+
+		ReadCacheHits:          s.ReadCacheHits + o.ReadCacheHits,
+		ReadCacheMisses:        s.ReadCacheMisses + o.ReadCacheMisses,
+		ReadCacheNegHits:       s.ReadCacheNegHits + o.ReadCacheNegHits,
+		ReadCacheInvalidations: s.ReadCacheInvalidations + o.ReadCacheInvalidations,
 	}
 }
 
@@ -199,6 +220,11 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		WALFsyncs:          s.WALFsyncs - o.WALFsyncs,
 		GroupCommitBatches: s.GroupCommitBatches - o.GroupCommitBatches,
 		GroupCommitWaiters: s.GroupCommitWaiters - o.GroupCommitWaiters,
+
+		ReadCacheHits:          s.ReadCacheHits - o.ReadCacheHits,
+		ReadCacheMisses:        s.ReadCacheMisses - o.ReadCacheMisses,
+		ReadCacheNegHits:       s.ReadCacheNegHits - o.ReadCacheNegHits,
+		ReadCacheInvalidations: s.ReadCacheInvalidations - o.ReadCacheInvalidations,
 	}
 }
 
@@ -219,6 +245,10 @@ func (c *Counters) Reset() {
 	c.WALFsyncs.Store(0)
 	c.GroupCommitBatches.Store(0)
 	c.GroupCommitWaiters.Store(0)
+	c.ReadCacheHits.Store(0)
+	c.ReadCacheMisses.Store(0)
+	c.ReadCacheNegHits.Store(0)
+	c.ReadCacheInvalidations.Store(0)
 }
 
 // ServerCounters aggregates network-service events for the lsmserver

@@ -1,0 +1,54 @@
+// Package readcache is the sharded hot-entry cache that sits in front of
+// the LSM engine on the point-read path (lsmstore.Options.ReadCache). It
+// maps primary keys to encoded records (positive entries) and remembers
+// keys the engine is known not to hold (negative entries), bounded by a
+// byte budget and evicted LRU-first per segment.
+//
+// # Structure
+//
+// The cache is split into N independently locked segments (power of two;
+// a key's segment is chosen by hash). Each segment holds its own map,
+// intrusive LRU list, byte budget share, and a version counter. There is
+// no global lock: a GET and an unrelated invalidation never contend.
+//
+// # Invariants — who invalidates, and when
+//
+// The cache itself never reads the engine; it only remembers what callers
+// tell it. Correctness is the writers' obligation and rests on three rules:
+//
+//  1. Writers invalidate, they never fill. Every mutation path —
+//     lsmstore.DB.Insert/Upsert/Delete, the unsharded ApplyBatch helpers,
+//     and the shard.Router fan-out workers (Router.SetInvalidator) —
+//     calls Invalidate(pk) for each mutated key after the engine applied
+//     the mutation and before the write is acknowledged to the caller.
+//     A reader that observes the ack therefore can never hit a cache
+//     entry predating the write. Uncertain outcomes (a failed covering
+//     group-commit fsync zeroes the applied results) still invalidate:
+//     an empty cache entry is always safe, a stale one never is.
+//
+//  2. Fills are version-gated, so a racing reader cannot resurrect a
+//     stale value. Get on a miss returns a token carrying the segment's
+//     version; the later Put/PutNegative with that token installs the
+//     entry only if no Invalidate touched the segment in between
+//     (Invalidate and InvalidateAll bump the version). Without the gate,
+//     a reader could fetch an old value from the engine, lose the CPU,
+//     and insert it after a writer's invalidation — the classic
+//     lookaside-cache race. With it, the worst case is a discarded fill.
+//
+//  3. Crash and recovery flush everything. lsmstore.DB.Crash discards
+//     unflushed memtables, so positive entries could otherwise serve
+//     writes the crash destroyed; DB.Crash and DB.Recover call
+//     InvalidateAll after the engine transition. A real process restart
+//     trivially starts cold — the cache is memory-only and never
+//     persisted.
+//
+// Value slices handed to Put are stored as-is, and Get returns them
+// without copying; both sides of the contract must treat them as
+// immutable. The engine's component pages and memtable entries already
+// are (components are write-once, memtable values are replaced, never
+// edited in place), which is what makes the zero-copy GET path safe.
+//
+// The cache is deterministic — no wall-clock reads, no randomness — so
+// the internal/dst simulation can enable it without breaking
+// bit-reproducibility.
+package readcache

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -293,6 +294,21 @@ const maxPooledFrame = 64 << 10
 
 var frameBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
 
+// reqBufPool recycles request frame buffers. Each request reads its frame
+// into a pooled buffer and decodes it in place (wire.DecodeRequestInPlace),
+// so a GET's key never leaves the receive buffer; the handler returns the
+// buffer once the request is done. Write operations clone the fields the
+// engine retains (see handle) before the buffer goes back.
+var reqBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// putReqBuf returns a request buffer to the pool unless one oversized
+// frame grew it past the cap worth pinning.
+func putReqBuf(bp *[]byte) {
+	if cap(*bp) <= maxPooledFrame {
+		reqBufPool.Put(bp)
+	}
+}
+
 // conn is one client connection: a reader goroutine decoding and
 // dispatching requests, per-request handler goroutines (bounded by sem),
 // and a writer goroutine serializing response frames.
@@ -321,21 +337,25 @@ func (c *conn) serve() {
 
 func (c *conn) readLoop() {
 	br := bufio.NewReaderSize(c.nc, 64<<10)
-	var buf []byte
 	for {
 		if c.srv.draining() {
 			return
 		}
-		frame, err := wire.ReadFrame(br, buf, c.srv.cfg.MaxFrame)
+		bp := reqBufPool.Get().(*[]byte)
+		frame, err := wire.ReadFrame(br, *bp, c.srv.cfg.MaxFrame)
 		if err != nil {
+			putReqBuf(bp)
 			return // EOF, peer reset, shutdown deadline, oversized frame
 		}
-		buf = frame[:cap(frame)]
+		*bp = frame[:cap(frame)]
 		c.srv.counters.Requests.Add(1)
-		req, err := wire.DecodeRequest(frame)
+		// Decode in place: the request's byte fields alias the pooled
+		// buffer, which stays with this request until its handler is done.
+		req, err := wire.DecodeRequestInPlace(frame)
 		if err != nil {
 			// The stream is unframed garbage from here on; answer with a
 			// zero-ID error so the client can log it, then hang up.
+			putReqBuf(bp)
 			c.srv.counters.Errors.Add(1)
 			c.send(wire.ErrorResponse(0, wire.CodeBadRequest, err.Error()))
 			return
@@ -345,21 +365,44 @@ func (c *conn) readLoop() {
 		// back on the client.
 		c.sem <- struct{}{}
 		c.reqWg.Add(1)
-		go func(req wire.Request) {
+		go func(req wire.Request, bp *[]byte) { //lsm:poolleak-ok the goroutine is the request's owner; it returns the buffer via putReqBuf when done
 			defer c.reqWg.Done()
 			defer func() { <-c.sem }()
+			defer putReqBuf(bp)
+			if req.Op == wire.OpGet {
+				// GET fast path: serve a reference into engine-owned
+				// memory and encode it straight into the pooled response
+				// frame — no value copy, no intermediate Response.
+				val, found, err := c.srv.db.GetRef(req.Key)
+				if err != nil {
+					c.srv.counters.Errors.Add(1)
+					c.send(c.srv.errorResponse(req.ID, err))
+					return
+				}
+				c.sendValue(req.ID, found, val)
+				return
+			}
 			resp := c.srv.handle(req)
 			if resp.Kind == wire.KindError {
 				c.srv.counters.Errors.Add(1)
 			}
 			c.send(resp)
-		}(req)
+		}(req, bp)
 	}
 }
 
 func (c *conn) send(resp wire.Response) {
 	bp := frameBufPool.Get().(*[]byte)
 	*bp = wire.AppendResponse((*bp)[:0], resp)
+	c.out <- bp //lsm:poolleak-ok ownership of the frame moves to writeLoop, which returns it with Put after writing
+}
+
+// sendValue encodes a KindValue response directly from an engine-owned
+// value reference (wire.AppendValueResponse copies the bytes into the
+// pooled frame, so the reference is released as soon as this returns).
+func (c *conn) sendValue(id uint64, found bool, value []byte) {
+	bp := frameBufPool.Get().(*[]byte)
+	*bp = wire.AppendValueResponse((*bp)[:0], id, found, value)
 	c.out <- bp //lsm:poolleak-ok ownership of the frame moves to writeLoop, which returns it with Put after writing
 }
 
@@ -404,33 +447,41 @@ func (c *conn) writeLoop(done chan struct{}) {
 }
 
 // handle executes one request against the DB and builds its response.
+//
+// Requests arrive decoded in place: their byte fields alias a pooled
+// receive buffer that is reused once the request finishes. Read operations
+// may use the fields as-is (the engine does not retain them), but write
+// operations must clone what the engine keeps — keys and records live on
+// in the memtable and WAL long after the buffer is recycled.
 func (s *Server) handle(req wire.Request) wire.Response {
 	switch req.Op {
 	case wire.OpPing:
 		return wire.Response{ID: req.ID, Kind: wire.KindOK}
 
 	case wire.OpGet:
-		val, found, err := s.db.Get(req.Key)
+		// Normally intercepted by readLoop's zero-copy fast path; kept for
+		// completeness, sharing its engine path.
+		val, found, err := s.db.GetRef(req.Key)
 		if err != nil {
 			return s.errorResponse(req.ID, err)
 		}
 		return wire.Response{ID: req.ID, Kind: wire.KindValue, Found: found, Value: val}
 
 	case wire.OpUpsert:
-		if _, err := s.write(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: req.Key, Record: req.Value}); err != nil {
+		if _, err := s.write(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: bytes.Clone(req.Key), Record: bytes.Clone(req.Value)}); err != nil {
 			return s.errorResponse(req.ID, err)
 		}
 		return wire.Response{ID: req.ID, Kind: wire.KindOK}
 
 	case wire.OpInsert:
-		applied, err := s.write(lsmstore.Mutation{Op: lsmstore.OpInsert, PK: req.Key, Record: req.Value})
+		applied, err := s.write(lsmstore.Mutation{Op: lsmstore.OpInsert, PK: bytes.Clone(req.Key), Record: bytes.Clone(req.Value)})
 		if err != nil {
 			return s.errorResponse(req.ID, err)
 		}
 		return wire.Response{ID: req.ID, Kind: wire.KindApplied, Applied: applied}
 
 	case wire.OpDelete:
-		applied, err := s.write(lsmstore.Mutation{Op: lsmstore.OpDelete, PK: req.Key})
+		applied, err := s.write(lsmstore.Mutation{Op: lsmstore.OpDelete, PK: bytes.Clone(req.Key)})
 		if err != nil {
 			return s.errorResponse(req.ID, err)
 		}
@@ -451,7 +502,7 @@ func (s *Server) handle(req wire.Request) wire.Response {
 				return wire.ErrorResponse(req.ID, wire.CodeBadRequest,
 					fmt.Sprintf("unknown mutation op %d", m.Op))
 			}
-			muts[i] = lsmstore.Mutation{Op: op, PK: m.PK, Record: m.Record}
+			muts[i] = lsmstore.Mutation{Op: op, PK: bytes.Clone(m.PK), Record: bytes.Clone(m.Record)}
 		}
 		applied, err := s.db.ApplyBatchResults(muts)
 		if err != nil {

@@ -38,7 +38,7 @@ func storeOptions() lsmstore.Options {
 
 // startServer opens a store, serves it on an ephemeral port, and returns
 // the pieces. Cleanup shuts the server down and closes the DB.
-func startServer(t *testing.T, opts lsmstore.Options, mod func(*server.Config)) (*server.Server, *lsmstore.DB) {
+func startServer(t testing.TB, opts lsmstore.Options, mod func(*server.Config)) (*server.Server, *lsmstore.DB) {
 	t.Helper()
 	db, err := lsmstore.Open(opts)
 	if err != nil {
@@ -66,7 +66,7 @@ func startServer(t *testing.T, opts lsmstore.Options, mod func(*server.Config)) 
 	return srv, db
 }
 
-func dial(t *testing.T, srv *server.Server, conns int) *lsmclient.Client {
+func dial(t testing.TB, srv *server.Server, conns int) *lsmclient.Client {
 	t.Helper()
 	c, err := lsmclient.DialOptions(lsmclient.Options{
 		Addr:           srv.Addr().String(),

@@ -36,6 +36,10 @@ type Partition struct {
 type Router struct {
 	parts   []*Partition
 	workers int
+	// invalidate, when set, is called with every mutated primary key after
+	// its shard applied the mutation and before the batch returns (i.e.
+	// before any caller can observe the ack). See SetInvalidator.
+	invalidate func(pk []byte)
 }
 
 // NewRouter builds a router over the given partitions. workers bounds the
@@ -50,6 +54,15 @@ func NewRouter(parts []*Partition, workers int) (*Router, error) {
 	}
 	return &Router{parts: parts, workers: workers}, nil
 }
+
+// SetInvalidator registers the read-cache invalidation hook: fn runs for
+// every mutated primary key once its shard has applied the mutation,
+// strictly before ApplyBatch/ApplyBatchResults return. It runs even when
+// the shard reports an error (a failed covering fsync leaves the outcome
+// uncertain, and an empty cache entry is always safe where a stale one is
+// not). Must be set before the router serves traffic; it is not
+// synchronized against in-flight batches.
+func (r *Router) SetInvalidator(fn func(pk []byte)) { r.invalidate = fn }
 
 // NumShards returns the partition count.
 func (r *Router) NumShards() int { return len(r.parts) }
@@ -164,21 +177,36 @@ func (r *Router) applyBatch(muts []Mutation, applied []bool) ([]bool, error) {
 		}
 	}
 	err := r.fanOut(func(s int, p *Partition) error {
-		if applied == nil {
-			return ApplyMutationsResults(p.DS, groups[s], nil)
-		}
-		if len(r.parts) == 1 {
-			return ApplyMutationsResults(p.DS, groups[s], applied)
-		}
-		got := make([]bool, len(groups[s]))
-		err := ApplyMutationsResults(p.DS, groups[s], got)
-		// Shards write disjoint index sets, so the scatter is race-free.
-		for j, ok := range got {
-			applied[indexes[s][j]] = ok
+		err := r.applyGroup(s, p, groups[s], indexes, applied)
+		// Invalidate every key the group touched, success or error —
+		// after an errored batch the on-disk outcome per key is
+		// uncertain, and dropping a cache entry is always safe.
+		if r.invalidate != nil {
+			for i := range groups[s] {
+				r.invalidate(groups[s][i].PK)
+			}
 		}
 		return err
 	})
 	return applied, err
+}
+
+// applyGroup applies one shard's slice of a batch and scatters the
+// per-mutation results back to their original batch positions.
+func (r *Router) applyGroup(s int, p *Partition, group []Mutation, indexes [][]int, applied []bool) error {
+	if applied == nil {
+		return ApplyMutationsResults(p.DS, group, nil)
+	}
+	if len(r.parts) == 1 {
+		return ApplyMutationsResults(p.DS, group, applied)
+	}
+	got := make([]bool, len(group))
+	err := ApplyMutationsResults(p.DS, group, got)
+	// Shards write disjoint index sets, so the scatter is race-free.
+	for j, ok := range got {
+		applied[indexes[s][j]] = ok
+	}
+	return err
 }
 
 // ApplyMutations applies the mutations to one dataset sequentially, in

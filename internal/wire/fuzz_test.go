@@ -31,11 +31,21 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 1})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := DecodeRequest(data)
+		inPlace, inPlaceErr := DecodeRequestInPlace(data)
 		if err != nil {
 			if !errors.Is(err, ErrCorruptFrame) {
 				t.Fatalf("decode error %v does not wrap ErrCorruptFrame", err)
 			}
+			if inPlaceErr == nil {
+				t.Fatal("in-place decode accepted a frame the copying decode rejected")
+			}
 			return
+		}
+		if inPlaceErr != nil {
+			t.Fatalf("in-place decode rejected a frame the copying decode accepted: %v", inPlaceErr)
+		}
+		if !reflect.DeepEqual(inPlace, req) {
+			t.Fatalf("in-place decode disagrees:\n got  %+v\n want %+v", inPlace, req)
 		}
 		enc := AppendRequest(nil, req)
 		again, err := DecodeRequest(enc)

@@ -361,6 +361,22 @@ func takeBytes(b []byte) ([]byte, []byte, error) {
 	return out, rest[n:], nil
 }
 
+// takeBytesRef is takeBytes without the copy: the returned slice aliases b
+// (capped so appends cannot scribble over the following fields).
+func takeBytesRef(b []byte) ([]byte, []byte, error) {
+	n, rest, err := takeUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("%w: byte string of %d bytes with %d remaining", ErrCorruptFrame, n, len(rest))
+	}
+	if n == 0 {
+		return nil, rest, nil
+	}
+	return rest[:n:n], rest[n:], nil
+}
+
 func takeString(b []byte) (string, []byte, error) {
 	v, rest, err := takeBytes(b)
 	return string(v), rest, err
@@ -408,8 +424,23 @@ func AppendRequest(buf []byte, r Request) []byte {
 
 // DecodeRequest decodes a frame payload produced by AppendRequest. It
 // never panics on corrupt input: every failure wraps ErrCorruptFrame,
-// including trailing garbage after a well-formed request.
+// including trailing garbage after a well-formed request. Every byte field
+// is copied out of frame, so the caller may reuse frame immediately.
 func DecodeRequest(frame []byte) (Request, error) {
+	return decodeRequest(frame, takeBytes)
+}
+
+// DecodeRequestInPlace is DecodeRequest without the copies: every byte
+// field of the result (Key, Value, Lo, Hi, mutation PKs and Records)
+// aliases frame. The caller must keep frame alive and unmodified for as
+// long as those fields are in use, and must copy any field it hands to
+// code that retains it — the server's read path does this for write
+// operations, whose keys and records outlive the request in the engine.
+func DecodeRequestInPlace(frame []byte) (Request, error) {
+	return decodeRequest(frame, takeBytesRef)
+}
+
+func decodeRequest(frame []byte, takeB func([]byte) ([]byte, []byte, error)) (Request, error) {
 	var (
 		r   Request
 		err error
@@ -426,19 +457,19 @@ func DecodeRequest(frame []byte) (Request, error) {
 	if r.Op == 0 || r.Op >= opMax {
 		return Request{}, fmt.Errorf("%w: unknown op %d", ErrCorruptFrame, op)
 	}
-	if r.Key, b, err = takeBytes(b); err != nil {
+	if r.Key, b, err = takeB(b); err != nil {
 		return Request{}, err
 	}
-	if r.Value, b, err = takeBytes(b); err != nil {
+	if r.Value, b, err = takeB(b); err != nil {
 		return Request{}, err
 	}
 	if r.Index, b, err = takeString(b); err != nil {
 		return Request{}, err
 	}
-	if r.Lo, b, err = takeBytes(b); err != nil {
+	if r.Lo, b, err = takeB(b); err != nil {
 		return Request{}, err
 	}
-	if r.Hi, b, err = takeBytes(b); err != nil {
+	if r.Hi, b, err = takeB(b); err != nil {
 		return Request{}, err
 	}
 	if r.FilterLo, b, err = takeVarint(b); err != nil {
@@ -471,10 +502,10 @@ func DecodeRequest(frame []byte) (Request, error) {
 				return Request{}, fmt.Errorf("%w: unknown mutation op %d", ErrCorruptFrame, mo)
 			}
 			r.Muts[i].Op = MutOp(mo)
-			if r.Muts[i].PK, b, err = takeBytes(b); err != nil {
+			if r.Muts[i].PK, b, err = takeB(b); err != nil {
 				return Request{}, err
 			}
-			if r.Muts[i].Record, b, err = takeBytes(b); err != nil {
+			if r.Muts[i].Record, b, err = takeB(b); err != nil {
 				return Request{}, err
 			}
 		}
@@ -510,6 +541,26 @@ func AppendResponse(buf []byte, r Response) []byte {
 	buf = appendBytes(buf, r.Stats)
 	buf = appendUvarint(buf, uint64(r.Code))
 	buf = appendString(buf, r.Msg)
+	return buf
+}
+
+// AppendValueResponse appends a KindValue response, encoding byte-for-byte
+// what AppendResponse(buf, Response{ID: id, Kind: KindValue, Found: found,
+// Value: value}) would — pinned by TestAppendValueResponseIdentity. The
+// server's GET fast path uses it to encode straight from an engine-owned
+// value reference into a pooled frame, with no intermediate Response.
+func AppendValueResponse(buf []byte, id uint64, found bool, value []byte) []byte {
+	buf = appendUvarint(buf, id)
+	buf = append(buf, byte(KindValue))
+	buf = appendBool(buf, found)
+	buf = appendBytes(buf, value)
+	buf = appendBool(buf, false) // Applied
+	buf = appendUvarint(buf, 0)  // Records
+	buf = appendUvarint(buf, 0)  // Keys
+	buf = appendUvarint(buf, 0)  // AppliedBatch
+	buf = appendBytes(buf, nil)  // Stats
+	buf = appendUvarint(buf, 0)  // Code
+	buf = appendString(buf, "")  // Msg
 	return buf
 }
 

@@ -63,6 +63,88 @@ func TestResponseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAppendValueResponseIdentity pins the GET fast path's hand-rolled
+// encoder to the generic one: any drift between them would let the two
+// paths disagree on the bytes a client sees for the same response.
+func TestAppendValueResponseIdentity(t *testing.T) {
+	cases := []struct {
+		id    uint64
+		found bool
+		value []byte
+	}{
+		{0, false, nil},
+		{1, true, nil},
+		{2, true, []byte{}},
+		{3, true, []byte("rec")},
+		{1 << 63, true, bytes.Repeat([]byte{0xAB}, 4096)},
+		{9, false, []byte("present but not found")},
+	}
+	for _, c := range cases {
+		want := AppendResponse(nil, Response{ID: c.id, Kind: KindValue, Found: c.found, Value: c.value})
+		got := AppendValueResponse(nil, c.id, c.found, c.value)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("id=%d found=%v len(value)=%d:\n got  %x\n want %x", c.id, c.found, len(c.value), got, want)
+		}
+		// And it must append, not overwrite.
+		prefix := []byte("prefix")
+		if got := AppendValueResponse(append([]byte(nil), prefix...), c.id, c.found, c.value); !bytes.Equal(got, append(prefix, want...)) {
+			t.Fatalf("append semantics broken for id=%d", c.id)
+		}
+	}
+}
+
+// TestDecodeRequestInPlace checks the zero-copy decoder agrees with the
+// copying one and that its fields really alias the input frame.
+func TestDecodeRequestInPlace(t *testing.T) {
+	reqs := []Request{
+		{ID: 2, Op: OpGet, Key: []byte("pk-7")},
+		{ID: 3, Op: OpUpsert, Key: []byte("pk"), Value: []byte("record")},
+		{ID: 6, Op: OpApplyBatch, Muts: []Mutation{
+			{Op: MutUpsert, PK: []byte("a"), Record: []byte("ra")},
+			{Op: MutDelete, PK: []byte("c")},
+		}},
+		{ID: 7, Op: OpSecondaryQuery, Index: "user", Lo: []byte("l"), Hi: []byte("h")},
+	}
+	for _, want := range reqs {
+		enc := AppendRequest(nil, want)
+		got, err := DecodeRequestInPlace(enc)
+		if err != nil {
+			t.Fatalf("%s: decode in place: %v", want.Op, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s in-place decode:\n got  %+v\n want %+v", want.Op, got, want)
+		}
+	}
+
+	// Aliasing: scribbling on the frame must show through the decoded Key,
+	// and a copying decode of the same frame must not be affected.
+	enc := AppendRequest(nil, Request{ID: 1, Op: OpGet, Key: []byte("abc")})
+	copied, err := DecodeRequest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRequestInPlace(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := bytes.Index(enc, []byte("abc"))
+	if off < 0 {
+		t.Fatal("key bytes not found in encoding")
+	}
+	enc[off] ^= 0xFF
+	if string(got.Key) == "abc" {
+		t.Fatal("in-place decode did not alias the frame")
+	}
+	if string(copied.Key) != "abc" {
+		t.Fatal("copying decode aliased the frame")
+	}
+
+	// Corrupt input errors identically.
+	if _, err := DecodeRequestInPlace(enc[:3]); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("truncated in-place decode: err = %v, want ErrCorruptFrame", err)
+	}
+}
+
 func TestDecodeRejectsTrailingGarbage(t *testing.T) {
 	enc := AppendRequest(nil, Request{ID: 1, Op: OpPing})
 	if _, err := DecodeRequest(append(enc, 0xAB)); !errors.Is(err, ErrCorruptFrame) {

@@ -39,6 +39,7 @@ func dstRun(t *testing.T, cfg dst.Config) *dst.Report {
 func TestDSTCorpus(t *testing.T) {
 	strategies := map[string]bool{}
 	kinds := map[string]bool{}
+	readCache := map[string]bool{}
 	for _, seed := range dstCorpus {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
@@ -50,6 +51,9 @@ func TestDSTCorpus(t *testing.T) {
 			for _, part := range strings.Fields(rep.Setup) {
 				if s, ok := strings.CutPrefix(part, "strategy="); ok {
 					strategies[s] = true
+				}
+				if s, ok := strings.CutPrefix(part, "readcache="); ok {
+					readCache[s] = true
 				}
 			}
 			for _, f := range rep.Faults {
@@ -65,6 +69,11 @@ func TestDSTCorpus(t *testing.T) {
 	for _, want := range []string{dst.KindTornAppend, dst.KindSyncWAL, dst.KindManifest} {
 		if !kinds[want] {
 			t.Errorf("corpus no longer fires fault kind %q (got %v)", want, kinds)
+		}
+	}
+	for _, want := range []string{"on", "off"} {
+		if !readCache[want] {
+			t.Errorf("corpus no longer covers readcache=%s (got %v)", want, readCache)
 		}
 	}
 }

@@ -53,6 +53,7 @@ import (
 	"repro/internal/maint"
 	"repro/internal/metrics"
 	"repro/internal/query"
+	"repro/internal/readcache"
 	"repro/internal/repair"
 	"repro/internal/shard"
 	"repro/internal/storage"
@@ -258,6 +259,16 @@ type Options struct {
 	// pending. 0 disables the threshold. Only meaningful with
 	// MaintenanceWorkers > 0.
 	MaxUnmergedComponents int
+	// ReadCache enables the sharded hot-entry cache on the point-read path
+	// (Get/GetRef): positive entries map a primary key to its encoded
+	// record, negative entries remember keys known to be absent. Every
+	// write path invalidates its mutated keys after the engine applies them
+	// and before the write is acknowledged, and Crash/Recover flush the
+	// cache, so a read can never observe a value staler than the writes it
+	// was ordered after (see internal/readcache for the full contract).
+	// The zero value leaves the cache off and the read path exactly as it
+	// is without one. Counters surface in Stats.Counters.ReadCache*.
+	ReadCache ReadCacheOptions
 
 	// The remaining fields are simulation hooks for deterministic
 	// simulation testing (internal/dst). Production callers leave them nil.
@@ -280,6 +291,16 @@ type Options struct {
 	Yield func(point string)
 }
 
+// ReadCacheOptions sizes the read cache of Options.ReadCache.
+type ReadCacheOptions struct {
+	// Bytes bounds the memory charged to cached entries (keys, values, and
+	// a fixed per-entry overhead). 0 disables the cache.
+	Bytes int64
+	// Segments is the number of independently locked cache segments,
+	// rounded up to a power of two (default 16). Ignored when Bytes is 0.
+	Segments int
+}
+
 // ErrClosed reports an operation on a DB after Close.
 var ErrClosed = errors.New("lsmstore: store is closed")
 
@@ -289,8 +310,9 @@ type DB struct {
 	ds     *core.Dataset
 	store  *storage.Store
 	env    *metrics.Env
-	shards *shard.Router // non-nil only when Options.Shards > 1
-	pool   *maint.Pool   // non-nil only when Options.MaintenanceWorkers > 0
+	shards *shard.Router    // non-nil only when Options.Shards > 1
+	pool   *maint.Pool      // non-nil only when Options.MaintenanceWorkers > 0
+	cache  *readcache.Cache // non-nil only when Options.ReadCache.Bytes > 0
 
 	// mu guards the lifecycle: public operations hold it shared, Close
 	// holds it exclusively, so Close waits for in-flight operations to
@@ -355,7 +377,18 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, closePoolOnErr(err)
 	}
-	return &DB{ds: p.DS, store: p.Store, env: p.Env, pool: pool}, nil
+	return &DB{ds: p.DS, store: p.Store, env: p.Env, pool: pool, cache: newReadCache(opts)}, nil
+}
+
+// newReadCache builds the read cache, or nil when Options.ReadCache is off.
+func newReadCache(opts Options) *readcache.Cache {
+	if opts.ReadCache.Bytes <= 0 {
+		return nil
+	}
+	return readcache.New(readcache.Options{
+		Bytes:    opts.ReadCache.Bytes,
+		Segments: opts.ReadCache.Segments,
+	})
 }
 
 // openSharded opens Options.Shards independent partitions — the buffer
@@ -390,7 +423,13 @@ func openSharded(opts Options, pool *maint.Pool) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{ds: parts[0].DS, store: parts[0].Store, env: parts[0].Env, shards: r, pool: pool}, nil
+	db := &DB{ds: parts[0].DS, store: parts[0].Store, env: parts[0].Env, shards: r, pool: pool, cache: newReadCache(opts)}
+	if db.cache != nil {
+		// Batch fan-out workers invalidate their group's keys before the
+		// batch is acknowledged (internal/readcache invariant 1).
+		r.SetInvalidator(db.cache.Invalidate)
+	}
+	return db, nil
 }
 
 // resolveCacheBytes applies the buffer-cache default (64 MB, matching the
@@ -478,17 +517,22 @@ func openPartition(opts Options, pool *maint.Pool, idx int) (*shard.Partition, e
 	store := storage.NewStore(dev, resolveCacheBytes(opts), env)
 
 	cfg := core.Config{
-		Store:                 store,
-		Strategy:              opts.Strategy,
-		CC:                    opts.CC,
-		FilterExtract:         opts.FilterExtract,
-		MemoryBudget:          opts.MemoryBudget,
-		UsePKIndex:            !opts.DisablePKIndex,
-		CorrelatedMerges:      opts.CorrelatedMerges,
-		MergeRepair:           opts.MergeRepair,
-		RepairBloomOpt:        opts.RepairBloomOpt,
-		BloomFPR:              0.01,
-		BlockedBloom:          opts.BlockedBloom,
+		Store:            store,
+		Strategy:         opts.Strategy,
+		CC:               opts.CC,
+		FilterExtract:    opts.FilterExtract,
+		MemoryBudget:     opts.MemoryBudget,
+		UsePKIndex:       !opts.DisablePKIndex,
+		CorrelatedMerges: opts.CorrelatedMerges,
+		MergeRepair:      opts.MergeRepair,
+		RepairBloomOpt:   opts.RepairBloomOpt,
+		BloomFPR:         0.01,
+		BlockedBloom:     opts.BlockedBloom,
+		// The runtime read path on real files gets the split-block filter:
+		// single-cache-line probes and a marshaled form the manifest
+		// persists, so reopen skips the rebuild-by-scan. The simulated
+		// backend keeps the paper's Standard/Blocked cost-model variants.
+		BloomV2:               opts.Backend == FileBackend && !opts.BlockedBloom,
 		DisableWAL:            opts.DisableWAL,
 		Seed:                  opts.Seed,
 		Maintenance:           pool,
@@ -530,7 +574,9 @@ func (db *DB) Insert(pk, record []byte) (bool, error) {
 		return false, err
 	}
 	defer db.release()
-	return db.dsFor(pk).Insert(pk, record)
+	ok, err := db.dsFor(pk).Insert(pk, record)
+	db.invalidate(pk)
+	return ok, err
 }
 
 // Upsert inserts or replaces the record under pk.
@@ -539,7 +585,9 @@ func (db *DB) Upsert(pk, record []byte) error {
 		return err
 	}
 	defer db.release()
-	return db.dsFor(pk).Upsert(pk, record)
+	err := db.dsFor(pk).Upsert(pk, record)
+	db.invalidate(pk)
+	return err
 }
 
 // Delete removes the record under pk; it reports false when absent.
@@ -548,20 +596,80 @@ func (db *DB) Delete(pk []byte) (bool, error) {
 		return false, err
 	}
 	defer db.release()
-	return db.dsFor(pk).Delete(pk)
+	ok, err := db.dsFor(pk).Delete(pk)
+	db.invalidate(pk)
+	return ok, err
 }
 
-// Get returns the current record under pk.
+// invalidate drops pk's read-cache entry after a mutation has been applied
+// and before the write returns to the caller. It runs even when the
+// mutation was ignored or errored — dropping an entry is always safe, and
+// after an uncertain outcome (a failed covering fsync) it is required.
+func (db *DB) invalidate(pk []byte) {
+	if db.cache != nil {
+		db.cache.Invalidate(pk)
+	}
+}
+
+// Get returns the current record under pk. The returned slice is the
+// caller's to keep: it is copied out of the engine. GetRef is the
+// zero-copy variant.
 func (db *DB) Get(pk []byte) ([]byte, bool, error) {
 	if err := db.acquire(); err != nil {
 		return nil, false, err
 	}
 	defer db.release()
+	v, found, err := db.getRef(pk)
+	if err != nil || !found {
+		return nil, false, err
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+// GetRef returns the current record under pk without copying: the slice
+// aliases engine-owned memory — an immutable component page, a memtable
+// value, or a read-cache entry — and must be treated as read-only. It stays
+// valid as long as the caller holds it (pages are write-once and memtable
+// values are replaced, never edited in place; the GC keeps the backing
+// buffer alive). The network server encodes GET responses straight from it
+// into pooled output frames.
+func (db *DB) GetRef(pk []byte) ([]byte, bool, error) {
+	if err := db.acquire(); err != nil {
+		return nil, false, err
+	}
+	defer db.release()
+	return db.getRef(pk)
+}
+
+// getRef is the shared point-read path: read cache first, engine on a
+// miss, filling the cache under the version-token protocol that discards
+// fills raced by an invalidation (internal/readcache invariant 2).
+func (db *DB) getRef(pk []byte) ([]byte, bool, error) {
+	if db.cache != nil {
+		v, out, tok := db.cache.Get(pk)
+		switch out {
+		case readcache.Hit:
+			return v, true, nil
+		case readcache.NegativeHit:
+			return nil, false, nil
+		default:
+			e, found, err := db.dsFor(pk).Primary().Get(pk)
+			if err != nil {
+				return nil, false, err
+			}
+			if !found {
+				db.cache.PutNegative(pk, tok)
+				return nil, false, nil
+			}
+			db.cache.Put(pk, e.Value, tok)
+			return e.Value, true, nil
+		}
+	}
 	e, found, err := db.dsFor(pk).Primary().Get(pk)
 	if err != nil || !found {
 		return nil, false, err
 	}
-	return append([]byte(nil), e.Value...), true, nil
+	return e.Value, true, nil
 }
 
 // Mutation is one write in an ApplyBatch.
@@ -591,7 +699,20 @@ func (db *DB) ApplyBatch(muts []Mutation) error {
 	if db.shards != nil {
 		return db.shards.ApplyBatch(muts)
 	}
-	return shard.ApplyMutations(db.ds, muts)
+	err := shard.ApplyMutations(db.ds, muts)
+	db.invalidateBatch(muts)
+	return err
+}
+
+// invalidateBatch drops every mutated key's read-cache entry; the sharded
+// equivalent lives in the router's fan-out workers (Router.SetInvalidator).
+func (db *DB) invalidateBatch(muts []Mutation) {
+	if db.cache == nil {
+		return
+	}
+	for i := range muts {
+		db.cache.Invalidate(muts[i].PK)
+	}
 }
 
 // ApplyBatchResults is ApplyBatch plus a per-mutation report: applied[i]
@@ -610,6 +731,7 @@ func (db *DB) ApplyBatchResults(muts []Mutation) ([]bool, error) {
 	}
 	applied := make([]bool, len(muts))
 	err := shard.ApplyMutationsResults(db.ds, muts, applied)
+	db.invalidateBatch(muts)
 	return applied, err
 }
 
@@ -822,9 +944,14 @@ func (db *DB) Crash() {
 	defer db.release()
 	if db.shards != nil {
 		db.shards.Crash()
-		return
+	} else {
+		db.ds.Crash()
 	}
-	db.ds.Crash()
+	// After the engine dropped its memory components: cached entries may
+	// reflect writes the crash destroyed (internal/readcache invariant 3).
+	if db.cache != nil {
+		db.cache.InvalidateAll()
+	}
 }
 
 // Recover replays committed write-ahead-log records lost in a Crash, on
@@ -834,10 +961,18 @@ func (db *DB) Recover() error {
 		return err
 	}
 	defer db.release()
+	var err error
 	if db.shards != nil {
-		return db.shards.Recover()
+		err = db.shards.Recover()
+	} else {
+		err = db.ds.Recover()
 	}
-	return db.ds.Recover()
+	// Replay resurrects writes that were invisible between Crash and
+	// Recover, so negative entries cached in that window are now stale.
+	if db.cache != nil {
+		db.cache.InvalidateAll()
+	}
+	return err
 }
 
 // RepairSecondaryIndexes runs a standalone repair over every component of
@@ -918,6 +1053,11 @@ func (db *DB) stats() Stats {
 		per := db.shards.StatsPerShard()
 		agg := shard.Aggregate(per)
 		out := statsFrom(agg)
+		if db.cache != nil {
+			// The read cache fronts the whole store, so its counters fold
+			// into the aggregate only, not into any shard's snapshot.
+			out.Counters = out.Counters.Add(db.cache.Counters())
+		}
 		out.Shards = db.shards.NumShards()
 		out.PerShard = make([]Stats, len(per))
 		for i, s := range per {
@@ -932,6 +1072,10 @@ func (db *DB) stats() Stats {
 	if mnt > sim {
 		sim = mnt
 	}
+	counters := db.env.Counters.Snapshot()
+	if db.cache != nil {
+		counters = counters.Add(db.cache.Counters())
+	}
 	return Stats{
 		SimulatedTime:     sim.String(),
 		IngestTime:        ingest.String(),
@@ -940,7 +1084,7 @@ func (db *DB) stats() Stats {
 		Ignored:           db.ds.IgnoredCount(),
 		PrimaryComponents: db.ds.Primary().NumDiskComponents(),
 		DiskBytesWritten:  db.store.Device().BytesWritten(),
-		Counters:          db.env.Counters.Snapshot(),
+		Counters:          counters,
 		Shards:            1,
 	}
 }

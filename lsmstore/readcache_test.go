@@ -1,0 +1,255 @@
+package lsmstore_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/lsmstore"
+)
+
+// The read-cache battery: read-your-writes under concurrent writers,
+// negative-entry invalidation, cache on/off equivalence across all four
+// anti-matter strategies, and the CI speedup gate. The cache layer itself
+// (LRU, segments, version tokens) is unit-tested in internal/readcache;
+// these tests pin the store-level contract — a cached read is never
+// distinguishable from an uncached one.
+
+func cacheOptions(strategy lsmstore.Strategy, shards int) lsmstore.Options {
+	opts := tinyOptions(strategy)
+	opts.Shards = shards
+	opts.ReadCache = lsmstore.ReadCacheOptions{Bytes: 1 << 20}
+	return opts
+}
+
+// TestReadCacheReadYourWrites: with the cache on, a writer that owns its
+// keys must read back exactly what it last wrote, no matter how hot the
+// cache is or how many other writers and readers are churning it. Run
+// under -race this also proves the fill/invalidate protocol is data-race
+// free end to end.
+func TestReadCacheReadYourWrites(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			db, err := lsmstore.Open(cacheOptions(lsmstore.Validation, shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+
+			const (
+				writers = 4
+				keysPer = 8
+				rounds  = 200
+			)
+			var stop atomic.Bool
+			var readerWG sync.WaitGroup
+			// Readers hammer every key so the cache keeps refilling entries
+			// the writers keep invalidating.
+			for r := 0; r < 2; r++ {
+				readerWG.Add(1)
+				go func(r int) {
+					defer readerWG.Done()
+					for i := 0; !stop.Load(); i++ {
+						id := uint64(i % (writers * keysPer))
+						if _, _, err := db.Get(tweetPK(id)); err != nil {
+							t.Errorf("reader: %v", err)
+							return
+						}
+					}
+				}(r)
+			}
+			var writerWG sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				writerWG.Add(1)
+				go func(w int) {
+					defer writerWG.Done()
+					for v := 0; v < rounds; v++ {
+						id := uint64(w*keysPer + v%keysPer)
+						want := tweetRec(id, uint32(w), int64(v))
+						if err := db.Upsert(tweetPK(id), want); err != nil {
+							t.Errorf("writer %d: %v", w, err)
+							return
+						}
+						got, found, err := db.Get(tweetPK(id))
+						if err != nil || !found || !bytes.Equal(got, want) {
+							t.Errorf("writer %d lost its own write of id %d round %d: found=%v err=%v",
+								w, id, v, found, err)
+							return
+						}
+					}
+				}(w)
+			}
+			writerWG.Wait()
+			stop.Store(true)
+			readerWG.Wait()
+		})
+	}
+}
+
+// TestReadCacheNegativeEntryInvalidatedOnInsert: a miss for an absent key
+// parks a negative entry; inserting that key must invalidate it before
+// the insert is acknowledged, so the next read finds the record.
+func TestReadCacheNegativeEntryInvalidatedOnInsert(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			db, err := lsmstore.Open(cacheOptions(lsmstore.Validation, shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+
+			const id = 7
+			if _, found, err := db.Get(tweetPK(id)); err != nil || found {
+				t.Fatalf("absent key: found=%v err=%v", found, err)
+			}
+			if _, found, err := db.Get(tweetPK(id)); err != nil || found {
+				t.Fatalf("absent key, cached: found=%v err=%v", found, err)
+			}
+			c := db.Stats().Counters
+			if c.ReadCacheNegHits == 0 {
+				t.Fatalf("second read of an absent key did not hit the negative cache: %+v", c)
+			}
+			rec := tweetRec(id, 1, 1)
+			if applied, err := db.Insert(tweetPK(id), rec); err != nil || !applied {
+				t.Fatalf("insert: applied=%v err=%v", applied, err)
+			}
+			got, found, err := db.Get(tweetPK(id))
+			if err != nil || !found || !bytes.Equal(got, rec) {
+				t.Fatalf("read after insert served the stale negative entry: found=%v err=%v", found, err)
+			}
+		})
+	}
+}
+
+// TestReadCacheEquivalence runs the same deterministic mixed workload on a
+// cache-on and a cache-off store for every strategy and requires identical
+// store images — reading each twice, so the second cache-on pass is served
+// mostly from cache and still indistinguishable.
+func TestReadCacheEquivalence(t *testing.T) {
+	for _, strategy := range []lsmstore.Strategy{
+		lsmstore.Eager, lsmstore.Validation, lsmstore.MutableBitmap, lsmstore.DeletedKey,
+	} {
+		t.Run(strategy.String(), func(t *testing.T) {
+			open := func(cache bool) *lsmstore.DB {
+				opts := tinyOptions(strategy)
+				if cache {
+					// Large enough to hold the image's keyspace, so the second
+					// image pass is served from cache (asserted below).
+					// Eviction under churn is exercised by the readcache unit
+					// tests and the DST battery's deliberately tiny cache.
+					opts.ReadCache = lsmstore.ReadCacheOptions{Bytes: 1 << 20}
+				}
+				db, err := lsmstore.Open(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { db.Close() })
+				return db
+			}
+			on, off := open(true), open(false)
+			idsOn := mixedWorkload(t, on, 2500, 99)
+			idsOff := mixedWorkload(t, off, 2500, 99)
+			validation := validationFor(strategy)
+			imgOff := storeImage(t, off, idsOff, validation)
+			for pass := 0; pass < 2; pass++ {
+				if img := storeImage(t, on, idsOn, validation); img != imgOff {
+					t.Fatalf("pass %d: cache-on image diverges from cache-off", pass)
+				}
+			}
+			if c := on.Stats().Counters; c.ReadCacheHits == 0 {
+				t.Fatalf("equivalence run never hit the cache: %+v", c)
+			}
+		})
+	}
+}
+
+// TestReadCacheSpeedupSmoke is the CI bench-smoke gate for the read path:
+// on the disk backend with the working set pushed into disk components, a
+// hot-key read mix with the cache on must beat the cache-off baseline by
+// at least 1.5x — the ISSUE's target for this optimization. Skipped
+// unless LSMSTORE_BENCH_SMOKE=1. (The lsmload read-heavy A/B measures the
+// same effect over TCP, where loopback RTT dilutes it; this gate measures
+// the store itself, which is what the cache optimizes.)
+func TestReadCacheSpeedupSmoke(t *testing.T) {
+	if os.Getenv("LSMSTORE_BENCH_SMOKE") == "" {
+		t.Skip("set LSMSTORE_BENCH_SMOKE=1 to run the read-cache speed gate")
+	}
+	const (
+		records = 4096
+		hotKeys = 512
+		readers = 4
+		perR    = 30_000
+	)
+	measure := func(cacheBytes int64) (opsPerSec float64) {
+		opts := diskOptions(lsmstore.Validation, t.TempDir())
+		opts.GroupCommit = lsmstore.GroupCommitOn
+		opts.MemoryBudget = 16 << 10 // push the working set into disk components
+		opts.ReadCache = lsmstore.ReadCacheOptions{Bytes: cacheBytes}
+		db, err := lsmstore.Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		for i := uint64(0); i < records; i++ {
+			if err := db.Upsert(tweetPK(i), tweetRec(i, uint32(i%40), int64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		// Warm both caches (read cache and page cache) once.
+		for i := uint64(0); i < hotKeys; i++ {
+			if _, found, err := db.Get(tweetPK(i)); err != nil || !found {
+				t.Fatalf("warmup: found=%v err=%v", found, err)
+			}
+		}
+		// A background writer churns the hot keys (~10% of the read volume)
+		// so the gate also prices invalidation, not just pure hits.
+		var stop atomic.Bool
+		var wwg sync.WaitGroup
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			for i := uint64(0); !stop.Load(); i++ {
+				id := i % hotKeys
+				if err := db.Upsert(tweetPK(id), tweetRec(id, uint32(id%40), int64(id))); err != nil {
+					t.Errorf("background writer: %v", err)
+					return
+				}
+			}
+		}()
+		start := time.Now()
+		var rwg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			rwg.Add(1)
+			go func(r int) {
+				defer rwg.Done()
+				for i := 0; i < perR; i++ {
+					id := uint64((r*perR + i) % hotKeys)
+					if _, found, err := db.Get(tweetPK(id)); err != nil || !found {
+						t.Errorf("reader: found=%v err=%v", found, err)
+						return
+					}
+				}
+			}(r)
+		}
+		rwg.Wait()
+		elapsed := time.Since(start)
+		stop.Store(true)
+		wwg.Wait()
+		return float64(readers*perR) / elapsed.Seconds()
+	}
+	off := measure(0)
+	on := measure(32 << 20)
+	t.Logf("disk backend, %d hot keys, %d readers + writer churn: cache off %.0f gets/s, on %.0f gets/s (%.2fx)",
+		hotKeys, readers, off, on, on/off)
+	if on < 1.5*off {
+		t.Fatalf("read cache speedup below the 1.5x gate: on %.0f vs off %.0f gets/s (%.2fx)", on, off, on/off)
+	}
+	fmt.Fprintf(os.Stderr, "read-cache smoke: %.2fx speedup (%.0f -> %.0f gets/s)\n", on/off, off, on)
+}
