@@ -32,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -39,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/workload"
 	"repro/lsmclient"
@@ -91,6 +93,8 @@ func run() error {
 	memBudget := flag.Int("mem-budget", 0, "self-serve mode: memory-component budget in bytes (0 = engine default); small budgets push data into disk components so point reads pay real engine cost")
 	benchJSON := flag.String("bench-json", "", "append a machine-readable snapshot of this run to <path> (file created if missing)")
 	benchLabel := flag.String("bench-label", "", "label for the -bench-json snapshot (default: derived from backend and op mix)")
+	obsOn := flag.Bool("obs", true, "self-serve mode: server-side observability (latency histograms, stage tracing); -obs=false measures the untraced server")
+	httpURL := flag.String("http", "", "base URL of the server's HTTP sidecar (e.g. http://127.0.0.1:9650) for server-side percentiles; self-serve mode wires this up itself")
 	flag.Parse()
 	if *workers < 1 || *conns < 1 || *batch < 1 {
 		return fmt.Errorf("-workers, -conns and -batch must be >= 1")
@@ -142,18 +146,22 @@ func run() error {
 	}
 
 	target := *addr
+	sidecar := strings.TrimRight(*httpURL, "/")
 	if *groupCommit != "" {
 		addrSet := false
 		flag.Visit(func(f *flag.Flag) { addrSet = addrSet || f.Name == "addr" })
 		if addrSet {
 			return fmt.Errorf("-group-commit self-serves its own store; it cannot be combined with -addr")
 		}
-		selfAddr, stop, err := selfServe(*groupCommit, *dir, *shards, *seed, *readCache, *memBudget)
+		if sidecar != "" {
+			return fmt.Errorf("-group-commit self-serves its own sidecar; it cannot be combined with -http")
+		}
+		selfAddr, selfHTTP, stop, err := selfServe(*groupCommit, *dir, *shards, *seed, *readCache, *memBudget, *obsOn)
 		if err != nil {
 			return err
 		}
 		defer stop()
-		target = selfAddr
+		target, sidecar = selfAddr, selfHTTP
 	}
 
 	client, err := lsmclient.DialOptions(lsmclient.Options{
@@ -187,6 +195,12 @@ func run() error {
 	before, err := client.Stats()
 	if err != nil {
 		return fmt.Errorf("server stats: %w", err)
+	}
+	var sideBefore server.StatsPayload
+	if sidecar != "" {
+		if sideBefore, err = fetchStats(sidecar); err != nil {
+			return fmt.Errorf("sidecar stats: %w", err)
+		}
 	}
 
 	var (
@@ -273,6 +287,23 @@ func run() error {
 			100*float64(d.ReadCacheHits+d.ReadCacheNegHits)/float64(lookups),
 			d.ReadCacheInvalidations)
 	}
+	var serverClasses map[string]obs.Summary
+	if sidecar != "" {
+		sideAfter, err := fetchStats(sidecar)
+		if err != nil {
+			return fmt.Errorf("sidecar stats: %w", err)
+		}
+		// Cross-check: the sidecar's /stats and the wire-protocol STATS
+		// frame must describe the same engine.
+		if sideAfter.Engine.Ingested != st.Ingested {
+			fmt.Printf("sidecar             MISMATCH: /stats ingested=%d, wire stats ingested=%d\n",
+				sideAfter.Engine.Ingested, st.Ingested)
+		} else {
+			fmt.Printf("sidecar             /stats agrees with wire stats (ingested=%d)\n", st.Ingested)
+		}
+		serverClasses = serverIntervalSummaries(sideBefore, sideAfter)
+		printServerClasses(serverClasses)
+	}
 
 	if *benchJSON != "" {
 		backend := "remote" // pointed at an external server; its backend is unknown here
@@ -295,6 +326,9 @@ func run() error {
 					label += " rc=on"
 				} else {
 					label += " rc=off"
+				}
+				if !*obsOn {
+					label += " obs=off"
 				}
 			}
 		}
@@ -328,6 +362,8 @@ func run() error {
 			ReadCacheHits:      d.ReadCacheHits,
 			ReadCacheNegHits:   d.ReadCacheNegHits,
 			ReadCacheMisses:    d.ReadCacheMisses,
+			Observability:      *obsOn || *groupCommit == "",
+			ServerClasses:      serverClasses,
 		}
 		if d.GroupCommitBatches > 0 {
 			run.MeanGroupSize = float64(d.GroupCommitWaiters) / float64(d.GroupCommitBatches)
@@ -370,6 +406,11 @@ type benchRun struct {
 	ReadCacheHits      int64                 `json:"read_cache_hits,omitempty"`
 	ReadCacheNegHits   int64                 `json:"read_cache_neg_hits,omitempty"`
 	ReadCacheMisses    int64                 `json:"read_cache_misses,omitempty"`
+	// Observability records whether the server traced requests during the
+	// run; ServerClasses holds the server-side interval percentiles per op
+	// class, diffed from the sidecar's /stats histograms.
+	Observability bool                   `json:"observability"`
+	ServerClasses map[string]obs.Summary `json:"server_classes,omitempty"`
 }
 
 type benchMix struct {
@@ -415,9 +456,10 @@ func appendBenchJSON(path string, run benchRun) error {
 
 // selfServe opens a disk-backend store with the requested commit
 // discipline, serves it in-process on a loopback port (with the same
-// tweet-workload schema lsmserver declares), and returns the address plus
-// a stop function that drains the server and closes the store.
-func selfServe(mode, dir string, shards int, seed, readCacheBytes int64, memBudget int) (addr string, stop func(), err error) {
+// tweet-workload schema lsmserver declares), and returns the wire address,
+// the HTTP sidecar base URL, and a stop function that drains the server
+// and closes the store.
+func selfServe(mode, dir string, shards int, seed, readCacheBytes int64, memBudget int, obsOn bool) (addr, httpBase string, stop func(), err error) {
 	opts := lsmstore.Options{
 		Strategy:           lsmstore.Validation,
 		Secondaries:        []lsmstore.SecondaryIndex{{Name: "user", Extract: workload.UserIDOf}},
@@ -435,13 +477,13 @@ func selfServe(mode, dir string, shards int, seed, readCacheBytes int64, memBudg
 	case "off":
 		opts.GroupCommit = lsmstore.GroupCommitOff
 	default:
-		return "", nil, fmt.Errorf("unknown -group-commit %q (want on or off)", mode)
+		return "", "", nil, fmt.Errorf("unknown -group-commit %q (want on or off)", mode)
 	}
 	cleanup := func() {}
 	if dir == "" {
 		tmp, err := os.MkdirTemp("", "lsmload-*")
 		if err != nil {
-			return "", nil, err
+			return "", "", nil, err
 		}
 		dir, cleanup = tmp, func() { os.RemoveAll(tmp) }
 	}
@@ -449,29 +491,90 @@ func selfServe(mode, dir string, shards int, seed, readCacheBytes int64, memBudg
 	db, err := lsmstore.Open(opts)
 	if err != nil {
 		cleanup()
-		return "", nil, err
+		return "", "", nil, err
 	}
-	srv, err := server.New(server.Config{DB: db, Addr: "127.0.0.1:0"})
+	srv, err := server.New(server.Config{
+		DB:                   db,
+		Addr:                 "127.0.0.1:0",
+		HTTPAddr:             "127.0.0.1:0",
+		DisableObservability: !obsOn,
+	})
 	if err == nil {
 		err = srv.Start()
 	}
 	if err != nil {
 		db.Close()
 		cleanup()
-		return "", nil, err
+		return "", "", nil, err
 	}
 	rc := "off"
 	if readCacheBytes > 0 {
 		rc = fmt.Sprintf("%d bytes", readCacheBytes)
 	}
-	fmt.Printf("self-serve          disk backend in %s, group commit %s, read cache %s\n", dir, strings.ToLower(mode), rc)
-	return srv.Addr().String(), func() {
+	obsState := "on"
+	if !obsOn {
+		obsState = "off"
+	}
+	fmt.Printf("self-serve          disk backend in %s, group commit %s, read cache %s, observability %s\n",
+		dir, strings.ToLower(mode), rc, obsState)
+	return srv.Addr().String(), "http://" + srv.HTTPAddr().String(), func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		srv.Shutdown(ctx)
 		db.Close()
 		cleanup()
 	}, nil
+}
+
+// fetchStats pulls one /stats payload from the server's HTTP sidecar.
+func fetchStats(base string) (server.StatsPayload, error) {
+	var p server.StatsPayload
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		return p, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return p, fmt.Errorf("GET %s/stats: %s", base, resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&p)
+	return p, err
+}
+
+// serverIntervalSummaries diffs two /stats histogram snapshots and returns
+// percentile digests for every op class the timed run touched. A server
+// running with observability disabled yields no histograms and an empty map.
+func serverIntervalSummaries(before, after server.StatsPayload) map[string]obs.Summary {
+	out := make(map[string]obs.Summary)
+	for name, h := range after.LatencyHist {
+		delta := h.Sub(before.LatencyHist[name])
+		if delta.Count == 0 {
+			continue
+		}
+		out[name] = delta.Summary()
+	}
+	return out
+}
+
+// printServerClasses reports the server-side percentiles beside the
+// client-side ones, so the network's share of round-trip latency is visible
+// in one terminal.
+func printServerClasses(classes map[string]obs.Summary) {
+	if len(classes) == 0 {
+		fmt.Println("server latency      (observability disabled on the server)")
+		return
+	}
+	names := make([]string, 0, len(classes))
+	for name := range classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	us := func(v int64) time.Duration { return time.Duration(v) * time.Microsecond }
+	for _, name := range names {
+		s := classes[name]
+		fmt.Printf("server %-12s n=%-8d p50=%-10s p90=%-10s p99=%-10s max=%s\n",
+			name, s.Count, us(s.P50Micros), us(s.P90Micros), us(s.P99Micros), us(s.MaxMicros))
+	}
 }
 
 // preloadStore upserts n records through the workers' own generators

@@ -7,6 +7,10 @@
 // with pipelined, out-of-order responses. Concurrent single writes are
 // coalesced into per-shard batches.
 //
+// The HTTP sidecar serves /healthz, /stats (JSON incl. latency digests),
+// /metrics (Prometheus text format), /debug/slow (slow-request ring),
+// /debug/maintenance (flush/merge journal) and, with -pprof, net/http/pprof.
+//
 // Usage:
 //
 //	lsmserver -addr 127.0.0.1:4150 -http 127.0.0.1:9650 -shards 4 -maint-workers 2
@@ -59,6 +63,9 @@ func run() error {
 	maxSyncDelay := flag.Duration("max-sync-delay", 0, "group-commit window for announced stragglers (0 = 2ms default; negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before connections are cut")
 	seed := flag.Int64("seed", 42, "engine seed")
+	pprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the HTTP sidecar")
+	slowThreshold := flag.Duration("slow-threshold", 0, "slow-request log threshold (0 = 100ms default; negative disables)")
+	noObs := flag.Bool("no-obs", false, "disable latency histograms, stage tracing and the slow-request log")
 	flag.Parse()
 
 	opts := lsmstore.Options{
@@ -116,6 +123,10 @@ func run() error {
 		MaxBatch:          *maxBatch,
 		Coalescers:        *coalescers,
 		DisableCoalescing: *noCoalesce,
+
+		EnablePprof:          *pprof,
+		SlowRequestThreshold: *slowThreshold,
+		DisableObservability: *noObs,
 	})
 	if err != nil {
 		return err
@@ -126,7 +137,10 @@ func run() error {
 	fmt.Printf("lsmserver: serving %s backend (strategy %s, %d shard(s)) on %s\n",
 		opts.Backend, strings.ToLower(*strategy), *shards, srv.Addr())
 	if a := srv.HTTPAddr(); a != nil {
-		fmt.Printf("lsmserver: /healthz and /stats on http://%s\n", a)
+		fmt.Printf("lsmserver: /healthz /stats /metrics /debug/slow /debug/maintenance on http://%s\n", a)
+		if *pprof {
+			fmt.Printf("lsmserver: pprof on http://%s/debug/pprof/\n", a)
+		}
 	}
 
 	sig := make(chan os.Signal, 1)

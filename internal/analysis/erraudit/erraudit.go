@@ -38,7 +38,7 @@ var packageList string
 
 func init() {
 	Analyzer.Flags.StringVar(&packageList, "packages",
-		"repro/internal/wal,repro/internal/storage,repro/internal/core,repro/internal/server,repro/internal/readcache",
+		"repro/internal/wal,repro/internal/storage,repro/internal/core,repro/internal/server,repro/internal/readcache,repro/internal/obs",
 		"comma-separated package paths to audit (each covers its subpackages)")
 }
 
@@ -71,6 +71,9 @@ func run(pass *analysis.Pass) (any, error) {
 // nobody looks at.
 func checkBareCall(pass *analysis.Pass, call *ast.CallExpr, kind string) {
 	if !returnsError(pass, call) {
+		return
+	}
+	if infallibleCall(pass, call) {
 		return
 	}
 	if pass.Suppressed(directive, call.Pos()) {
@@ -115,6 +118,47 @@ func checkBlankAssign(pass *analysis.Pass, as *ast.AssignStmt) {
 			pass.Reportf(as.Pos(), "error value assigned to _; handle it or annotate //lsm:allow-discard <why>")
 		}
 	}
+}
+
+// infallibleCall reports whether the call's error result is structurally
+// incapable of being non-nil: methods on the in-memory sinks bytes.Buffer
+// and strings.Builder (their Write*/WriteString docs promise a nil error),
+// and fmt.Fprint* whose destination is statically one of those sinks.
+// Flagging these would bury the real durability findings in annotations.
+func infallibleCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return isMemSink(sig.Recv().Type())
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+		return isMemSink(pass.TypesInfo.TypeOf(call.Args[0]))
+	}
+	return false
+}
+
+// isMemSink reports whether t is (a pointer to) bytes.Buffer or
+// strings.Builder.
+func isMemSink(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	switch n.Obj().Pkg().Path() + "." + n.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
 }
 
 // returnsError reports whether any result of the call has type error.

@@ -2,7 +2,12 @@
 // packages flag at this package.
 package a
 
-import "errors"
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+)
 
 func mayFail() error          { return errors.New("boom") }
 func twoVals() (int, error)   { return 0, nil }
@@ -32,6 +37,26 @@ func good() error {
 	_ = n // not an error value
 	return nil
 }
+
+// memSinks writes to in-memory sinks whose error results are documented
+// to always be nil: exempt, no annotation needed. A same-signature write
+// to anything else still trips.
+func memSinks(w interface{ WriteString(string) (int, error) }) {
+	var buf bytes.Buffer
+	var sb strings.Builder
+	buf.WriteString("x")
+	buf.WriteByte('y')
+	sb.WriteString("z")
+	fmt.Fprintf(&buf, "%d", 1)
+	fmt.Fprintln(&sb, "a")
+	w.WriteString("x")          // want `call discards its error result in WriteString`
+	fmt.Fprintf(mayFailW(), "") // want `call discards its error result in Fprintf`
+}
+
+type failW struct{}
+
+func (failW) Write([]byte) (int, error) { return 0, errors.New("no") }
+func mayFailW() failW                   { return failW{} }
 
 func justified() {
 	//lsm:allow-discard test fixture: error cannot occur after the guard above

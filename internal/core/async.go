@@ -8,6 +8,7 @@ import (
 	"repro/internal/lsm"
 	"repro/internal/maint"
 	"repro/internal/memtable"
+	"repro/internal/obs"
 )
 
 // This file implements the asynchronous half of dataset maintenance: with
@@ -171,9 +172,11 @@ func (d *Dataset) stallForBackpressure() error {
 	sl := d.env.Clock.Sleeper()
 	var start time.Duration
 	stalled := false
+	frozenStall := false // cause at the moment the stall began
 	m.mu.Lock()
 	for m.err == nil {
-		over := m.frozen >= maxFrozen
+		overFrozen := m.frozen >= maxFrozen
+		over := overFrozen
 		if !over && maxComps > 0 && (m.mergeWant || m.merging) &&
 			d.primary.NumDiskComponents() >= maxComps {
 			over = true
@@ -183,6 +186,7 @@ func (d *Dataset) stallForBackpressure() error {
 		}
 		if !stalled {
 			stalled = true
+			frozenStall = overFrozen
 			start = sl.Monotonic()
 		}
 		m.cond.Wait()
@@ -191,6 +195,11 @@ func (d *Dataset) stallForBackpressure() error {
 	m.mu.Unlock()
 	if stalled {
 		d.env.Counters.WriteStalls.Add(1)
+		if frozenStall {
+			d.env.Counters.WriteStallsFrozen.Add(1)
+		} else {
+			d.env.Counters.WriteStallsComponents.Add(1)
+		}
 		d.env.Counters.WriteStallNanos.Add((sl.Monotonic() - start).Nanoseconds())
 		// Lane synchronization: a stalled writer waited for background
 		// maintenance, so the ingest lane's virtual clock catches up to
@@ -310,12 +319,14 @@ func (d *Dataset) processOneBatch() {
 		m.building = true
 		m.mu.Unlock()
 
-		err := d.buildAndInstallBatch(b)
+		op := d.cfg.Journal.Begin(obs.JFlush, "batch")
+		bytes, comps, err := d.buildAndInstallBatch(b)
 		if err == nil {
 			// Durability point: sync the built component files and publish
 			// them in the manifest before the batch counts as complete.
 			err = d.Persist()
 		}
+		op.End(bytes, 0, comps, err)
 
 		// Queue the follow-up merge BEFORE announcing completion: a
 		// drainer woken by the broadcast below must observe the pending
@@ -347,22 +358,28 @@ func (d *Dataset) batchForPKTable(tbl *memtable.Table) *flushBatch {
 
 // buildAndInstallBatch bulk-loads every frozen memtable of the batch into
 // disk components, then installs them all atomically with respect to Crash.
-func (d *Dataset) buildAndInstallBatch(b *flushBatch) error {
+// It reports the components built and their byte size for the maintenance
+// journal (best-effort: a failed batch reports what it built before the
+// failure).
+func (d *Dataset) buildAndInstallBatch(b *flushBatch) (bytes int64, comps int, err error) {
 	var primComp, pkComp *lsm.Component
-	var err error
 	if b.primary != nil {
 		if primComp, err = d.primary.BuildFrozenOn(d.bgStore, b.primary, b.epoch); err != nil {
-			return err
+			return bytes, comps, err
 		}
+		bytes += primComp.SizeBytes()
+		comps++
 	}
 	if b.pk != nil {
 		if pkComp, err = d.pkIndex.BuildFrozenOn(d.bgStore, b.pk, b.epoch); err != nil {
-			return err
+			return bytes, comps, err
 		}
+		bytes += pkComp.SizeBytes()
+		comps++
 	}
 	if d.cfg.Strategy == MutableBitmap {
-		if err := pairPrimaryPK(primComp, pkComp); err != nil {
-			return err
+		if err = pairPrimaryPK(primComp, pkComp); err != nil {
+			return bytes, comps, err
 		}
 	}
 	secComps := make([]*lsm.Component, len(d.secondaries))
@@ -370,13 +387,15 @@ func (d *Dataset) buildAndInstallBatch(b *flushBatch) error {
 		if b.secondaries[i] == nil {
 			continue
 		}
-		comp, err := si.Tree.BuildFrozenOn(d.bgStore, b.secondaries[i], b.epoch)
-		if err != nil {
-			return err
+		var comp *lsm.Component
+		if comp, err = si.Tree.BuildFrozenOn(d.bgStore, b.secondaries[i], b.epoch); err != nil {
+			return bytes, comps, err
 		}
+		bytes += comp.SizeBytes()
+		comps++
 		if d.cfg.Strategy == DeletedKey && b.secDeleted[i] != nil {
-			if err := d.attachDeletedEntries(comp, sortedDeleted(b.secDeleted[i].m)); err != nil {
-				return err
+			if err = d.attachDeletedEntries(comp, sortedDeleted(b.secDeleted[i].m)); err != nil {
+				return bytes, comps, err
 			}
 		}
 		secComps[i] = comp
@@ -393,7 +412,7 @@ func (d *Dataset) buildAndInstallBatch(b *flushBatch) error {
 		// gone. Seal with no component so racing delete-forwarders fall
 		// back to re-running their search.
 		b.seal(nil)
-		return lsm.ErrStaleInstall
+		return bytes, comps, lsm.ErrStaleInstall
 	}
 	if primComp != nil && primComp.Valid != nil {
 		// Seal the forwarded-delete window and apply the deletes gathered
@@ -404,7 +423,7 @@ func (d *Dataset) buildAndInstallBatch(b *flushBatch) error {
 		for pk := range b.seal(primComp) {
 			_, ord, found, err := primComp.BTree.Get([]byte(pk))
 			if err != nil {
-				return err
+				return bytes, comps, err
 			}
 			if found {
 				primComp.Valid.Set(ord)
@@ -412,24 +431,24 @@ func (d *Dataset) buildAndInstallBatch(b *flushBatch) error {
 		}
 	}
 	if b.primary != nil {
-		if err := d.primary.InstallFlushed(b.primary, primComp, b.primGen); err != nil {
-			return err
+		if err = d.primary.InstallFlushed(b.primary, primComp, b.primGen); err != nil {
+			return bytes, comps, err
 		}
 	}
 	if b.pk != nil {
-		if err := d.pkIndex.InstallFlushed(b.pk, pkComp, b.pkGen); err != nil {
-			return err
+		if err = d.pkIndex.InstallFlushed(b.pk, pkComp, b.pkGen); err != nil {
+			return bytes, comps, err
 		}
 	}
 	for i, si := range d.secondaries {
 		if b.secondaries[i] != nil {
-			if err := si.Tree.InstallFlushed(b.secondaries[i], secComps[i], b.secGens[i]); err != nil {
-				return err
+			if err = si.Tree.InstallFlushed(b.secondaries[i], secComps[i], b.secGens[i]); err != nil {
+				return bytes, comps, err
 			}
 		}
 		si.releasePendingDeleted(b.secDeleted[i])
 	}
-	return nil
+	return bytes, comps, nil
 }
 
 // scheduleMerge queues one merge job unless one is already queued. The job

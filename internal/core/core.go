@@ -30,6 +30,7 @@ import (
 	"repro/internal/lsm"
 	"repro/internal/maint"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -178,6 +179,11 @@ type Config struct {
 	// (see wal.Log.SetYield) with a label naming the point. Nil (the
 	// default) leaves scheduling to the runtime.
 	Yield func(point string)
+	// Journal, when bound, records flush and merge start/end events
+	// (duration, bytes written, input/output component counts) into the
+	// store-wide maintenance journal served at /debug/maintenance. The zero
+	// value disables recording; events never feed back into engine behavior.
+	Journal obs.ShardJournal
 }
 
 // SecondaryIndex is one secondary index of a dataset.
@@ -379,6 +385,20 @@ func (d *Dataset) Secondary(name string) *SecondaryIndex {
 
 // Env returns the dataset's metrics environment.
 func (d *Dataset) Env() *metrics.Env { return d.env }
+
+// MaintGauges reports the asynchronous-maintenance backlog: flush batches
+// frozen but not yet picked up by a builder, and frozen batches total
+// (pending plus building) awaiting install. Both are zero on a synchronous
+// dataset, where the flushing write performs the build inline.
+func (d *Dataset) MaintGauges() (pendingFlushBatches, frozenMemtables int) {
+	m := d.maint
+	if m == nil {
+		return 0, 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending), m.frozen
+}
 
 // MaintSimTime returns the background maintenance lane's virtual time
 // (zero on a synchronous dataset). The dataset's elapsed simulated time

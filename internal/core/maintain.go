@@ -10,6 +10,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/kv"
 	"repro/internal/lsm"
+	"repro/internal/obs"
 	"repro/internal/repair"
 	"repro/internal/txn"
 )
@@ -66,7 +67,7 @@ func flushTree(tr *lsm.Tree, epoch uint64) (*lsm.Component, error) {
 	return comp, err
 }
 
-func (d *Dataset) flushLocked() error {
+func (d *Dataset) flushLocked() (err error) {
 	// Consume an epoch only when at least one index has data; a fully
 	// empty flush is a no-op.
 	any := d.primary.Mem().Len() > 0
@@ -82,15 +83,27 @@ func (d *Dataset) flushLocked() error {
 		return nil
 	}
 	epoch := d.epoch.Add(1)
+	op := d.cfg.Journal.Begin(obs.JFlush, "batch")
+	var bytes int64
+	var comps int
+	defer func() { op.End(bytes, 0, comps, err) }()
+	countComp := func(c *lsm.Component) {
+		if c != nil {
+			bytes += c.SizeBytes()
+			comps++
+		}
+	}
 	primComp, err := flushTree(d.primary, epoch)
 	if err != nil {
 		return err
 	}
+	countComp(primComp)
 	var pkComp *lsm.Component
 	if d.pkIndex != nil {
 		if pkComp, err = flushTree(d.pkIndex, epoch); err != nil {
 			return err
 		}
+		countComp(pkComp)
 	}
 	if d.cfg.Strategy == MutableBitmap {
 		if err := pairPrimaryPK(primComp, pkComp); err != nil {
@@ -102,6 +115,7 @@ func (d *Dataset) flushLocked() error {
 		if err != nil {
 			return err
 		}
+		countComp(comp)
 		if d.cfg.Strategy == DeletedKey && comp != nil {
 			if err := d.attachDeletedEntries(comp, si.takeMemDeleted()); err != nil {
 				return err
@@ -310,6 +324,7 @@ func epochRange(tr *lsm.Tree, eMin, eMax uint64) (lo, hi int, ok bool) {
 
 // mergeTreeRange merges [lo, hi) of one tree with no strategy extras.
 func (d *Dataset) mergeTreeRange(tr *lsm.Tree, lo, hi int, dropAnti bool) error {
+	op := d.cfg.Journal.Begin(obs.JMerge, tr.Name())
 	res, err := tr.Merge(lsm.MergeSpec{
 		Lo: lo, Hi: hi,
 		DropAnti:      dropAnti,
@@ -317,9 +332,12 @@ func (d *Dataset) mergeTreeRange(tr *lsm.Tree, lo, hi int, dropAnti bool) error 
 		Store:         d.mergeIOStore(),
 	})
 	if err != nil {
+		op.End(0, hi-lo, 0, err)
 		return err
 	}
-	return tr.Install(res)
+	err = tr.Install(res)
+	op.End(res.Component.SizeBytes(), hi-lo, 1, err)
+	return err
 }
 
 // mergeSecondaryRange merges a secondary index range, applying the
@@ -328,10 +346,18 @@ func (d *Dataset) mergeTreeRange(tr *lsm.Tree, lo, hi int, dropAnti bool) error 
 func (d *Dataset) mergeSecondaryRange(si *SecondaryIndex, lo, hi int) error {
 	switch {
 	case (d.cfg.Strategy == Validation || d.cfg.Strategy == MutableBitmap) && d.cfg.MergeRepair && d.pkIndex != nil:
-		return repair.MergeRepair(si.Tree, d.pkIndex, lo, hi,
+		// Byte sizes of repaired components are not surfaced by the repair
+		// package; the journal records the merge with bytes unknown (0).
+		op := d.cfg.Journal.Begin(obs.JMerge, si.Spec.Name)
+		err := repair.MergeRepair(si.Tree, d.pkIndex, lo, hi,
 			repair.Options{UseBloom: d.cfg.RepairBloomOpt, Store: d.mergeIOStore()})
+		op.End(0, hi-lo, 1, err)
+		return err
 	case d.cfg.Strategy == DeletedKey:
-		return d.mergeDeletedKeyRange(si, lo, hi)
+		op := d.cfg.Journal.Begin(obs.JMerge, si.Spec.Name)
+		err := d.mergeDeletedKeyRange(si, lo, hi)
+		op.End(0, hi-lo, 1, err)
+		return err
 	default:
 		return d.mergeTreeRange(si.Tree, lo, hi, lo == 0)
 	}
@@ -501,6 +527,19 @@ func (d *Dataset) mergePrimaryAndPK(eMin, eMax uint64) error {
 // index components [kLo, kHi) under the configured CC method, with writers
 // allowed to run concurrently.
 func (d *Dataset) MergePrimaryRange(pLo, pHi, kLo, kHi int) (*lsm.Component, error) {
+	op := d.cfg.Journal.Begin(obs.JMerge, "primary+pk")
+	comp, err := d.mergePrimaryPKRange(pLo, pHi, kLo, kHi)
+	var bytes int64
+	if comp != nil {
+		bytes = comp.SizeBytes()
+	}
+	// The synchronized merge consumes the primary and pk-index runs and
+	// produces one paired component of each.
+	op.End(bytes, (pHi-pLo)+(kHi-kLo), 2, err)
+	return comp, err
+}
+
+func (d *Dataset) mergePrimaryPKRange(pLo, pHi, kLo, kHi int) (*lsm.Component, error) {
 	primComps := d.primary.Components()[pLo:pHi]
 	pkComps := d.pkIndex.Components()[kLo:kHi]
 	pkGen := d.pkIndex.InstallGen()

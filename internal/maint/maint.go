@@ -45,6 +45,14 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
+// Stats reports the pool's queue depth, the jobs executing right now,
+// and the worker bound — the gauges /debug/maintenance serves.
+func (p *Pool) Stats() (queued, active, workers int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue), p.active, p.workers
+}
+
 // Submit enqueues a job. It returns false when the pool is closed (the job is
 // dropped); callers that must not lose work should check the result. Workers
 // are spawned lazily, up to the bound.

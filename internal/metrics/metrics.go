@@ -109,6 +109,11 @@ type Counters struct {
 	WriteStalls     atomic.Int64 // writes stalled by maintenance backpressure
 	WriteStallNanos atomic.Int64 // total wall-clock time writes spent stalled
 
+	// Stall attribution: what the write path was waiting on when a stall
+	// began (frozen-memtable ceiling vs. on-disk component count).
+	WriteStallsFrozen     atomic.Int64
+	WriteStallsComponents atomic.Int64
+
 	// Group-commit durability path (file backend; zero on the simulated
 	// device, whose log appends carry no fsync).
 	WALFsyncs          atomic.Int64 // fsyncs issued against the WAL area
@@ -137,6 +142,9 @@ type Snapshot struct {
 	WriteStalls     int64
 	WriteStallNanos int64
 
+	WriteStallsFrozen     int64
+	WriteStallsComponents int64
+
 	WALFsyncs          int64
 	GroupCommitBatches int64
 	GroupCommitWaiters int64
@@ -162,6 +170,9 @@ func (c *Counters) Snapshot() Snapshot {
 		EntriesScanned:  c.EntriesScanned.Load(),
 		WriteStalls:     c.WriteStalls.Load(),
 		WriteStallNanos: c.WriteStallNanos.Load(),
+
+		WriteStallsFrozen:     c.WriteStallsFrozen.Load(),
+		WriteStallsComponents: c.WriteStallsComponents.Load(),
 
 		WALFsyncs:          c.WALFsyncs.Load(),
 		GroupCommitBatches: c.GroupCommitBatches.Load(),
@@ -190,6 +201,9 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		WriteStalls:     s.WriteStalls + o.WriteStalls,
 		WriteStallNanos: s.WriteStallNanos + o.WriteStallNanos,
 
+		WriteStallsFrozen:     s.WriteStallsFrozen + o.WriteStallsFrozen,
+		WriteStallsComponents: s.WriteStallsComponents + o.WriteStallsComponents,
+
 		WALFsyncs:          s.WALFsyncs + o.WALFsyncs,
 		GroupCommitBatches: s.GroupCommitBatches + o.GroupCommitBatches,
 		GroupCommitWaiters: s.GroupCommitWaiters + o.GroupCommitWaiters,
@@ -217,6 +231,9 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		WriteStalls:     s.WriteStalls - o.WriteStalls,
 		WriteStallNanos: s.WriteStallNanos - o.WriteStallNanos,
 
+		WriteStallsFrozen:     s.WriteStallsFrozen - o.WriteStallsFrozen,
+		WriteStallsComponents: s.WriteStallsComponents - o.WriteStallsComponents,
+
 		WALFsyncs:          s.WALFsyncs - o.WALFsyncs,
 		GroupCommitBatches: s.GroupCommitBatches - o.GroupCommitBatches,
 		GroupCommitWaiters: s.GroupCommitWaiters - o.GroupCommitWaiters,
@@ -242,6 +259,8 @@ func (c *Counters) Reset() {
 	c.EntriesScanned.Store(0)
 	c.WriteStalls.Store(0)
 	c.WriteStallNanos.Store(0)
+	c.WriteStallsFrozen.Store(0)
+	c.WriteStallsComponents.Store(0)
 	c.WALFsyncs.Store(0)
 	c.GroupCommitBatches.Store(0)
 	c.GroupCommitWaiters.Store(0)
@@ -261,6 +280,7 @@ type ServerCounters struct {
 	Errors           atomic.Int64 // requests answered with an error frame
 	CoalescedBatches atomic.Int64 // ApplyBatch calls issued by the write coalescer
 	CoalescedWrites  atomic.Int64 // single writes absorbed into those batches
+	SlowRequests     atomic.Int64 // requests over the slow-request threshold
 }
 
 // ServerSnapshot is an immutable copy of the server counter values.
@@ -271,6 +291,7 @@ type ServerSnapshot struct {
 	Errors           int64
 	CoalescedBatches int64
 	CoalescedWrites  int64
+	SlowRequests     int64
 }
 
 // Snapshot captures the current server counter values.
@@ -282,6 +303,33 @@ func (c *ServerCounters) Snapshot() ServerSnapshot {
 		Errors:           c.Errors.Load(),
 		CoalescedBatches: c.CoalescedBatches.Load(),
 		CoalescedWrites:  c.CoalescedWrites.Load(),
+		SlowRequests:     c.SlowRequests.Load(),
+	}
+}
+
+// Add returns s plus o, mirroring Snapshot.Add for the server counters.
+func (s ServerSnapshot) Add(o ServerSnapshot) ServerSnapshot {
+	return ServerSnapshot{
+		Connections:      s.Connections + o.Connections,
+		ActiveConns:      s.ActiveConns + o.ActiveConns,
+		Requests:         s.Requests + o.Requests,
+		Errors:           s.Errors + o.Errors,
+		CoalescedBatches: s.CoalescedBatches + o.CoalescedBatches,
+		CoalescedWrites:  s.CoalescedWrites + o.CoalescedWrites,
+		SlowRequests:     s.SlowRequests + o.SlowRequests,
+	}
+}
+
+// Sub returns s minus o, for interval deltas across two /stats fetches.
+func (s ServerSnapshot) Sub(o ServerSnapshot) ServerSnapshot {
+	return ServerSnapshot{
+		Connections:      s.Connections - o.Connections,
+		ActiveConns:      s.ActiveConns - o.ActiveConns,
+		Requests:         s.Requests - o.Requests,
+		Errors:           s.Errors - o.Errors,
+		CoalescedBatches: s.CoalescedBatches - o.CoalescedBatches,
+		CoalescedWrites:  s.CoalescedWrites - o.CoalescedWrites,
+		SlowRequests:     s.SlowRequests - o.SlowRequests,
 	}
 }
 

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -98,5 +99,41 @@ func TestDefaultCostsSane(t *testing.T) {
 	}
 	if c.CacheHit <= c.CacheLineMiss {
 		t.Fatal("a buffer-cache page access must cost more than one cache-line miss")
+	}
+}
+
+func TestServerSnapshotAddSub(t *testing.T) {
+	// Exercise every field via reflection so a newly added counter cannot
+	// silently escape Add/Sub coverage.
+	var a, b ServerSnapshot
+	va, vb := reflect.ValueOf(&a).Elem(), reflect.ValueOf(&b).Elem()
+	for i := 0; i < va.NumField(); i++ {
+		va.Field(i).SetInt(int64(10 * (i + 1)))
+		vb.Field(i).SetInt(int64(i + 1))
+	}
+	sum, diff := a.Add(b), a.Sub(b)
+	vs, vd := reflect.ValueOf(sum), reflect.ValueOf(diff)
+	for i := 0; i < vs.NumField(); i++ {
+		name := vs.Type().Field(i).Name
+		if got, want := vs.Field(i).Int(), int64(11*(i+1)); got != want {
+			t.Errorf("Add %s = %d, want %d", name, got, want)
+		}
+		if got, want := vd.Field(i).Int(), int64(9*(i+1)); got != want {
+			t.Errorf("Sub %s = %d, want %d", name, got, want)
+		}
+	}
+	// Round trip: (a - b) + b == a.
+	if diff.Add(b) != a {
+		t.Fatalf("Sub/Add round trip failed: %+v", diff.Add(b))
+	}
+}
+
+func TestServerCountersSnapshot(t *testing.T) {
+	var c ServerCounters
+	c.Requests.Add(4)
+	c.SlowRequests.Add(2)
+	s := c.Snapshot()
+	if s.Requests != 4 || s.SlowRequests != 2 || s.Errors != 0 {
+		t.Fatalf("snapshot = %+v", s)
 	}
 }

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lcg is a tiny deterministic PRNG so the error-bound test needs no seed
+// plumbing and never flakes.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r)
+}
+
+func TestBucketOfBoundsRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose [lo, hi] range contains it,
+	// and for values ≥ 64 the bucket must be narrow enough for the ~5%
+	// relative-error budget (width ≤ lo/32 → midpoint error ≤ ~1.6%).
+	var r lcg
+	values := []int64{0, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, math.MaxInt64}
+	for i := 0; i < 10000; i++ {
+		values = append(values, int64(r.next()>>1))
+	}
+	for _, v := range values {
+		idx := bucketOf(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, idx)
+		}
+		lo, hi := bucketBounds(idx)
+		if v < lo || v > hi {
+			t.Fatalf("value %d outside bucket %d bounds [%d, %d]", v, idx, lo, hi)
+		}
+		if v >= 64 && hi != math.MaxInt64 {
+			if width := hi - lo; width > lo/histSub {
+				t.Fatalf("bucket %d too wide: [%d, %d] width %d > lo/%d", idx, lo, hi, width, histSub)
+			}
+		}
+	}
+	// Adjacent buckets must tile the value space with no gaps or overlaps.
+	prevHi := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		if lo != prevHi+1 && prevHi != math.MaxInt64 {
+			t.Fatalf("bucket %d starts at %d, want %d", i, lo, prevHi+1)
+		}
+		if hi < lo {
+			t.Fatalf("bucket %d inverted: [%d, %d]", i, lo, hi)
+		}
+		prevHi = hi
+	}
+}
+
+func TestQuantileErrorVsExactSamples(t *testing.T) {
+	// Record a skewed synthetic latency distribution and compare the
+	// histogram's quantiles against the exact values from the sorted
+	// sample set: every quantile must be within 5% relative error.
+	var r lcg
+	const n = 50000
+	var h Hist
+	exact := make([]int64, n)
+	for i := range exact {
+		// Log-uniform over ~[1µs, 1s]: u in [0,60) bits of magnitude.
+		shift := r.next() % 20
+		v := int64(1000 + (r.next() % 1000 << shift))
+		exact[i] = v
+		h.RecordNanos(v)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	s := h.Snapshot()
+	if s.Count != n {
+		t.Fatalf("Count = %d, want %d", s.Count, n)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		rank := int(math.Ceil(q*float64(n))) - 1
+		want := exact[rank]
+		got := s.Quantile(q)
+		relErr := math.Abs(float64(got)-float64(want)) / float64(want)
+		if relErr > 0.05 {
+			t.Errorf("q=%v: got %d, exact %d, rel err %.4f > 0.05", q, got, want, relErr)
+		}
+	}
+	if s.MaxNanos != exact[n-1] {
+		t.Errorf("MaxNanos = %d, want %d", s.MaxNanos, exact[n-1])
+	}
+	var sum int64
+	for _, v := range exact {
+		sum += v
+	}
+	if s.SumNanos != sum {
+		t.Errorf("SumNanos = %d, want %d", s.SumNanos, sum)
+	}
+}
+
+func TestHistConcurrentRecord(t *testing.T) {
+	// Concurrent recorders must neither race (run under -race) nor lose
+	// observations.
+	var h Hist
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := lcg(w + 1)
+			for i := 0; i < per; i++ {
+				h.RecordNanos(int64(r.next() % 1e9))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != workers*per {
+		t.Fatalf("Count = %d, want %d", s.Count, workers*per)
+	}
+}
+
+func TestSnapshotAddSub(t *testing.T) {
+	var ha, hb Hist
+	r := lcg(7)
+	for i := 0; i < 3000; i++ {
+		ha.RecordNanos(int64(r.next() % 1e8))
+	}
+	a := ha.Snapshot()
+	for i := 0; i < 2000; i++ {
+		v := int64(r.next() % 1e8)
+		ha.RecordNanos(v)
+		hb.RecordNanos(v)
+	}
+	after := ha.Snapshot()
+	b := hb.Snapshot()
+
+	// The interval delta must equal a histogram that saw only the interval.
+	delta := after.Sub(a)
+	if delta.Count != b.Count || delta.SumNanos != b.SumNanos {
+		t.Fatalf("Sub: count/sum = %d/%d, want %d/%d", delta.Count, delta.SumNanos, b.Count, b.SumNanos)
+	}
+	for i, n := range b.Buckets {
+		if delta.Buckets[i] != n {
+			t.Fatalf("Sub: bucket %d = %d, want %d", i, delta.Buckets[i], n)
+		}
+	}
+	if len(delta.Buckets) != len(b.Buckets) {
+		t.Fatalf("Sub: %d buckets, want %d", len(delta.Buckets), len(b.Buckets))
+	}
+
+	// Add must invert Sub: a + (after - a) == after, bucket for bucket.
+	sum := a.Add(delta)
+	if sum.Count != after.Count || sum.SumNanos != after.SumNanos {
+		t.Fatalf("Add: count/sum = %d/%d, want %d/%d", sum.Count, sum.SumNanos, after.Count, after.SumNanos)
+	}
+	for i, n := range after.Buckets {
+		if sum.Buckets[i] != n {
+			t.Fatalf("Add: bucket %d = %d, want %d", i, sum.Buckets[i], n)
+		}
+	}
+
+	// Neither operand may be mutated.
+	if a.Count != 3000 {
+		t.Fatalf("Add/Sub mutated an operand: a.Count = %d", a.Count)
+	}
+}
+
+func TestQuantileEmptyAndSingle(t *testing.T) {
+	var empty HistSnapshot
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+	var h Hist
+	h.Record(5 * time.Millisecond)
+	s := h.Snapshot()
+	got := s.Quantile(0.5)
+	want := int64(5 * time.Millisecond)
+	if rel := math.Abs(float64(got-want)) / float64(want); rel > 0.05 {
+		t.Fatalf("single-sample p50 = %d, want ~%d", got, want)
+	}
+	sum := s.Summary()
+	if sum.Count != 1 || sum.MaxMicros != want/1000 {
+		t.Fatalf("Summary = %+v", sum)
+	}
+}
+
+func TestRegistryClassesAndStages(t *testing.T) {
+	r := NewRegistry()
+	r.RecordOp(OpGet, time.Millisecond)
+	r.RecordOp(OpUpsert, 2*time.Millisecond)
+	r.RecordOp(Op(200), time.Millisecond) // out of range → other
+	r.RecordStage(StageEngine, time.Millisecond)
+	r.RecordStage(Stage(200), time.Millisecond) // out of range → dropped
+
+	ops := r.OpSnapshots()
+	if len(ops) != 3 {
+		t.Fatalf("op snapshots = %v, want get/upsert/other", ops)
+	}
+	for _, k := range []string{"get", "upsert", "other"} {
+		if ops[k].Count != 1 {
+			t.Fatalf("class %q count = %d, want 1", k, ops[k].Count)
+		}
+	}
+	st := r.StageSnapshots()
+	if len(st) != 1 || st["engine"].Count != 1 {
+		t.Fatalf("stage snapshots = %v, want engine only", st)
+	}
+	sums := Summaries(ops)
+	if sums["get"].Count != 1 {
+		t.Fatalf("Summaries = %v", sums)
+	}
+}

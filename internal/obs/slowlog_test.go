@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSlowLogRingOverflow(t *testing.T) {
+	l := NewSlowLog(4, 0)
+	for i := 1; i <= 10; i++ {
+		l.Add(SlowEntry{Op: "get", TotalMicros: int64(i)})
+	}
+	if l.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", l.Total())
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l.Len())
+	}
+	es := l.Entries()
+	if len(es) != 4 {
+		t.Fatalf("Entries = %d, want 4", len(es))
+	}
+	// Oldest-first, holding the 4 most recent adds with their global seqs.
+	for i, e := range es {
+		wantSeq := uint64(7 + i)
+		if e.Seq != wantSeq || e.TotalMicros != int64(7+i) {
+			t.Fatalf("entry %d = seq %d total %d, want seq %d total %d",
+				i, e.Seq, e.TotalMicros, wantSeq, 7+i)
+		}
+		if e.AgoMillis < 0 {
+			t.Fatalf("entry %d AgoMillis = %d, want ≥ 0", i, e.AgoMillis)
+		}
+	}
+}
+
+func TestSlowLogBelowCapacity(t *testing.T) {
+	l := NewSlowLog(0, 0) // default capacity
+	l.Add(SlowEntry{Op: "upsert"})
+	l.Add(SlowEntry{Op: "get"})
+	es := l.Entries()
+	if len(es) != 2 || es[0].Op != "upsert" || es[1].Op != "get" || es[0].Seq != 1 || es[1].Seq != 2 {
+		t.Fatalf("Entries = %+v", es)
+	}
+}
+
+func TestJournalRingAndSummary(t *testing.T) {
+	j := NewJournal(3)
+	sj := ShardJournal{J: j, Shard: 2}
+
+	op := sj.Begin(JFlush, "batch")
+	if got := j.Summary(); got.ActiveFlushes != 1 {
+		t.Fatalf("ActiveFlushes = %d, want 1", got.ActiveFlushes)
+	}
+	op.End(1000, 0, 3, nil)
+
+	boom := errors.New("disk on fire")
+	for i := 0; i < 4; i++ {
+		mop := sj.Begin(JMerge, "primary")
+		var err error
+		if i == 3 {
+			err = boom
+		}
+		mop.End(int64(100*(i+1)), 2, 1, err)
+	}
+
+	s := j.Summary()
+	if s.Flushes != 1 || s.FlushErrors != 0 || s.FlushBytes != 1000 || s.FlushOutputComponents != 3 {
+		t.Fatalf("flush totals = %+v", s)
+	}
+	if s.Merges != 4 || s.MergeErrors != 1 || s.MergeBytes != 100+200+300+400 || s.MergeInputComponents != 8 {
+		t.Fatalf("merge totals = %+v", s)
+	}
+	if s.ActiveFlushes != 0 || s.ActiveMerges != 0 {
+		t.Fatalf("actives = %d/%d, want 0/0", s.ActiveFlushes, s.ActiveMerges)
+	}
+
+	// Ring keeps the 3 newest of 5 events, oldest-first, seq preserved.
+	es := j.Events()
+	if len(es) != 3 {
+		t.Fatalf("Events = %d, want 3", len(es))
+	}
+	if es[0].Seq != 3 || es[2].Seq != 5 {
+		t.Fatalf("event seqs = %d..%d, want 3..5", es[0].Seq, es[2].Seq)
+	}
+	last := es[2]
+	if last.Kind != "merge" || last.Shard != 2 || last.Tree != "primary" || last.Err != boom.Error() {
+		t.Fatalf("last event = %+v", last)
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	op := j.Begin(JFlush, 0, "x")
+	op.End(1, 2, 3, nil) // must not panic
+	if s := j.Summary(); s != (JournalSummary{}) {
+		t.Fatalf("nil Summary = %+v", s)
+	}
+	if es := j.Events(); es != nil {
+		t.Fatalf("nil Events = %v", es)
+	}
+	var sj ShardJournal // zero value disables recording
+	sj.Begin(JMerge, "y").End(0, 0, 0, nil)
+}

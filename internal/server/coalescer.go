@@ -2,6 +2,7 @@ package server
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/lsmstore"
@@ -40,10 +41,12 @@ type coalescer struct {
 type coalReq struct {
 	mut lsmstore.Mutation
 	res chan coalRes
+	enq time.Time // submit time when the caller is tracing; zero otherwise
 }
 
 type coalRes struct {
 	applied bool
+	wait    time.Duration // queue time until a drainer picked the write up
 	err     error
 }
 
@@ -75,12 +78,17 @@ func (c *coalescer) start() {
 }
 
 // apply submits one mutation and blocks until its batch lands, reporting
-// whether the mutation took effect.
-func (c *coalescer) apply(m lsmstore.Mutation) (bool, error) {
+// whether the mutation took effect. With traced set it also reports how
+// long the write sat queued before a drainer picked it up.
+func (c *coalescer) apply(m lsmstore.Mutation, traced bool) (bool, time.Duration, error) {
 	res := make(chan coalRes, 1)
-	c.ch <- coalReq{mut: m, res: res}
+	req := coalReq{mut: m, res: res}
+	if traced {
+		req.enq = time.Now()
+	}
+	c.ch <- req
 	r := <-res
-	return r.applied, r.err
+	return r.applied, r.wait, r.err
 }
 
 // stop closes the queue and waits for the final batches. The caller must
@@ -110,8 +118,14 @@ func (c *coalescer) run() {
 			break
 		}
 		muts = muts[:0]
+		traced := false
 		for _, r := range reqs {
 			muts = append(muts, r.mut)
+			traced = traced || !r.enq.IsZero()
+		}
+		var pickup time.Time
+		if traced {
+			pickup = time.Now()
 		}
 		applied, err := c.db.ApplyBatchResults(muts)
 		if c.counters != nil {
@@ -121,6 +135,9 @@ func (c *coalescer) run() {
 		for i, r := range reqs {
 			ok := i < len(applied) && applied[i]
 			res := coalRes{applied: ok, err: err}
+			if !r.enq.IsZero() {
+				res.wait = pickup.Sub(r.enq)
+			}
 			// A batch error is per shard, and shards are independent: a
 			// mutation the engine reports applied landed durably even
 			// though another shard's mutation failed, so its writer gets

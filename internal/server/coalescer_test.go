@@ -85,7 +85,7 @@ func TestCoalescerOverlapsBatches(t *testing.T) {
 	results := make(chan error, 2)
 	submit := func(i int) {
 		go func() {
-			_, err := c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte{byte(i)}})
+			_, _, err := c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte{byte(i)}}, false)
 			results <- err
 		}()
 	}
@@ -120,7 +120,7 @@ func TestCoalescerGroupsConcurrentWrites(t *testing.T) {
 	// The leader write occupies the apply goroutine inside its batch.
 	leaderDone := make(chan error, 1)
 	go func() {
-		_, err := c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte("leader")})
+		_, _, err := c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte("leader")}, false)
 		leaderDone <- err
 	}()
 	if n := <-applier.entered; n != 1 {
@@ -139,7 +139,7 @@ func TestCoalescerGroupsConcurrentWrites(t *testing.T) {
 			if i == 0 {
 				op = lsmstore.OpDelete // must come back applied=false
 			}
-			ok, err := c.apply(lsmstore.Mutation{Op: op, PK: []byte{byte(i)}})
+			ok, _, err := c.apply(lsmstore.Mutation{Op: op, PK: []byte{byte(i)}}, false)
 			if err != nil {
 				t.Error(err)
 			}
@@ -189,7 +189,7 @@ func TestCoalescerPropagatesErrors(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, err := c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte{byte(i)}}); !errors.Is(err, boom) {
+			if _, _, err := c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte{byte(i)}}, false); !errors.Is(err, boom) {
 				t.Errorf("write %d: err = %v, want the batch error", i, err)
 			}
 		}(i)
@@ -212,7 +212,7 @@ func TestCoalescerPartialFailureKeepsAppliedWrites(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ok, err := c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte{byte(i)}})
+			ok, _, err := c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte{byte(i)}}, false)
 			if i%2 == 0 { // the fake applies even first-bytes durably
 				if err != nil || !ok {
 					t.Errorf("applied write %d: ok=%v err=%v, want success", i, ok, err)
@@ -236,7 +236,7 @@ func TestCoalescerRespectsMaxBatch(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if _, err := c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte("leader")}); err != nil {
+		if _, _, err := c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte("leader")}, false); err != nil {
 			t.Errorf("leader apply: %v", err)
 		}
 	}()
@@ -248,7 +248,7 @@ func TestCoalescerRespectsMaxBatch(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, err := c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte{byte(i)}}); err != nil {
+			if _, _, err := c.apply(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: []byte{byte(i)}}, false); err != nil {
 				t.Errorf("apply %d: %v", i, err)
 			}
 		}(i)

@@ -5,25 +5,88 @@ import (
 	"errors"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/lsmstore"
 )
 
 // StatsPayload is the GET /stats response body: the engine snapshot from
-// lsmstore.Stats plus the network service's own counters.
+// lsmstore.Stats, the network service's own counters, and — when
+// observability is on — the server-side latency histograms, both as
+// percentile summaries and as raw bucket snapshots (the raw form is what
+// lsmload diffs across a run to print interval percentiles).
 type StatsPayload struct {
 	Engine lsmstore.Stats
 	Server metrics.ServerSnapshot
+	// SidecarLastError is the most recent HTTP accept-loop failure, so a
+	// dead sidecar is diagnosable from the endpoint that still answers.
+	SidecarLastError string `json:",omitempty"`
+	// Latency and Stages are percentile digests per op class and per
+	// request stage (microseconds).
+	Latency map[string]obs.Summary `json:",omitempty"`
+	Stages  map[string]obs.Summary `json:",omitempty"`
+	// LatencyHist and StageHist are the same histograms with raw sparse
+	// buckets, supporting Add/Sub deltas client-side.
+	LatencyHist map[string]obs.HistSnapshot `json:",omitempty"`
+	StageHist   map[string]obs.HistSnapshot `json:",omitempty"`
+}
+
+// statsPayload assembles the /stats body.
+func (s *Server) statsPayload() StatsPayload {
+	p := StatsPayload{
+		Engine:           s.db.Stats(),
+		Server:           s.counters.Snapshot(),
+		SidecarLastError: s.http.lastError(),
+	}
+	if s.obs != nil {
+		p.LatencyHist = s.obs.OpSnapshots()
+		p.StageHist = s.obs.StageSnapshots()
+		p.Latency = obs.Summaries(p.LatencyHist)
+		p.Stages = obs.Summaries(p.StageHist)
+	}
+	return p
+}
+
+// slowPayload is the GET /debug/slow response body.
+type slowPayload struct {
+	ThresholdMillis int64           `json:"threshold_ms"`
+	Total           uint64          `json:"total"`
+	Entries         []obs.SlowEntry `json:"entries"`
+}
+
+// maintenancePayload is the GET /debug/maintenance response body.
+type maintenancePayload struct {
+	Summary obs.JournalSummary `json:"summary"`
+	Pool    maintPoolStats     `json:"pool"`
+	Shards  []maintShardGauges `json:"shards"`
+	Events  []obs.JournalEvent `json:"events"`
+}
+
+type maintPoolStats struct {
+	Queued  int `json:"queued"`
+	Active  int `json:"active"`
+	Workers int `json:"workers"`
+}
+
+type maintShardGauges struct {
+	Shard               int `json:"shard"`
+	PendingFlushBatches int `json:"pending_flush_batches"`
+	FrozenMemtables     int `json:"frozen_memtables"`
 }
 
 // httpSidecar is the observability endpoint riding alongside the wire
-// listener: GET /healthz for liveness probes, GET /stats for dashboards.
+// listener: GET /healthz for liveness probes, GET /stats for dashboards,
+// GET /metrics for Prometheus scrapes, GET /debug/slow and
+// GET /debug/maintenance for humans mid-incident, and (opt-in)
+// /debug/pprof for profiles.
 type httpSidecar struct {
-	mu  sync.Mutex
-	ln  net.Listener
-	srv *http.Server
+	mu      sync.Mutex
+	ln      net.Listener
+	srv     *http.Server
+	lastErr error
 }
 
 func (h *httpSidecar) start(addrStr string, s *Server) error {
@@ -38,16 +101,51 @@ func (h *httpSidecar) start(addrStr string, s *Server) error {
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		payload := StatsPayload{
-			Engine: s.db.Stats(),
-			Server: s.counters.Snapshot(),
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		//lsm:allow-discard an Encode failure here is the stats client hanging up mid-response; nothing to do about it
-		enc.Encode(payload)
+		writeJSON(w, s.statsPayload())
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		//lsm:allow-discard a failed scrape write is the scraper hanging up; nothing to do about it
+		w.Write(s.promExposition())
+	})
+	mux.HandleFunc("GET /debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		p := slowPayload{Entries: []obs.SlowEntry{}}
+		if s.slow != nil {
+			p.ThresholdMillis = s.slow.Threshold().Milliseconds()
+			p.Total = s.slow.Total()
+			p.Entries = s.slow.Entries()
+		}
+		writeJSON(w, p)
+	})
+	mux.HandleFunc("GET /debug/maintenance", func(w http.ResponseWriter, r *http.Request) {
+		j := s.db.MaintJournal()
+		p := maintenancePayload{Summary: j.Summary(), Events: j.Events()}
+		if p.Events == nil {
+			p.Events = []obs.JournalEvent{}
+		}
+		queued, active, workers := s.db.MaintPoolStats()
+		p.Pool = maintPoolStats{Queued: queued, Active: active, Workers: workers}
+		st := s.db.Stats()
+		per := st.PerShard
+		if len(per) == 0 {
+			per = []lsmstore.Stats{st}
+		}
+		for i, sh := range per {
+			p.Shards = append(p.Shards, maintShardGauges{
+				Shard:               i,
+				PendingFlushBatches: sh.PendingFlushBatches,
+				FrozenMemtables:     sh.FrozenMemtables,
+			})
+		}
+		writeJSON(w, p)
+	})
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	srv := &http.Server{Handler: mux}
 	h.mu.Lock()
 	h.ln, h.srv = ln, srv
@@ -57,9 +155,31 @@ func (h *httpSidecar) start(addrStr string, s *Server) error {
 		// is a real accept-loop failure worth surfacing on /stats.
 		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			s.counters.Errors.Add(1)
+			h.mu.Lock()
+			h.lastErr = err
+			h.mu.Unlock()
 		}
 	}()
 	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	//lsm:allow-discard an Encode failure here is the client hanging up mid-response; nothing to do about it
+	enc.Encode(v)
+}
+
+// lastError reports the most recent sidecar accept-loop failure ("" when
+// healthy).
+func (h *httpSidecar) lastError() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.lastErr == nil {
+		return ""
+	}
+	return h.lastErr.Error()
 }
 
 func (h *httpSidecar) addr() net.Addr {

@@ -1,0 +1,345 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/lsmstore"
+)
+
+// doRequests drives a representative op mix through the wire path so every
+// latency class has observations.
+func doRequests(t *testing.T, srv *server.Server) {
+	t.Helper()
+	c := dial(t, srv, 1)
+	for i := uint64(0); i < 8; i++ {
+		pk, rec := tweet(i)
+		if err := c.Upsert(pk, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pk, _ := tweet(3)
+	if _, found, err := c.Get(pk); err != nil || !found {
+		t.Fatalf("get: found=%v err=%v", found, err)
+	}
+	if _, err := c.SecondaryQuery("user", nil, nil, lsmstore.QueryOptions{
+		Validation: lsmstore.TimestampValidation,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObservabilityHistograms(t *testing.T) {
+	srv, _ := startServer(t, storeOptions(), func(cfg *server.Config) {
+		cfg.HTTPAddr = "127.0.0.1:0"
+	})
+	doRequests(t, srv)
+
+	ops := srv.Observability().OpSnapshots()
+	if ops["upsert"].Count != 8 {
+		t.Fatalf("upsert count = %d, want 8 (%v)", ops["upsert"].Count, ops)
+	}
+	if ops["get"].Count != 1 || ops["secondary_query"].Count != 1 {
+		t.Fatalf("op snapshots = %v", ops)
+	}
+	if s := ops["upsert"]; s.SumNanos <= 0 || s.MaxNanos <= 0 {
+		t.Fatalf("upsert histogram has no time: %+v", s)
+	}
+
+	stages := srv.Observability().StageSnapshots()
+	total := int64(10) // 8 upserts + 1 get + 1 query
+	for _, st := range []string{"decode", "engine", "encode", "write"} {
+		if stages[st].Count != total {
+			t.Fatalf("stage %q count = %d, want %d (%v)", st, stages[st].Count, total, stages)
+		}
+	}
+	// Only the coalesced writes pass through the coalesce-wait stage.
+	if got := stages["coalesce_wait"].Count; got != 8 {
+		t.Fatalf("coalesce_wait count = %d, want 8", got)
+	}
+
+	// The /stats payload carries both the digests and the raw buckets.
+	resp, err := http.Get("http://" + srv.HTTPAddr().String() + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload server.StatsPayload
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Latency["upsert"].Count != 8 || payload.Latency["upsert"].MaxMicros < 0 {
+		t.Fatalf("/stats latency = %+v", payload.Latency)
+	}
+	if payload.LatencyHist["upsert"].Count != 8 || len(payload.LatencyHist["upsert"].Buckets) == 0 {
+		t.Fatalf("/stats latency hist = %+v", payload.LatencyHist)
+	}
+	if payload.Stages["engine"].Count != total {
+		t.Fatalf("/stats stages = %+v", payload.Stages)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := startServer(t, storeOptions(), func(cfg *server.Config) {
+		cfg.HTTPAddr = "127.0.0.1:0"
+	})
+	doRequests(t, srv)
+
+	resp, err := http.Get("http://" + srv.HTTPAddr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE lsm_requests_total counter",
+		"# TYPE lsm_request_duration_seconds histogram",
+		`lsm_request_duration_seconds_bucket{op="upsert",le="+Inf"} 8`,
+		`lsm_request_duration_seconds_count{op="get"} 1`,
+		`lsm_request_stage_duration_seconds_bucket{stage="engine",le="+Inf"} 10`,
+		"lsm_engine_ingested_total 8",
+		"lsm_maintenance_flushes_total",
+		"lsm_active_connections",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestDebugSlowEndpoint(t *testing.T) {
+	srv, _ := startServer(t, storeOptions(), func(cfg *server.Config) {
+		cfg.HTTPAddr = "127.0.0.1:0"
+		cfg.SlowRequestThreshold = time.Nanosecond // everything is slow
+		cfg.SlowLogSize = 4
+	})
+	doRequests(t, srv)
+
+	resp, err := http.Get("http://" + srv.HTTPAddr().String() + "/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var p struct {
+		ThresholdMillis int64 `json:"threshold_ms"`
+		Total           int64 `json:"total"`
+		Entries         []struct {
+			Op          string `json:"op"`
+			TotalMicros int64  `json:"total_us"`
+		} `json:"entries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Total != 10 {
+		t.Fatalf("slow total = %d, want 10", p.Total)
+	}
+	if len(p.Entries) != 4 { // ring capped at SlowLogSize
+		t.Fatalf("slow entries = %d, want 4", len(p.Entries))
+	}
+	for _, e := range p.Entries {
+		if e.Op == "" || e.TotalMicros < 0 {
+			t.Fatalf("bad slow entry: %+v", e)
+		}
+	}
+	if got := srv.Counters().SlowRequests.Load(); got != 10 {
+		t.Fatalf("SlowRequests counter = %d, want 10", got)
+	}
+}
+
+func TestDebugMaintenanceEndpoint(t *testing.T) {
+	opts := storeOptions()
+	opts.MaintenanceWorkers = 2
+	opts.MemoryBudget = 16 << 10
+	srv, _ := startServer(t, opts, func(cfg *server.Config) {
+		cfg.HTTPAddr = "127.0.0.1:0"
+	})
+	c := dial(t, srv, 1)
+	for i := uint64(0); i < 400; i++ {
+		pk, rec := tweet(i)
+		if err := c.Upsert(pk, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + srv.HTTPAddr().String() + "/debug/maintenance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var p struct {
+		Summary struct {
+			Flushes    int64 `json:"flushes"`
+			FlushNanos int64 `json:"flush_ns"`
+			FlushBytes int64 `json:"flush_bytes"`
+		} `json:"summary"`
+		Pool struct {
+			Workers int `json:"workers"`
+		} `json:"pool"`
+		Shards []struct {
+			Shard int `json:"shard"`
+		} `json:"shards"`
+		Events []struct {
+			Kind           string `json:"kind"`
+			DurationMicros int64  `json:"duration_us"`
+		} `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Summary.Flushes < 1 || p.Summary.FlushBytes <= 0 {
+		t.Fatalf("maintenance summary = %+v", p.Summary)
+	}
+	if p.Pool.Workers != 2 {
+		t.Fatalf("pool workers = %d, want 2", p.Pool.Workers)
+	}
+	if len(p.Shards) != 1 || p.Shards[0].Shard != 0 {
+		t.Fatalf("shards = %+v", p.Shards)
+	}
+	if len(p.Events) == 0 || p.Events[0].Kind == "" {
+		t.Fatalf("events = %+v", p.Events)
+	}
+}
+
+func TestPprofEndpointOptIn(t *testing.T) {
+	srv, _ := startServer(t, storeOptions(), func(cfg *server.Config) {
+		cfg.HTTPAddr = "127.0.0.1:0"
+		cfg.EnablePprof = true
+	})
+	base := "http://" + srv.HTTPAddr().String()
+	resp, err := http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("/debug/pprof/cmdline = %d, %d bytes", resp.StatusCode, len(body))
+	}
+
+	// Off by default: the handler must not be registered.
+	srv2, _ := startServer(t, storeOptions(), func(cfg *server.Config) {
+		cfg.HTTPAddr = "127.0.0.1:0"
+	})
+	resp, err = http.Get("http://" + srv2.HTTPAddr().String() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without opt-in = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDisableObservability(t *testing.T) {
+	srv, _ := startServer(t, storeOptions(), func(cfg *server.Config) {
+		cfg.HTTPAddr = "127.0.0.1:0"
+		cfg.DisableObservability = true
+	})
+	doRequests(t, srv)
+	if srv.Observability() != nil || srv.SlowLog() != nil {
+		t.Fatal("observability not disabled")
+	}
+	base := "http://" + srv.HTTPAddr().String()
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload server.StatsPayload
+	err = json.NewDecoder(resp.Body).Decode(&payload)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload.Latency != nil || payload.LatencyHist != nil {
+		t.Fatalf("/stats carries histograms while disabled: %+v", payload.Latency)
+	}
+	// Counters still serve.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(raw), "lsm_requests_total") {
+		t.Fatal("/metrics lost counters while observability disabled")
+	}
+	if strings.Contains(string(raw), "lsm_request_duration_seconds") {
+		t.Fatal("/metrics serves request histograms while disabled")
+	}
+}
+
+// TestObsOverheadSmoke proves the tracing pipeline costs at most ~5%
+// throughput: the same GET workload runs against a traced and an untraced
+// server, best-of-three each. Gated behind LSMSTORE_BENCH_SMOKE=1 — it is
+// a timing assertion, meaningful only on a quiet machine (CI runs it as a
+// dedicated step).
+func TestObsOverheadSmoke(t *testing.T) {
+	if os.Getenv("LSMSTORE_BENCH_SMOKE") == "" {
+		t.Skip("set LSMSTORE_BENCH_SMOKE=1 to run the overhead smoke test")
+	}
+	const (
+		keys    = 1024
+		ops     = 30000
+		workers = 4
+		runs    = 3
+	)
+	measure := func(disable bool) float64 {
+		srv, _ := startServer(t, storeOptions(), func(cfg *server.Config) {
+			cfg.DisableObservability = disable
+		})
+		c := dial(t, srv, 2)
+		for i := uint64(0); i < keys; i++ {
+			pk, rec := tweet(i)
+			if err := c.Upsert(pk, rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		best := 0.0
+		for r := 0; r < runs; r++ {
+			start := time.Now()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < ops/workers; i++ {
+						pk, _ := tweet(uint64((i*workers + w) % keys))
+						if _, _, err := c.Get(pk); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if tput := float64(ops) / time.Since(start).Seconds(); tput > best {
+				best = tput
+			}
+		}
+		return best
+	}
+	traced := measure(false)
+	untraced := measure(true)
+	ratio := traced / untraced
+	t.Logf("traced %.0f ops/s, untraced %.0f ops/s, ratio %.3f", traced, untraced, ratio)
+	if ratio < 0.95 {
+		t.Fatalf("observability costs %.1f%% throughput, budget is 5%%", (1-ratio)*100)
+	}
+	fmt.Println("OBS_OVERHEAD_RATIO", ratio)
+}

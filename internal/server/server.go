@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/wire"
 	"repro/lsmstore"
 )
@@ -43,12 +44,26 @@ type Config struct {
 	// DisableCoalescing applies every single write individually instead
 	// of grouping concurrent ones into batches.
 	DisableCoalescing bool
+	// SlowRequestThreshold is the server-side latency at or above which a
+	// request lands in the slow-request ring served at /debug/slow.
+	// 0 means the 100ms default; negative disables the slow log.
+	SlowRequestThreshold time.Duration
+	// SlowLogSize caps the slow-request ring (0 = 128 entries).
+	SlowLogSize int
+	// DisableObservability turns off the per-op latency histograms, the
+	// request-stage tracing and the slow-request log. /metrics then
+	// serves counters only.
+	DisableObservability bool
+	// EnablePprof registers net/http/pprof handlers on the HTTP sidecar
+	// under /debug/pprof/.
+	EnablePprof bool
 }
 
 const (
-	defaultMaxInFlight = 128
-	defaultMaxBatch    = 256
-	defaultCoalescers  = 4
+	defaultMaxInFlight   = 128
+	defaultMaxBatch      = 256
+	defaultCoalescers    = 4
+	defaultSlowThreshold = 100 * time.Millisecond
 )
 
 // Server serves a DB over the wire protocol: one TCP listener, a
@@ -59,6 +74,8 @@ type Server struct {
 	db       *lsmstore.DB
 	counters *metrics.ServerCounters
 	coal     *coalescer
+	obs      *obs.Registry // nil when observability is disabled
+	slow     *obs.SlowLog  // nil when the slow log is disabled
 
 	ln       net.Listener
 	acceptWg sync.WaitGroup
@@ -100,6 +117,16 @@ func New(cfg Config) (*Server, error) {
 		conns:    make(map[*conn]struct{}),
 		stopped:  make(chan struct{}),
 	}
+	if !cfg.DisableObservability {
+		s.obs = obs.NewRegistry()
+		if cfg.SlowRequestThreshold >= 0 {
+			thr := cfg.SlowRequestThreshold
+			if thr == 0 {
+				thr = defaultSlowThreshold
+			}
+			s.slow = obs.NewSlowLog(cfg.SlowLogSize, thr)
+		}
+	}
 	if !cfg.DisableCoalescing {
 		s.coal = newCoalescer(cfg.DB, s.counters, cfg.MaxBatch, cfg.Coalescers)
 	}
@@ -108,6 +135,13 @@ func New(cfg Config) (*Server, error) {
 
 // Counters exposes the server's event counters (also served by /stats).
 func (s *Server) Counters() *metrics.ServerCounters { return s.counters }
+
+// Observability exposes the per-op and per-stage latency registry (nil
+// when Config.DisableObservability is set).
+func (s *Server) Observability() *obs.Registry { return s.obs }
+
+// SlowLog exposes the slow-request ring (nil when disabled).
+func (s *Server) SlowLog() *obs.SlowLog { return s.slow }
 
 // Start binds the listeners and begins serving in the background.
 func (s *Server) Start() error {
@@ -161,7 +195,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		c := &conn{
 			srv: s,
 			nc:  nc,
-			out: make(chan *[]byte, s.cfg.MaxInFlight),
+			out: make(chan outFrame, s.cfg.MaxInFlight),
 			sem: make(chan struct{}, s.cfg.MaxInFlight),
 		}
 		s.mu.Lock()
@@ -309,13 +343,37 @@ func putReqBuf(bp *[]byte) {
 	}
 }
 
+// trace accumulates one request's stage timings as it moves through the
+// pipeline: decode on the read goroutine, coalesce-wait and engine on
+// the handler goroutine, encode at send, write on the writer goroutine.
+// A zero trace (start.IsZero()) marks an untraced frame and records
+// nothing. It travels by value — tracing allocates nothing per request.
+type trace struct {
+	op     obs.Op
+	id     uint64
+	start  time.Time // frame fully received
+	enq    time.Time // response handed to the writer
+	decode time.Duration
+	wait   time.Duration // coalescer queue wait (writes only)
+	engine time.Duration
+	encode time.Duration
+}
+
+// outFrame is one encoded response frame moving to the writer, with its
+// request's trace riding along so the write stage and the total can be
+// recorded once the frame reaches the socket.
+type outFrame struct {
+	bp *[]byte
+	tr trace
+}
+
 // conn is one client connection: a reader goroutine decoding and
 // dispatching requests, per-request handler goroutines (bounded by sem),
 // and a writer goroutine serializing response frames.
 type conn struct {
 	srv   *Server
 	nc    net.Conn
-	out   chan *[]byte  // pooled encoded response frames
+	out   chan outFrame // pooled encoded response frames
 	sem   chan struct{} // in-flight request tokens
 	reqWg sync.WaitGroup
 }
@@ -337,6 +395,7 @@ func (c *conn) serve() {
 
 func (c *conn) readLoop() {
 	br := bufio.NewReaderSize(c.nc, 64<<10)
+	traced := c.srv.obs != nil
 	for {
 		if c.srv.draining() {
 			return
@@ -346,6 +405,10 @@ func (c *conn) readLoop() {
 		if err != nil {
 			putReqBuf(bp)
 			return // EOF, peer reset, shutdown deadline, oversized frame
+		}
+		var start time.Time
+		if traced {
+			start = time.Now()
 		}
 		*bp = frame[:cap(frame)]
 		c.srv.counters.Requests.Add(1)
@@ -357,15 +420,19 @@ func (c *conn) readLoop() {
 			// zero-ID error so the client can log it, then hang up.
 			putReqBuf(bp)
 			c.srv.counters.Errors.Add(1)
-			c.send(wire.ErrorResponse(0, wire.CodeBadRequest, err.Error()))
+			c.send(wire.ErrorResponse(0, wire.CodeBadRequest, err.Error()), trace{})
 			return
+		}
+		var tr trace
+		if traced {
+			tr = trace{op: obsOpOf(req.Op), id: req.ID, start: start, decode: time.Since(start)}
 		}
 		// Backpressure: past MaxInFlight outstanding requests this blocks,
 		// which stops reading the socket and lets TCP flow control push
 		// back on the client.
 		c.sem <- struct{}{}
 		c.reqWg.Add(1)
-		go func(req wire.Request, bp *[]byte) { //lsm:poolleak-ok the goroutine is the request's owner; it returns the buffer via putReqBuf when done
+		go func(req wire.Request, bp *[]byte, tr trace) { //lsm:poolleak-ok the goroutine is the request's owner; it returns the buffer via putReqBuf when done
 			defer c.reqWg.Done()
 			defer func() { <-c.sem }()
 			defer putReqBuf(bp)
@@ -373,37 +440,67 @@ func (c *conn) readLoop() {
 				// GET fast path: serve a reference into engine-owned
 				// memory and encode it straight into the pooled response
 				// frame — no value copy, no intermediate Response.
+				var engStart time.Time
+				if traced {
+					engStart = time.Now()
+				}
 				val, found, err := c.srv.db.GetRef(req.Key)
+				if traced {
+					tr.engine = time.Since(engStart)
+				}
 				if err != nil {
 					c.srv.counters.Errors.Add(1)
-					c.send(c.srv.errorResponse(req.ID, err))
+					c.send(c.srv.errorResponse(req.ID, err), tr)
 					return
 				}
-				c.sendValue(req.ID, found, val)
+				c.sendValue(req.ID, found, val, tr)
 				return
 			}
-			resp := c.srv.handle(req)
+			var engStart time.Time
+			if traced {
+				engStart = time.Now()
+			}
+			resp := c.srv.handle(req, &tr)
+			if traced {
+				// The coalescer wait is part of the handle call but not of
+				// the engine's work; attribute it to its own stage.
+				tr.engine = time.Since(engStart) - tr.wait
+			}
 			if resp.Kind == wire.KindError {
 				c.srv.counters.Errors.Add(1)
 			}
-			c.send(resp)
-		}(req, bp)
+			c.send(resp, tr)
+		}(req, bp, tr)
 	}
 }
 
-func (c *conn) send(resp wire.Response) {
+func (c *conn) send(resp wire.Response, tr trace) {
 	bp := frameBufPool.Get().(*[]byte)
-	*bp = wire.AppendResponse((*bp)[:0], resp)
-	c.out <- bp //lsm:poolleak-ok ownership of the frame moves to writeLoop, which returns it with Put after writing
+	if tr.start.IsZero() {
+		*bp = wire.AppendResponse((*bp)[:0], resp)
+	} else {
+		encStart := time.Now()
+		*bp = wire.AppendResponse((*bp)[:0], resp)
+		tr.encode = time.Since(encStart)
+		tr.enq = time.Now()
+	}
+	c.out <- outFrame{bp: bp, tr: tr} //lsm:poolleak-ok ownership of the frame moves to writeLoop, which returns it with Put after writing
 }
 
 // sendValue encodes a KindValue response directly from an engine-owned
 // value reference (wire.AppendValueResponse copies the bytes into the
 // pooled frame, so the reference is released as soon as this returns).
-func (c *conn) sendValue(id uint64, found bool, value []byte) {
+func (c *conn) sendValue(id uint64, found bool, value []byte, tr trace) {
 	bp := frameBufPool.Get().(*[]byte)
-	*bp = wire.AppendValueResponse((*bp)[:0], id, found, value)
-	c.out <- bp //lsm:poolleak-ok ownership of the frame moves to writeLoop, which returns it with Put after writing
+	if tr.start.IsZero() {
+		*bp = wire.AppendValueResponse((*bp)[:0], id, found, value)
+	} else {
+		encStart := time.Now()
+		*bp = wire.AppendValueResponse((*bp)[:0], id, found, value)
+		tr.encode = time.Since(encStart)
+		tr.enq = time.Now()
+	}
+	c.out <- outFrame{bp: bp, tr: tr} //lsm:poolleak-ok ownership of the frame moves to writeLoop, which returns it with Put after writing
 }
 
 func (c *conn) writeLoop(done chan struct{}) {
@@ -420,7 +517,8 @@ func (c *conn) writeLoop(done chan struct{}) {
 		//lsm:allow-discard the close IS the error report: it breaks the stream so the peer observes the failure
 		c.nc.Close()
 	}
-	for bp := range c.out {
+	for of := range c.out {
+		bp := of.bp
 		if !failed {
 			if err := wire.WriteFrame(bw, *bp); err != nil {
 				fail()
@@ -431,6 +529,9 @@ func (c *conn) writeLoop(done chan struct{}) {
 					fail()
 				}
 			}
+		}
+		if !of.tr.start.IsZero() {
+			c.srv.recordRequest(of.tr)
 		}
 		if cap(*bp) <= maxPooledFrame {
 			frameBufPool.Put(bp) // WriteFrame copied the bytes into bw
@@ -453,7 +554,7 @@ func (c *conn) writeLoop(done chan struct{}) {
 // may use the fields as-is (the engine does not retain them), but write
 // operations must clone what the engine keeps — keys and records live on
 // in the memtable and WAL long after the buffer is recycled.
-func (s *Server) handle(req wire.Request) wire.Response {
+func (s *Server) handle(req wire.Request, tr *trace) wire.Response {
 	switch req.Op {
 	case wire.OpPing:
 		return wire.Response{ID: req.ID, Kind: wire.KindOK}
@@ -468,20 +569,20 @@ func (s *Server) handle(req wire.Request) wire.Response {
 		return wire.Response{ID: req.ID, Kind: wire.KindValue, Found: found, Value: val}
 
 	case wire.OpUpsert:
-		if _, err := s.write(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: bytes.Clone(req.Key), Record: bytes.Clone(req.Value)}); err != nil {
+		if _, err := s.write(lsmstore.Mutation{Op: lsmstore.OpUpsert, PK: bytes.Clone(req.Key), Record: bytes.Clone(req.Value)}, tr); err != nil {
 			return s.errorResponse(req.ID, err)
 		}
 		return wire.Response{ID: req.ID, Kind: wire.KindOK}
 
 	case wire.OpInsert:
-		applied, err := s.write(lsmstore.Mutation{Op: lsmstore.OpInsert, PK: bytes.Clone(req.Key), Record: bytes.Clone(req.Value)})
+		applied, err := s.write(lsmstore.Mutation{Op: lsmstore.OpInsert, PK: bytes.Clone(req.Key), Record: bytes.Clone(req.Value)}, tr)
 		if err != nil {
 			return s.errorResponse(req.ID, err)
 		}
 		return wire.Response{ID: req.ID, Kind: wire.KindApplied, Applied: applied}
 
 	case wire.OpDelete:
-		applied, err := s.write(lsmstore.Mutation{Op: lsmstore.OpDelete, PK: bytes.Clone(req.Key)})
+		applied, err := s.write(lsmstore.Mutation{Op: lsmstore.OpDelete, PK: bytes.Clone(req.Key)}, tr)
 		if err != nil {
 			return s.errorResponse(req.ID, err)
 		}
@@ -568,16 +669,73 @@ func (s *Server) handle(req wire.Request) wire.Response {
 	return wire.ErrorResponse(req.ID, wire.CodeBadRequest, fmt.Sprintf("unknown op %d", req.Op))
 }
 
-// write applies one mutation, through the coalescer when enabled.
-func (s *Server) write(m lsmstore.Mutation) (bool, error) {
+// write applies one mutation, through the coalescer when enabled. The
+// time the mutation spent queued before a drainer picked it up lands in
+// tr.wait.
+func (s *Server) write(m lsmstore.Mutation, tr *trace) (bool, error) {
 	if s.coal != nil {
-		return s.coal.apply(m)
+		applied, wait, err := s.coal.apply(m, !tr.start.IsZero())
+		tr.wait = wait
+		return applied, err
 	}
 	applied, err := s.db.ApplyBatchResults([]lsmstore.Mutation{m})
 	if err != nil {
 		return false, err
 	}
 	return applied[0], nil
+}
+
+// obsOpOf maps a wire op onto its latency-histogram class.
+func obsOpOf(op wire.Op) obs.Op {
+	switch op {
+	case wire.OpGet:
+		return obs.OpGet
+	case wire.OpUpsert:
+		return obs.OpUpsert
+	case wire.OpInsert:
+		return obs.OpInsert
+	case wire.OpDelete:
+		return obs.OpDelete
+	case wire.OpApplyBatch:
+		return obs.OpApplyBatch
+	case wire.OpSecondaryQuery:
+		return obs.OpSecondaryQuery
+	case wire.OpFilterScan:
+		return obs.OpFilterScan
+	default:
+		return obs.OpOther
+	}
+}
+
+// recordRequest folds one completed request into the histograms and,
+// past the threshold, the slow-request ring. Called from writeLoop after
+// the response frame hit the socket, so the write stage and the total
+// are real.
+func (s *Server) recordRequest(tr trace) {
+	now := time.Now()
+	total := now.Sub(tr.start)
+	write := now.Sub(tr.enq)
+	s.obs.RecordOp(tr.op, total)
+	s.obs.RecordStage(obs.StageDecode, tr.decode)
+	if tr.wait > 0 {
+		s.obs.RecordStage(obs.StageCoalesce, tr.wait)
+	}
+	s.obs.RecordStage(obs.StageEngine, tr.engine)
+	s.obs.RecordStage(obs.StageEncode, tr.encode)
+	s.obs.RecordStage(obs.StageWrite, write)
+	if s.slow != nil && total >= s.slow.Threshold() {
+		s.counters.SlowRequests.Add(1)
+		s.slow.Add(obs.SlowEntry{
+			Op:             tr.op.String(),
+			ReqID:          tr.id,
+			TotalMicros:    total.Microseconds(),
+			DecodeMicros:   tr.decode.Microseconds(),
+			CoalesceMicros: tr.wait.Microseconds(),
+			EngineMicros:   tr.engine.Microseconds(),
+			EncodeMicros:   tr.encode.Microseconds(),
+			WriteMicros:    write.Microseconds(),
+		})
+	}
 }
 
 // errorResponse maps engine errors onto typed wire error codes.

@@ -349,6 +349,12 @@ type Stats struct {
 	PrimaryComponents int
 	// DiskBytesWritten is total bytes flushed/merged.
 	DiskBytesWritten int64
+	// PendingFlushBatches and FrozenMemtables are maintenance gauges:
+	// frozen batches queued for flush and frozen memtables not yet
+	// installed (both zero on a synchronous shard; summed in an
+	// aggregate).
+	PendingFlushBatches int
+	FrozenMemtables     int
 	// Counters snapshots the low-level event counters.
 	Counters metrics.Snapshot
 }
@@ -363,15 +369,18 @@ func (r *Router) StatsPerShard() []Stats {
 		if mnt > sim {
 			sim = mnt
 		}
+		pending, frozen := p.DS.MaintGauges()
 		out[i] = Stats{
-			SimulatedTime:     sim,
-			IngestTime:        ingest,
-			MaintTime:         mnt,
-			Ingested:          p.DS.IngestedCount(),
-			Ignored:           p.DS.IgnoredCount(),
-			PrimaryComponents: p.DS.Primary().NumDiskComponents(),
-			DiskBytesWritten:  p.Store.Device().BytesWritten(),
-			Counters:          p.Env.Counters.Snapshot(),
+			SimulatedTime:       sim,
+			IngestTime:          ingest,
+			MaintTime:           mnt,
+			Ingested:            p.DS.IngestedCount(),
+			Ignored:             p.DS.IgnoredCount(),
+			PrimaryComponents:   p.DS.Primary().NumDiskComponents(),
+			DiskBytesWritten:    p.Store.Device().BytesWritten(),
+			PendingFlushBatches: pending,
+			FrozenMemtables:     frozen,
+			Counters:            p.Env.Counters.Snapshot(),
 		}
 	}
 	return out
@@ -396,6 +405,8 @@ func Aggregate(per []Stats) Stats {
 		agg.Ignored += s.Ignored
 		agg.PrimaryComponents += s.PrimaryComponents
 		agg.DiskBytesWritten += s.DiskBytesWritten
+		agg.PendingFlushBatches += s.PendingFlushBatches
+		agg.FrozenMemtables += s.FrozenMemtables
 		agg.Counters = agg.Counters.Add(s.Counters)
 	}
 	return agg

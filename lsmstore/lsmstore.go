@@ -52,6 +52,7 @@ import (
 	"repro/internal/lsm"
 	"repro/internal/maint"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/readcache"
 	"repro/internal/repair"
@@ -259,6 +260,14 @@ type Options struct {
 	// pending. 0 disables the threshold. Only meaningful with
 	// MaintenanceWorkers > 0.
 	MaxUnmergedComponents int
+	// MaintJournalEvents bounds the flush/merge events retained by the
+	// maintenance journal (see DB.MaintJournal): every flush and merge on
+	// every shard records a start/end event with its duration, bytes
+	// written and component counts, plus lifetime totals. 0 means the
+	// default of 256 retained events; negative disables the journal
+	// entirely. Recording is observational only — it never changes engine
+	// behavior or results.
+	MaintJournalEvents int
 	// ReadCache enables the sharded hot-entry cache on the point-read path
 	// (Get/GetRef): positive entries map a primary key to its encoded
 	// record, negative entries remember keys known to be absent. Every
@@ -307,12 +316,13 @@ var ErrClosed = errors.New("lsmstore: store is closed")
 // DB is one dataset partition or, with Options.Shards > 1, a hash-
 // partitioned group of them behind a router.
 type DB struct {
-	ds     *core.Dataset
-	store  *storage.Store
-	env    *metrics.Env
-	shards *shard.Router    // non-nil only when Options.Shards > 1
-	pool   *maint.Pool      // non-nil only when Options.MaintenanceWorkers > 0
-	cache  *readcache.Cache // non-nil only when Options.ReadCache.Bytes > 0
+	ds      *core.Dataset
+	store   *storage.Store
+	env     *metrics.Env
+	shards  *shard.Router    // non-nil only when Options.Shards > 1
+	pool    *maint.Pool      // non-nil only when Options.MaintenanceWorkers > 0
+	cache   *readcache.Cache // non-nil only when Options.ReadCache.Bytes > 0
+	journal *obs.Journal     // nil when Options.MaintJournalEvents < 0
 
 	// mu guards the lifecycle: public operations hold it shared, Close
 	// holds it exclusively, so Close waits for in-flight operations to
@@ -366,18 +376,28 @@ func Open(opts Options) (*DB, error) {
 		}
 		return err
 	}
+	journal := newMaintJournal(opts)
 	if opts.Shards > 1 {
-		db, err := openSharded(opts, pool)
+		db, err := openSharded(opts, pool, journal)
 		if err != nil {
 			return nil, closePoolOnErr(err)
 		}
 		return db, nil
 	}
-	p, err := openPartition(opts, pool, 0)
+	p, err := openPartition(opts, pool, journal, 0)
 	if err != nil {
 		return nil, closePoolOnErr(err)
 	}
-	return &DB{ds: p.DS, store: p.Store, env: p.Env, pool: pool, cache: newReadCache(opts)}, nil
+	return &DB{ds: p.DS, store: p.Store, env: p.Env, pool: pool, cache: newReadCache(opts), journal: journal}, nil
+}
+
+// newMaintJournal builds the store-wide maintenance journal, or nil when
+// Options.MaintJournalEvents is negative.
+func newMaintJournal(opts Options) *obs.Journal {
+	if opts.MaintJournalEvents < 0 {
+		return nil
+	}
+	return obs.NewJournal(opts.MaintJournalEvents)
 }
 
 // newReadCache builds the read cache, or nil when Options.ReadCache is off.
@@ -396,7 +416,7 @@ func newReadCache(opts Options) *readcache.Cache {
 // (the paper's per-partition budget) — and fronts them with a hash router.
 // All partitions share one maintenance pool, so background work is bounded
 // machine-wide while each shard compacts independently.
-func openSharded(opts Options, pool *maint.Pool) (*DB, error) {
+func openSharded(opts Options, pool *maint.Pool, journal *obs.Journal) (*DB, error) {
 	n := opts.Shards
 	per := opts
 	per.Shards = 1
@@ -410,7 +430,7 @@ func openSharded(opts Options, pool *maint.Pool) (*DB, error) {
 		// Distinct seeds keep per-shard memtable shapes independent while
 		// staying deterministic for a given (Seed, Shards) pair.
 		po.Seed = opts.Seed + int64(i)*101
-		p, err := openPartition(po, pool, i)
+		p, err := openPartition(po, pool, journal, i)
 		if err != nil {
 			for _, prev := range parts[:i] {
 				prev.Store.Device().Close()
@@ -423,7 +443,7 @@ func openSharded(opts Options, pool *maint.Pool) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{ds: parts[0].DS, store: parts[0].Store, env: parts[0].Env, shards: r, pool: pool, cache: newReadCache(opts)}
+	db := &DB{ds: parts[0].DS, store: parts[0].Store, env: parts[0].Env, shards: r, pool: pool, cache: newReadCache(opts), journal: journal}
 	if db.cache != nil {
 		// Batch fan-out workers invalidate their group's keys before the
 		// batch is acknowledged (internal/readcache invariant 1).
@@ -471,7 +491,7 @@ func resolvePageSize(opts Options) int {
 }
 
 // openPartition opens one partition: the unsharded store, or shard idx.
-func openPartition(opts Options, pool *maint.Pool, idx int) (*shard.Partition, error) {
+func openPartition(opts Options, pool *maint.Pool, journal *obs.Journal, idx int) (*shard.Partition, error) {
 	env := metrics.NewEnv()
 	if opts.Sleeper != nil {
 		env.Clock.SetSleeper(opts.Sleeper)
@@ -539,6 +559,7 @@ func openPartition(opts Options, pool *maint.Pool, idx int) (*shard.Partition, e
 		MaxFrozenMemtables:    opts.MaxFrozenMemtables,
 		MaxUnmergedComponents: opts.MaxUnmergedComponents,
 		Yield:                 opts.Yield,
+		Journal:               obs.ShardJournal{J: journal, Shard: idx},
 	}
 	if !opts.DisableMerges {
 		cfg.Policy = lsm.NewTiering(opts.MaxMergeableBytes)
@@ -1027,8 +1048,19 @@ type Stats struct {
 	PrimaryComponents int
 	// DiskBytesWritten is total bytes flushed/merged (write amplification).
 	DiskBytesWritten int64
+	// PendingFlushBatches and FrozenMemtables are the asynchronous-
+	// maintenance backlog gauges: frozen flush batches awaiting a
+	// background builder, and frozen batches total (pending plus building)
+	// not yet installed. Zero on a synchronous store.
+	PendingFlushBatches int
+	FrozenMemtables     int
 	// Counters snapshots the low-level event counters.
 	Counters metrics.Snapshot
+	// Maintenance aggregates the maintenance journal: flush/merge counts,
+	// durations, bytes and in-flight gauges. Zeros when the journal is
+	// disabled (Options.MaintJournalEvents < 0). Top-level only; per-shard
+	// snapshots leave it zero because the journal is store-wide.
+	Maintenance obs.JournalSummary `json:",omitzero"`
 	// Shards is the hash-partition count (1 when unsharded).
 	Shards int
 	// PerShard holds per-shard statistics in shard order; nil when
@@ -1059,6 +1091,7 @@ func (db *DB) stats() Stats {
 			out.Counters = out.Counters.Add(db.cache.Counters())
 		}
 		out.Shards = db.shards.NumShards()
+		out.Maintenance = db.journal.Summary()
 		out.PerShard = make([]Stats, len(per))
 		for i, s := range per {
 			out.PerShard[i] = statsFrom(s)
@@ -1076,31 +1109,54 @@ func (db *DB) stats() Stats {
 	if db.cache != nil {
 		counters = counters.Add(db.cache.Counters())
 	}
+	pending, frozen := db.ds.MaintGauges()
 	return Stats{
-		SimulatedTime:     sim.String(),
-		IngestTime:        ingest.String(),
-		MaintenanceTime:   mnt.String(),
-		Ingested:          db.ds.IngestedCount(),
-		Ignored:           db.ds.IgnoredCount(),
-		PrimaryComponents: db.ds.Primary().NumDiskComponents(),
-		DiskBytesWritten:  db.store.Device().BytesWritten(),
-		Counters:          counters,
-		Shards:            1,
+		SimulatedTime:       sim.String(),
+		IngestTime:          ingest.String(),
+		MaintenanceTime:     mnt.String(),
+		Ingested:            db.ds.IngestedCount(),
+		Ignored:             db.ds.IgnoredCount(),
+		PrimaryComponents:   db.ds.Primary().NumDiskComponents(),
+		DiskBytesWritten:    db.store.Device().BytesWritten(),
+		PendingFlushBatches: pending,
+		FrozenMemtables:     frozen,
+		Counters:            counters,
+		Maintenance:         db.journal.Summary(),
+		Shards:              1,
 	}
 }
 
 // statsFrom converts a shard-level snapshot to the public shape.
 func statsFrom(s shard.Stats) Stats {
 	return Stats{
-		SimulatedTime:     time.Duration(s.SimulatedTime).String(),
-		IngestTime:        time.Duration(s.IngestTime).String(),
-		MaintenanceTime:   time.Duration(s.MaintTime).String(),
-		Ingested:          s.Ingested,
-		Ignored:           s.Ignored,
-		PrimaryComponents: s.PrimaryComponents,
-		DiskBytesWritten:  s.DiskBytesWritten,
-		Counters:          s.Counters,
+		SimulatedTime:       time.Duration(s.SimulatedTime).String(),
+		IngestTime:          time.Duration(s.IngestTime).String(),
+		MaintenanceTime:     time.Duration(s.MaintTime).String(),
+		Ingested:            s.Ingested,
+		Ignored:             s.Ignored,
+		PrimaryComponents:   s.PrimaryComponents,
+		DiskBytesWritten:    s.DiskBytesWritten,
+		PendingFlushBatches: s.PendingFlushBatches,
+		FrozenMemtables:     s.FrozenMemtables,
+		Counters:            s.Counters,
 	}
+}
+
+// MaintJournal returns the store-wide maintenance journal: a bounded ring
+// of flush/merge events (duration, bytes, component counts, per-shard)
+// plus lifetime totals. It is nil when Options.MaintJournalEvents is
+// negative; obs.Journal methods are nil-safe, so callers may use the
+// result without checking.
+func (db *DB) MaintJournal() *obs.Journal { return db.journal }
+
+// MaintPoolStats reports the background maintenance pool's queue depth,
+// executing jobs, and worker bound. All zeros on a synchronous store
+// (Options.MaintenanceWorkers == 0).
+func (db *DB) MaintPoolStats() (queued, active, workers int) {
+	if db.pool == nil {
+		return 0, 0, 0
+	}
+	return db.pool.Stats()
 }
 
 // WorkloadProfile describes an expected workload for Advise.
