@@ -95,6 +95,14 @@ func run() error {
 	benchLabel := flag.String("bench-label", "", "label for the -bench-json snapshot (default: derived from backend and op mix)")
 	obsOn := flag.Bool("obs", true, "self-serve mode: server-side observability (latency histograms, stage tracing); -obs=false measures the untraced server")
 	httpURL := flag.String("http", "", "base URL of the server's HTTP sidecar (e.g. http://127.0.0.1:9650) for server-side percentiles; self-serve mode wires this up itself")
+	overload := flag.Bool("overload", false, "overload experiment: calibrate closed-loop capacity, then offer 4x that rate open-loop with no client retries and report goodput, shed counts and shed fail-fast latency")
+	overloadDur := flag.Duration("overload-duration", 5*time.Second, "length of the overload phase")
+	calibrateDur := flag.Duration("calibrate-duration", 3*time.Second, "length of the closed-loop capacity calibration phase")
+	overloadFactor := flag.Float64("overload-factor", 4, "offered load as a multiple of calibrated capacity")
+	admBudget := flag.Int64("admission-budget", 0, "self-serve mode: weighted in-flight admission budget (0 = admission off; the -overload A/B toggles this)")
+	admQueue := flag.Int("admission-queue", 0, "self-serve mode: admission wait-queue depth (0 = 2x budget; negative disables)")
+	queueDeadline := flag.Duration("queue-deadline", 0, "self-serve mode: max admission-queue wait before shedding (0 = 2ms default)")
+	latencyTarget := flag.Duration("latency-target", 0, "self-serve mode: foreground p99 target for the maintenance governor (0 = off)")
 	flag.Parse()
 	if *workers < 1 || *conns < 1 || *batch < 1 {
 		return fmt.Errorf("-workers, -conns and -batch must be >= 1")
@@ -141,8 +149,16 @@ func run() error {
 			return fmt.Errorf("unknown -mix %q (want read-heavy, write-heavy or batched)", *mix)
 		}
 	}
-	if (*readCache != 0 || *memBudget != 0) && *groupCommit == "" {
+	if (*readCache != 0 || *memBudget != 0) && *groupCommit == "" && !*overload {
 		return fmt.Errorf("-read-cache and -mem-budget configure the self-served store; they require -group-commit")
+	}
+	if *overload && *groupCommit == "" {
+		// The overload experiment needs control over the server's admission
+		// configuration, so it always self-serves.
+		*groupCommit = "on"
+	}
+	if (*admBudget != 0 || *latencyTarget != 0) && *groupCommit == "" {
+		return fmt.Errorf("-admission-budget and -latency-target configure the self-served store; they require -group-commit or -overload")
 	}
 
 	target := *addr
@@ -156,7 +172,12 @@ func run() error {
 		if sidecar != "" {
 			return fmt.Errorf("-group-commit self-serves its own sidecar; it cannot be combined with -http")
 		}
-		selfAddr, selfHTTP, stop, err := selfServe(*groupCommit, *dir, *shards, *seed, *readCache, *memBudget, *obsOn)
+		selfAddr, selfHTTP, stop, err := selfServe(*groupCommit, *dir, *shards, *seed, *readCache, *memBudget, *obsOn, func(cfg *server.Config) {
+			cfg.AdmissionBudget = *admBudget
+			cfg.AdmissionQueue = *admQueue
+			cfg.AdmissionQueueDeadline = *queueDeadline
+			cfg.LatencyTarget = *latencyTarget
+		})
 		if err != nil {
 			return err
 		}
@@ -164,11 +185,18 @@ func run() error {
 		target, sidecar = selfAddr, selfHTTP
 	}
 
-	client, err := lsmclient.DialOptions(lsmclient.Options{
+	setupOpts := lsmclient.Options{
 		Addr:           target,
 		Conns:          *conns,
 		RequestTimeout: *timeout,
-	})
+	}
+	if *overload {
+		// The setup/calibration client must outlast transient sheds when the
+		// admission budget is smaller than the preload's batch concurrency;
+		// only the overload phase itself counts sheds (with retries off).
+		setupOpts.RetryLimit = 64
+	}
+	client, err := lsmclient.DialOptions(setupOpts)
 	if err != nil {
 		return err
 	}
@@ -191,6 +219,30 @@ func run() error {
 		if err := preloadStore(client, gens, *preload); err != nil {
 			return err
 		}
+	}
+	if *overload {
+		return runOverload(overloadParams{
+			client:      client,
+			target:      target,
+			sidecar:     sidecar,
+			gens:        gens,
+			conns:       *conns,
+			workers:     *workers,
+			factor:      *overloadFactor,
+			calibrate:   *calibrateDur,
+			duration:    *overloadDur,
+			timeout:     *timeout,
+			seed:        *seed,
+			batch:       *batch,
+			getRatio:    *getRatio,
+			queryRatio:  *queryRatio,
+			scanRatio:   *scanRatio,
+			updateRatio: *updateRatio,
+			zipf:        zipfGets,
+			admBudget:   *admBudget,
+			benchJSON:   *benchJSON,
+			benchLabel:  *benchLabel,
+		})
 	}
 	before, err := client.Stats()
 	if err != nil {
@@ -376,6 +428,297 @@ func run() error {
 	return nil
 }
 
+// overloadParams carries the knobs of one -overload experiment.
+type overloadParams struct {
+	client      *lsmclient.Client
+	target      string
+	sidecar     string
+	gens        []*workload.Generator
+	conns       int
+	workers     int
+	factor      float64
+	calibrate   time.Duration
+	duration    time.Duration
+	timeout     time.Duration
+	seed        int64
+	batch       int
+	getRatio    float64
+	queryRatio  float64
+	scanRatio   float64
+	updateRatio float64
+	zipf        bool
+	admBudget   int64
+	benchJSON   string
+	benchLabel  string
+}
+
+// runOverload is the two-phase overload experiment. Phase 1 measures the
+// closed-loop capacity ceiling with the configured workers. Phase 2 offers
+// factor-times that rate from paced workers whose clients never retry, so
+// every server-side shed surfaces as a counted error, and reports goodput
+// against the ceiling, the shed tally, and latency on both sides of the
+// admission decision.
+func runOverload(p overloadParams) error {
+	// Phase 1: closed-loop calibration.
+	var calOK, calErr atomic.Int64
+	calStop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gen := p.gens[w]
+			rng := rand.New(rand.NewSource(p.seed + int64(w)*104729))
+			for {
+				select {
+				case <-calStop:
+					return
+				default:
+				}
+				class := pickClass(rng, p.getRatio, p.queryRatio, p.scanRatio)
+				if err := issue(p.client, gen, rng, class, p.batch); err != nil {
+					calErr.Add(1)
+				} else {
+					calOK.Add(1)
+				}
+			}
+		}(w)
+	}
+	time.Sleep(p.calibrate)
+	close(calStop)
+	wg.Wait()
+	capacity := float64(calOK.Load()) / p.calibrate.Seconds()
+	fmt.Printf("capacity            %.0f ops/s closed-loop ceiling (%d workers, %s, %d errors)\n",
+		capacity, p.workers, p.calibrate, calErr.Load())
+	if capacity <= 0 {
+		return fmt.Errorf("overload: calibration measured zero capacity")
+	}
+
+	// Phase 2: paced open-loop overload with retries disabled.
+	oc, err := lsmclient.DialOptions(lsmclient.Options{
+		Addr:           p.target,
+		Conns:          p.conns,
+		RequestTimeout: p.timeout,
+		RetryLimit:     -1, // every shed is an observation, not a retry
+	})
+	if err != nil {
+		return err
+	}
+	defer oc.Close()
+
+	var sideBefore server.StatsPayload
+	if p.sidecar != "" {
+		if sideBefore, err = fetchStats(p.sidecar); err != nil {
+			return fmt.Errorf("sidecar stats: %w", err)
+		}
+	}
+
+	// The open loop fires each op in its own goroutine, drawing per-op
+	// state (generator, rng, tallies) from a bounded slot pool. A server
+	// that sheds excess quickly keeps slots cycling and the offered rate
+	// holds; a server that queues everything pins the slots in flight, the
+	// pool drains, and the deficit is counted — client saturation is
+	// itself a measurement of the unprotected server.
+	offered := p.factor * capacity
+	type slotState struct {
+		gen              *workload.Generator
+		rng              *rand.Rand
+		ok, shed, other  int64
+		okLats, shedLats []time.Duration
+	}
+	maxOut := 32 * p.workers
+	if maxOut < 256 {
+		maxOut = 256
+	}
+	slots := make(chan *slotState, maxOut)
+	for i := 0; i < maxOut; i++ {
+		wcfg := workload.DefaultConfig(p.seed + int64(p.workers+i)*7919)
+		wcfg.UpdateRatio = p.updateRatio
+		wcfg.ZipfUpdates = p.zipf
+		slots <- &slotState{
+			gen: workload.NewGenerator(wcfg),
+			rng: rand.New(rand.NewSource(p.seed + int64(p.workers+i)*104729)),
+		}
+	}
+	var unsent int64
+	issued := 0
+	start := time.Now()
+	deadline := start.Add(p.duration)
+	for now := start; now.Before(deadline); now = time.Now() {
+		want := int(offered * now.Sub(start).Seconds())
+	fill:
+		for issued < want {
+			select {
+			case s := <-slots:
+				issued++
+				go func(s *slotState) {
+					class := pickClass(s.rng, p.getRatio, p.queryRatio, p.scanRatio)
+					t0 := time.Now()
+					err := issue(oc, s.gen, s.rng, class, p.batch)
+					lat := time.Since(t0)
+					switch {
+					case err == nil:
+						s.ok++
+						s.okLats = append(s.okLats, lat)
+					case errors.Is(err, lsmclient.ErrOverloaded), errors.Is(err, lsmclient.ErrRetryLater):
+						s.shed++
+						s.shedLats = append(s.shedLats, lat)
+					default:
+						s.other++
+					}
+					slots <- s
+				}(s)
+			default:
+				// Every slot is in flight: the pool, sized well past the
+				// admission budget, is pinned behind the server. Count the
+				// deficit instead of blocking the pacer.
+				unsent += int64(want - issued)
+				issued = want
+				break fill
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Reclaiming every slot waits out the in-flight tail.
+	var ok, shed, other int64
+	var okLats, shedLats []time.Duration
+	for i := 0; i < maxOut; i++ {
+		s := <-slots
+		ok += s.ok
+		shed += s.shed
+		other += s.other
+		okLats = append(okLats, s.okLats...)
+		shedLats = append(shedLats, s.shedLats...)
+	}
+	elapsed := time.Since(start)
+	sort.Slice(okLats, func(i, j int) bool { return okLats[i] < okLats[j] })
+	sort.Slice(shedLats, func(i, j int) bool { return shedLats[i] < shedLats[j] })
+	goodput := float64(ok) / elapsed.Seconds()
+
+	fmt.Printf("offered             %.0f ops/s (%.1fx capacity, %d-slot pool)\n", offered, p.factor, maxOut)
+	fmt.Printf("goodput             %.0f ops/s (%.0f%% of ceiling)  shed=%d other-errors=%d\n",
+		goodput, 100*goodput/capacity, shed, other)
+	if unsent > 0 {
+		fmt.Printf("client saturated    %d ops unsent: every pool slot was pinned behind the server\n", unsent)
+	}
+	if len(okLats) > 0 {
+		fmt.Printf("admitted latency    n=%-8d p50=%-10s p99=%-10s max=%s\n",
+			len(okLats), pct(okLats, 50), pct(okLats, 99), okLats[len(okLats)-1].Round(time.Microsecond))
+	}
+	if len(shedLats) > 0 {
+		fmt.Printf("shed round trip     n=%-8d p50=%-10s p99=%-10s max=%s\n",
+			len(shedLats), pct(shedLats, 50), pct(shedLats, 99), shedLats[len(shedLats)-1].Round(time.Microsecond))
+	}
+
+	var serverShedP99 time.Duration
+	var shedByCause map[string]int64
+	if p.sidecar != "" {
+		sideAfter, err := fetchStats(p.sidecar)
+		if err != nil {
+			return fmt.Errorf("sidecar stats: %w", err)
+		}
+		if sideAfter.ShedLatencyHist != nil {
+			delta := *sideAfter.ShedLatencyHist
+			if sideBefore.ShedLatencyHist != nil {
+				delta = delta.Sub(*sideBefore.ShedLatencyHist)
+			}
+			if delta.Count > 0 {
+				serverShedP99 = time.Duration(delta.Quantile(0.99))
+				fmt.Printf("server shed p99     %s fail-fast (n=%d)\n",
+					serverShedP99.Round(time.Microsecond), delta.Count)
+			}
+		}
+		if a := sideAfter.Admission; a != nil {
+			shedByCause = map[string]int64{
+				"queue_full":   a.ShedQueueFull,
+				"deadline":     a.ShedDeadline,
+				"fair_share":   a.ShedFairShare,
+				"rate_limited": a.ShedRateLimited,
+			}
+			if b := sideBefore.Admission; b != nil {
+				shedByCause["queue_full"] -= b.ShedQueueFull
+				shedByCause["deadline"] -= b.ShedDeadline
+				shedByCause["fair_share"] -= b.ShedFairShare
+				shedByCause["rate_limited"] -= b.ShedRateLimited
+			}
+			fmt.Printf("server sheds        queue-full=%d deadline=%d fair-share=%d rate-limited=%d\n",
+				shedByCause["queue_full"], shedByCause["deadline"], shedByCause["fair_share"], shedByCause["rate_limited"])
+		}
+	}
+
+	if p.benchJSON != "" {
+		label := p.benchLabel
+		admState := "off"
+		if p.admBudget > 0 {
+			admState = fmt.Sprintf("on budget=%d", p.admBudget)
+		}
+		if label == "" {
+			label = fmt.Sprintf("overload %.0fx admission=%s", p.factor, admState)
+		}
+		run := benchRun{
+			Label:     label,
+			Timestamp: time.Now().UTC().Format(time.RFC3339),
+			Backend:   "disk",
+			Ops:       int(ok + shed + other),
+			Batch:     p.batch,
+			Conns:     p.conns,
+			Workers:   maxOut,
+			OpMix: benchMix{
+				GetRatio:    p.getRatio,
+				QueryRatio:  p.queryRatio,
+				ScanRatio:   p.scanRatio,
+				UpdateRatio: p.updateRatio,
+			},
+			WallSeconds: elapsed.Seconds(),
+			OpsPerSec:   goodput,
+			Overload: &benchOverload{
+				AdmissionBudget:     p.admBudget,
+				CapacityOpsPerSec:   capacity,
+				OfferedOpsPerSec:    offered,
+				GoodputOpsPerSec:    goodput,
+				GoodputRatio:        goodput / capacity,
+				Admitted:            ok,
+				Shed:                shed,
+				OtherErrors:         other,
+				Unsent:              unsent,
+				AdmittedP50Micros:   pct(okLats, 50).Microseconds(),
+				AdmittedP99Micros:   pct(okLats, 99).Microseconds(),
+				ShedP99Micros:       pct(shedLats, 99).Microseconds(),
+				ServerShedP99Micros: serverShedP99.Microseconds(),
+				ShedByCause:         shedByCause,
+			},
+		}
+		if err := appendBenchJSON(p.benchJSON, run); err != nil {
+			return err
+		}
+		fmt.Printf("bench-json          appended %q to %s\n", run.Label, p.benchJSON)
+	}
+	return nil
+}
+
+// benchOverload is the -overload experiment's machine-readable summary:
+// the A/B comparison (admission on vs off) in BENCH_10.json diffs these
+// fields.
+type benchOverload struct {
+	AdmissionBudget   int64   `json:"admission_budget"`
+	CapacityOpsPerSec float64 `json:"capacity_ops_per_sec"`
+	OfferedOpsPerSec  float64 `json:"offered_ops_per_sec"`
+	GoodputOpsPerSec  float64 `json:"goodput_ops_per_sec"`
+	GoodputRatio      float64 `json:"goodput_ratio"`
+	Admitted          int64   `json:"admitted"`
+	Shed              int64   `json:"shed"`
+	OtherErrors       int64   `json:"other_errors"`
+	// Unsent counts pacer deficit while every pool slot was pinned in
+	// flight — client-side saturation, the signature of an unprotected
+	// server under overload.
+	Unsent              int64            `json:"unsent,omitempty"`
+	AdmittedP50Micros   int64            `json:"admitted_p50_us"`
+	AdmittedP99Micros   int64            `json:"admitted_p99_us"`
+	ShedP99Micros       int64            `json:"shed_p99_us,omitempty"`
+	ServerShedP99Micros int64            `json:"server_shed_p99_us,omitempty"`
+	ShedByCause         map[string]int64 `json:"shed_by_cause,omitempty"`
+}
+
 // benchRun is one lsmload invocation in machine-readable form, the unit
 // appended to a -bench-json file. Field names are the stable interface:
 // the ROADMAP perf trajectory compares them across commits, so additions
@@ -411,6 +754,8 @@ type benchRun struct {
 	// class, diffed from the sidecar's /stats histograms.
 	Observability bool                   `json:"observability"`
 	ServerClasses map[string]obs.Summary `json:"server_classes,omitempty"`
+	// Overload is present only for -overload runs.
+	Overload *benchOverload `json:"overload,omitempty"`
 }
 
 type benchMix struct {
@@ -459,7 +804,7 @@ func appendBenchJSON(path string, run benchRun) error {
 // tweet-workload schema lsmserver declares), and returns the wire address,
 // the HTTP sidecar base URL, and a stop function that drains the server
 // and closes the store.
-func selfServe(mode, dir string, shards int, seed, readCacheBytes int64, memBudget int, obsOn bool) (addr, httpBase string, stop func(), err error) {
+func selfServe(mode, dir string, shards int, seed, readCacheBytes int64, memBudget int, obsOn bool, cfgMod func(*server.Config)) (addr, httpBase string, stop func(), err error) {
 	opts := lsmstore.Options{
 		Strategy:           lsmstore.Validation,
 		Secondaries:        []lsmstore.SecondaryIndex{{Name: "user", Extract: workload.UserIDOf}},
@@ -493,12 +838,16 @@ func selfServe(mode, dir string, shards int, seed, readCacheBytes int64, memBudg
 		cleanup()
 		return "", "", nil, err
 	}
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		DB:                   db,
 		Addr:                 "127.0.0.1:0",
 		HTTPAddr:             "127.0.0.1:0",
 		DisableObservability: !obsOn,
-	})
+	}
+	if cfgMod != nil {
+		cfgMod(&cfg)
+	}
+	srv, err := server.New(cfg)
 	if err == nil {
 		err = srv.Start()
 	}

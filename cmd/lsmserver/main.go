@@ -11,6 +11,12 @@
 // /metrics (Prometheus text format), /debug/slow (slow-request ring),
 // /debug/maintenance (flush/merge journal) and, with -pprof, net/http/pprof.
 //
+// Overload protection is opt-in: -admission-budget bounds weighted
+// in-flight work (excess queues briefly, then sheds with OVERLOADED),
+// -tenant-rate rate-limits tagged clients (RETRY_LATER), and
+// -latency-target starts the maintenance governor, which throttles merge
+// dispatch whenever the foreground p99 exceeds the target.
+//
 // Usage:
 //
 //	lsmserver -addr 127.0.0.1:4150 -http 127.0.0.1:9650 -shards 4 -maint-workers 2
@@ -66,6 +72,12 @@ func run() error {
 	pprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the HTTP sidecar")
 	slowThreshold := flag.Duration("slow-threshold", 0, "slow-request log threshold (0 = 100ms default; negative disables)")
 	noObs := flag.Bool("no-obs", false, "disable latency histograms, stage tracing and the slow-request log")
+	admBudget := flag.Int64("admission-budget", 0, "weighted in-flight admission budget (0 = admission control off)")
+	admQueue := flag.Int("admission-queue", 0, "admission wait-queue depth (0 = 2x budget; negative disables queueing)")
+	queueDeadline := flag.Duration("queue-deadline", 0, "max admission-queue wait before a request is shed (0 = 2ms default)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admitted requests/sec for tagged clients (0 = unlimited)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant burst above -tenant-rate (0 = rate)")
+	latencyTarget := flag.Duration("latency-target", 0, "foreground p99 target coupling maintenance to load (0 = governor off)")
 	flag.Parse()
 
 	opts := lsmstore.Options{
@@ -127,6 +139,13 @@ func run() error {
 		EnablePprof:          *pprof,
 		SlowRequestThreshold: *slowThreshold,
 		DisableObservability: *noObs,
+
+		AdmissionBudget:        *admBudget,
+		AdmissionQueue:         *admQueue,
+		AdmissionQueueDeadline: *queueDeadline,
+		TenantRate:             *tenantRate,
+		TenantBurst:            *tenantBurst,
+		LatencyTarget:          *latencyTarget,
 	})
 	if err != nil {
 		return err
@@ -136,6 +155,12 @@ func run() error {
 	}
 	fmt.Printf("lsmserver: serving %s backend (strategy %s, %d shard(s)) on %s\n",
 		opts.Backend, strings.ToLower(*strategy), *shards, srv.Addr())
+	if *admBudget > 0 {
+		fmt.Printf("lsmserver: admission control on (budget %d, queue %d)\n", *admBudget, *admQueue)
+	}
+	if *latencyTarget > 0 {
+		fmt.Printf("lsmserver: maintenance governor targeting foreground p99 %s\n", *latencyTarget)
+	}
 	if a := srv.HTTPAddr(); a != nil {
 		fmt.Printf("lsmserver: /healthz /stats /metrics /debug/slow /debug/maintenance on http://%s\n", a)
 		if *pprof {

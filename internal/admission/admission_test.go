@@ -1,0 +1,318 @@
+package admission
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitQueued polls until the controller reports n queued waiters.
+func waitQueued(t *testing.T, c *Controller, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Snapshot().Queued == n {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatalf("queue never reached %d waiters (at %d)", n, c.Snapshot().Queued)
+}
+
+func TestAcquireFastPath(t *testing.T) {
+	c := New(Config{Budget: 4})
+	rel, err := c.Acquire(ClassRead, "")
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	s := c.Snapshot()
+	if s.InFlight != 1 || s.Admitted != 1 {
+		t.Fatalf("snapshot after admit: %+v", s)
+	}
+	rel()
+	rel() // idempotent
+	if got := c.Snapshot().InFlight; got != 0 {
+		t.Fatalf("in-flight after double release = %d, want 0", got)
+	}
+}
+
+func TestWeightClampedToBudget(t *testing.T) {
+	c := New(Config{Budget: 2})
+	if w := c.Weight(ClassScan); w != 2 {
+		t.Fatalf("scan weight = %d, want clamped to budget 2", w)
+	}
+	rel, err := c.Acquire(ClassScan, "")
+	if err != nil {
+		t.Fatalf("oversized class must still admit: %v", err)
+	}
+	rel()
+}
+
+func TestBudgetNeverExceeded(t *testing.T) {
+	const budget = 5
+	c := New(Config{Budget: budget, QueueDeadline: 50 * time.Millisecond})
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	classes := []Class{ClassRead, ClassWrite, ClassBatch, ClassQuery, ClassScan}
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				cl := classes[(i+j)%len(classes)]
+				rel, err := c.Acquire(cl, "")
+				if err != nil {
+					continue
+				}
+				w := c.Weight(cl)
+				v := cur.Add(w)
+				for {
+					p := peak.Load()
+					if v <= p || peak.CompareAndSwap(p, v) {
+						break
+					}
+				}
+				cur.Add(-w)
+				rel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > budget {
+		t.Fatalf("weighted in-flight peaked at %d, budget %d", p, budget)
+	}
+	if s := c.Snapshot(); s.InFlight != 0 || s.Queued != 0 {
+		t.Fatalf("leaked state: %+v", s)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	c := New(Config{Budget: 1, MaxQueue: 8, QueueDeadline: 2 * time.Second})
+	rel, err := c.Acquire(ClassRead, "")
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	order := make(chan int, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		go func() {
+			r, err := c.Acquire(ClassRead, "")
+			if err != nil {
+				t.Errorf("queued acquire %d: %v", i, err)
+				return
+			}
+			order <- i
+			r()
+		}()
+		// Serialize the goroutine launches so queue order matches i.
+		waitQueued(t, c, i+1)
+	}
+	rel()
+	for want := 0; want < 3; want++ {
+		select {
+		case got := <-order:
+			if got != want {
+				t.Fatalf("admit order: got %d, want %d", got, want)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("waiter %d never admitted", want)
+		}
+	}
+}
+
+func TestQueueDeadlineShed(t *testing.T) {
+	c := New(Config{Budget: 1, QueueDeadline: 5 * time.Millisecond})
+	rel, err := c.Acquire(ClassRead, "")
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer rel()
+	start := time.Now()
+	_, err = c.Acquire(ClassRead, "")
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if elapsed < 5*time.Millisecond {
+		t.Fatalf("shed before deadline: %v", elapsed)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("shed took %v, not a fast fail", elapsed)
+	}
+	s := c.Snapshot()
+	if s.ShedDeadline != 1 {
+		t.Fatalf("ShedDeadline = %d, want 1 (%+v)", s.ShedDeadline, s)
+	}
+	if c.ShedHist().Count != 1 {
+		t.Fatalf("shed hist count = %d, want 1", c.ShedHist().Count)
+	}
+}
+
+func TestQueueDisabledShedsImmediately(t *testing.T) {
+	c := New(Config{Budget: 1, MaxQueue: -1})
+	rel, err := c.Acquire(ClassRead, "")
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer rel()
+	start := time.Now()
+	_, err = c.Acquire(ClassRead, "")
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("no-queue shed took %v, want immediate", d)
+	}
+	if s := c.Snapshot(); s.ShedQueueFull != 1 {
+		t.Fatalf("ShedQueueFull = %d, want 1", s.ShedQueueFull)
+	}
+}
+
+func TestFairShareShedding(t *testing.T) {
+	c := New(Config{Budget: 1, MaxQueue: 2, QueueDeadline: 2 * time.Second})
+	relA, err := c.Acquire(ClassRead, "A")
+	if err != nil {
+		t.Fatalf("Acquire A: %v", err)
+	}
+	type result struct {
+		i   int
+		err error
+	}
+	results := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		go func() {
+			r, err := c.Acquire(ClassRead, "A")
+			if err == nil {
+				defer r()
+			}
+			results <- result{i, err}
+		}()
+		waitQueued(t, c, i+1)
+	}
+	// Tenant B arrives with the queue full. A consumes strictly more
+	// (in-flight 1 + queued 2) than B (0), so B displaces A's newest
+	// queued waiter instead of being shed itself.
+	bDone := make(chan error, 1)
+	go func() {
+		r, err := c.Acquire(ClassRead, "B")
+		if err == nil {
+			defer r()
+		}
+		bDone <- err
+	}()
+
+	// A's newest waiter (i=1) is shed with ErrOverloaded.
+	select {
+	case res := <-results:
+		if res.i != 1 {
+			t.Fatalf("victim was waiter %d, want the newest (1)", res.i)
+		}
+		if !errors.Is(res.err, ErrOverloaded) {
+			t.Fatalf("victim err = %v, want ErrOverloaded", res.err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no fair-share victim shed")
+	}
+	relA()
+	// FIFO: A's older waiter admits first, then B.
+	select {
+	case res := <-results:
+		if res.i != 0 || res.err != nil {
+			t.Fatalf("surviving waiter: %+v", res)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("surviving A waiter never resolved")
+	}
+	select {
+	case err := <-bDone:
+		if err != nil {
+			t.Fatalf("tenant B should admit after displacement: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("tenant B never resolved")
+	}
+	s := c.Snapshot()
+	if s.ShedFairShare != 1 {
+		t.Fatalf("ShedFairShare = %d, want 1 (%+v)", s.ShedFairShare, s)
+	}
+	if s.Tenants["A"].Shed != 1 {
+		t.Fatalf("tenant A shed = %d, want 1", s.Tenants["A"].Shed)
+	}
+}
+
+func TestTenantRateLimit(t *testing.T) {
+	c := New(Config{Budget: 8, TenantRate: 1, TenantBurst: 1})
+	rel, err := c.Acquire(ClassRead, "tenant-1")
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	rel()
+	if _, err := c.Acquire(ClassRead, "tenant-1"); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("second acquire err = %v, want ErrRateLimited", err)
+	}
+	// Untagged traffic is exempt.
+	for i := 0; i < 5; i++ {
+		r, err := c.Acquire(ClassRead, "")
+		if err != nil {
+			t.Fatalf("untagged acquire %d: %v", i, err)
+		}
+		r()
+	}
+	s := c.Snapshot()
+	if s.ShedRateLimited != 1 || s.Tenants["tenant-1"].RateLimited != 1 {
+		t.Fatalf("rate-limit accounting: %+v", s)
+	}
+}
+
+func TestCloseShedsQueueAndFailsAcquires(t *testing.T) {
+	c := New(Config{Budget: 1, QueueDeadline: 2 * time.Second})
+	rel, err := c.Acquire(ClassRead, "")
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ClassRead, "")
+		errCh <- err
+	}()
+	waitQueued(t, c, 1)
+	c.Close()
+	c.Close() // idempotent
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("queued waiter err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued waiter not shed by Close")
+	}
+	if _, err := c.Acquire(ClassRead, ""); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close acquire err = %v, want ErrClosed", err)
+	}
+	rel() // release after close must not panic
+}
+
+func TestClassStrings(t *testing.T) {
+	want := map[Class]string{
+		ClassRead: "read", ClassWrite: "write", ClassBatch: "batch",
+		ClassQuery: "query", ClassScan: "scan",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Fatalf("Class(%d).String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if Class(200).String() != "class(200)" {
+		t.Fatalf("unknown class string = %q", Class(200).String())
+	}
+}
+
+func TestSnapshotShedTotal(t *testing.T) {
+	s := Snapshot{ShedQueueFull: 1, ShedDeadline: 2, ShedFairShare: 3, ShedRateLimited: 4}
+	if got := s.Shed(); got != 10 {
+		t.Fatalf("Shed() = %d, want 10", got)
+	}
+}

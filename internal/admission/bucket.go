@@ -1,0 +1,100 @@
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+// Bucket is a token bucket gating maintenance-job dispatch. Wait blocks
+// until a token accrues (at the current rate) or the bucket closes; a
+// closed bucket admits everything immediately, so a stopped governor can
+// never slow a draining store. All methods are safe for concurrent use.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second (> 0)
+	burst  float64
+	tokens float64
+	last   time.Time
+
+	closed   chan struct{}
+	closeOne sync.Once
+}
+
+// NewBucket builds a bucket starting full at the given rate and burst.
+func NewBucket(rate, burst float64) *Bucket {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Bucket{rate: rate, burst: burst, tokens: burst, closed: make(chan struct{})}
+}
+
+// SetRate changes the refill rate (clamped to a positive value).
+func (b *Bucket) SetRate(rate float64) {
+	if rate <= 0 {
+		rate = 1
+	}
+	b.mu.Lock()
+	b.refillLocked(time.Now())
+	b.rate = rate
+	b.mu.Unlock()
+}
+
+// Rate reports the current refill rate.
+func (b *Bucket) Rate() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rate
+}
+
+// refillLocked accrues tokens for the time elapsed since the last refill.
+func (b *Bucket) refillLocked(now time.Time) {
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+}
+
+// Wait consumes one token, sleeping until one accrues. It returns
+// immediately once the bucket is closed. The wait is re-checked each
+// iteration, so a concurrent SetRate shortens (or lengthens) it.
+func (b *Bucket) Wait() {
+	for {
+		select {
+		case <-b.closed:
+			return
+		default:
+		}
+		b.mu.Lock()
+		now := time.Now()
+		b.refillLocked(now)
+		if b.tokens >= 1 {
+			b.tokens--
+			b.mu.Unlock()
+			return
+		}
+		need := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+		b.mu.Unlock()
+		if need < 50*time.Microsecond {
+			need = 50 * time.Microsecond
+		}
+		timer := time.NewTimer(need)
+		select {
+		case <-b.closed:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+	}
+}
+
+// Close opens the gate permanently: all current and future Waits return
+// immediately. Idempotent.
+func (b *Bucket) Close() {
+	b.closeOne.Do(func() { close(b.closed) })
+}

@@ -1,0 +1,238 @@
+package admission
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Governor defaults. MinRate is the hard floor of the no-deadlock
+// argument: a gated merge job waits at most ~1/MinRate seconds.
+const (
+	defaultGovInterval = 50 * time.Millisecond
+	defaultGovMinRate  = 4
+	defaultGovMaxRate  = 512
+	defaultGovBurst    = 4
+)
+
+// GovernorConfig parameterizes the load-coupled maintenance governor.
+type GovernorConfig struct {
+	// Target is the foreground latency target: the governor throttles
+	// merge dispatch while the get/upsert interval p99 exceeds it.
+	// Required (> 0).
+	Target time.Duration
+	// Interval is the sampling period. 0 means 50ms.
+	Interval time.Duration
+	// MinRate is the hard floor for the merge-dispatch rate, in jobs per
+	// second. Never allowed below 1; 0 means 4. This floor is what keeps
+	// throttled maintenance from deadlocking write backpressure.
+	MinRate float64
+	// MaxRate is the ceiling for the merge-dispatch rate (the effective
+	// "unthrottled" rate). 0 means 512.
+	MaxRate float64
+	// Burst is the token-bucket burst. 0 means 4.
+	Burst float64
+}
+
+func (cfg GovernorConfig) withDefaults() GovernorConfig {
+	if cfg.Interval <= 0 {
+		cfg.Interval = defaultGovInterval
+	}
+	if cfg.MinRate <= 0 {
+		cfg.MinRate = defaultGovMinRate
+	}
+	if cfg.MinRate < 1 {
+		cfg.MinRate = 1
+	}
+	if cfg.MaxRate <= 0 {
+		cfg.MaxRate = defaultGovMaxRate
+	}
+	if cfg.MaxRate < cfg.MinRate {
+		cfg.MaxRate = cfg.MinRate
+	}
+	if cfg.Burst < 1 {
+		cfg.Burst = defaultGovBurst
+	}
+	return cfg
+}
+
+// Governor samples foreground latency from an obs.Registry and steers a
+// token Bucket gating merge-job dispatch (AIMD-style: halve the rate when
+// the interval p99 is over target, multiplicatively recover when
+// comfortably under). Its loop runs under recover: a panic parks a sticky
+// LastError and opens the gate, so stale throttle state cannot outlive
+// its controller.
+type Governor struct {
+	cfg    GovernorConfig
+	reg    *obs.Registry
+	bucket *Bucket
+
+	mu            sync.Mutex
+	lastGet       obs.HistSnapshot
+	lastUpsert    obs.HistSnapshot
+	lastP99       time.Duration
+	throttleSteps int64
+	recoverSteps  int64
+	lastErr       string
+	started       bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewGovernor builds a governor over reg with cfg (defaults applied).
+// The gate starts fully open (rate = MaxRate).
+func NewGovernor(cfg GovernorConfig, reg *obs.Registry) *Governor {
+	cfg = cfg.withDefaults()
+	return &Governor{
+		cfg:    cfg,
+		reg:    reg,
+		bucket: NewBucket(cfg.MaxRate, cfg.Burst),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Gate returns the dispatch gate for merge jobs: a function that blocks
+// until the governor's token bucket grants a token. Safe to call before
+// Start and after Stop (a closed bucket admits immediately).
+func (g *Governor) Gate() func() { return g.bucket.Wait }
+
+// Start launches the sampling loop. Idempotent-hostile by design: call
+// once.
+func (g *Governor) Start() {
+	g.mu.Lock()
+	if g.started {
+		g.mu.Unlock()
+		return
+	}
+	g.started = true
+	// Baseline the interval deltas so the first tick doesn't see the
+	// registry's whole history.
+	g.lastGet = g.reg.OpHist(obs.OpGet).Snapshot()
+	g.lastUpsert = g.reg.OpHist(obs.OpUpsert).Snapshot()
+	g.mu.Unlock()
+	go g.loop()
+}
+
+// Stop halts the loop and opens the gate permanently. Safe to call
+// multiple times and without a prior Start.
+func (g *Governor) Stop() {
+	g.mu.Lock()
+	started := g.started
+	g.started = false
+	g.mu.Unlock()
+	g.bucket.Close()
+	if started {
+		close(g.stop)
+		<-g.done
+	}
+}
+
+func (g *Governor) loop() {
+	defer close(g.done)
+	defer func() {
+		if r := recover(); r != nil {
+			g.mu.Lock()
+			g.lastErr = fmt.Sprintf("governor panic: %v", r)
+			g.mu.Unlock()
+			// A dead governor must not keep throttling: open the gate.
+			g.bucket.Close()
+		}
+	}()
+	ticker := time.NewTicker(g.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-ticker.C:
+			g.tick()
+		}
+	}
+}
+
+// tick samples the foreground interval p99 and adjusts the merge rate.
+func (g *Governor) tick() {
+	curGet := g.reg.OpHist(obs.OpGet).Snapshot()
+	curUpsert := g.reg.OpHist(obs.OpUpsert).Snapshot()
+
+	g.mu.Lock()
+	interval := curGet.Sub(g.lastGet).Add(curUpsert.Sub(g.lastUpsert))
+	g.lastGet = curGet
+	g.lastUpsert = curUpsert
+	g.mu.Unlock()
+
+	var p99 time.Duration
+	if interval.Count > 0 {
+		p99 = time.Duration(interval.Quantile(0.99))
+	}
+
+	rate := g.bucket.Rate()
+	switch {
+	case interval.Count > 0 && p99 > g.cfg.Target:
+		// Over target: back off multiplicatively, clamped to the floor.
+		rate /= 2
+		if rate < g.cfg.MinRate {
+			rate = g.cfg.MinRate
+		}
+		g.bucket.SetRate(rate)
+		g.mu.Lock()
+		g.throttleSteps++
+	case interval.Count == 0 || p99 < g.cfg.Target*7/10:
+		// Idle or comfortably under target: recover toward the ceiling.
+		rate *= 1.25
+		if rate > g.cfg.MaxRate {
+			rate = g.cfg.MaxRate
+		}
+		g.bucket.SetRate(rate)
+		g.mu.Lock()
+		g.recoverSteps++
+	default:
+		// In the dead band: hold.
+		g.mu.Lock()
+	}
+	g.lastP99 = p99
+	g.mu.Unlock()
+}
+
+// LastError returns the sticky error from a governor panic, or "".
+func (g *Governor) LastError() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.lastErr
+}
+
+// GovernorSnapshot is the governor state surfaced on /stats and
+// /debug/maintenance.
+type GovernorSnapshot struct {
+	TargetMicros  int64   `json:"target_us"`
+	Rate          float64 `json:"merge_rate"`
+	MinRate       float64 `json:"min_rate"`
+	MaxRate       float64 `json:"max_rate"`
+	Throttling    bool    `json:"throttling"`
+	LastP99Micros int64   `json:"last_p99_us"`
+	ThrottleSteps int64   `json:"throttle_steps"`
+	RecoverSteps  int64   `json:"recover_steps"`
+	LastError     string  `json:"last_error,omitempty"`
+}
+
+// Snapshot captures the governor's current state.
+func (g *Governor) Snapshot() GovernorSnapshot {
+	rate := g.bucket.Rate()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return GovernorSnapshot{
+		TargetMicros:  g.cfg.Target.Microseconds(),
+		Rate:          rate,
+		MinRate:       g.cfg.MinRate,
+		MaxRate:       g.cfg.MaxRate,
+		Throttling:    rate < g.cfg.MaxRate,
+		LastP99Micros: g.lastP99.Microseconds(),
+		ThrottleSteps: g.throttleSteps,
+		RecoverSteps:  g.recoverSteps,
+		LastError:     g.lastErr,
+	}
+}

@@ -1,0 +1,164 @@
+package admission
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestBucketWaitBoundedByRate(t *testing.T) {
+	b := NewBucket(100, 1) // 10ms per token after the burst
+	b.Wait()               // burst token, immediate
+	start := time.Now()
+	b.Wait()
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("token wait %v, want ~10ms", d)
+	}
+}
+
+func TestBucketCloseOpensGate(t *testing.T) {
+	b := NewBucket(0.001, 1) // ~17 minutes per token
+	b.Wait()                 // burst token
+	done := make(chan struct{})
+	go func() {
+		b.Wait() // would block for minutes
+		close(done)
+	}()
+	time.Sleep(time.Millisecond)
+	b.Close()
+	b.Close() // idempotent
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not return after Close")
+	}
+	// Future waits are free too.
+	start := time.Now()
+	b.Wait()
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("post-close Wait took %v", d)
+	}
+}
+
+func TestBucketSetRateClamps(t *testing.T) {
+	b := NewBucket(10, 1)
+	b.SetRate(-5)
+	if r := b.Rate(); r != 1 {
+		t.Fatalf("rate after SetRate(-5) = %v, want clamp to 1", r)
+	}
+	b.SetRate(42)
+	if r := b.Rate(); r != 42 {
+		t.Fatalf("rate = %v, want 42", r)
+	}
+}
+
+// slowRecord fills an op histogram with latencies relative to a target.
+func record(reg *obs.Registry, op obs.Op, d time.Duration, n int) {
+	h := reg.OpHist(op)
+	for i := 0; i < n; i++ {
+		h.Record(d)
+	}
+}
+
+func TestGovernorThrottlesOverTarget(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := NewGovernor(GovernorConfig{
+		Target:  time.Millisecond,
+		MinRate: 4,
+		MaxRate: 64,
+	}, reg)
+	if r := g.bucket.Rate(); r != 64 {
+		t.Fatalf("initial rate = %v, want MaxRate 64", r)
+	}
+	// Drive ticks directly: p99 far over target halves the rate until the
+	// floor — never below it.
+	for i := 0; i < 10; i++ {
+		record(reg, obs.OpGet, 50*time.Millisecond, 100)
+		g.tick()
+	}
+	snap := g.Snapshot()
+	if snap.Rate != 4 {
+		t.Fatalf("rate after sustained overload = %v, want floor 4", snap.Rate)
+	}
+	if !snap.Throttling || snap.ThrottleSteps == 0 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	if snap.LastP99Micros < 1000 {
+		t.Fatalf("LastP99Micros = %d, want ≥ target", snap.LastP99Micros)
+	}
+	// Fast foreground latency recovers the rate back to the ceiling.
+	for i := 0; i < 32; i++ {
+		record(reg, obs.OpGet, 10*time.Microsecond, 100)
+		g.tick()
+	}
+	snap = g.Snapshot()
+	if snap.Rate != 64 {
+		t.Fatalf("rate after recovery = %v, want MaxRate 64", snap.Rate)
+	}
+	if snap.Throttling {
+		t.Fatalf("still throttling at ceiling: %+v", snap)
+	}
+}
+
+func TestGovernorIdleRecovers(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := NewGovernor(GovernorConfig{Target: time.Millisecond, MinRate: 2, MaxRate: 16}, reg)
+	g.bucket.SetRate(2)
+	for i := 0; i < 16; i++ {
+		g.tick() // no samples at all
+	}
+	if r := g.Snapshot().Rate; r != 16 {
+		t.Fatalf("idle rate = %v, want recovery to 16", r)
+	}
+}
+
+func TestGovernorStartStop(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := NewGovernor(GovernorConfig{Target: time.Millisecond, Interval: time.Millisecond}, reg)
+	g.Start()
+	g.Start() // idempotent
+	time.Sleep(5 * time.Millisecond)
+	g.Stop()
+	g.Stop() // idempotent
+	// Stopped governor's gate is open.
+	start := time.Now()
+	gate := g.Gate()
+	for i := 0; i < 100; i++ {
+		gate()
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("gate still throttling after Stop: 100 waits took %v", d)
+	}
+	if g.LastError() != "" {
+		t.Fatalf("clean stop left LastError = %q", g.LastError())
+	}
+}
+
+func TestGovernorPanicStickyErrorOpensGate(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := NewGovernor(GovernorConfig{Target: time.Millisecond, Interval: time.Millisecond}, reg)
+	g.reg = nil // first tick will panic (nil registry deref)
+	go g.loop()
+	select {
+	case <-g.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("panicking loop never exited")
+	}
+	if !strings.Contains(g.LastError(), "governor panic") {
+		t.Fatalf("LastError = %q, want sticky panic record", g.LastError())
+	}
+	if s := g.Snapshot().LastError; !strings.Contains(s, "governor panic") {
+		t.Fatalf("snapshot LastError = %q", s)
+	}
+	// The crashed governor must not keep throttling: gate is open.
+	start := time.Now()
+	gate := g.Gate()
+	for i := 0; i < 100; i++ {
+		gate()
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("gate closed after governor death: %v", d)
+	}
+}

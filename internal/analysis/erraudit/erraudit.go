@@ -38,7 +38,7 @@ var packageList string
 
 func init() {
 	Analyzer.Flags.StringVar(&packageList, "packages",
-		"repro/internal/wal,repro/internal/storage,repro/internal/core,repro/internal/server,repro/internal/readcache,repro/internal/obs",
+		"repro/internal/wal,repro/internal/storage,repro/internal/core,repro/internal/server,repro/internal/readcache,repro/internal/obs,repro/internal/admission",
 		"comma-separated package paths to audit (each covers its subpackages)")
 }
 

@@ -466,7 +466,7 @@ func (d *Dataset) scheduleMerge() {
 	}
 	m.mergeWant = true
 	m.mu.Unlock()
-	if !m.pool.Submit(d.runMergeJob) {
+	if !m.pool.SubmitKind(maint.JobMerge, d.runMergeJob) {
 		m.mu.Lock()
 		m.mergeWant = false
 		m.setErrLocked(ErrMaintenanceClosed)

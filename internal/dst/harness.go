@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"repro/internal/admission"
 	"repro/internal/workload"
 	"repro/lsmstore"
 )
@@ -238,6 +239,7 @@ type harness struct {
 	workers    int
 	keySpace   int
 	readCache  bool
+	adm        *admission.Controller // nil when the admission dimension is off
 
 	creation    int64
 	dir         string
@@ -310,6 +312,14 @@ func Run(cfg Config) (*Report, error) {
 	// keyspace, so runs with it on cross eviction as well as
 	// fill/invalidate/crash paths while the model checks every read.
 	h.readCache = cfgRng.chance(0.5)
+	// Admission is drawn after readCache for the same corpus-stability
+	// reason. The controller is configured with no queue (negative
+	// MaxQueue) so shed decisions resolve immediately — no timers, no
+	// goroutines — which keeps runs deterministic: a workload-stream draw
+	// in step decides when the budget is artificially exhausted.
+	if cfgRng.chance(0.5) {
+		h.adm = admission.New(admission.Config{Budget: 1, MaxQueue: -1})
+	}
 
 	var inj Injector = NoFaults{}
 	if cfg.FaultRate > 0 {
@@ -329,14 +339,14 @@ func Run(cfg Config) (*Report, error) {
 	if err := os.MkdirAll(h.dir, 0o755); err != nil {
 		return nil, err
 	}
-	h.trace.Addf("run strategy=%v gc=%v shards=%d keyspace=%d readcache=%s",
-		h.strategy, h.gc, h.shards, h.keySpace, onOff(h.readCache))
+	h.trace.Addf("run strategy=%v gc=%v shards=%d keyspace=%d readcache=%s admission=%s",
+		h.strategy, h.gc, h.shards, h.keySpace, onOff(h.readCache), onOff(h.adm != nil))
 
 	report := &Report{
 		Seed:    cfg.Seed,
 		Profile: cfg.Profile,
-		Setup: fmt.Sprintf("strategy=%v gc=%v shards=%d workers=%d keyspace=%d readcache=%s",
-			h.strategy, h.gc, h.shards, h.workers, h.keySpace, onOff(h.readCache)),
+		Setup: fmt.Sprintf("strategy=%v gc=%v shards=%d workers=%d keyspace=%d readcache=%s admission=%s",
+			h.strategy, h.gc, h.shards, h.workers, h.keySpace, onOff(h.readCache), onOff(h.adm != nil)),
 		Verdict: "ok",
 	}
 	err := h.run()
@@ -350,6 +360,9 @@ func Run(cfg Config) (*Report, error) {
 		h.control.Detach()
 		_ = h.db.Close()
 		h.db = nil
+	}
+	if h.adm != nil {
+		h.adm.Close()
 	}
 	report.Ops = h.opsExecuted
 	report.Sessions = h.sessions
@@ -727,9 +740,48 @@ func (h *harness) drawOp() wop {
 	return wUpsert
 }
 
+// stepAdmission runs one deterministic admission decision ahead of a
+// workload op. A workload-stream draw picks shed steps: the harness
+// exhausts the one-slot budget itself, verifies the next arrival is shed
+// immediately (the queue is disabled, so no timers or goroutines are
+// involved), and skips the op — the model is untouched, mirroring how a
+// shed request never reaches the engine. All other steps take the
+// fast-path admit and must leave the weighted in-flight gauge at zero.
+// handled=true means this step was consumed by a shed.
+func (h *harness) stepAdmission() (handled bool, err error) {
+	if h.wrng.chance(0.15) {
+		block, err := h.adm.Acquire(admission.ClassWrite, "")
+		if err != nil {
+			return false, failf("admission blocker acquire failed: %v", err)
+		}
+		_, shedErr := h.adm.Acquire(admission.ClassRead, "")
+		block()
+		if !errors.Is(shedErr, admission.ErrOverloaded) {
+			return false, failf("admission over budget returned %v, want ErrOverloaded", shedErr)
+		}
+		h.trace.Add("op shed")
+		return true, nil
+	}
+	release, err := h.adm.Acquire(admission.ClassWrite, "")
+	if err != nil {
+		return false, failf("admission acquire with free budget failed: %v", err)
+	}
+	release()
+	if snap := h.adm.Snapshot(); snap.InFlight != 0 {
+		return false, failf("admission in-flight = %d after release, want 0", snap.InFlight)
+	}
+	return false, nil
+}
+
 // step executes one workload op. done=true ends the session (a fault or
 // kill surfaced); err is a verdict or infrastructure error.
 func (h *harness) step() (bool, error) {
+	if h.adm != nil {
+		handled, err := h.stepAdmission()
+		if handled || err != nil {
+			return false, err
+		}
+	}
 	switch h.drawOp() {
 	case wUpsert:
 		id := h.key()

@@ -77,3 +77,57 @@ func TestPoolCloseIdempotent(t *testing.T) {
 	p.Close()
 	p.Close()
 }
+
+func TestPoolGateOnlyMergeJobs(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	var gated atomic.Int64
+	p.SetGate(func() { gated.Add(1) })
+	var flushes, merges atomic.Int64
+	for i := 0; i < 5; i++ {
+		p.Submit(func() { flushes.Add(1) })
+		p.SubmitKind(JobMerge, func() { merges.Add(1) })
+	}
+	p.Drain()
+	if flushes.Load() != 5 || merges.Load() != 5 {
+		t.Fatalf("ran %d flushes, %d merges; want 5 each", flushes.Load(), merges.Load())
+	}
+	if got := gated.Load(); got != 5 {
+		t.Fatalf("gate called %d times, want once per merge (5)", got)
+	}
+	// Clearing the gate stops gating.
+	p.SetGate(nil)
+	p.SubmitKind(JobMerge, func() {})
+	p.Drain()
+	if got := gated.Load(); got != 5 {
+		t.Fatalf("gate called %d times after SetGate(nil), want still 5", got)
+	}
+}
+
+func TestPoolPrefersFlushWhenGated(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	p.SetGate(func() {})
+	// Occupy the single worker so the queue builds in a known order.
+	block := make(chan struct{})
+	p.Submit(func() { <-block })
+	var order []string
+	var mu sync.Mutex
+	rec := func(s string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, s)
+			mu.Unlock()
+		}
+	}
+	p.SubmitKind(JobMerge, rec("merge1"))
+	p.SubmitKind(JobMerge, rec("merge2"))
+	p.Submit(rec("flush1"))
+	close(block)
+	p.Drain()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[0] != "flush1" {
+		t.Fatalf("dispatch order %v, want flush first under a gate", order)
+	}
+}

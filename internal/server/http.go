@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"sync"
 
+	"repro/internal/admission"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/lsmstore"
@@ -32,6 +33,16 @@ type StatsPayload struct {
 	// buckets, supporting Add/Sub deltas client-side.
 	LatencyHist map[string]obs.HistSnapshot `json:",omitempty"`
 	StageHist   map[string]obs.HistSnapshot `json:",omitempty"`
+	// Admission is the admission controller's counters and per-tenant
+	// accounting; ShedLatencyHist is the shed fail-fast latency. Present
+	// only when admission control is enabled.
+	Admission       *admission.Snapshot `json:",omitempty"`
+	ShedLatencyHist *obs.HistSnapshot   `json:",omitempty"`
+	// Governor is the maintenance governor's state. GovernorLastError is
+	// the sticky record of a governor panic — a dead governor must be
+	// diagnosable from /stats, like SidecarLastError.
+	Governor          *admission.GovernorSnapshot `json:",omitempty"`
+	GovernorLastError string                      `json:",omitempty"`
 }
 
 // statsPayload assembles the /stats body.
@@ -47,6 +58,17 @@ func (s *Server) statsPayload() StatsPayload {
 		p.Latency = obs.Summaries(p.LatencyHist)
 		p.Stages = obs.Summaries(p.StageHist)
 	}
+	if s.adm != nil {
+		snap := s.adm.Snapshot()
+		p.Admission = &snap
+		shed := s.adm.ShedHist()
+		p.ShedLatencyHist = &shed
+	}
+	if s.gov != nil {
+		gsnap := s.gov.Snapshot()
+		p.Governor = &gsnap
+		p.GovernorLastError = s.gov.LastError()
+	}
 	return p
 }
 
@@ -59,10 +81,11 @@ type slowPayload struct {
 
 // maintenancePayload is the GET /debug/maintenance response body.
 type maintenancePayload struct {
-	Summary obs.JournalSummary `json:"summary"`
-	Pool    maintPoolStats     `json:"pool"`
-	Shards  []maintShardGauges `json:"shards"`
-	Events  []obs.JournalEvent `json:"events"`
+	Summary  obs.JournalSummary          `json:"summary"`
+	Pool     maintPoolStats              `json:"pool"`
+	Governor *admission.GovernorSnapshot `json:"governor,omitempty"`
+	Shards   []maintShardGauges          `json:"shards"`
+	Events   []obs.JournalEvent          `json:"events"`
 }
 
 type maintPoolStats struct {
@@ -125,6 +148,10 @@ func (h *httpSidecar) start(addrStr string, s *Server) error {
 		}
 		queued, active, workers := s.db.MaintPoolStats()
 		p.Pool = maintPoolStats{Queued: queued, Active: active, Workers: workers}
+		if s.gov != nil {
+			gsnap := s.gov.Snapshot()
+			p.Governor = &gsnap
+		}
 		st := s.db.Stats()
 		per := st.PerShard
 		if len(per) == 0 {

@@ -65,6 +65,29 @@ func (s *Server) promExposition() []byte {
 	w.Gauge("lsm_maintenance_active_flushes", "Flush operations in progress.", float64(j.ActiveFlushes))
 	w.Gauge("lsm_maintenance_active_merges", "Merge operations in progress.", float64(j.ActiveMerges))
 
+	if s.adm != nil {
+		a := s.adm.Snapshot()
+		w.Gauge("lsm_admission_budget", "Weighted in-flight admission budget.", float64(a.Budget))
+		w.Gauge("lsm_admission_in_flight", "Weighted in-flight admitted work.", float64(a.InFlight))
+		w.Gauge("lsm_admission_queued", "Requests waiting in the admission queue.", float64(a.Queued))
+		w.Counter("lsm_admission_admitted_total", "Requests admitted.", a.Admitted)
+		w.Counter("lsm_admission_admitted_after_wait_total", "Requests admitted after queueing.", a.AdmittedAfterWait)
+		w.Counter("lsm_admission_shed_total", "Requests shed, by cause.", a.ShedQueueFull, "cause", "queue_full")
+		w.Counter("lsm_admission_shed_total", "", a.ShedDeadline, "cause", "deadline")
+		w.Counter("lsm_admission_shed_total", "", a.ShedFairShare, "cause", "fair_share")
+		w.Counter("lsm_admission_shed_total", "", a.ShedRateLimited, "cause", "rate_limited")
+		w.Histogram("lsm_admission_shed_duration_seconds",
+			"Fail-fast latency of shed requests.", s.adm.ShedHist())
+	}
+	if s.gov != nil {
+		g := s.gov.Snapshot()
+		w.Gauge("lsm_governor_merge_rate", "Current merge-dispatch rate (jobs/s).", g.Rate)
+		w.Gauge("lsm_governor_throttling", "1 while merge dispatch is throttled below the ceiling.", boolGauge(g.Throttling))
+		w.Gauge("lsm_governor_last_p99_micros", "Foreground interval p99 at the last governor tick.", float64(g.LastP99Micros))
+		w.Counter("lsm_governor_throttle_steps_total", "Governor rate-decrease steps.", g.ThrottleSteps)
+		w.Counter("lsm_governor_recover_steps_total", "Governor rate-increase steps.", g.RecoverSteps)
+	}
+
 	if s.obs != nil {
 		w.HistogramMap("lsm_request_duration_seconds",
 			"Server-side request latency by op class.", "op", s.obs.OpSnapshots())
@@ -72,4 +95,11 @@ func (s *Server) promExposition() []byte {
 			"Server-side time per request stage.", "stage", s.obs.StageSnapshots())
 	}
 	return w.Bytes()
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }

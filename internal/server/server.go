@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/wire"
@@ -50,6 +51,29 @@ type Config struct {
 	SlowRequestThreshold time.Duration
 	// SlowLogSize caps the slow-request ring (0 = 128 entries).
 	SlowLogSize int
+	// AdmissionBudget enables server-wide admission control: the total
+	// weighted in-flight budget across every connection (see
+	// internal/admission for the per-class weights). 0 disables admission
+	// control — the only bound is then the per-connection MaxInFlight.
+	AdmissionBudget int64
+	// AdmissionQueue caps the admission FIFO wait queue (0 = 2×budget,
+	// negative = no queue: over-budget requests shed immediately).
+	AdmissionQueue int
+	// AdmissionQueueDeadline bounds how long a request may wait queued
+	// before it is shed (0 = 2ms).
+	AdmissionQueueDeadline time.Duration
+	// TenantRate is the per-tenant admission rate limit in requests per
+	// second for requests carrying a tenant tag (0 = unlimited).
+	TenantRate float64
+	// TenantBurst is the tenant rate limiter's burst (0 = max(1, rate)).
+	TenantBurst float64
+	// LatencyTarget enables the load-coupled maintenance governor: while
+	// the foreground get/upsert interval p99 exceeds the target, merge
+	// dispatch is throttled (never below a hard rate floor — see
+	// internal/admission's no-deadlock argument). 0 disables the
+	// governor. Requires observability (the governor samples its
+	// histograms), so DisableObservability turns it off too.
+	LatencyTarget time.Duration
 	// DisableObservability turns off the per-op latency histograms, the
 	// request-stage tracing and the slow-request log. /metrics then
 	// serves counters only.
@@ -74,8 +98,10 @@ type Server struct {
 	db       *lsmstore.DB
 	counters *metrics.ServerCounters
 	coal     *coalescer
-	obs      *obs.Registry // nil when observability is disabled
-	slow     *obs.SlowLog  // nil when the slow log is disabled
+	obs      *obs.Registry         // nil when observability is disabled
+	slow     *obs.SlowLog          // nil when the slow log is disabled
+	adm      *admission.Controller // nil when admission control is disabled
+	gov      *admission.Governor   // nil when the latency governor is disabled
 
 	ln       net.Listener
 	acceptWg sync.WaitGroup
@@ -130,6 +156,18 @@ func New(cfg Config) (*Server, error) {
 	if !cfg.DisableCoalescing {
 		s.coal = newCoalescer(cfg.DB, s.counters, cfg.MaxBatch, cfg.Coalescers)
 	}
+	if cfg.AdmissionBudget > 0 {
+		s.adm = admission.New(admission.Config{
+			Budget:        cfg.AdmissionBudget,
+			MaxQueue:      cfg.AdmissionQueue,
+			QueueDeadline: cfg.AdmissionQueueDeadline,
+			TenantRate:    cfg.TenantRate,
+			TenantBurst:   cfg.TenantBurst,
+		})
+	}
+	if cfg.LatencyTarget > 0 && s.obs != nil {
+		s.gov = admission.NewGovernor(admission.GovernorConfig{Target: cfg.LatencyTarget}, s.obs)
+	}
 	return s, nil
 }
 
@@ -142,6 +180,12 @@ func (s *Server) Observability() *obs.Registry { return s.obs }
 
 // SlowLog exposes the slow-request ring (nil when disabled).
 func (s *Server) SlowLog() *obs.SlowLog { return s.slow }
+
+// Admission exposes the admission controller (nil when disabled).
+func (s *Server) Admission() *admission.Controller { return s.adm }
+
+// Governor exposes the maintenance governor (nil when disabled).
+func (s *Server) Governor() *admission.Governor { return s.gov }
 
 // Start binds the listeners and begins serving in the background.
 func (s *Server) Start() error {
@@ -165,6 +209,10 @@ func (s *Server) Start() error {
 	s.started = true
 	if s.coal != nil {
 		s.coal.start()
+	}
+	if s.gov != nil {
+		s.db.SetMergeGate(s.gov.Gate())
+		s.gov.Start()
 	}
 	s.acceptWg.Add(1)
 	go s.acceptLoop(ln)
@@ -259,6 +307,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	//lsm:allow-discard teardown: the listener is being discarded either way
 	s.ln.Close()
 	s.http.stop()
+	s.stopOverload()
 	// Unblock every reader: the deadline fails the blocking ReadFrame,
 	// and the drain flag stops readers that raced past it.
 	s.mu.Lock()
@@ -305,6 +354,7 @@ func (s *Server) Kill() {
 	//lsm:allow-discard Kill is the ungraceful path; everything is discarded
 	s.ln.Close()
 	s.http.stop()
+	s.stopOverload()
 	s.mu.Lock()
 	for c := range s.conns {
 		//lsm:allow-discard Kill is the ungraceful path; everything is discarded
@@ -315,6 +365,20 @@ func (s *Server) Kill() {
 	s.connWg.Wait()
 	if s.coal != nil {
 		s.coal.stop()
+	}
+}
+
+// stopOverload tears down the overload-protection layer on either stop
+// path: queued admission waiters shed with ErrClosed (the client sees
+// CodeShuttingDown), the governor stops, and the merge gate opens and
+// detaches so a draining store is never slowed by a stale throttle.
+func (s *Server) stopOverload() {
+	if s.adm != nil {
+		s.adm.Close()
+	}
+	if s.gov != nil {
+		s.gov.Stop()
+		s.db.SetMergeGate(nil)
 	}
 }
 
@@ -436,6 +500,21 @@ func (c *conn) readLoop() {
 			defer c.reqWg.Done()
 			defer func() { <-c.sem }()
 			defer putReqBuf(bp)
+			// Admission control: data-plane ops pass through the global
+			// weighted budget; a shed request fails fast without ever
+			// touching the engine. Control-plane ops (PING, STATS, FLUSH)
+			// bypass it — health checks must work on an overloaded server.
+			if adm := c.srv.adm; adm != nil {
+				if class, ok := admissionClassOf(req.Op); ok {
+					release, err := adm.Acquire(class, req.Tenant)
+					if err != nil {
+						c.srv.counters.Errors.Add(1)
+						c.send(admissionError(req.ID, err), tr)
+						return
+					}
+					defer release()
+				}
+			}
 			if req.Op == wire.OpGet {
 				// GET fast path: serve a reference into engine-owned
 				// memory and encode it straight into the pooled response
@@ -683,6 +762,36 @@ func (s *Server) write(m lsmstore.Mutation, tr *trace) (bool, error) {
 		return false, err
 	}
 	return applied[0], nil
+}
+
+// admissionClassOf maps a wire op onto its admission class. Control-plane
+// ops (PING, STATS, FLUSH) report ok=false: they bypass admission.
+func admissionClassOf(op wire.Op) (admission.Class, bool) {
+	switch op {
+	case wire.OpGet:
+		return admission.ClassRead, true
+	case wire.OpUpsert, wire.OpInsert, wire.OpDelete:
+		return admission.ClassWrite, true
+	case wire.OpApplyBatch:
+		return admission.ClassBatch, true
+	case wire.OpSecondaryQuery:
+		return admission.ClassQuery, true
+	case wire.OpFilterScan:
+		return admission.ClassScan, true
+	}
+	return 0, false
+}
+
+// admissionError maps an admission failure onto its typed wire error.
+func admissionError(id uint64, err error) wire.Response {
+	code := wire.CodeOverloaded
+	switch {
+	case errors.Is(err, admission.ErrRateLimited):
+		code = wire.CodeRetryLater
+	case errors.Is(err, admission.ErrClosed):
+		code = wire.CodeShuttingDown
+	}
+	return wire.ErrorResponse(id, code, err.Error())
 }
 
 // obsOpOf maps a wire op onto its latency-histogram class.

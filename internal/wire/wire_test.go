@@ -25,6 +25,10 @@ func TestRequestRoundTrip(t *testing.T) {
 		{ID: 8, Op: OpFilterScan, FilterLo: -5, FilterHi: 1 << 60, Limit: 7},
 		{ID: 9, Op: OpStats},
 		{ID: 10, Op: OpFlush},
+		{ID: 11, Op: OpGet, Key: []byte("pk"), Tenant: "tenant-a"},
+		{ID: 12, Op: OpApplyBatch, Tenant: "t/2", Muts: []Mutation{
+			{Op: MutDelete, PK: []byte("c")},
+		}},
 	}
 	for _, want := range reqs {
 		enc := AppendRequest(nil, want)
@@ -142,6 +146,68 @@ func TestDecodeRequestInPlace(t *testing.T) {
 	// Corrupt input errors identically.
 	if _, err := DecodeRequestInPlace(enc[:3]); !errors.Is(err, ErrCorruptFrame) {
 		t.Fatalf("truncated in-place decode: err = %v, want ErrCorruptFrame", err)
+	}
+}
+
+// TestOldFormatFramesStillDecode pins the pre-tenant-extension encoding
+// byte for byte: an old client's frame (no trailing tenant field) must
+// decode with Tenant == "", and an untagged request must encode to
+// exactly those bytes — the extension may not shift the base format.
+func TestOldFormatFramesStillDecode(t *testing.T) {
+	// Request{ID: 7, Op: OpGet, Key: "pk"} as encoded before the tenant
+	// extension existed: uvarint ID, op byte, length-prefixed key, then
+	// eleven zero bytes for the unused value/index/bounds/filter/
+	// validation/index-only/limit/mutation-count fields.
+	oldFrame := []byte{
+		0x07,             // ID = 7
+		0x02,             // Op = OpGet
+		0x02, 0x70, 0x6b, // Key = "pk"
+		0x00, 0x00, 0x00, 0x00, // Value, Index, Lo, Hi (empty)
+		0x00, 0x00, // FilterLo, FilterHi
+		0x00, 0x00, 0x00, // Validation, IndexOnly, Limit
+		0x00, // no mutations
+	}
+	want := Request{ID: 7, Op: OpGet, Key: []byte("pk")}
+	got, err := DecodeRequest(oldFrame)
+	if err != nil {
+		t.Fatalf("old-format frame rejected: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("old-format decode:\n got  %+v\n want %+v", got, want)
+	}
+	if enc := AppendRequest(nil, want); !bytes.Equal(enc, oldFrame) {
+		t.Fatalf("untagged encoding drifted from the old format:\n got  %x\n want %x", enc, oldFrame)
+	}
+	// A tagged request is the old frame plus the trailing tenant field.
+	tagged := want
+	tagged.Tenant = "t1"
+	wantTagged := append(append([]byte(nil), oldFrame...), 0x02, 't', '1')
+	if enc := AppendRequest(nil, tagged); !bytes.Equal(enc, wantTagged) {
+		t.Fatalf("tagged encoding:\n got  %x\n want %x", enc, wantTagged)
+	}
+	// An explicitly encoded empty tenant (a single zero byte) is accepted
+	// and normalizes to the untagged request.
+	explicitEmpty := append(append([]byte(nil), oldFrame...), 0x00)
+	got, err = DecodeRequest(explicitEmpty)
+	if err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("explicit empty tenant: err=%v got %+v", err, got)
+	}
+}
+
+func TestNewErrorCodesRoundTrip(t *testing.T) {
+	for _, code := range []ErrCode{CodeOverloaded, CodeRetryLater} {
+		want := ErrorResponse(42, code, "busy")
+		enc := AppendResponse(nil, want)
+		got, err := DecodeResponse(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", code, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s round trip:\n got  %+v\n want %+v", code, got, want)
+		}
+	}
+	if CodeOverloaded.String() != "overloaded" || CodeRetryLater.String() != "retry-later" {
+		t.Fatalf("code strings: %q, %q", CodeOverloaded.String(), CodeRetryLater.String())
 	}
 }
 

@@ -17,9 +17,14 @@
 //		Validation: lsmstore.TimestampValidation,
 //	})
 //
-// Server-side failures come back as typed errors: lsmstore.ErrClosed and
-// lsmstore.ErrUnknownIndex are recognized with errors.Is; everything else
-// is a *ServerError.
+// Server-side failures come back as typed errors: lsmstore.ErrClosed,
+// lsmstore.ErrUnknownIndex, ErrOverloaded and ErrRetryLater are
+// recognized with errors.Is; everything else is a *ServerError.
+//
+// Overload responses (CodeOverloaded, CodeRetryLater) are retried
+// automatically with capped exponential backoff and full jitter, up to
+// Options.RetryLimit; Options.MaxInFlight bounds the pool's concurrency
+// so a backing-off client stops hammering an overloaded server.
 package lsmclient
 
 import (
@@ -27,6 +32,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -51,11 +57,34 @@ type Options struct {
 	RequestTimeout time.Duration
 	// MaxFrame caps accepted response frames (0 = the protocol default).
 	MaxFrame int
+	// Tenant is the QoS tenant tag stamped on every request for the
+	// server's per-tenant rate limits and fair-share shedding. Empty
+	// leaves requests untagged (exempt from per-tenant limits).
+	Tenant string
+	// MaxInFlight bounds the requests this client (whole pool) runs at
+	// once. A slot is held across a request's retries and backoff sleeps,
+	// so a backing-off client stops hammering the server instead of
+	// piling on fresh load. 0 = unlimited.
+	MaxInFlight int
+	// RetryLimit caps the retries after a CodeOverloaded/CodeRetryLater
+	// response before the error surfaces to the caller (0 = the default
+	// of 4; negative disables retries). Only overload errors are retried;
+	// bad requests, broken connections and timeouts fail immediately.
+	RetryLimit int
+	// BackoffBase is the first retry's backoff window (0 = 1ms). Each
+	// retry doubles the window, capped at BackoffCap; the actual sleep is
+	// uniform in [0, window) — capped exponential backoff, full jitter.
+	BackoffBase time.Duration
+	// BackoffCap caps the backoff window (0 = 250ms).
+	BackoffCap time.Duration
 }
 
 const (
 	defaultDialTimeout    = 5 * time.Second
 	defaultRequestTimeout = 30 * time.Second
+	defaultRetryLimit     = 4
+	defaultBackoffBase    = time.Millisecond
+	defaultBackoffCap     = 250 * time.Millisecond
 )
 
 // ErrTimeout reports a request that exceeded Options.RequestTimeout.
@@ -63,6 +92,14 @@ var ErrTimeout = errors.New("lsmclient: request timed out")
 
 // ErrClientClosed reports use of a Client after Close.
 var ErrClientClosed = errors.New("lsmclient: client is closed")
+
+// ErrOverloaded reports a request the server shed (CodeOverloaded) that
+// was still failing after the retry budget. Back off before trying again.
+var ErrOverloaded = errors.New("lsmclient: server overloaded")
+
+// ErrRetryLater reports a request rejected by the tenant rate limit
+// (CodeRetryLater): the server is fine, this tenant is over its rate.
+var ErrRetryLater = errors.New("lsmclient: tenant rate limited")
 
 // ServerError is a typed failure the server reported for one request.
 type ServerError struct {
@@ -78,12 +115,13 @@ func (e *ServerError) Error() string {
 // Client is a pooled, pipelining connection to one lsmserver. All methods
 // are safe for concurrent use.
 type Client struct {
-	opts   Options
-	slotMu sync.Mutex // guards conns slot pointers (redial swaps)
-	conns  []*conn
-	rr     atomic.Uint64
-	nextID atomic.Uint64
-	closed atomic.Bool
+	opts    Options
+	slotMu  sync.Mutex // guards conns slot pointers (redial swaps)
+	conns   []*conn
+	rr      atomic.Uint64
+	nextID  atomic.Uint64
+	closed  atomic.Bool
+	limiter chan struct{} // pool-wide in-flight slots (nil = unlimited)
 }
 
 // Dial connects to an lsmserver with default options.
@@ -109,7 +147,22 @@ func DialOptions(opts Options) (*Client, error) {
 	if opts.MaxFrame <= 0 {
 		opts.MaxFrame = wire.MaxFrame
 	}
+	if opts.RetryLimit == 0 {
+		opts.RetryLimit = defaultRetryLimit
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = defaultBackoffBase
+	}
+	if opts.BackoffCap <= 0 {
+		opts.BackoffCap = defaultBackoffCap
+	}
+	if opts.BackoffCap < opts.BackoffBase {
+		opts.BackoffCap = opts.BackoffBase
+	}
 	c := &Client{opts: opts, conns: make([]*conn, opts.Conns)}
+	if opts.MaxInFlight > 0 {
+		c.limiter = make(chan struct{}, opts.MaxInFlight)
+	}
 	for i := range c.conns {
 		cn, err := c.dialConn()
 		if err != nil {
@@ -306,12 +359,67 @@ func (b *Batch) Apply() ([]bool, error) {
 
 // --- transport ----------------------------------------------------------
 
-// do sends one request on a pool connection and waits for its response,
-// enforcing the request timeout and mapping error frames to typed errors.
+// do sends one request, holding a pool in-flight slot for its whole
+// lifetime (including backoff sleeps) and retrying overload errors with
+// capped exponential backoff and full jitter.
 func (c *Client) do(req wire.Request, want wire.Kind) (wire.Response, error) {
 	if c.closed.Load() {
 		return wire.Response{}, ErrClientClosed
 	}
+	if req.Tenant == "" {
+		req.Tenant = c.opts.Tenant
+	}
+	if c.limiter != nil {
+		c.limiter <- struct{}{}
+		defer func() { <-c.limiter }()
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := c.doOnce(req, want)
+		if err == nil || attempt >= c.opts.RetryLimit || !retryableError(err) {
+			return resp, err
+		}
+		time.Sleep(backoffDelay(attempt, c.opts.BackoffBase, c.opts.BackoffCap, randDelay))
+		if c.closed.Load() {
+			return wire.Response{}, ErrClientClosed
+		}
+	}
+}
+
+// retryableError reports whether the failure is an overload signal worth
+// retrying. Bad requests, closed stores, timeouts and broken connections
+// are not — retrying those wastes the server's time or the caller's.
+func retryableError(err error) bool {
+	return errors.Is(err, ErrOverloaded) || errors.Is(err, ErrRetryLater)
+}
+
+// backoffDelay computes the attempt's sleep: a window of base<<attempt
+// capped at cap, full jitter via rnd (uniform draw in [0, window)). A
+// random sleep in the full window desynchronizes retrying clients — the
+// retry herd arrives spread out instead of in waves.
+func backoffDelay(attempt int, base, cap time.Duration, rnd func(int64) int64) time.Duration {
+	window := base
+	for i := 0; i < attempt && window < cap; i++ {
+		window *= 2
+	}
+	if window > cap {
+		window = cap
+	}
+	if window <= 0 {
+		return 0
+	}
+	return time.Duration(rnd(int64(window)))
+}
+
+// randDelay is backoffDelay's production jitter source.
+func randDelay(n int64) int64 {
+	return rand.Int63n(n)
+}
+
+// doOnce sends one request attempt on a pool connection and waits for its
+// response, enforcing the request timeout and mapping error frames to
+// typed errors. Each attempt gets a fresh request ID so an abandoned
+// attempt's late response can never be routed to its retry.
+func (c *Client) doOnce(req wire.Request, want wire.Kind) (wire.Response, error) {
 	req.ID = c.nextID.Add(1)
 	slot := int(c.rr.Add(1)-1) % len(c.conns)
 	cn, err := c.conn(slot)
@@ -354,6 +462,10 @@ func mapServerError(res wire.Response) error {
 		return fmt.Errorf("%w (remote: %s)", lsmstore.ErrClosed, res.Msg)
 	case wire.CodeUnknownIndex:
 		return fmt.Errorf("%w (remote: %s)", lsmstore.ErrUnknownIndex, res.Msg)
+	case wire.CodeOverloaded:
+		return fmt.Errorf("%w (remote: %s)", ErrOverloaded, res.Msg)
+	case wire.CodeRetryLater:
+		return fmt.Errorf("%w (remote: %s)", ErrRetryLater, res.Msg)
 	}
 	return &ServerError{Code: res.Code.String(), Msg: res.Msg}
 }

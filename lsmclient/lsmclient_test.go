@@ -4,10 +4,12 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/wire"
+	"repro/lsmstore"
 )
 
 // silentServer accepts connections and reads frames but never responds —
@@ -131,6 +133,266 @@ func TestBrokenConnectionFailsPendingAndRedials(t *testing.T) {
 		t.Fatal("client did not redial after the connection broke")
 	}
 	<-redialed // silent server: the ping times out eventually; don't leak it
+}
+
+// scriptedServer speaks the wire protocol with a caller-supplied handler,
+// for driving the client's retry machinery from the server side.
+type scriptedServer struct {
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+func newScriptedServer(t *testing.T, handle func(req wire.Request) wire.Response) *scriptedServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &scriptedServer{ln: ln}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer nc.Close()
+				var buf []byte
+				for {
+					frame, err := wire.ReadFrame(nc, buf, 0)
+					if err != nil {
+						return
+					}
+					buf = frame[:cap(frame)]
+					req, err := wire.DecodeRequest(frame)
+					if err != nil {
+						return
+					}
+					resp := handle(req)
+					resp.ID = req.ID
+					if err := wire.WriteFrame(nc, wire.AppendResponse(nil, resp)); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		s.wg.Wait()
+	})
+	return s
+}
+
+func TestBackoffDelayJitterBounds(t *testing.T) {
+	base, cap := time.Millisecond, 250*time.Millisecond
+	var windows []int64
+	capture := func(n int64) int64 {
+		if n <= 0 {
+			t.Fatalf("jitter draw over non-positive window %d", n)
+		}
+		windows = append(windows, n)
+		return n - 1 // the largest draw: delay must stay under the window
+	}
+	wantWindows := []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 16 * time.Millisecond,
+	}
+	for attempt, want := range wantWindows {
+		d := backoffDelay(attempt, base, cap, capture)
+		if got := time.Duration(windows[attempt]); got != want {
+			t.Fatalf("attempt %d: window %v, want %v", attempt, got, want)
+		}
+		if d >= want {
+			t.Fatalf("attempt %d: delay %v not strictly under window %v", attempt, d, want)
+		}
+	}
+	// Deep attempts clamp at the cap — no overflow, no growth past it.
+	windows = nil
+	if d := backoffDelay(40, base, cap, capture); time.Duration(windows[0]) != cap || d >= cap {
+		t.Fatalf("attempt 40: window %v delay %v, want window == cap %v", time.Duration(windows[0]), d, cap)
+	}
+	// Full jitter really spans the window: the production source stays in
+	// [0, window) by construction of rand.Int63n; zero draws are legal.
+	if d := backoffDelay(3, base, cap, func(int64) int64 { return 0 }); d != 0 {
+		t.Fatalf("zero draw gave %v, want 0", d)
+	}
+}
+
+func TestRetryBudgetExhaustsToErrOverloaded(t *testing.T) {
+	var attempts atomic.Int64
+	srv := newScriptedServer(t, func(req wire.Request) wire.Response {
+		attempts.Add(1)
+		return wire.ErrorResponse(req.ID, wire.CodeOverloaded, "budget full")
+	})
+	c, err := DialOptions(Options{
+		Addr:        srv.ln.Addr().String(),
+		RetryLimit:  3,
+		BackoffBase: 50 * time.Microsecond,
+		BackoffCap:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Upsert([]byte("pk"), []byte("v")); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if got := attempts.Load(); got != 4 { // 1 initial + 3 retries
+		t.Fatalf("server saw %d attempts, want 4", got)
+	}
+}
+
+func TestNoRetryOnBadRequestOrClosed(t *testing.T) {
+	for _, tc := range []struct {
+		code wire.ErrCode
+		is   error
+	}{
+		{wire.CodeBadRequest, nil},
+		{wire.CodeClosed, lsmstore.ErrClosed},
+	} {
+		var attempts atomic.Int64
+		srv := newScriptedServer(t, func(req wire.Request) wire.Response {
+			attempts.Add(1)
+			return wire.ErrorResponse(req.ID, tc.code, "nope")
+		})
+		c, err := DialOptions(Options{
+			Addr:        srv.ln.Addr().String(),
+			RetryLimit:  5,
+			BackoffBase: 50 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = c.Upsert([]byte("pk"), []byte("v"))
+		c.Close()
+		if err == nil {
+			t.Fatalf("%s: upsert succeeded", tc.code)
+		}
+		if tc.is != nil && !errors.Is(err, tc.is) {
+			t.Fatalf("%s: err = %v, want %v", tc.code, err, tc.is)
+		}
+		var se *ServerError
+		if tc.is == nil && !errors.As(err, &se) {
+			t.Fatalf("%s: err = %v, want *ServerError", tc.code, err)
+		}
+		if got := attempts.Load(); got != 1 {
+			t.Fatalf("%s: server saw %d attempts, want exactly 1 (no retries)", tc.code, got)
+		}
+	}
+}
+
+func TestRetryRecoversAfterShed(t *testing.T) {
+	var attempts atomic.Int64
+	srv := newScriptedServer(t, func(req wire.Request) wire.Response {
+		if attempts.Add(1) <= 2 {
+			return wire.ErrorResponse(req.ID, wire.CodeOverloaded, "shed")
+		}
+		return wire.Response{ID: req.ID, Kind: wire.KindOK}
+	})
+	c, err := DialOptions(Options{
+		Addr:        srv.ln.Addr().String(),
+		RetryLimit:  5,
+		BackoffBase: 50 * time.Microsecond,
+		BackoffCap:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Upsert([]byte("pk"), []byte("v")); err != nil {
+		t.Fatalf("upsert after sheds: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (2 sheds + success)", got)
+	}
+}
+
+func TestRetryLaterIsRetriedAndMapped(t *testing.T) {
+	var attempts atomic.Int64
+	srv := newScriptedServer(t, func(req wire.Request) wire.Response {
+		attempts.Add(1)
+		return wire.ErrorResponse(req.ID, wire.CodeRetryLater, "tenant over rate")
+	})
+	c, err := DialOptions(Options{
+		Addr:        srv.ln.Addr().String(),
+		RetryLimit:  1,
+		BackoffBase: 50 * time.Microsecond,
+		Tenant:      "t1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); !errors.Is(err, ErrRetryLater) {
+		t.Fatalf("err = %v, want ErrRetryLater", err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2", got)
+	}
+}
+
+func TestTenantTagTravels(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	srv := newScriptedServer(t, func(req wire.Request) wire.Response {
+		mu.Lock()
+		seen = append(seen, req.Tenant)
+		mu.Unlock()
+		return wire.Response{ID: req.ID, Kind: wire.KindOK}
+	})
+	c, err := DialOptions(Options{Addr: srv.ln.Addr().String(), Tenant: "tenant-9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 1 || seen[0] != "tenant-9" {
+		t.Fatalf("server saw tenants %q, want [tenant-9]", seen)
+	}
+}
+
+func TestMaxInFlightBoundsPoolConcurrency(t *testing.T) {
+	var cur, peak atomic.Int64
+	srv := newScriptedServer(t, func(req wire.Request) wire.Response {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		cur.Add(-1)
+		return wire.Response{ID: req.ID, Kind: wire.KindOK}
+	})
+	c, err := DialOptions(Options{Addr: srv.ln.Addr().String(), Conns: 2, MaxInFlight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Ping(); err != nil {
+				t.Errorf("ping: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("observed %d concurrent requests, limiter bound is 2", p)
+	}
 }
 
 func TestUseAfterClose(t *testing.T) {

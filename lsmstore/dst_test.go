@@ -40,6 +40,7 @@ func TestDSTCorpus(t *testing.T) {
 	strategies := map[string]bool{}
 	kinds := map[string]bool{}
 	readCache := map[string]bool{}
+	admission := map[string]bool{}
 	for _, seed := range dstCorpus {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
@@ -54,6 +55,9 @@ func TestDSTCorpus(t *testing.T) {
 				}
 				if s, ok := strings.CutPrefix(part, "readcache="); ok {
 					readCache[s] = true
+				}
+				if s, ok := strings.CutPrefix(part, "admission="); ok {
+					admission[s] = true
 				}
 			}
 			for _, f := range rep.Faults {
@@ -74,6 +78,9 @@ func TestDSTCorpus(t *testing.T) {
 	for _, want := range []string{"on", "off"} {
 		if !readCache[want] {
 			t.Errorf("corpus no longer covers readcache=%s (got %v)", want, readCache)
+		}
+		if !admission[want] {
+			t.Errorf("corpus no longer covers admission=%s (got %v)", want, admission)
 		}
 	}
 }

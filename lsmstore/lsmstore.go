@@ -1159,6 +1159,18 @@ func (db *DB) MaintPoolStats() (queued, active, workers int) {
 	return db.pool.Stats()
 }
 
+// SetMergeGate installs a dispatch gate called before each merge job runs
+// (nil clears it). The server's admission governor uses it to throttle
+// merge I/O against foreground latency; flush jobs are never gated.
+// No-op on a synchronous store (no maintenance pool). Gating changes
+// merge timing only, never results — see TestMergeGateObservationalOnly.
+func (db *DB) SetMergeGate(gate func()) {
+	if db.pool == nil {
+		return
+	}
+	db.pool.SetGate(gate)
+}
+
 // WorkloadProfile describes an expected workload for Advise.
 type WorkloadProfile = advisor.Profile
 
